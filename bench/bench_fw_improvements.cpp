@@ -1,0 +1,81 @@
+// Reproduces thesis §4.3.4 "Improvements" as what-if ablations the
+// simulator can actually run:
+//   * "an improvement to the system could be to increase the WRAM size to
+//     a greater value so as to fit these necessary internal buffers" —
+//     we sweep WRAM capacity and show which eBNN filter counts become
+//     mappable under the 16-image scheme;
+//   * "UPMEM had initially stated ... 600 MHz. An increase in DPU
+//     frequency would help boost single DPU performance" — we rescale the
+//     measured cycle counts to the promised clock.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/error.hpp"
+#include "ebnn/host.hpp"
+#include "ebnn/mnist_synth.hpp"
+#include "yolo/network.hpp"
+
+int main() {
+  using namespace pimdnn;
+  using namespace pimdnn::ebnn;
+
+  bench::banner("Improvements (§4.3.4) - WRAM size and clock ablations");
+
+  // --- WRAM size sweep: largest mappable eBNN filter count. ---
+  Table t1("largest eBNN filter count that fits the 16-image mapping");
+  t1.header({"WRAM per DPU", "max filters (of {16..1024})", "note"});
+  for (MemSize wram_kb : {64u, 128u, 256u, 512u}) {
+    runtime::UpmemConfig sys = sim::default_config();
+    sys.wram_bytes = wram_kb * 1024;
+    int best = 0;
+    for (int filters = 16; filters <= 1024; filters *= 2) {
+      EbnnConfig cfg;
+      cfg.filters = filters;
+      try {
+        EbnnHost host(cfg, EbnnWeights::random(cfg, 42), BnMode::HostLut,
+                      sys);
+        std::vector<Image> images(
+            16, Image(static_cast<std::size_t>(28) * 28, 96));
+        (void)host.run(images, 16);
+        best = filters;
+      } catch (const Error&) {
+        break;
+      }
+    }
+    t1.row({Table::num(std::uint64_t{wram_kb}) + " KB",
+            Table::num(std::uint64_t(best)),
+            wram_kb == 64 ? "shipping hardware" : "hypothetical"});
+  }
+  t1.print(std::cout);
+
+  // --- Clock sweep on the headline latencies. ---
+  const EbnnConfig cfg;
+  EbnnHost host(cfg, EbnnWeights::random(cfg, 42), BnMode::HostLut,
+                sim::default_config(), ConvKernel::PackedRows);
+  const auto batch = host.run(
+      images_only(make_synthetic_mnist(16, 3)), 16);
+  Seconds yolo_cycles_s350 = 0;
+  for (const auto& ls : yolo::YoloRunner::estimate(
+           yolo::yolov3_config(), 3, 416, 416,
+           yolo::GemmVariant::WramTiled, 11, runtime::OptLevel::O3)) {
+    yolo_cycles_s350 += ls.seconds;
+  }
+
+  Table t2("headline latencies vs DPU clock (same cycle counts)");
+  t2.header({"clock", "eBNN us/image", "YOLOv3 416 s/frame", "note"});
+  for (double mhz : {350.0, 466.0, 600.0}) {
+    const double scale = 350.0 / mhz;
+    t2.row({Table::num(mhz, 0) + " MHz",
+            Table::num(batch.launch.wall_seconds / 16 * 1e6 * scale, 1),
+            Table::num(yolo_cycles_s350 * scale, 1),
+            mhz == 350.0   ? "shipping hardware"
+            : mhz == 600.0 ? "white-paper promise"
+                           : "intermediate"});
+  }
+  t2.print(std::cout);
+  std::cout << "\nThe 600 MHz clock alone recovers a 1.71x latency"
+            << " improvement across both CNNs; the WRAM expansion turns"
+            << " WRAM-capacity rejections into mappable configurations"
+            << " without touching the kernels.\n";
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Reproduces thesis §4.3.1's headline latencies:
+//   * eBNN single-image latency on one DPU: 1.48 ms (paper),
+//   * YOLOv3 single-image latency with threading + optimization: 65 s,
+//     with ~0.9 s per layer on average and a 6 s worst layer;
+// plus the §4.3.3 WRAM-vs-MRAM ablation for the GEMM kernel.
+#include <algorithm>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "ebnn/host.hpp"
+#include "ebnn/mnist_synth.hpp"
+#include "yolo/network.hpp"
+
+int main() {
+  using namespace pimdnn;
+  using namespace pimdnn::ebnn;
+  namespace yolo = pimdnn::yolo;
+  using runtime::OptLevel;
+
+  bench::banner("Section 4.3.1 - headline CNN latencies");
+
+  // --- eBNN ---
+  const EbnnConfig cfg;
+  const auto weights = EbnnWeights::random(cfg, 42);
+  EbnnHost host(cfg, weights, BnMode::HostLut);
+  const auto single = host.run(images_only(make_synthetic_mnist(1, 3)), 1);
+  const auto batch = host.run(images_only(make_synthetic_mnist(16, 3)), 16);
+  Table te("eBNN on one DPU (LUT architecture, -O3)");
+  te.header({"metric", "measured", "paper"});
+  te.row({"single image latency (ms)",
+          Table::num(single.launch.wall_seconds * 1e3, 3), "1.48"});
+  te.row({"16-image batch wall (ms)",
+          Table::num(batch.launch.wall_seconds * 1e3, 3), "-"});
+  te.row({"amortized per image, 16 tasklets (ms)",
+          Table::num(batch.launch.wall_seconds / 16 * 1e3, 3), "-"});
+  te.print(std::cout);
+
+  // --- YOLOv3 full size, analytic per-layer ---
+  for (const auto& [vlabel, variant] :
+       {std::pair{"WRAM-tiled kernel", yolo::GemmVariant::WramTiled},
+        std::pair{"MRAM-resident kernel (thesis-style port)",
+                  yolo::GemmVariant::MramResident}}) {
+    const auto layers = yolo::YoloRunner::estimate(
+        yolo::yolov3_config(), 3, 416, 416, variant, 11, OptLevel::O3);
+    Seconds total = 0;
+    Seconds worst = 0;
+    int convs = 0;
+    for (const auto& ls : layers) {
+      total += ls.seconds;
+      worst = std::max(worst, ls.seconds);
+      if (ls.type == yolo::LayerType::Convolutional) ++convs;
+    }
+    Table ty(std::string("YOLOv3 416x416, 11 tasklets, -O3: ") + vlabel);
+    ty.header({"metric", "measured", "paper"});
+    ty.row({"single image latency (s)", Table::num(total, 2), "65"});
+    ty.row({"avg per conv layer (s)",
+            Table::num(total / static_cast<double>(convs), 2), "~0.9"});
+    ty.row({"max layer (s)", Table::num(worst, 2), "6"});
+    ty.row({"conv layers", Table::num(std::uint64_t(convs)), "75"});
+    ty.print(std::cout);
+    std::cout << "\n";
+  }
+  // --- YOLOv3-tiny (the §6.1 "alternative CNN") for scale context ---
+  {
+    Seconds total = 0;
+    for (const auto& ls : yolo::YoloRunner::estimate(
+             yolo::yolov3_tiny_config(), 3, 416, 416,
+             yolo::GemmVariant::WramTiled, 11, OptLevel::O3)) {
+      total += ls.seconds;
+    }
+    std::cout << "YOLOv3-tiny 416x416 (13 conv layers): "
+              << pimdnn::Table::num(total, 2)
+              << " s per frame - ~5.7x faster than full YOLOv3 despite"
+              << " ~12x fewer MACs: tiny's narrower layers engage fewer"
+              << " DPUs under the row-per-DPU mapping, so each DPU's K*N"
+              << " row is relatively larger.\n\n";
+  }
+
+  std::cout << "Takeaway (§4.3.3): the eBNN kernel runs almost entirely out"
+            << "\nof WRAM; YOLOv3 must stream megabytes through MRAM and"
+            << "\npays __mulsi3 on every MAC, hence the ~4 orders of"
+            << "\nmagnitude latency gap between the two CNNs.\n";
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Reproduces thesis Table 2.1: "UPMEM PIM Attributes" — the architecture
+// parameters of the simulated system.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "sim/config.hpp"
+
+int main() {
+  using pimdnn::Table;
+  const auto& c = pimdnn::sim::default_config();
+
+  pimdnn::bench::banner("Table 2.1 - UPMEM PIM Attributes");
+  Table t("Table 2.1: UPMEM PIM Attributes (simulated system)");
+  t.header({"attribute", "value", "paper"});
+  t.row({"No. of DPUs (20 DIMM)", Table::num(std::uint64_t{c.total_dpus}),
+         "2560"});
+  t.row({"No. of DPUs / DIMM", Table::num(std::uint64_t{c.dpus_per_dimm}),
+         "128"});
+  t.row({"DPU / Chip", Table::num(std::uint64_t{c.dpus_per_chip}), "8"});
+  t.row({"Available Memory / Chip (MB)",
+         Table::num(std::uint64_t{c.mram_bytes * c.dpus_per_chip >> 20}),
+         "512"});
+  t.row({"DPU Area (mm^2)", Table::num(c.dpu_area_mm2), "3.75"});
+  t.row({"DPU Power (mW)", Table::num(c.dpu_power_w * 1000.0), "120"});
+  t.row({"DPU Frequency (MHz)", Table::num(c.frequency_hz / 1e6), "350"});
+  t.row({"Hardware Threads (Tasklets)",
+         "1-" + std::to_string(c.max_tasklets), "1-24"});
+  t.row({"Pipeline Stages", Table::num(std::uint64_t{c.pipeline_stages}),
+         "11"});
+  t.row({"Registers / Thread",
+         Table::num(std::uint64_t{c.registers_per_thread}), "32"});
+  t.row({"MRAM / DPU (MB)", Table::num(std::uint64_t{c.mram_bytes >> 20}),
+         "64"});
+  t.row({"WRAM / DPU (KB)", Table::num(std::uint64_t{c.wram_bytes >> 10}),
+         "64"});
+  t.row({"IRAM / DPU (KB)", Table::num(std::uint64_t{c.iram_bytes >> 10}),
+         "24"});
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Reproduces thesis Table 5.1: example usage of the computational model
+// (Eqs. 5.2-5.6) for pPIM, DRISA and UPMEM on an 8-bit AlexNet workload.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "pimmodel/model.hpp"
+
+int main() {
+  using namespace pimdnn;
+  using namespace pimdnn::pimmodel;
+
+  bench::banner("Table 5.1 - computational model, 8-bit AlexNet");
+  const auto models = standard_models();
+
+  Table t("Table 5.1 (rows as in the thesis; operand size 8-bit)");
+  t.header({"row", "pPIM", "DRISA", "UPMEM", "paper (pPIM/DRISA/UPMEM)"});
+  auto row3 = [&](const std::string& label, auto f,
+                  const std::string& paper) {
+    t.row({label, Table::num(f(*models[0]), 4), Table::num(f(*models[1]), 4),
+           Table::num(f(*models[2]), 4), paper});
+  };
+  row3("1: Dp", [](const PimModel& m) { return double(m.dp()); },
+       "1 / 1 / 11");
+  row3("2: CBB", [](const PimModel& m) { return double(m.cbb()); },
+       "1 / 1 / 1");
+  row3("4: Accum.-f(x)", [](const PimModel& m) { return double(m.acc_f(8)); },
+       "2 / 11 / 4");
+  row3("5: Mult.-f(x)", [](const PimModel& m) { return double(m.mult_f(8)); },
+       "6 / 200 / 4");
+  row3("6: Cop (MAC)", [](const PimModel& m) { return double(m.cop_mac(8)); },
+       "8 / 211 / 88");
+  row3("7: PEs", [](const PimModel& m) { return double(m.pes()); },
+       "256 / 32768 / 2560");
+  row3("8: Freq (Hz)",
+       [](const PimModel& m) { return m.frequency_hz(); },
+       "1.25e9 / 1.19e8 / 3.5e8");
+  row3("10: Ccomp (1 MAC)",
+       [](const PimModel& m) { return double(m.ccomp(m.cop_mac(8), 1)); },
+       "8 / 211 / 88");
+  row3("11: Tcomp (1 MAC) (s)",
+       [](const PimModel& m) { return m.tcomp(m.cop_mac(8), 1); },
+       "6.40e-9 / 1.69e-6 / 2.51e-7");
+  row3("12: Ccomp (AlexNet)",
+       [](const PimModel& m) {
+         return double(m.ccomp(m.cop_mac(8), kAlexnetOps));
+       },
+       "8.09e7 / 1.67e7 / 8.90e7");
+  row3("13: Tcomp (AlexNet) (s)",
+       [](const PimModel& m) { return m.tcomp(m.cop_mac(8), kAlexnetOps); },
+       "6.48e-2 / 1.40e-1 / 2.54e-1");
+  t.print(std::cout);
+  std::cout << "\nRow 9: TOPs (AlexNet) = " << Table::num(kAlexnetOps)
+            << " for all architectures.\n"
+            << "Row 14 (literature AlexNet latency): 6.48e-2 / 1.40e-1 /"
+            << " 8.79e-1 s;\nthe UPMEM deviation is the thesis' own (their"
+            << " measured cycles include\nprofiling instructions).\n";
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Reproduces thesis Table 5.2: number of cycles (Cop) for a multiplication
+// at each operand size on pPIM, DRISA and UPMEM. pPIM's 16/32-bit entries
+// come from Algorithm 3; UPMEM's from subroutine instruction counts.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "pimmodel/model.hpp"
+
+int main() {
+  using namespace pimdnn;
+  using namespace pimdnn::pimmodel;
+
+  bench::banner("Table 5.2 - Cop for multiplication vs operand size");
+  PpimModel ppim;
+  DrisaModel drisa;
+  UpmemModel upmem;
+
+  Table t("Cop (cycles per multiplication); * = estimated in the thesis");
+  t.header({"operand", "pPIM", "DRISA", "UPMEM",
+            "paper (pPIM/DRISA/UPMEM)"});
+  const char* paper[] = {"1 / 110 / 44", "6 / 200 / 44", "124* / 380 / 370*",
+                         "1016* / 740* / 570*"};
+  int i = 0;
+  for (unsigned bits : {4u, 8u, 16u, 32u}) {
+    t.row({std::to_string(bits) + "-bit",
+           Table::num(ppim.cop_mult(bits)),
+           Table::num(drisa.cop_mult(bits)),
+           Table::num(upmem.cop_mult(bits)), paper[i++]});
+  }
+  t.print(std::cout);
+  std::cout << "\nUPMEM 16/32-bit: ours are instruction-exact (34 and 52"
+            << "\ninstructions x 11 stages = 374 / 572); the thesis rounds"
+            << "\nto 370/570.\n";
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Reproduces thesis Table 5.3: the memory model (Eq. 5.10) for pPIM,
+// DRISA and UPMEM on the 8-bit AlexNet workload, and §5.3.1's combined
+// Ttot = Tmem + Tcomp totals.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "pimmodel/model.hpp"
+
+int main() {
+  using namespace pimdnn;
+  using namespace pimdnn::pimmodel;
+
+  bench::banner("Table 5.3 - memory model, 8-bit AlexNet");
+  const auto models = standard_models();
+
+  Table t("Table 5.3 (columns pPIM / DRISA / UPMEM)");
+  t.header({"row", "pPIM", "DRISA", "UPMEM", "paper"});
+  auto row3 = [&](const std::string& label, auto f, const std::string& paper) {
+    t.row({label, Table::num(f(*models[0])), Table::num(f(*models[1])),
+           Table::num(f(*models[2])), paper});
+  };
+  row3("Ttransfer (s)",
+       [](const PimModel& m) { return m.t_transfer_s(); },
+       "6.70e-9 / 9.00e-8 / 9.60e-5");
+  row3("PEs", [](const PimModel& m) { return double(m.pes()); },
+       "256 / 32768 / 2560");
+  row3("sizebuf (bits)",
+       [](const PimModel& m) { return double(m.sizebuf_bits()); },
+       "256 / 1048576 / 512000");
+  row3("OPs per PE (Lenop=8)",
+       [](const PimModel& m) { return double(m.sizebuf_bits() / 16); },
+       "16 / 65536 / 32000");
+  row3("Local Ops",
+       [](const PimModel& m) { return double(m.local_ops(8)); },
+       "4096 / 2.147e9 / 8.19e7");
+  row3("Tmem (s)",
+       [](const PimModel& m) { return m.tmem(kAlexnetOps, 8); },
+       "4.24e-3 / 1.80e-7 / 3.07e-3");
+  row3("Ttot = Tmem + Tcomp (s)",
+       [](const PimModel& m) { return m.ttot(kAlexnetOps, 8); },
+       "6.90e-2 / 1.40e-1 / 2.57e-1");
+  t.print(std::cout);
+  std::cout << "\nTOPs (AlexNet) = " << Table::num(kAlexnetOps)
+            << "; Lenop = 8 bits; 2 operands per operation (Eq. 5.10).\n";
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Shared helpers for the table/figure reproduction benches: uniform
+// "paper vs measured" rows so EXPERIMENTS.md can be cross-checked against
+// bench output directly.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "common/table.hpp"
+
+namespace pimdnn::bench {
+
+/// Formats a relative deviation (measured vs paper) as a percent string.
+inline std::string delta_pct(double measured, double paper) {
+  if (paper == 0.0) return "n/a";
+  const double d = (measured - paper) / paper * 100.0;
+  return Table::num(d, 1) + "%";
+}
+
+/// Prints a standard bench header line.
+inline void banner(const std::string& what) {
+  std::cout << "\n#### " << what << " ####\n";
+}
+
+} // namespace pimdnn::bench

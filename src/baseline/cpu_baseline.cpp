@@ -1,0 +1,58 @@
+#include "baseline/cpu_baseline.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/rng.hpp"
+#include "nn/gemm.hpp"
+#include "runtime/host_timer.hpp"
+
+namespace pimdnn::baseline {
+
+CpuBatchTiming time_cpu_ebnn(const ebnn::EbnnConfig& cfg,
+                             const ebnn::EbnnWeights& weights,
+                             const std::vector<ebnn::Image>& images,
+                             int repeats) {
+  const ebnn::EbnnReference ref(cfg, weights);
+  CpuBatchTiming out;
+  out.images = images.size();
+  out.seconds = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < std::max(1, repeats); ++r) {
+    runtime::HostTimer timer;
+    timer.start();
+    std::vector<int> predicted;
+    predicted.reserve(images.size());
+    for (const auto& img : images) {
+      predicted.push_back(ref.infer(img.data()).predicted);
+    }
+    const Seconds t = timer.elapsed();
+    if (t < out.seconds) {
+      out.seconds = t;
+      out.predicted = std::move(predicted);
+    }
+  }
+  out.seconds_per_image =
+      out.images == 0 ? 0.0 : out.seconds / static_cast<double>(out.images);
+  return out;
+}
+
+Seconds time_cpu_gemm_q16(int m, int n, int k, int repeats,
+                          std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::int16_t> a(static_cast<std::size_t>(m) * k);
+  std::vector<std::int16_t> b(static_cast<std::size_t>(k) * n);
+  std::vector<std::int16_t> c(static_cast<std::size_t>(m) * n);
+  for (auto& v : a) v = static_cast<std::int16_t>(rng.uniform_int(-50, 50));
+  for (auto& v : b) v = static_cast<std::int16_t>(rng.uniform_int(-50, 50));
+
+  Seconds best = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < std::max(1, repeats); ++r) {
+    runtime::HostTimer timer;
+    timer.start();
+    nn::gemm_q16_reference(m, n, k, 1, a, b, c);
+    best = std::min(best, timer.elapsed());
+  }
+  return best;
+}
+
+} // namespace pimdnn::baseline

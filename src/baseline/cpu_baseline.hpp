@@ -1,0 +1,39 @@
+// CPU baseline measurements — the stand-in for the thesis' Intel Xeon
+// reference (Figure 4.7c compares eBNN throughput on the UPMEM system
+// against a single CPU). Wall-clock time of the host reference
+// implementation is measured directly; the DPU side is simulated cycles,
+// so only the *relative scaling* with DPU count is meaningful (exactly the
+// quantity Figure 4.7c plots).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "ebnn/model.hpp"
+#include "ebnn/mnist_synth.hpp"
+
+namespace pimdnn::baseline {
+
+/// Result of a timed CPU batch.
+struct CpuBatchTiming {
+  Seconds seconds = 0;          ///< wall time for the whole batch
+  Seconds seconds_per_image = 0;
+  std::size_t images = 0;
+  std::vector<int> predicted;   ///< per-image class (for agreement checks)
+};
+
+/// Runs the full eBNN reference on every image and measures wall time.
+/// `repeats` re-runs the batch to stabilize short measurements; the
+/// reported time is the per-batch minimum.
+CpuBatchTiming time_cpu_ebnn(const ebnn::EbnnConfig& cfg,
+                             const ebnn::EbnnWeights& weights,
+                             const std::vector<ebnn::Image>& images,
+                             int repeats = 3);
+
+/// Times the int16 reference GEMM (the CPU equivalent of one offloaded
+/// convolution).
+Seconds time_cpu_gemm_q16(int m, int n, int k, int repeats = 3,
+                          std::uint64_t seed = 1);
+
+} // namespace pimdnn::baseline

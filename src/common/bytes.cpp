@@ -1,0 +1,15 @@
+#include "common/bytes.hpp"
+
+#include <cstring>
+
+namespace pimdnn {
+
+std::vector<std::uint8_t> pad_to_xfer(const void* src, MemSize size) {
+  std::vector<std::uint8_t> out(align_up(size, kXferAlign), 0);
+  if (size > 0) {
+    std::memcpy(out.data(), src, size);
+  }
+  return out;
+}
+
+} // namespace pimdnn

@@ -1,0 +1,17 @@
+#include "common/error.hpp"
+
+namespace pimdnn {
+
+namespace detail {
+void throw_error(const char* cls, const std::string& msg) {
+  throw Error(std::string(cls) + ": " + msg);
+}
+} // namespace detail
+
+void require(bool cond, const std::string& msg) {
+  if (!cond) {
+    throw UsageError(msg);
+  }
+}
+
+} // namespace pimdnn

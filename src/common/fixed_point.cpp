@@ -1,0 +1,11 @@
+#include "common/fixed_point.hpp"
+
+#include <bit>
+
+namespace pimdnn {
+
+int popcount32(std::uint32_t v) noexcept { return std::popcount(v); }
+
+int popcount64(std::uint64_t v) noexcept { return std::popcount(v); }
+
+} // namespace pimdnn

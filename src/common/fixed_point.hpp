@@ -1,0 +1,86 @@
+// Fixed-point scalar helpers.
+//
+// The UPMEM DPU supports only fixed-point arithmetic natively (thesis §3.3),
+// so every quantity that crosses into a DPU kernel is an integer with an
+// implicit scale. This header provides saturating arithmetic and the
+// quantize/dequantize conversions used by the quantized CNNs. The YOLOv3
+// GEMM output stage (Algorithm 2, line 9) uses `saturate_shift_down`:
+// `C = absolutemax(ctmp / 32, 32767)`.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <type_traits>
+
+namespace pimdnn {
+
+/// Clamps `v` into [lo, hi].
+template <typename T>
+constexpr T clamp_to(T v, T lo, T hi) {
+  return v < lo ? lo : (v > hi ? hi : v);
+}
+
+/// Saturating cast from a wide accumulator to a narrower integer type.
+template <typename Narrow, typename Wide>
+constexpr Narrow saturate_cast(Wide v) {
+  static_assert(std::is_integral_v<Narrow> && std::is_integral_v<Wide>);
+  constexpr Wide lo = static_cast<Wide>(std::numeric_limits<Narrow>::min());
+  constexpr Wide hi = static_cast<Wide>(std::numeric_limits<Narrow>::max());
+  return static_cast<Narrow>(clamp_to(v, lo, hi));
+}
+
+/// Saturating int32 addition (no UB on overflow).
+constexpr std::int32_t sat_add_i32(std::int32_t a, std::int32_t b) {
+  return saturate_cast<std::int32_t>(static_cast<std::int64_t>(a) +
+                                     static_cast<std::int64_t>(b));
+}
+
+/// Saturating int32 multiplication.
+constexpr std::int32_t sat_mul_i32(std::int32_t a, std::int32_t b) {
+  return saturate_cast<std::int32_t>(static_cast<std::int64_t>(a) *
+                                     static_cast<std::int64_t>(b));
+}
+
+/// The YOLOv3 DPU output stage: divide the 32-bit accumulator by 2^shift and
+/// clamp the magnitude at `limit` (thesis Algorithm 2: absolutemax(c/32, 32767)).
+constexpr std::int16_t saturate_shift_down(std::int32_t acc, int shift,
+                                           std::int32_t limit) {
+  const std::int32_t scaled = acc / (std::int32_t{1} << shift);
+  return static_cast<std::int16_t>(clamp_to(scaled, -limit, limit));
+}
+
+/// Symmetric linear quantizer: float -> signed integer with a power-of-two
+/// scale, saturating at the type bounds.
+template <typename Q>
+struct Quantizer {
+  static_assert(std::is_signed_v<Q> && std::is_integral_v<Q>);
+
+  /// Number of fractional bits; value = q / 2^frac_bits.
+  int frac_bits = 5;
+
+  /// Quantizes a real value (round-to-nearest, saturating).
+  Q quantize(double x) const {
+    const double scaled = x * static_cast<double>(1LL << frac_bits);
+    const double rounded = scaled >= 0 ? scaled + 0.5 : scaled - 0.5;
+    constexpr double lo = static_cast<double>(std::numeric_limits<Q>::min());
+    constexpr double hi = static_cast<double>(std::numeric_limits<Q>::max());
+    return static_cast<Q>(clamp_to(rounded, lo, hi));
+  }
+
+  /// Recovers the real value of a quantized integer.
+  double dequantize(Q q) const {
+    return static_cast<double>(q) / static_cast<double>(1LL << frac_bits);
+  }
+};
+
+using QuantizerI8 = Quantizer<std::int8_t>;
+using QuantizerI16 = Quantizer<std::int16_t>;
+
+/// Count of set bits in a 32-bit word; the core of binary convolution
+/// (XNOR + popcount) in eBNN.
+int popcount32(std::uint32_t v) noexcept;
+
+/// Count of set bits in a 64-bit word.
+int popcount64(std::uint64_t v) noexcept;
+
+} // namespace pimdnn

@@ -1,0 +1,44 @@
+// Deterministic pseudo-random number generation.
+//
+// All synthetic data in the reproduction (weights, images, workloads) comes
+// from this generator so every run, test and bench is bit-reproducible.
+// The engine is xoshiro256** seeded via SplitMix64.
+#pragma once
+
+#include <cstdint>
+
+namespace pimdnn {
+
+/// Small, fast, deterministic PRNG (xoshiro256**).
+class Rng {
+public:
+  /// Seeds the state deterministically from a single 64-bit seed.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next 64 uniformly random bits.
+  std::uint64_t next_u64();
+
+  /// Next 32 uniformly random bits.
+  std::uint32_t next_u32();
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform integer in [lo, hi] (inclusive); requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Approximately normal variate via sum of uniforms (deterministic,
+  /// no libm dependence on platform-specific rounding).
+  double normal(double mean, double stddev);
+
+  /// Random sign: +1 or -1 with equal probability (binary weights).
+  int sign();
+
+private:
+  std::uint64_t s_[4];
+};
+
+} // namespace pimdnn

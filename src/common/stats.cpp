@@ -1,0 +1,53 @@
+#include "common/stats.hpp"
+
+#include <cmath>
+
+namespace pimdnn {
+
+void RunningStats::add(double x) {
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  if (x < min_) min_ = x;
+  if (x > max_) max_ = x;
+}
+
+double RunningStats::min() const {
+  return n_ == 0 ? std::nan("") : min_;
+}
+
+double RunningStats::max() const {
+  return n_ == 0 ? std::nan("") : max_;
+}
+
+double RunningStats::mean() const {
+  return n_ == 0 ? std::nan("") : mean_;
+}
+
+double RunningStats::variance() const {
+  return n_ == 0 ? std::nan("") : m2_ / static_cast<double>(n_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double nt = na + nb;
+  m2_ += other.m2_ + delta * delta * na * nb / nt;
+  mean_ = (na * mean_ + nb * other.mean_) / nt;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  if (other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+}
+
+} // namespace pimdnn

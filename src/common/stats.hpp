@@ -1,0 +1,49 @@
+// Streaming statistics accumulator used by benches and the host runtime to
+// summarize per-DPU / per-layer cycle distributions.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace pimdnn {
+
+/// Accumulates count/min/max/mean/variance in one pass (Welford).
+class RunningStats {
+public:
+  /// Adds one observation.
+  void add(double x);
+
+  /// Number of observations added.
+  std::uint64_t count() const { return n_; }
+
+  /// Smallest observation (NaN if empty).
+  double min() const;
+
+  /// Largest observation (NaN if empty).
+  double max() const;
+
+  /// Arithmetic mean (NaN if empty).
+  double mean() const;
+
+  /// Sum of all observations.
+  double sum() const { return sum_; }
+
+  /// Population variance (NaN if empty).
+  double variance() const;
+
+  /// Population standard deviation (NaN if empty).
+  double stddev() const;
+
+  /// Merges another accumulator into this one.
+  void merge(const RunningStats& other);
+
+private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+} // namespace pimdnn

@@ -1,0 +1,64 @@
+#include "common/table.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace pimdnn {
+
+Table::Table(std::string title) : title_(std::move(title)) {}
+
+void Table::header(std::vector<std::string> cells) {
+  header_ = std::move(cells);
+}
+
+void Table::row(std::vector<std::string> cells) {
+  require(cells.size() == header_.size(),
+          "Table row width does not match header");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream os;
+  const double a = std::fabs(v);
+  if (v != 0.0 && (a < 1e-3 || a >= 1e6)) {
+    os << std::scientific << std::setprecision(precision) << v;
+  } else {
+    os << std::fixed << std::setprecision(precision) << v;
+  }
+  return os.str();
+}
+
+std::string Table::num(std::uint64_t v) { return std::to_string(v); }
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  auto widen = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      widths[i] = std::max(widths[i], cells[i].size());
+    }
+  };
+  widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  os << "== " << title_ << " ==\n";
+  auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      os << (i == 0 ? "| " : " | ") << std::setw(static_cast<int>(widths[i]))
+         << std::left << cells[i];
+    }
+    os << " |\n";
+  };
+  line(header_);
+  std::size_t total = 1;
+  for (auto w : widths) total += w + 3;
+  os << std::string(total, '-') << "\n";
+  for (const auto& r : rows_) line(r);
+  os.flush();
+}
+
+} // namespace pimdnn

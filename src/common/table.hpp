@@ -1,0 +1,39 @@
+// Minimal ASCII table printer used by the bench binaries to emit the rows of
+// the thesis' tables and figure series in a uniform, diff-friendly format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pimdnn {
+
+/// Column-aligned ASCII table. Add a header row, then data rows; `print`
+/// computes column widths and writes the table.
+class Table {
+public:
+  /// Creates a table with the given title (printed above the grid).
+  explicit Table(std::string title);
+
+  /// Sets the header row; must be called before adding rows.
+  void header(std::vector<std::string> cells);
+
+  /// Appends one data row; its width must match the header.
+  void row(std::vector<std::string> cells);
+
+  /// Formats a double in compact scientific/fixed notation.
+  static std::string num(double v, int precision = 3);
+
+  /// Formats an integer with no grouping.
+  static std::string num(std::uint64_t v);
+
+  /// Writes the table to `os`.
+  void print(std::ostream& os) const;
+
+private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace pimdnn

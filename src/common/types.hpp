@@ -1,0 +1,24 @@
+// Core scalar type aliases shared across the pimdnn libraries.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+namespace pimdnn {
+
+/// Simulated clock cycles. All simulator timing is accounted in this type.
+using Cycles = std::uint64_t;
+
+/// Simulated seconds derived from Cycles at a device frequency.
+using Seconds = double;
+
+/// Identifier of a DPU within a DpuSet (dense, 0-based).
+using DpuId = std::uint32_t;
+
+/// Identifier of a tasklet (hardware thread) within one DPU (0..23).
+using TaskletId = std::uint32_t;
+
+/// Byte offsets/sizes inside simulated memories.
+using MemSize = std::uint64_t;
+
+} // namespace pimdnn

@@ -1,0 +1,104 @@
+#include "core/advisor.hpp"
+
+#include <sstream>
+
+#include "sim/cost_model.hpp"
+
+namespace pimdnn::core {
+
+using sim::Subroutine;
+
+std::vector<Finding> advise(const runtime::LaunchStats& stats,
+                            std::uint32_t n_tasklets, runtime::OptLevel opt,
+                            const runtime::UpmemConfig& sys) {
+  std::vector<Finding> out;
+
+  // 1. Floating-point subroutines (thesis §3.3, §4.1.4).
+  const std::uint64_t float_occ = stats.profile.float_total();
+  if (float_occ > 0) {
+    std::ostringstream msg;
+    msg << "DPU kernels executed " << float_occ
+        << " floating-point runtime subroutines (";
+    bool first = true;
+    for (Subroutine s :
+         {Subroutine::AddSF3, Subroutine::SubSF3, Subroutine::MulSF3,
+          Subroutine::DivSF3, Subroutine::LtSF2, Subroutine::FloatSISF,
+          Subroutine::FixSFSI}) {
+      if (stats.profile.occurrences(s) == 0) continue;
+      msg << (first ? "" : ", ") << sim::subroutine_name(s);
+      first = false;
+    }
+    msg << "). Float division alone costs ~12k cycles per call "
+           "(Table 3.1). Quantize the computation or precompute the float "
+           "block into a host-built LUT (thesis §4.1.4).";
+    out.push_back({Severity::Warning, "float-subroutines", msg.str()});
+  }
+
+  // 2. Heavy 32-bit multiplication (thesis §3.3, Table 5.2).
+  const std::uint64_t mulsi = stats.profile.occurrences(Subroutine::MulSI3);
+  if (mulsi > 1000) {
+    std::ostringstream msg;
+    msg << "__mulsi3 executed " << mulsi
+        << " times; each 32-bit multiply costs ~570 cycles (Table 5.2). "
+           "Narrow operands to 8/16-bit so the hardware multiplier is used "
+           "(16-bit requires -O1 or higher).";
+    out.push_back({Severity::Suggestion, "mulsi3-heavy", msg.str()});
+  }
+
+  // 3. Pipeline under-threading (Figure 4.7a).
+  if (n_tasklets < sys.pipeline_stages) {
+    std::ostringstream msg;
+    msg << "Launch used " << n_tasklets << " tasklet(s); the "
+        << sys.pipeline_stages
+        << "-stage pipeline only saturates at >= " << sys.pipeline_stages
+        << " tasklets (Figure 4.7a). Expect up to "
+        << sys.pipeline_stages / std::max(1u, n_tasklets)
+        << "x headroom from threading.";
+    out.push_back({Severity::Suggestion, "under-threaded", msg.str()});
+  }
+
+  // 4. MRAM-bound execution (§4.3.3).
+  Cycles dma = 0;
+  std::uint64_t slots = 0;
+  for (const auto& d : stats.per_dpu) {
+    dma += d.total_dma_cycles;
+    slots += d.total_slots;
+  }
+  if (slots > 0 && dma > slots) {
+    std::ostringstream msg;
+    msg << "DMA cycles (" << dma << ") exceed pipeline issue slots ("
+        << slots
+        << "): the kernel is MRAM-bound. Restructure buffers for WRAM "
+           "residency or batch transfers (thesis §4.3.3: 'increase the "
+           "number of WRAM accesses vs. MRAM ones').";
+    out.push_back({Severity::Warning, "mram-bound", msg.str()});
+  }
+
+  // 5. Unoptimized build (Figure 4.7b).
+  if (opt == runtime::OptLevel::O0) {
+    out.push_back(
+        {Severity::Suggestion, "no-optimization",
+         "Compiled at -O0: every statement spills through the stack and "
+         "16-bit multiplies call __mulsi3. Use -O3 (Figure 4.7b)."});
+  }
+
+  if (out.empty()) {
+    out.push_back({Severity::Info, "ok",
+                   "No issues found: quantized arithmetic, saturated "
+                   "pipeline, WRAM-resident data, optimized build."});
+  }
+  return out;
+}
+
+std::string render(const std::vector<Finding>& findings) {
+  std::ostringstream os;
+  for (const auto& f : findings) {
+    const char* tag = f.severity == Severity::Warning     ? "[warning]"
+                      : f.severity == Severity::Suggestion ? "[suggest]"
+                                                            : "[info]   ";
+    os << tag << " " << f.id << ": " << f.message << "\n";
+  }
+  return os.str();
+}
+
+} // namespace pimdnn::core

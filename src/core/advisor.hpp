@@ -1,0 +1,44 @@
+// Performance advisor: codifies the thesis' CNN-implementation takeaways
+// (§4.3.3/§4.3.4) as automated diagnostics over a launch's statistics.
+//
+// Given the cycle accounting and subroutine profile of a run, the advisor
+// reports exactly the issues the thesis identified by hand:
+//   * high-precision subroutines present -> "use quantization or a LUT"
+//     (the §4.1.4 rework),
+//   * under-threaded pipeline -> "use >= 11 tasklets" (Figure 4.7a),
+//   * MRAM-bound execution -> "restructure for WRAM residency" (§4.3.3),
+//   * un-optimized build -> "compile with -O3" (Figure 4.7b).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "runtime/dpu_set.hpp"
+
+namespace pimdnn::core {
+
+/// Severity of one finding.
+enum class Severity : std::uint8_t {
+  Info,
+  Suggestion,
+  Warning,
+};
+
+/// One diagnostic finding.
+struct Finding {
+  Severity severity;
+  std::string id;      ///< stable identifier, e.g. "float-subroutines"
+  std::string message; ///< human-readable advice with thesis reference
+};
+
+/// Analyzes a launch and returns the applicable findings (possibly empty).
+/// `n_tasklets` and `opt` are the launch parameters.
+std::vector<Finding> advise(const runtime::LaunchStats& stats,
+                            std::uint32_t n_tasklets, runtime::OptLevel opt,
+                            const runtime::UpmemConfig& sys =
+                                sim::default_config());
+
+/// Renders findings as a report string.
+std::string render(const std::vector<Finding>& findings);
+
+} // namespace pimdnn::core

@@ -1,0 +1,193 @@
+#include "core/offloader.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/bytes.hpp"
+#include "common/error.hpp"
+
+namespace pimdnn::core {
+
+using runtime::DpuSet;
+using runtime::XferDir;
+using sim::MemKind;
+using sim::TaskletCtx;
+
+namespace {
+
+/// Largest single MRAM<->WRAM DMA the hardware performs (§4.1.3); bigger
+/// buffers move in chunks.
+constexpr MemSize kDmaMax = 2048;
+
+/// DMA of arbitrary size via <=2048-byte chunks.
+void chunked_read(TaskletCtx& ctx, std::uint8_t* dst, MemSize src,
+                  MemSize bytes) {
+  MemSize off = 0;
+  while (off < bytes) {
+    const MemSize n = std::min(kDmaMax, bytes - off);
+    ctx.mram_read(dst + off, src + off, n);
+    ctx.charge_loop(1);
+    off += n;
+  }
+}
+
+void chunked_write(TaskletCtx& ctx, MemSize dst, const std::uint8_t* src,
+                   MemSize bytes) {
+  MemSize off = 0;
+  while (off < bytes) {
+    const MemSize n = std::min(kDmaMax, bytes - off);
+    ctx.mram_write(dst + off, src + off, n);
+    ctx.charge_loop(1);
+    off += n;
+  }
+}
+
+} // namespace
+
+Offloader::Offloader(WorkloadSpec spec, ItemKernel kernel,
+                     const runtime::UpmemConfig& sys)
+    : spec_(std::move(spec)), kernel_(std::move(kernel)), sys_(sys) {
+  require(static_cast<bool>(kernel_), "Offloader needs a kernel");
+  if (spec_.item_in_bytes == 0 || spec_.item_out_bytes == 0) {
+    throw ConfigError("WorkloadSpec: item sizes must be positive");
+  }
+  if (spec_.items_per_dpu == 0 ||
+      spec_.items_per_dpu > sys_.max_tasklets) {
+    throw ConfigError("WorkloadSpec: items_per_dpu must be in [1, 24]");
+  }
+  in_stride_ = align_up(spec_.item_in_bytes, kXferAlign);
+  out_stride_ = align_up(spec_.item_out_bytes, kXferAlign);
+  // Fail fast on impossible WRAM mappings: a throwaway DPU performs the
+  // placement checks the real toolchain's linker would.
+  sim::Dpu probe(sys_);
+  probe.load(build_program());
+}
+
+sim::DpuProgram Offloader::build_program() const {
+  sim::DpuProgram prog;
+  prog.name = spec_.name;
+  prog.iram_bytes = spec_.iram_bytes;
+  const MemSize n = spec_.items_per_dpu;
+  prog.symbols = {
+      {"meta", MemKind::Wram, 8},
+      {"in_mram", MemKind::Mram, n * in_stride_},
+      {"out_mram", MemKind::Mram, n * out_stride_},
+      {"in_buf", MemKind::Wram, n * in_stride_},
+      {"out_buf", MemKind::Wram, n * out_stride_},
+  };
+  if (spec_.scratch_bytes_per_tasklet > 0) {
+    prog.symbols.push_back(
+        {"scratch", MemKind::Wram,
+         n * align_up(spec_.scratch_bytes_per_tasklet, kXferAlign)});
+  }
+  if (!spec_.consts.empty()) {
+    prog.symbols.push_back(
+        {"consts", MemKind::Wram, align_up(spec_.consts.size(), kXferAlign)});
+  }
+
+  // Capture what the kernel closure needs by value.
+  const WorkloadSpec spec = spec_;
+  const MemSize in_stride = in_stride_;
+  const MemSize out_stride = out_stride_;
+  const ItemKernel kernel = kernel_;
+  prog.entry = [spec, in_stride, out_stride, kernel](TaskletCtx& ctx) {
+    require(ctx.n_tasklets() <= spec.items_per_dpu,
+            "offload kernel: tasklets exceed item slots");
+    auto meta = ctx.wram_span<std::uint64_t>("meta");
+    ctx.charge_alu(1);
+    const std::uint64_t n_items = meta[0];
+
+    auto in_all = ctx.wram_span<std::uint8_t>("in_buf");
+    auto out_all = ctx.wram_span<std::uint8_t>("out_buf");
+    std::uint8_t* scratch = nullptr;
+    if (spec.scratch_bytes_per_tasklet > 0) {
+      auto s = ctx.wram_span<std::uint8_t>("scratch");
+      scratch = s.data() +
+                ctx.id() * align_up(spec.scratch_bytes_per_tasklet,
+                                    kXferAlign);
+    }
+    const std::uint8_t* consts = nullptr;
+    if (!spec.consts.empty()) {
+      consts = ctx.wram_span<std::uint8_t>("consts").data();
+    }
+
+    std::uint8_t* in_slot = in_all.data() + ctx.id() * in_stride;
+    std::uint8_t* out_slot = out_all.data() + ctx.id() * out_stride;
+    const MemSize in_base = ctx.mram_addr("in_mram");
+    const MemSize out_base = ctx.mram_addr("out_mram");
+
+    for (std::uint64_t item = ctx.id(); item < n_items;
+         item += ctx.n_tasklets()) {
+      chunked_read(ctx, in_slot, in_base + item * in_stride,
+                   spec.item_in_bytes);
+      ItemCtx ic{ctx, in_slot, out_slot, scratch, consts, item};
+      kernel(ic);
+      chunked_write(ctx, out_base + item * out_stride, out_slot,
+                    spec.item_out_bytes);
+    }
+  };
+  return prog;
+}
+
+OffloadResult Offloader::run(
+    const std::vector<std::vector<std::uint8_t>>& items,
+    std::uint32_t n_tasklets, runtime::OptLevel opt) {
+  require(!items.empty(), "Offloader::run: empty batch");
+  require(n_tasklets >= 1 && n_tasklets <= spec_.items_per_dpu,
+          "Offloader::run: tasklets must be in [1, items_per_dpu]");
+  for (const auto& it : items) {
+    require(it.size() == spec_.item_in_bytes,
+            "Offloader::run: item size mismatch");
+  }
+
+  const std::uint32_t per_dpu = spec_.items_per_dpu;
+  const auto n_dpus =
+      static_cast<std::uint32_t>((items.size() + per_dpu - 1) / per_dpu);
+  DpuSet set = DpuSet::allocate(n_dpus, sys_);
+  set.load(build_program());
+
+  if (!spec_.consts.empty()) {
+    const auto padded = pad_to_xfer(spec_.consts.data(), spec_.consts.size());
+    set.copy_to("consts", 0, padded.data(), padded.size());
+  }
+
+  // Scatter inputs: one padded staging buffer per DPU.
+  const MemSize stage_bytes = per_dpu * in_stride_;
+  std::vector<std::vector<std::uint8_t>> staged(n_dpus);
+  std::vector<std::uint64_t> counts(n_dpus, 0);
+  for (std::uint32_t d = 0; d < n_dpus; ++d) {
+    staged[d].assign(stage_bytes, 0);
+    for (std::uint32_t s = 0; s < per_dpu; ++s) {
+      const std::size_t global = static_cast<std::size_t>(d) * per_dpu + s;
+      if (global >= items.size()) break;
+      std::memcpy(staged[d].data() + s * in_stride_, items[global].data(),
+                  spec_.item_in_bytes);
+      ++counts[d];
+    }
+    set.prepare_xfer(d, staged[d].data());
+  }
+  set.push_xfer(XferDir::ToDpu, "in_mram", 0, stage_bytes);
+  for (std::uint32_t d = 0; d < n_dpus; ++d) {
+    set.prepare_xfer(d, &counts[d]);
+  }
+  set.push_xfer(XferDir::ToDpu, "meta", 0, sizeof(std::uint64_t));
+
+  OffloadResult out;
+  out.dpus_used = n_dpus;
+  out.launch = set.launch(n_tasklets, opt);
+
+  // Gather outputs in item order.
+  out.outputs.resize(items.size());
+  std::vector<std::uint8_t> slot(out_stride_);
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const auto d = static_cast<std::uint32_t>(i / per_dpu);
+    set.copy_from(d, "out_mram", (i % per_dpu) * out_stride_, slot.data(),
+                  out_stride_);
+    out.outputs[i].assign(slot.begin(),
+                          slot.begin() +
+                              static_cast<long>(spec_.item_out_bytes));
+  }
+  return out;
+}
+
+} // namespace pimdnn::core

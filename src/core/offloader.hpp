@@ -1,0 +1,104 @@
+// Generic data-parallel offload framework.
+//
+// The thesis closes by observing that porting a CNN required doing "the
+// separation of the data-centric portion of the code ..., compilation ...
+// and sending of memory between the host and DPUs ... all manually" and
+// calls for "a programming standard/methodology or tool that takes care of
+// the programming side of using UPMEM's PIM system" (§6.1). This module is
+// that tool for the mapping pattern both CNN ports use: N independent
+// items, each with fixed-size input and output buffers, processed by a
+// kernel with one tasklet per item slot.
+//
+// The offloader handles everything the thesis did by hand:
+//   * computing the DPU count from the items-per-DPU capacity,
+//   * placing per-item input/output slots in MRAM with 8-byte strides,
+//   * building padded staging buffers and issuing the scatter transfers,
+//   * communicating the true (unpadded) item count to each DPU,
+//   * launching all DPUs in parallel and gathering results in item order.
+//
+// The kernel author supplies only the per-item computation, written
+// against TaskletCtx like any other DPU kernel.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "runtime/dpu_set.hpp"
+
+namespace pimdnn::core {
+
+/// Description of a data-parallel workload.
+struct WorkloadSpec {
+  std::string name = "offload"; ///< program name (diagnostics)
+  /// Bytes of input per item (will be placed at an 8-byte-aligned stride).
+  MemSize item_in_bytes = 0;
+  /// Bytes of output per item.
+  MemSize item_out_bytes = 0;
+  /// Items a single DPU processes (the eBNN mapping used 16). Bounded by
+  /// WRAM/MRAM capacity; validated at program build.
+  std::uint32_t items_per_dpu = 16;
+  /// Extra WRAM scratch per tasklet, available to the kernel as "scratch".
+  MemSize scratch_bytes_per_tasklet = 0;
+  /// Broadcast constant data (weights/LUTs), available as "consts".
+  std::vector<std::uint8_t> consts;
+  /// Estimated code footprint checked against the 24 KB IRAM.
+  MemSize iram_bytes = 4096;
+};
+
+/// Context handed to the per-item kernel.
+struct ItemCtx {
+  sim::TaskletCtx& ctx;      ///< the tasklet context (cycle charging)
+  const std::uint8_t* input; ///< this item's input, staged in WRAM
+  std::uint8_t* output;      ///< this item's output buffer (WRAM)
+  std::uint8_t* scratch;     ///< per-tasklet scratch (may be null)
+  const std::uint8_t* consts; ///< broadcast constants (may be null)
+  std::uint64_t item_index;  ///< global item index
+};
+
+/// Per-item kernel: read `input`, write `output`, charge cycles via `ctx`.
+using ItemKernel = std::function<void(ItemCtx&)>;
+
+/// Result of an offloaded run.
+struct OffloadResult {
+  /// Per-item outputs, in submission order.
+  std::vector<std::vector<std::uint8_t>> outputs;
+  /// Aggregate launch statistics.
+  runtime::LaunchStats launch;
+  /// DPUs used.
+  std::uint32_t dpus_used = 0;
+};
+
+/// The offload engine. Construct once per (spec, kernel) pair, run many
+/// batches.
+class Offloader {
+public:
+  /// Validates the spec (capacities, transfer limits) and builds the DPU
+  /// program. Throws ConfigError/CapacityError on impossible mappings.
+  Offloader(WorkloadSpec spec, ItemKernel kernel,
+            const runtime::UpmemConfig& sys = sim::default_config());
+
+  /// Processes a batch of items (each exactly item_in_bytes long) across
+  /// ceil(items / items_per_dpu) DPUs with `n_tasklets` tasklets per DPU.
+  OffloadResult run(const std::vector<std::vector<std::uint8_t>>& items,
+                    std::uint32_t n_tasklets,
+                    runtime::OptLevel opt = runtime::OptLevel::O3);
+
+  /// MRAM stride of one input slot (8-byte aligned item_in_bytes).
+  MemSize in_stride() const { return in_stride_; }
+
+  /// MRAM stride of one output slot.
+  MemSize out_stride() const { return out_stride_; }
+
+private:
+  sim::DpuProgram build_program() const;
+
+  WorkloadSpec spec_;
+  ItemKernel kernel_;
+  runtime::UpmemConfig sys_;
+  MemSize in_stride_;
+  MemSize out_stride_;
+};
+
+} // namespace pimdnn::core

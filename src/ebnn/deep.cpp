@@ -1,0 +1,542 @@
+#include "ebnn/deep.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/bytes.hpp"
+#include "common/error.hpp"
+#include "nn/bitpack.hpp"
+#include "nn/layers.hpp"
+
+namespace pimdnn::ebnn {
+
+using runtime::DpuSet;
+using runtime::XferDir;
+using sim::MemKind;
+using sim::TaskletCtx;
+
+std::vector<DeepBlockDims> deep_dims(const DeepEbnnConfig& cfg) {
+  if (cfg.blocks.empty()) {
+    throw ConfigError("deep eBNN needs at least one block");
+  }
+  std::vector<DeepBlockDims> out;
+  int c = 1;
+  int h = cfg.img_h;
+  int w = cfg.img_w;
+  for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+    DeepBlockDims d;
+    d.in_c = c;
+    d.in_h = h;
+    d.in_w = w;
+    d.conv_h = h - cfg.ksize + 1;
+    d.conv_w = w - cfg.ksize + 1;
+    if (d.conv_h < cfg.pool || d.conv_w < cfg.pool) {
+      throw ConfigError("deep eBNN: block " + std::to_string(b) +
+                        " input " + std::to_string(h) + "x" +
+                        std::to_string(w) + " is too small");
+    }
+    d.out_h = (d.conv_h - cfg.pool) / cfg.pool + 1;
+    d.out_w = (d.conv_w - cfg.pool) / cfg.pool + 1;
+    d.taps = d.in_c * cfg.ksize * cfg.ksize;
+    out.push_back(d);
+    c = cfg.blocks[b].filters;
+    h = d.out_h;
+    w = d.out_w;
+  }
+  return out;
+}
+
+int deep_feature_bits(const DeepEbnnConfig& cfg) {
+  const auto dims = deep_dims(cfg);
+  const auto& last = dims.back();
+  return cfg.blocks.back().filters * last.out_h * last.out_w;
+}
+
+DeepEbnnWeights DeepEbnnWeights::random(const DeepEbnnConfig& cfg,
+                                        std::uint64_t seed) {
+  const auto dims = deep_dims(cfg);
+  Rng rng(seed);
+  DeepEbnnWeights w;
+  w.conv.resize(cfg.blocks.size());
+  w.bn.resize(cfg.blocks.size());
+  const int k2 = cfg.ksize * cfg.ksize;
+  for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+    const int f = cfg.blocks[b].filters;
+    const int c = dims[b].in_c;
+    w.conv[b].resize(static_cast<std::size_t>(f) * c);
+    for (auto& word : w.conv[b]) {
+      word = 0;
+      for (int t = 0; t < k2; ++t) {
+        if (rng.sign() > 0) {
+          word |= std::uint32_t{1} << t;
+        }
+      }
+    }
+    auto& bn = w.bn[b];
+    const auto nf = static_cast<std::size_t>(f);
+    bn.w0.resize(nf);
+    bn.w1.resize(nf);
+    bn.w2.resize(nf);
+    bn.w3.resize(nf);
+    bn.w4.resize(nf);
+    // Center the BN around the conv output's typical scale so deeper
+    // blocks do not saturate to constant bits.
+    const double span = dims[b].taps;
+    for (std::size_t i = 0; i < nf; ++i) {
+      bn.w0[i] = static_cast<float>(rng.uniform(-span / 8, span / 8));
+      bn.w1[i] = static_cast<float>(rng.uniform(-span / 4, span / 4));
+      bn.w2[i] = static_cast<float>(rng.uniform(0.5, 2.5)) *
+                 static_cast<float>(rng.sign());
+      bn.w3[i] = static_cast<float>(rng.uniform(0.25, 1.5));
+      bn.w4[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+    }
+  }
+  w.fc.resize(static_cast<std::size_t>(cfg.classes) *
+              static_cast<std::size_t>(deep_feature_bits(cfg)));
+  for (auto& v : w.fc) {
+    v = static_cast<float>(rng.normal(0.0, 0.1));
+  }
+  return w;
+}
+
+DeepEbnnReference::DeepEbnnReference(const DeepEbnnConfig& cfg,
+                                     const DeepEbnnWeights& w)
+    : cfg_(cfg), w_(w), dims_(deep_dims(cfg)) {
+  require(w.conv.size() == cfg.blocks.size() &&
+              w.bn.size() == cfg.blocks.size(),
+          "deep eBNN weights/config mismatch");
+}
+
+namespace {
+
+/// One block on the host: binary multi-channel conv + pool + BN-BinAct.
+/// `in` is channel-major bytes in {0,1}; returns the output bit map.
+std::vector<int> run_block_reference(const DeepEbnnConfig& cfg,
+                                     const DeepBlockDims& d, int filters,
+                                     const std::vector<std::uint32_t>& conv_w,
+                                     const nn::BatchNormParams& bn,
+                                     const std::vector<int>& in) {
+  const int K = cfg.ksize;
+  std::vector<int> out(static_cast<std::size_t>(filters) * d.out_h *
+                       d.out_w);
+  std::vector<int> conv(static_cast<std::size_t>(d.conv_h) * d.conv_w);
+  for (int f = 0; f < filters; ++f) {
+    for (int y = 0; y < d.conv_h; ++y) {
+      for (int x = 0; x < d.conv_w; ++x) {
+        int acc = 0;
+        for (int c = 0; c < d.in_c; ++c) {
+          const std::uint32_t wf =
+              conv_w[static_cast<std::size_t>(f) * d.in_c + c];
+          for (int ky = 0; ky < K; ++ky) {
+            for (int kx = 0; kx < K; ++kx) {
+              const int bit =
+                  in[(static_cast<std::size_t>(c) * d.in_h + y + ky) *
+                         d.in_w +
+                     (x + kx)];
+              const int wb = static_cast<int>((wf >> (ky * K + kx)) & 1u);
+              acc += (bit == wb) ? 1 : -1;
+            }
+          }
+        }
+        conv[static_cast<std::size_t>(y) * d.conv_w + x] = acc;
+      }
+    }
+    for (int py = 0; py < d.out_h; ++py) {
+      for (int px = 0; px < d.out_w; ++px) {
+        int best = conv[static_cast<std::size_t>(py * cfg.pool) * d.conv_w +
+                        px * cfg.pool];
+        for (int dy = 0; dy < cfg.pool; ++dy) {
+          for (int dx = 0; dx < cfg.pool; ++dx) {
+            best = std::max(
+                best,
+                conv[static_cast<std::size_t>(py * cfg.pool + dy) *
+                         d.conv_w +
+                     px * cfg.pool + dx]);
+          }
+        }
+        const float bnv = bn.apply(static_cast<float>(best),
+                                   static_cast<std::size_t>(f));
+        out[(static_cast<std::size_t>(f) * d.out_h + py) * d.out_w + px] =
+            nn::binact(bnv);
+      }
+    }
+  }
+  return out;
+}
+
+} // namespace
+
+DeepEbnnActivations DeepEbnnReference::infer(
+    const std::uint8_t* image) const {
+  std::vector<int> map(static_cast<std::size_t>(cfg_.img_h) * cfg_.img_w);
+  for (std::size_t i = 0; i < map.size(); ++i) {
+    map[i] = image[i] >= cfg_.binarize_threshold ? 1 : 0;
+  }
+  for (std::size_t b = 0; b < cfg_.blocks.size(); ++b) {
+    map = run_block_reference(cfg_, dims_[b], cfg_.blocks[b].filters,
+                              w_.conv[b], w_.bn[b], map);
+  }
+
+  DeepEbnnActivations a;
+  a.feature = map;
+  std::vector<float> logits(static_cast<std::size_t>(cfg_.classes), 0.0f);
+  const std::size_t nfeat = map.size();
+  for (int c = 0; c < cfg_.classes; ++c) {
+    float acc = 0.0f;
+    for (std::size_t i = 0; i < nfeat; ++i) {
+      acc += w_.fc[static_cast<std::size_t>(c) * nfeat + i] *
+             (map[i] != 0 ? 1.0f : -1.0f);
+    }
+    logits[static_cast<std::size_t>(c)] = acc;
+  }
+  a.probs.assign(logits.size(), 0.0f);
+  nn::softmax(logits, a.probs);
+  a.predicted = static_cast<int>(nn::argmax(a.probs));
+  return a;
+}
+
+// ---- DPU side ---------------------------------------------------------------
+
+namespace {
+
+/// Geometry + WRAM offsets baked into the kernel closure.
+struct DeepKernelParams {
+  DeepEbnnConfig cfg;
+  std::vector<DeepBlockDims> dims;
+  std::vector<MemSize> conv_w_offsets; ///< word offset of each block's taps
+  std::vector<MemSize> lut_offsets;    ///< byte offset of each block's LUT
+  std::vector<int> lut_mins;           ///< per-block LUT input minimum
+  MemSize image_stride;
+  MemSize result_stride;
+  std::size_t map_bytes;  ///< per-tasklet size of each ping-pong map
+  std::size_t conv_elems; ///< per-tasklet conv buffer (int16 elements)
+  std::uint32_t capacity; ///< images per DPU
+};
+
+void deep_tasklet(TaskletCtx& ctx, const DeepKernelParams& p) {
+  const DeepEbnnConfig& cfg = p.cfg;
+  const int K = cfg.ksize;
+  require(ctx.n_tasklets() <= p.capacity,
+          "deep eBNN: tasklets exceed image slots");
+
+  auto meta = ctx.wram_span<std::uint64_t>("meta");
+  ctx.charge_alu(1);
+  const std::uint64_t n_images = meta[0];
+
+  auto conv_w = ctx.wram_span<std::uint32_t>("conv_w");
+  auto luts = ctx.wram_span<std::uint8_t>("luts");
+  auto map_a_all = ctx.wram_span<std::uint8_t>("map_a");
+  auto map_b_all = ctx.wram_span<std::uint8_t>("map_b");
+  auto conv_all = ctx.wram_span<std::int16_t>("conv_buf");
+  auto feat_all = ctx.wram_span<std::uint32_t>("feat_buf");
+
+  std::uint8_t* map_a = map_a_all.data() + ctx.id() * p.map_bytes;
+  std::uint8_t* map_b = map_b_all.data() + ctx.id() * p.map_bytes;
+  std::int16_t* conv = conv_all.data() + ctx.id() * p.conv_elems;
+  const std::size_t feat_words = p.result_stride / sizeof(std::uint32_t);
+  std::uint32_t* feat = feat_all.data() + ctx.id() * feat_words;
+
+  const MemSize images_base = ctx.mram_addr("images");
+  const MemSize results_base = ctx.mram_addr("results");
+  const std::size_t img_bytes =
+      static_cast<std::size_t>(cfg.img_h) * cfg.img_w;
+
+  for (std::uint64_t im = ctx.id(); im < n_images;
+       im += ctx.n_tasklets()) {
+    // 1. Image in, binarize into map_a.
+    ctx.mram_read(map_a, images_base + im * p.image_stride, img_bytes);
+    ctx.charge_loop(img_bytes);
+    ctx.charge_alu(3 * img_bytes);
+    for (std::size_t i = 0; i < img_bytes; ++i) {
+      map_a[i] = map_a[i] >= cfg.binarize_threshold ? 1 : 0;
+    }
+
+    // 2. Blocks, ping-ponging between map_a and map_b.
+    std::uint8_t* in = map_a;
+    std::uint8_t* out = map_b;
+    for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+      const DeepBlockDims& d = p.dims[b];
+      const int filters = cfg.blocks[b].filters;
+      const std::uint32_t* wtaps = conv_w.data() + p.conv_w_offsets[b];
+      const std::uint8_t* lut = luts.data() + p.lut_offsets[b];
+      const int lut_min = p.lut_mins[b];
+      const std::uint32_t tap_mask = (std::uint32_t{1} << (K * K)) - 1;
+
+      for (int f = 0; f < filters; ++f) {
+        // Multi-channel binary convolution.
+        for (int y = 0; y < d.conv_h; ++y) {
+          for (int x = 0; x < d.conv_w; ++x) {
+            std::int32_t acc = 0;
+            for (int c = 0; c < d.in_c; ++c) {
+              ctx.charge_loop(static_cast<std::uint64_t>(K * K) + 1);
+              ctx.charge_alu(3 * static_cast<std::uint64_t>(K * K) + 1);
+              std::uint32_t win = 0;
+              for (int ky = 0; ky < K; ++ky) {
+                for (int kx = 0; kx < K; ++kx) {
+                  const std::uint32_t bit =
+                      in[(static_cast<std::size_t>(c) * d.in_h + y + ky) *
+                             d.in_w +
+                         (x + kx)];
+                  win |= bit << (ky * K + kx);
+                }
+              }
+              std::uint32_t xn =
+                  ctx.xor_(win, wtaps[static_cast<std::size_t>(f) * d.in_c +
+                                      c]);
+              xn = ctx.xor_(xn, 0xffffffffu);
+              xn = ctx.and_(xn, tap_mask);
+              const std::int32_t pc = ctx.popcount(xn);
+              acc = ctx.add(acc,
+                            ctx.sub(static_cast<std::int32_t>(ctx.shl(
+                                        static_cast<std::uint32_t>(pc), 1)),
+                                    K * K));
+            }
+            conv[static_cast<std::size_t>(y) * d.conv_w + x] =
+                static_cast<std::int16_t>(acc);
+            ctx.charge_alu(1);
+          }
+          ctx.charge_loop(static_cast<std::uint64_t>(d.conv_w));
+        }
+        ctx.charge_loop(static_cast<std::uint64_t>(d.conv_h));
+
+        // Pool + LUT BN-BinAct into the output map.
+        for (int py = 0; py < d.out_h; ++py) {
+          for (int px = 0; px < d.out_w; ++px) {
+            ctx.charge_alu(8);
+            int best =
+                conv[static_cast<std::size_t>(py * cfg.pool) * d.conv_w +
+                     px * cfg.pool];
+            for (int dy = 0; dy < cfg.pool; ++dy) {
+              for (int dx = 0; dx < cfg.pool; ++dx) {
+                best = std::max(
+                    best,
+                    static_cast<int>(
+                        conv[static_cast<std::size_t>(py * cfg.pool + dy) *
+                                 d.conv_w +
+                             px * cfg.pool + dx]));
+              }
+            }
+            const std::int32_t off = ctx.sub(best, lut_min);
+            std::int32_t idx = ctx.mul(off, filters, 32);
+            idx = ctx.add(idx, f);
+            out[(static_cast<std::size_t>(f) * d.out_h + py) * d.out_w +
+                px] = lut[static_cast<std::size_t>(idx)];
+            ctx.charge_alu(2); // table load + store
+          }
+          ctx.charge_loop(static_cast<std::uint64_t>(d.out_w));
+        }
+        ctx.charge_loop(static_cast<std::uint64_t>(d.out_h));
+      }
+      ctx.charge_loop(static_cast<std::uint64_t>(filters));
+      std::swap(in, out);
+    }
+
+    // 3. Pack the final map (now in `in` after the last swap) and DMA out.
+    const DeepBlockDims& last = p.dims.back();
+    const std::size_t bits = static_cast<std::size_t>(
+        cfg.blocks.back().filters * last.out_h * last.out_w);
+    for (std::size_t wdx = 0; wdx < feat_words; ++wdx) {
+      feat[wdx] = 0;
+    }
+    ctx.charge_alu(feat_words);
+    ctx.charge_loop(bits);
+    ctx.charge_alu(2 * bits);
+    for (std::size_t i = 0; i < bits; ++i) {
+      if (in[i] != 0) {
+        feat[i / 32] |= std::uint32_t{1} << (i % 32);
+      }
+    }
+    ctx.mram_write(results_base + im * p.result_stride, feat,
+                   feat_words * sizeof(std::uint32_t));
+  }
+}
+
+DeepKernelParams make_params(const DeepEbnnConfig& cfg,
+                             const std::vector<DeepBlockDims>& dims,
+                             const runtime::UpmemConfig& sys) {
+  DeepKernelParams p;
+  p.cfg = cfg;
+  p.dims = dims;
+  p.image_stride = align_up(
+      static_cast<MemSize>(cfg.img_h) * static_cast<MemSize>(cfg.img_w),
+      kXferAlign);
+
+  MemSize woff = 0;
+  MemSize loff = 0;
+  std::size_t max_map = static_cast<std::size_t>(cfg.img_h) * cfg.img_w;
+  std::size_t max_conv = 0;
+  for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+    const auto& d = dims[b];
+    const int filters = cfg.blocks[b].filters;
+    p.conv_w_offsets.push_back(woff);
+    woff += static_cast<MemSize>(filters) * d.in_c;
+    p.lut_offsets.push_back(loff);
+    p.lut_mins.push_back(-d.taps);
+    loff += static_cast<MemSize>(2 * d.taps + 1) * filters;
+    max_map = std::max(max_map, static_cast<std::size_t>(filters) *
+                                    d.out_h * d.out_w);
+    max_map = std::max(max_map, static_cast<std::size_t>(d.in_c) * d.in_h *
+                                    d.in_w);
+    max_conv = std::max(max_conv,
+                        static_cast<std::size_t>(d.conv_h) * d.conv_w);
+  }
+  p.map_bytes = align_up(max_map, kXferAlign);
+  p.conv_elems = align_up(max_conv * 2, kXferAlign) / 2;
+
+  const auto& last = dims.back();
+  const std::size_t feat_bits = static_cast<std::size_t>(
+      cfg.blocks.back().filters * last.out_h * last.out_w);
+  p.result_stride = align_up(
+      nn::words_for_bits(feat_bits) * sizeof(std::uint32_t), kXferAlign);
+
+  // WRAM budget -> images per DPU: shared symbols + per-tasklet buffers.
+  const MemSize shared = 8 + align_up(woff * 4, kXferAlign) +
+                         align_up(loff, kXferAlign);
+  const MemSize per_tasklet = 2 * p.map_bytes + p.conv_elems * 2 +
+                              p.result_stride;
+  const MemSize budget = sys.wram_bytes > shared + 512
+                             ? sys.wram_bytes - shared - 512
+                             : 0;
+  const MemSize cap = per_tasklet > 0 ? budget / per_tasklet : 0;
+  if (cap == 0) {
+    throw CapacityError("deep eBNN: one image's buffers exceed WRAM");
+  }
+  p.capacity = static_cast<std::uint32_t>(std::min<MemSize>(cap, 16));
+  return p;
+}
+
+sim::DpuProgram make_deep_program(const DeepKernelParams& p,
+                                  MemSize conv_words, MemSize lut_bytes) {
+  sim::DpuProgram prog;
+  prog.name = "ebnn_deep";
+  prog.iram_bytes = 8 * 1024;
+  prog.symbols = {
+      {"images", MemKind::Mram, p.capacity * p.image_stride},
+      {"results", MemKind::Mram, p.capacity * p.result_stride},
+      {"meta", MemKind::Wram, 8},
+      {"conv_w", MemKind::Wram, align_up(conv_words * 4, kXferAlign)},
+      {"luts", MemKind::Wram, align_up(lut_bytes, kXferAlign)},
+      {"map_a", MemKind::Wram, p.capacity * p.map_bytes},
+      {"map_b", MemKind::Wram, p.capacity * p.map_bytes},
+      {"conv_buf", MemKind::Wram, p.capacity * p.conv_elems * 2},
+      {"feat_buf", MemKind::Wram, p.capacity * p.result_stride},
+  };
+  prog.entry = [p](TaskletCtx& ctx) { deep_tasklet(ctx, p); };
+  return prog;
+}
+
+} // namespace
+
+DeepEbnnHost::DeepEbnnHost(const DeepEbnnConfig& cfg,
+                           DeepEbnnWeights weights,
+                           const runtime::UpmemConfig& sys)
+    : cfg_(cfg),
+      weights_(std::move(weights)),
+      sys_(sys),
+      dims_(deep_dims(cfg)) {
+  for (std::size_t b = 0; b < cfg_.blocks.size(); ++b) {
+    luts_.push_back(build_bn_binact_lut_range(-dims_[b].taps, dims_[b].taps,
+                                              weights_.bn[b]));
+  }
+  images_per_dpu_ = make_params(cfg_, dims_, sys_).capacity;
+}
+
+DeepEbnnBatchResult DeepEbnnHost::run(const std::vector<Image>& images,
+                                      std::uint32_t n_tasklets,
+                                      runtime::OptLevel opt) {
+  require(!images.empty(), "DeepEbnnHost::run: empty batch");
+  const std::size_t img_bytes =
+      static_cast<std::size_t>(cfg_.img_h) * cfg_.img_w;
+  for (const auto& im : images) {
+    require(im.size() == img_bytes, "DeepEbnnHost::run: wrong image size");
+  }
+  const DeepKernelParams params = make_params(cfg_, dims_, sys_);
+  if (n_tasklets == 0) {
+    n_tasklets = params.capacity;
+  }
+  require(n_tasklets >= 1 && n_tasklets <= params.capacity,
+          "DeepEbnnHost::run: tasklets must be in [1, images_per_dpu]");
+
+  // Flatten weights and LUTs.
+  std::vector<std::uint32_t> conv_words;
+  std::vector<std::uint8_t> lut_bytes;
+  for (std::size_t b = 0; b < cfg_.blocks.size(); ++b) {
+    conv_words.insert(conv_words.end(), weights_.conv[b].begin(),
+                      weights_.conv[b].end());
+    lut_bytes.insert(lut_bytes.end(), luts_[b].table.begin(),
+                     luts_[b].table.end());
+  }
+
+  const std::uint32_t per_dpu = params.capacity;
+  const auto n_dpus = static_cast<std::uint32_t>(
+      (images.size() + per_dpu - 1) / per_dpu);
+  DpuSet set = DpuSet::allocate(n_dpus, sys_);
+  set.load(make_deep_program(params, conv_words.size(), lut_bytes.size()));
+
+  {
+    const auto padded =
+        pad_to_xfer(conv_words.data(), conv_words.size() * 4);
+    set.copy_to("conv_w", 0, padded.data(), padded.size());
+    const auto lpad = pad_to_xfer(lut_bytes.data(), lut_bytes.size());
+    set.copy_to("luts", 0, lpad.data(), lpad.size());
+  }
+
+  const std::size_t stage_bytes = per_dpu * params.image_stride;
+  std::vector<std::vector<std::uint8_t>> staged(n_dpus);
+  std::vector<std::uint64_t> counts(n_dpus, 0);
+  for (std::uint32_t d = 0; d < n_dpus; ++d) {
+    staged[d].assign(stage_bytes, 0);
+    for (std::uint32_t s = 0; s < per_dpu; ++s) {
+      const std::size_t global = static_cast<std::size_t>(d) * per_dpu + s;
+      if (global >= images.size()) break;
+      std::memcpy(staged[d].data() + s * params.image_stride,
+                  images[global].data(), img_bytes);
+      ++counts[d];
+    }
+    set.prepare_xfer(d, staged[d].data());
+  }
+  set.push_xfer(XferDir::ToDpu, "images", 0, stage_bytes);
+  for (std::uint32_t d = 0; d < n_dpus; ++d) {
+    set.prepare_xfer(d, &counts[d]);
+  }
+  set.push_xfer(XferDir::ToDpu, "meta", 0, sizeof(std::uint64_t));
+
+  DeepEbnnBatchResult out;
+  out.dpus_used = n_dpus;
+  out.images_per_dpu = per_dpu;
+  out.launch = set.launch(n_tasklets, opt);
+
+  // Gather + host tail.
+  const std::size_t feat_words =
+      params.result_stride / sizeof(std::uint32_t);
+  const std::size_t feat_bits =
+      static_cast<std::size_t>(deep_feature_bits(cfg_));
+  std::vector<std::uint32_t> words(feat_words);
+  for (std::size_t i = 0; i < images.size(); ++i) {
+    const auto d = static_cast<std::uint32_t>(i / per_dpu);
+    set.copy_from(d, "results", (i % per_dpu) * params.result_stride,
+                  words.data(), params.result_stride);
+    std::vector<int> feature(feat_bits);
+    for (std::size_t bit = 0; bit < feat_bits; ++bit) {
+      feature[bit] =
+          static_cast<int>((words[bit / 32] >> (bit % 32)) & 1u);
+    }
+    // FC tail on the host using the reference weights.
+    std::vector<float> logits(static_cast<std::size_t>(cfg_.classes), 0.0f);
+    for (int c = 0; c < cfg_.classes; ++c) {
+      float acc = 0.0f;
+      for (std::size_t b = 0; b < feat_bits; ++b) {
+        acc += weights_.fc[static_cast<std::size_t>(c) * feat_bits + b] *
+               (feature[b] != 0 ? 1.0f : -1.0f);
+      }
+      logits[static_cast<std::size_t>(c)] = acc;
+    }
+    std::vector<float> probs(logits.size());
+    nn::softmax(logits, probs);
+    out.predicted.push_back(static_cast<int>(nn::argmax(probs)));
+    out.features.push_back(std::move(feature));
+  }
+  return out;
+}
+
+} // namespace pimdnn::ebnn

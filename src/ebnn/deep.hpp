@@ -1,0 +1,130 @@
+// Multi-block (deep) eBNN — the depth-parameterized extension.
+//
+// The thesis evaluates a single Conv-Pool block (§4.1.1) and leaves as
+// future work finding "the exact depth or size of a CNN that is best for
+// UPMEM's system" (§6.1). This module stacks B binary Conv-Pool-BN-BinAct
+// blocks, exactly in the eBNN style: block 0 consumes the binarized input
+// image; block b>0 consumes the previous block's binary feature map as a
+// multi-channel binary tensor, so its convolution accumulates over
+// C_in * K * K XNOR taps. Every block's BN-BinAct is replaced by a
+// host-built LUT whose input range is +-(C_in * K * K).
+//
+// The DPU mapping stays many-images-per-DPU, but the per-tasklet WRAM
+// footprint grows with depth/width, so the images-per-DPU capacity is
+// derived from the WRAM budget instead of being fixed at 16 — which is
+// itself one of the answers to the thesis' depth question.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ebnn/host.hpp"
+#include "ebnn/lut.hpp"
+#include "ebnn/model.hpp"
+#include "runtime/dpu_set.hpp"
+
+namespace pimdnn::ebnn {
+
+/// One Conv-Pool block of the deep network.
+struct DeepBlockConfig {
+  int filters = 16; ///< output channels of this block
+};
+
+/// Whole-network configuration.
+struct DeepEbnnConfig {
+  int img_h = 28;
+  int img_w = 28;
+  int ksize = 3;
+  int pool = 2;
+  int classes = 10;
+  std::uint8_t binarize_threshold = 128;
+  std::vector<DeepBlockConfig> blocks{{16}};
+};
+
+/// Shape facts per block (validated; throws ConfigError on degenerate
+/// geometry).
+struct DeepBlockDims {
+  int in_c, in_h, in_w;  ///< block input (binary bits)
+  int conv_h, conv_w;    ///< after the valid convolution
+  int out_h, out_w;      ///< after pooling
+  int taps;              ///< in_c * ksize * ksize accumulation length
+};
+
+/// Computes and validates all block dimensions.
+std::vector<DeepBlockDims> deep_dims(const DeepEbnnConfig& cfg);
+
+/// Feature bits leaving the last block.
+int deep_feature_bits(const DeepEbnnConfig& cfg);
+
+/// Weights: per block, per filter, per input channel packed tap bits;
+/// per block BN parameters; float FC tail.
+struct DeepEbnnWeights {
+  /// conv[b] has blocks[b].filters * in_c words; word (f*in_c + c) holds
+  /// the K*K tap bits of filter f, channel c.
+  std::vector<std::vector<std::uint32_t>> conv;
+  /// BN parameters per block.
+  std::vector<nn::BatchNormParams> bn;
+  /// FC tail: classes x deep_feature_bits.
+  std::vector<float> fc;
+
+  /// Deterministic random weights.
+  static DeepEbnnWeights random(const DeepEbnnConfig& cfg,
+                                std::uint64_t seed);
+};
+
+/// Host golden model: full inference for one image; also exposes the
+/// final feature bits for DPU comparison.
+struct DeepEbnnActivations {
+  std::vector<int> feature; ///< last block's bits, channel-major
+  std::vector<float> probs;
+  int predicted = -1;
+};
+
+/// Reference (host) implementation of the deep network.
+class DeepEbnnReference {
+public:
+  DeepEbnnReference(const DeepEbnnConfig& cfg, const DeepEbnnWeights& w);
+
+  /// Full inference of one grayscale image.
+  DeepEbnnActivations infer(const std::uint8_t* image) const;
+
+private:
+  const DeepEbnnConfig& cfg_;
+  const DeepEbnnWeights& w_;
+  std::vector<DeepBlockDims> dims_;
+};
+
+/// Result of a batched deep-eBNN DPU run.
+struct DeepEbnnBatchResult {
+  std::vector<int> predicted;
+  std::vector<std::vector<int>> features;
+  runtime::LaunchStats launch;
+  std::uint32_t dpus_used = 0;
+  std::uint32_t images_per_dpu = 0; ///< derived from the WRAM budget
+};
+
+/// Host app mapping the deep network onto DPUs (LUT BN-BinAct only —
+/// the single-block soft-float ablation already covers the float story).
+class DeepEbnnHost {
+public:
+  DeepEbnnHost(const DeepEbnnConfig& cfg, DeepEbnnWeights weights,
+               const runtime::UpmemConfig& sys = sim::default_config());
+
+  /// Runs a batch; tasklets default to the images-per-DPU capacity.
+  DeepEbnnBatchResult run(const std::vector<Image>& images,
+                          std::uint32_t n_tasklets = 0,
+                          runtime::OptLevel opt = runtime::OptLevel::O3);
+
+  /// Images one DPU can hold given the WRAM budget (1..16).
+  std::uint32_t images_per_dpu() const { return images_per_dpu_; }
+
+private:
+  DeepEbnnConfig cfg_;
+  DeepEbnnWeights weights_;
+  runtime::UpmemConfig sys_;
+  std::vector<DeepBlockDims> dims_;
+  std::vector<BnBinactLut> luts_;
+  std::uint32_t images_per_dpu_;
+};
+
+} // namespace pimdnn::ebnn

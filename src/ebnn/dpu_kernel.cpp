@@ -1,0 +1,295 @@
+#include "ebnn/dpu_kernel.hpp"
+
+#include "common/bytes.hpp"
+#include "common/error.hpp"
+#include "nn/bitpack.hpp"
+
+namespace pimdnn::ebnn {
+
+using sim::MemKind;
+using sim::TaskletCtx;
+
+EbnnLayout ebnn_layout(const EbnnConfig& cfg) {
+  EbnnLayout l;
+  l.image_stride = align_up(
+      static_cast<MemSize>(cfg.img_h) * static_cast<MemSize>(cfg.img_w),
+      kXferAlign);
+  l.words_per_filter = static_cast<std::uint32_t>(
+      nn::words_for_bits(static_cast<std::size_t>(cfg.pool_h()) *
+                         static_cast<std::size_t>(cfg.pool_w())));
+  l.result_stride =
+      align_up(static_cast<MemSize>(cfg.filters) * l.words_per_filter *
+                   sizeof(std::uint32_t),
+               kXferAlign);
+  l.max_images = 16;
+  return l;
+}
+
+namespace {
+
+/// Everything the kernel closure needs, captured by value.
+struct KernelParams {
+  EbnnConfig cfg;
+  BnMode mode;
+  ConvKernel kernel;
+  EbnnLayout layout;
+  int lut_min;
+};
+
+void ebnn_tasklet(TaskletCtx& ctx, const KernelParams& p) {
+  const EbnnConfig& cfg = p.cfg;
+  const int H = cfg.img_h;
+  const int W = cfg.img_w;
+  const int K = cfg.ksize;
+  const int CH = cfg.conv_h();
+  const int CW = cfg.conv_w();
+  const int PH = cfg.pool_h();
+  const int PW = cfg.pool_w();
+  const int F = cfg.filters;
+  const int taps = cfg.taps();
+  const std::uint32_t tap_mask = (std::uint32_t{1} << taps) - 1;
+
+  require(ctx.n_tasklets() <= p.layout.max_images,
+          "eBNN program supports at most 16 tasklets (one per image slot)");
+
+  auto meta = ctx.wram_span<std::uint64_t>(symbols::kMeta);
+  ctx.charge_alu(1);
+  const std::uint64_t n_images = meta[0];
+
+  auto conv_w = ctx.wram_span<std::uint32_t>(symbols::kConvWeights);
+  auto img_all = ctx.wram_span<std::uint8_t>("img_buf");
+  auto conv_all = ctx.wram_span<std::int8_t>("conv_buf");
+  auto feat_all = ctx.wram_span<std::uint32_t>("feat_buf");
+  std::span<std::uint32_t> prow_all;
+  if (p.kernel == ConvKernel::PackedRows) {
+    prow_all = ctx.wram_span<std::uint32_t>("prow_buf");
+  }
+
+  const std::size_t img_bytes = static_cast<std::size_t>(H) * W;
+  const std::size_t conv_px = static_cast<std::size_t>(CH) * CW;
+  const std::size_t wpf = p.layout.words_per_filter;
+  const std::size_t feat_words = static_cast<std::size_t>(F) * wpf;
+
+  std::uint8_t* img = img_all.data() + ctx.id() * img_bytes;
+  std::int8_t* conv = conv_all.data() + ctx.id() * conv_px;
+  std::uint32_t* feat = feat_all.data() + ctx.id() * feat_words;
+
+  const MemSize images_base = ctx.mram_addr(symbols::kImages);
+  const MemSize results_base = ctx.mram_addr(symbols::kResults);
+
+  for (std::uint64_t im = ctx.id(); im < n_images; im += ctx.n_tasklets()) {
+    // --- 1. DMA the image from MRAM into this tasklet's WRAM slice. ---
+    ctx.mram_read(img, images_base + im * p.layout.image_stride, img_bytes);
+
+    // --- 2. Binarize: pixel >= threshold -> bit. Scalar keeps one byte
+    // per bit; PackedRows folds binarization into packing each image row
+    // into one 32-bit word. ---
+    std::uint32_t* prow = nullptr;
+    if (p.kernel == ConvKernel::PackedRows) {
+      prow = prow_all.data() + ctx.id() * static_cast<std::size_t>(H);
+      ctx.charge_loop(img_bytes);
+      ctx.charge_alu(4 * img_bytes); // load, compare, shift, or per pixel
+      for (int y = 0; y < H; ++y) {
+        std::uint32_t word = 0;
+        for (int x = 0; x < W; ++x) {
+          if (img[static_cast<std::size_t>(y) * W + x] >=
+              cfg.binarize_threshold) {
+            word |= std::uint32_t{1} << x;
+          }
+        }
+        prow[y] = word;
+      }
+    } else {
+      ctx.charge_loop(img_bytes);
+      ctx.charge_alu(3 * img_bytes); // load, compare, store per pixel
+      for (std::size_t i = 0; i < img_bytes; ++i) {
+        img[i] = img[i] >= cfg.binarize_threshold ? 1 : 0;
+      }
+    }
+
+    for (std::uint32_t w = 0; w < feat_words; ++w) {
+      feat[w] = 0;
+    }
+    ctx.charge_alu(feat_words);
+
+    for (int f = 0; f < F; ++f) {
+      const std::uint32_t wf = conv_w[static_cast<std::size_t>(f)];
+      ctx.charge_alu(1);
+
+      // --- 3. Binary convolution (XNOR + popcount) into conv buffer. ---
+      for (int y = 0; y < CH; ++y) {
+        for (int x = 0; x < CW; ++x) {
+          std::uint32_t win = 0;
+          if (p.kernel == ConvKernel::PackedRows) {
+            // Word-parallel gather: one shift/mask per window row.
+            const std::uint32_t w0 =
+                ctx.and_(ctx.shr(prow[y], static_cast<unsigned>(x)), 7u);
+            const std::uint32_t w1 = ctx.shl(
+                ctx.and_(ctx.shr(prow[y + 1], static_cast<unsigned>(x)), 7u),
+                3);
+            const std::uint32_t w2 = ctx.shl(
+                ctx.and_(ctx.shr(prow[y + 2], static_cast<unsigned>(x)), 7u),
+                6);
+            win = ctx.or_(ctx.or_(w0, w1), w2);
+            ctx.charge_alu(3); // the three packed-row loads
+          } else {
+            // Scalar gather: load/shift/or per tap.
+            ctx.charge_loop(static_cast<std::uint64_t>(taps));
+            ctx.charge_alu(3 * static_cast<std::uint64_t>(taps));
+            for (int ky = 0; ky < K; ++ky) {
+              for (int kx = 0; kx < K; ++kx) {
+                const std::uint32_t bit =
+                    img[static_cast<std::size_t>(y + ky) * W + (x + kx)];
+                win |= bit << (ky * K + kx);
+              }
+            }
+          }
+          std::uint32_t xn = ctx.xor_(win, wf);
+          xn = ctx.xor_(xn, 0xffffffffu); // complement -> XNOR
+          xn = ctx.and_(xn, tap_mask);
+          const std::int32_t pc = ctx.popcount(xn);
+          const std::int32_t dot =
+              ctx.sub(static_cast<std::int32_t>(ctx.shl(
+                          static_cast<std::uint32_t>(pc), 1)),
+                      taps);
+          conv[static_cast<std::size_t>(y) * CW + x] =
+              static_cast<std::int8_t>(dot);
+          ctx.charge_alu(1); // store
+        }
+        ctx.charge_loop(static_cast<std::uint64_t>(CW));
+      }
+      ctx.charge_loop(static_cast<std::uint64_t>(CH));
+
+      // Per-filter BN operand loads (float mode) happen once per filter.
+      float w0 = 0;
+      float w1 = 0;
+      float w2 = 1;
+      float w3 = 1;
+      float w4 = 0;
+      if (p.mode == BnMode::SoftFloat) {
+        auto bn = ctx.wram_span<float>(symbols::kBnParams);
+        const std::size_t nf = static_cast<std::size_t>(F);
+        w0 = bn[0 * nf + static_cast<std::size_t>(f)];
+        w1 = bn[1 * nf + static_cast<std::size_t>(f)];
+        w2 = bn[2 * nf + static_cast<std::size_t>(f)];
+        w3 = bn[3 * nf + static_cast<std::size_t>(f)];
+        w4 = bn[4 * nf + static_cast<std::size_t>(f)];
+        ctx.charge_alu(5);
+      }
+
+      // --- 4. 2x2 max pool + 5. BN-BinAct + 6. pack bits. ---
+      for (int py = 0; py < PH; ++py) {
+        for (int px = 0; px < PW; ++px) {
+          ctx.charge_alu(8); // 4 loads + 3 compares + 1 register move
+          int best = conv[static_cast<std::size_t>(py * cfg.pool) * CW +
+                          px * cfg.pool];
+          for (int dy = 0; dy < cfg.pool; ++dy) {
+            for (int dx = 0; dx < cfg.pool; ++dx) {
+              const int v =
+                  conv[static_cast<std::size_t>(py * cfg.pool + dy) * CW +
+                       px * cfg.pool + dx];
+              if (v > best) best = v;
+            }
+          }
+
+          int bit = 0;
+          if (p.mode == BnMode::SoftFloat) {
+            // Figure 4.2(a): the BN-BinAct float chain inside the DPU.
+            float t = ctx.i2f(best);
+            t = ctx.fadd(t, w0);
+            t = ctx.fsub(t, w1);
+            t = ctx.fdiv(t, w2);
+            t = ctx.fmul(t, w3);
+            t = ctx.fadd(t, w4);
+            bit = ctx.flt(t, 0.0f) ? 0 : 1;
+          } else {
+            // Figure 4.2(b): one LUT access. The index multiply is the
+            // __mulsi3 the thesis could not eliminate (Figure 4.3b).
+            auto lut = ctx.wram_span<std::uint8_t>(symbols::kBnLut);
+            const std::int32_t off = ctx.sub(best, p.lut_min);
+            std::int32_t idx = ctx.mul(off, F, 32);
+            idx = ctx.add(idx, f);
+            bit = lut[static_cast<std::size_t>(idx)];
+            ctx.charge_alu(1); // table load
+          }
+
+          // Pack the bit into the per-filter feature words.
+          const int pos = py * PW + px;
+          if (bit != 0) {
+            feat[static_cast<std::size_t>(f) * wpf +
+                 static_cast<std::size_t>(pos) / 32] |=
+                std::uint32_t{1} << (pos % 32);
+          }
+          ctx.charge_alu(2); // shift + or
+        }
+        ctx.charge_loop(static_cast<std::uint64_t>(PW));
+      }
+      ctx.charge_loop(static_cast<std::uint64_t>(PH));
+    }
+    ctx.charge_loop(static_cast<std::uint64_t>(F));
+
+    // --- 7. DMA the packed feature bits back to MRAM. ---
+    ctx.mram_write(results_base + im * p.layout.result_stride, feat,
+                   feat_words * sizeof(std::uint32_t));
+  }
+}
+
+} // namespace
+
+sim::DpuProgram make_ebnn_program(const EbnnConfig& cfg, BnMode mode,
+                                  ConvKernel kernel) {
+  const EbnnLayout layout = ebnn_layout(cfg);
+  require(layout.image_stride <= 2048,
+          "eBNN image exceeds the 2048-byte MRAM->WRAM transfer limit");
+  if (kernel == ConvKernel::PackedRows) {
+    require(cfg.ksize == 3 && cfg.img_w <= 32,
+            "PackedRows kernel requires ksize == 3 and img_w <= 32");
+  }
+
+  const std::size_t img_bytes =
+      static_cast<std::size_t>(cfg.img_h) * cfg.img_w;
+  const std::size_t conv_px =
+      static_cast<std::size_t>(cfg.conv_h()) * cfg.conv_w();
+  const std::size_t feat_bytes = static_cast<std::size_t>(cfg.filters) *
+                                 layout.words_per_filter *
+                                 sizeof(std::uint32_t);
+  const int lut_rows = cfg.conv_max() - cfg.conv_min() + 1;
+
+  sim::DpuProgram prog;
+  prog.name = mode == BnMode::HostLut ? "ebnn_lut" : "ebnn_softfloat";
+  prog.iram_bytes = 6 * 1024; // small kernel; well inside the 24 KB IRAM
+  prog.symbols = {
+      {symbols::kImages, MemKind::Mram,
+       layout.max_images * layout.image_stride},
+      {symbols::kResults, MemKind::Mram,
+       layout.max_images * layout.result_stride},
+      {symbols::kMeta, MemKind::Wram, 8},
+      {symbols::kConvWeights, MemKind::Wram,
+       align_up(static_cast<MemSize>(cfg.filters) * sizeof(std::uint32_t),
+                kXferAlign)},
+      {"img_buf", MemKind::Wram, layout.max_images * img_bytes},
+      {"conv_buf", MemKind::Wram, layout.max_images * conv_px},
+      {"feat_buf", MemKind::Wram, layout.max_images * feat_bytes},
+  };
+  if (mode == BnMode::HostLut) {
+    prog.symbols.push_back(
+        {symbols::kBnLut, MemKind::Wram,
+         align_up(static_cast<MemSize>(lut_rows) * cfg.filters, kXferAlign)});
+  } else {
+    prog.symbols.push_back(
+        {symbols::kBnParams, MemKind::Wram,
+         align_up(5ull * cfg.filters * sizeof(float), kXferAlign)});
+  }
+  if (kernel == ConvKernel::PackedRows) {
+    prog.symbols.push_back(
+        {"prow_buf", MemKind::Wram,
+         layout.max_images * static_cast<MemSize>(cfg.img_h) *
+             sizeof(std::uint32_t)});
+  }
+
+  KernelParams params{cfg, mode, kernel, layout, cfg.conv_min()};
+  prog.entry = [params](TaskletCtx& ctx) { ebnn_tasklet(ctx, params); };
+  return prog;
+}
+
+} // namespace pimdnn::ebnn

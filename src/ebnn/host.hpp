@@ -1,0 +1,73 @@
+// Host-side orchestration of eBNN inference over a DpuSet.
+//
+// Implements the thesis' many-images-per-DPU mapping (§4.1.3): the input
+// image batch is divided by 16 (images per DPU) to get the number of DPUs;
+// all DPUs run in parallel and finish at the max time of one DPU; then the
+// host parses each DPU's temporary results and serially runs the Softmax
+// tail per image.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ebnn/dpu_kernel.hpp"
+#include "ebnn/model.hpp"
+#include "runtime/dpu_set.hpp"
+
+namespace pimdnn::ebnn {
+
+/// One grayscale input image (img_h * img_w bytes).
+using Image = std::vector<std::uint8_t>;
+
+/// Result of a batched inference run.
+struct EbnnBatchResult {
+  /// Predicted class per image, in input order.
+  std::vector<int> predicted;
+  /// Feature bits per image (filters * pool_h * pool_w), as read from the
+  /// DPUs — exposed so tests can compare against the golden model.
+  std::vector<std::vector<int>> features;
+  /// Aggregate launch statistics (wall cycles = slowest DPU).
+  runtime::LaunchStats launch;
+  /// DPUs used for this batch.
+  std::uint32_t dpus_used = 0;
+};
+
+/// Host application that owns the weights and drives DPU batches.
+class EbnnHost {
+public:
+  /// Builds the host app; `mode` picks soft-float vs LUT BN-BinAct and
+  /// `kernel` the convolution window-gather implementation.
+  EbnnHost(const EbnnConfig& cfg, EbnnWeights weights, BnMode mode,
+           const runtime::UpmemConfig& sys = sim::default_config(),
+           ConvKernel kernel = ConvKernel::Scalar);
+
+  /// Runs a batch of images. `n_tasklets` tasklets per DPU (<= 16),
+  /// `opt` the simulated compiler optimization level.
+  EbnnBatchResult run(const std::vector<Image>& images,
+                      std::uint32_t n_tasklets = 16,
+                      runtime::OptLevel opt = runtime::OptLevel::O3);
+
+  /// The configuration in use.
+  const EbnnConfig& config() const { return cfg_; }
+
+  /// The weights in use.
+  const EbnnWeights& weights() const { return weights_; }
+
+  /// The BN-BinAct mode in use.
+  BnMode mode() const { return mode_; }
+
+  /// The convolution kernel variant in use.
+  ConvKernel kernel() const { return kernel_; }
+
+private:
+  EbnnConfig cfg_;
+  EbnnWeights weights_;
+  BnMode mode_;
+  ConvKernel kernel_;
+  runtime::UpmemConfig sys_;
+  EbnnLayout layout_;
+  BnBinactLut lut_;
+  EbnnReference reference_;
+};
+
+} // namespace pimdnn::ebnn

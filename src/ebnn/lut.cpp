@@ -1,0 +1,39 @@
+#include "ebnn/lut.hpp"
+
+#include "common/error.hpp"
+
+namespace pimdnn::ebnn {
+
+BnBinactLut build_bn_binact_lut(const EbnnConfig& cfg,
+                                const nn::BatchNormParams& bn) {
+  require(static_cast<int>(bn.channels()) == cfg.filters,
+          "BN parameter count does not match filter count");
+  return build_bn_binact_lut_range(cfg.conv_min(), cfg.conv_max(), bn);
+}
+
+BnBinactLut build_bn_binact_lut_range(int min_input, int max_input,
+                                      const nn::BatchNormParams& bn) {
+  require(min_input <= max_input, "LUT range is empty");
+  BnBinactLut lut;
+  lut.min_input = min_input;
+  lut.max_input = max_input;
+  lut.filters = static_cast<int>(bn.channels());
+  lut.table.assign(static_cast<std::size_t>(lut.rows()) *
+                       static_cast<std::size_t>(lut.filters),
+                   0);
+  for (int i = lut.min_input; i <= lut.max_input; ++i) {
+    for (int j = 0; j < lut.filters; ++j) {
+      // Lines 9-13 of Algorithm 1: the BN transform ...
+      const float tmp =
+          bn.apply(static_cast<float>(i), static_cast<std::size_t>(j));
+      // ... lines 14-17: BinAct thresholding at zero.
+      const std::uint8_t res = tmp >= 0.0f ? 1 : 0;
+      lut.table[static_cast<std::size_t>(i - lut.min_input) *
+                    static_cast<std::size_t>(lut.filters) +
+                static_cast<std::size_t>(j)] = res;
+    }
+  }
+  return lut;
+}
+
+} // namespace pimdnn::ebnn

@@ -1,0 +1,53 @@
+// LUT replacement for the BN-BinAct block (thesis §4.1.4, Algorithm 1).
+//
+// The Conv-Pool output of a binary convolution with `taps` taps is an
+// integer in [-taps, +taps]. The host enumerates every possible value for
+// every filter, runs the float BatchNorm + Binary Activation once per
+// (value, filter) pair, and stores the resulting bit in a 2-D table. The
+// DPU then replaces its float subroutine calls with one table access
+// (Figure 4.2b). Index = (value - min_input) * filters + filter; the offset
+// exists because values can be negative and array indices cannot.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ebnn/model.hpp"
+
+namespace pimdnn::ebnn {
+
+/// Host-built lookup table for the BN-BinAct block.
+struct BnBinactLut {
+  int min_input = 0;  ///< smallest representable conv-pool result (x)
+  int max_input = 0;  ///< largest representable conv-pool result (y)
+  int filters = 0;    ///< number of filters (z)
+  /// Row-major bits: rows = max_input-min_input+1 values, cols = filters.
+  std::vector<std::uint8_t> table;
+
+  /// Number of rows (possible input values).
+  int rows() const { return max_input - min_input + 1; }
+
+  /// Table size in bytes.
+  std::size_t bytes() const { return table.size(); }
+
+  /// Looks a bit up exactly as the DPU does.
+  int lookup(int value, int filter) const {
+    return table[static_cast<std::size_t>(value - min_input) *
+                     static_cast<std::size_t>(filters) +
+                 static_cast<std::size_t>(filter)];
+  }
+};
+
+/// Algorithm 1: builds the table by running every possible conv-pool value
+/// through the float BN-BinAct for every filter. (The thesis pseudocode's
+/// index expression `(i-x)*z + y` is written with `y` where the filter
+/// index `j` is meant; we implement the evidently intended `(i-x)*z + j`.)
+BnBinactLut build_bn_binact_lut(const EbnnConfig& cfg,
+                                const nn::BatchNormParams& bn);
+
+/// General form for arbitrary input ranges (used by the multi-block deep
+/// eBNN, whose conv outputs span +-(in_channels * K * K)).
+BnBinactLut build_bn_binact_lut_range(int min_input, int max_input,
+                                      const nn::BatchNormParams& bn);
+
+} // namespace pimdnn::ebnn

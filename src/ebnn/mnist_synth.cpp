@@ -1,0 +1,109 @@
+#include "ebnn/mnist_synth.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace pimdnn::ebnn {
+
+namespace {
+
+/// One stroke: a line segment in a 0..1 normalized glyph box.
+struct Stroke {
+  double x0, y0, x1, y1;
+};
+
+/// Skeletons of the ten digits as polyline segments (hand-made, roughly
+/// seven-segment-like so the classes are visually distinct).
+const std::vector<Stroke>& digit_strokes(int digit) {
+  static const std::vector<std::vector<Stroke>> kGlyphs = {
+      /*0*/ {{.2, .1, .8, .1}, {.8, .1, .8, .9}, {.8, .9, .2, .9},
+             {.2, .9, .2, .1}},
+      /*1*/ {{.5, .1, .5, .9}, {.35, .25, .5, .1}},
+      /*2*/ {{.2, .1, .8, .1}, {.8, .1, .8, .5}, {.8, .5, .2, .5},
+             {.2, .5, .2, .9}, {.2, .9, .8, .9}},
+      /*3*/ {{.2, .1, .8, .1}, {.8, .1, .8, .9}, {.2, .5, .8, .5},
+             {.2, .9, .8, .9}},
+      /*4*/ {{.2, .1, .2, .5}, {.2, .5, .8, .5}, {.8, .1, .8, .9}},
+      /*5*/ {{.8, .1, .2, .1}, {.2, .1, .2, .5}, {.2, .5, .8, .5},
+             {.8, .5, .8, .9}, {.8, .9, .2, .9}},
+      /*6*/ {{.8, .1, .2, .1}, {.2, .1, .2, .9}, {.2, .9, .8, .9},
+             {.8, .9, .8, .5}, {.8, .5, .2, .5}},
+      /*7*/ {{.2, .1, .8, .1}, {.8, .1, .4, .9}},
+      /*8*/ {{.2, .1, .8, .1}, {.8, .1, .8, .9}, {.8, .9, .2, .9},
+             {.2, .9, .2, .1}, {.2, .5, .8, .5}},
+      /*9*/ {{.8, .5, .2, .5}, {.2, .5, .2, .1}, {.2, .1, .8, .1},
+             {.8, .1, .8, .9}},
+  };
+  return kGlyphs[static_cast<std::size_t>(digit % 10)];
+}
+
+/// Distance from point (px,py) to segment (s).
+double seg_distance(double px, double py, const Stroke& s) {
+  const double dx = s.x1 - s.x0;
+  const double dy = s.y1 - s.y0;
+  const double len2 = dx * dx + dy * dy;
+  double t = len2 > 0 ? ((px - s.x0) * dx + (py - s.y0) * dy) / len2 : 0.0;
+  t = std::clamp(t, 0.0, 1.0);
+  const double cx = s.x0 + t * dx;
+  const double cy = s.y0 + t * dy;
+  return std::hypot(px - cx, py - cy);
+}
+
+} // namespace
+
+std::vector<LabeledImage> make_synthetic_mnist(std::size_t count,
+                                               std::uint64_t seed) {
+  constexpr int kSide = 28;
+  Rng rng(seed);
+  std::vector<LabeledImage> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const int digit = static_cast<int>(i % 10);
+    const auto& strokes = digit_strokes(digit);
+    // Per-image jitter: small offset, scale and stroke-width variation.
+    const double ox = rng.uniform(-0.06, 0.06);
+    const double oy = rng.uniform(-0.06, 0.06);
+    const double scale = rng.uniform(0.85, 1.05);
+    const double width = rng.uniform(0.038, 0.055);
+
+    LabeledImage li;
+    li.label = digit;
+    li.pixels.assign(kSide * kSide, 0);
+    for (int y = 0; y < kSide; ++y) {
+      for (int x = 0; x < kSide; ++x) {
+        // Map pixel center to glyph space with the jitter applied.
+        const double gx = ((x + 0.5) / kSide - 0.5) / scale + 0.5 - ox;
+        const double gy = ((y + 0.5) / kSide - 0.5) / scale + 0.5 - oy;
+        double d = 1e9;
+        for (const Stroke& s : strokes) {
+          d = std::min(d, seg_distance(gx, gy, s));
+        }
+        // Soft-edged stroke, plus low-amplitude background noise.
+        double v = 0.0;
+        if (d < width) {
+          v = 255.0;
+        } else if (d < width * 1.6) {
+          v = 255.0 * (1.0 - (d - width) / (width * 0.6));
+        }
+        v += rng.uniform(0.0, 20.0);
+        li.pixels[static_cast<std::size_t>(y) * kSide + x] =
+            static_cast<std::uint8_t>(std::clamp(v, 0.0, 255.0));
+      }
+    }
+    out.push_back(std::move(li));
+  }
+  return out;
+}
+
+std::vector<Image> images_only(const std::vector<LabeledImage>& labeled) {
+  std::vector<Image> out;
+  out.reserve(labeled.size());
+  for (const auto& li : labeled) {
+    out.push_back(li.pixels);
+  }
+  return out;
+}
+
+} // namespace pimdnn::ebnn

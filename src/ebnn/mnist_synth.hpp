@@ -1,0 +1,32 @@
+// Deterministic synthetic MNIST-like digit generator.
+//
+// The thesis evaluates eBNN on MNIST (§4.1.2) purely as a latency workload:
+// every 28x28 image costs the same cycles regardless of content, and no
+// accuracy figures are reported. The dataset is not available offline, so
+// this generator draws procedural digit glyphs (stroke skeletons per class,
+// thickened and jittered deterministically) that exercise the identical
+// code path. See DESIGN.md "Substitutions".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ebnn/host.hpp"
+
+namespace pimdnn::ebnn {
+
+/// One labeled synthetic digit image.
+struct LabeledImage {
+  Image pixels; ///< 28x28 grayscale bytes
+  int label;    ///< digit 0..9
+};
+
+/// Generates `count` images cycling through digits 0..9 with per-image
+/// jitter derived from `seed`. Images are 28x28.
+std::vector<LabeledImage> make_synthetic_mnist(std::size_t count,
+                                               std::uint64_t seed);
+
+/// Convenience: strips labels for batch APIs.
+std::vector<Image> images_only(const std::vector<LabeledImage>& labeled);
+
+} // namespace pimdnn::ebnn

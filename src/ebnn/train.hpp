@@ -1,0 +1,43 @@
+// Host-side training of the eBNN classifier tail.
+//
+// eBNN inference fixes the binary convolution and learns the classifier on
+// top. We train only the FC/Softmax tail (multinomial logistic regression
+// over the frozen binary Conv-Pool features) with plain gradient descent —
+// enough to make the example applications genuinely classify the synthetic
+// digit set instead of emitting random labels, while keeping every DPU
+// code path identical (the DPU never sees FC weights; §4.1.3's host tail).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ebnn/mnist_synth.hpp"
+#include "ebnn/model.hpp"
+
+namespace pimdnn::ebnn {
+
+/// Training configuration.
+struct TrainConfig {
+  int epochs = 30;
+  float learning_rate = 0.05f;
+  float weight_decay = 1e-4f;
+};
+
+/// Result summary.
+struct TrainResult {
+  float train_accuracy = 0.0f;
+  float final_loss = 0.0f;
+};
+
+/// Trains `weights.fc` in place on the labeled images using the reference
+/// Conv-Pool block to produce features (identical to what the DPUs
+/// compute). Returns the final training accuracy/loss.
+TrainResult train_fc(const EbnnConfig& cfg, EbnnWeights& weights,
+                     const std::vector<LabeledImage>& data,
+                     const TrainConfig& tc = {});
+
+/// Classification accuracy of the model on labeled data (host reference).
+float evaluate(const EbnnConfig& cfg, const EbnnWeights& weights,
+               const std::vector<LabeledImage>& data);
+
+} // namespace pimdnn::ebnn

@@ -1,0 +1,28 @@
+#include "nn/alexnet.hpp"
+
+namespace pimdnn::nn {
+
+std::vector<AlexnetLayer> alexnet_layers() {
+  std::vector<AlexnetLayer> v;
+  // ConvGeom: {in_c, in_h, in_w, out_c, ksize, stride, pad}.
+  v.push_back({"conv1", true, ConvGeom{3, 227, 227, 96, 11, 4, 0}, 0, 0});
+  // Pooling between convs shrinks the maps: 55 -> 27 -> 13 (3x3/2 pools).
+  v.push_back({"conv2", true, ConvGeom{96, 27, 27, 256, 5, 1, 2}, 0, 0});
+  v.push_back({"conv3", true, ConvGeom{256, 13, 13, 384, 3, 1, 1}, 0, 0});
+  v.push_back({"conv4", true, ConvGeom{384, 13, 13, 384, 3, 1, 1}, 0, 0});
+  v.push_back({"conv5", true, ConvGeom{384, 13, 13, 256, 3, 1, 1}, 0, 0});
+  v.push_back({"fc6", false, ConvGeom{}, 256 * 6 * 6, 4096});
+  v.push_back({"fc7", false, ConvGeom{}, 4096, 4096});
+  v.push_back({"fc8", false, ConvGeom{}, 4096, 1000});
+  return v;
+}
+
+std::int64_t alexnet_macs() {
+  std::int64_t total = 0;
+  for (const auto& l : alexnet_layers()) {
+    total += l.macs();
+  }
+  return total;
+}
+
+} // namespace pimdnn::nn

@@ -1,0 +1,39 @@
+// AlexNet layer geometry — the workload Chapter 5 models (Tables 5.1/5.3
+// use an AlexNet MAC count as "TOPs"). This module provides the layer-exact
+// convolution/FC dimensions so the analytical model can be driven by real
+// counts as well as by the thesis' round number.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/im2col.hpp"
+
+namespace pimdnn::nn {
+
+/// One AlexNet layer: either a convolution (geom valid) or a
+/// fully-connected layer (in/out features).
+struct AlexnetLayer {
+  std::string name;
+  bool is_conv = true;
+  ConvGeom geom{};        ///< valid when is_conv
+  std::int64_t fc_in = 0; ///< valid when !is_conv
+  std::int64_t fc_out = 0;
+
+  /// Multiply-accumulate operations of this layer.
+  std::int64_t macs() const {
+    return is_conv ? geom.macs() : fc_in * fc_out;
+  }
+};
+
+/// The classic 227x227x3 AlexNet (Krizhevsky et al., 2012): five
+/// convolutions and three fully-connected layers.
+std::vector<AlexnetLayer> alexnet_layers();
+
+/// Total MACs of `alexnet_layers()` (~1.14 G for the ungrouped network;
+/// the original 2-GPU grouped variant halves conv2/4/5 to ~0.72 G, and the
+/// thesis' 2.59e9 "TOPs" counts finer-grained primitive operations).
+std::int64_t alexnet_macs();
+
+} // namespace pimdnn::nn

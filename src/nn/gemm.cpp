@@ -1,0 +1,73 @@
+#include "nn/gemm.hpp"
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/fixed_point.hpp"
+
+namespace pimdnn::nn {
+
+void gemm_f32_reference(int m, int n, int k, float alpha,
+                        std::span<const float> a, std::span<const float> b,
+                        std::span<float> c) {
+  require(a.size() >= static_cast<std::size_t>(m) * k, "GEMM: A too small");
+  require(b.size() >= static_cast<std::size_t>(k) * n, "GEMM: B too small");
+  require(c.size() >= static_cast<std::size_t>(m) * n, "GEMM: C too small");
+  for (int i = 0; i < m; ++i) {
+    for (int kk = 0; kk < k; ++kk) {
+      const float apart = alpha * a[static_cast<std::size_t>(i) * k + kk];
+      for (int j = 0; j < n; ++j) {
+        c[static_cast<std::size_t>(i) * n + j] +=
+            apart * b[static_cast<std::size_t>(kk) * n + j];
+      }
+    }
+  }
+}
+
+void gemm_q16_row_reference(int /*i*/, int n, int k, std::int16_t alpha,
+                            std::span<const std::int16_t> a_row,
+                            std::span<const std::int16_t> b,
+                            std::span<std::int16_t> c_row, int out_shift,
+                            std::int32_t out_limit) {
+  require(a_row.size() >= static_cast<std::size_t>(k), "GEMM row: A too small");
+  require(b.size() >= static_cast<std::size_t>(k) * n, "GEMM row: B too small");
+  require(c_row.size() >= static_cast<std::size_t>(n), "GEMM row: C too small");
+  // The DPU's ctmp is a 32-bit register: accumulate with well-defined
+  // wraparound (the thesis' C code has the same modular behaviour on
+  // overflow) by doing the arithmetic in uint32.
+  std::vector<std::int32_t> ctmp(static_cast<std::size_t>(n), 0);
+  for (int kk = 0; kk < k; ++kk) {
+    const auto apart = static_cast<std::uint32_t>(
+        static_cast<std::int32_t>(alpha) *
+        static_cast<std::int32_t>(a_row[static_cast<std::size_t>(kk)]));
+    for (int j = 0; j < n; ++j) {
+      const auto term = static_cast<std::uint32_t>(
+          apart *
+          static_cast<std::uint32_t>(
+              static_cast<std::int32_t>(b[static_cast<std::size_t>(kk) * n + j])));
+      ctmp[static_cast<std::size_t>(j)] = static_cast<std::int32_t>(
+          static_cast<std::uint32_t>(ctmp[static_cast<std::size_t>(j)]) + term);
+    }
+  }
+  for (int j = 0; j < n; ++j) {
+    c_row[static_cast<std::size_t>(j)] =
+        saturate_shift_down(ctmp[static_cast<std::size_t>(j)], out_shift,
+                            out_limit);
+  }
+}
+
+void gemm_q16_reference(int m, int n, int k, std::int16_t alpha,
+                        std::span<const std::int16_t> a,
+                        std::span<const std::int16_t> b,
+                        std::span<std::int16_t> c, int out_shift,
+                        std::int32_t out_limit) {
+  require(a.size() >= static_cast<std::size_t>(m) * k, "GEMM: A too small");
+  require(c.size() >= static_cast<std::size_t>(m) * n, "GEMM: C too small");
+  for (int i = 0; i < m; ++i) {
+    gemm_q16_row_reference(
+        i, n, k, alpha, a.subspan(static_cast<std::size_t>(i) * k, k), b,
+        c.subspan(static_cast<std::size_t>(i) * n, n), out_shift, out_limit);
+  }
+}
+
+} // namespace pimdnn::nn

@@ -1,0 +1,42 @@
+// General Matrix Multiply kernels.
+//
+// The YOLOv3 implementation "leverages the GEMM function to implement
+// convolutions within the DPUs" (thesis §4.2.3). This header provides the
+// host-side reference implementations: a float GEMM (Darknet semantics:
+// C += ALPHA * A * B) and the quantized fixed-point GEMM of Algorithm 2,
+// whose output stage is `C[i*N+j] = absolutemax(ctmp[j]/32, 32767)`. The
+// DPU-side kernel in `src/yolo` must agree bit-for-bit with
+// `gemm_q16_reference` — that agreement is the core integration test.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace pimdnn::nn {
+
+/// Reference float GEMM: C += alpha * A(MxK) * B(KxN). C is MxN.
+void gemm_f32_reference(int m, int n, int k, float alpha,
+                        std::span<const float> a, std::span<const float> b,
+                        std::span<float> c);
+
+/// Quantized GEMM exactly as thesis Algorithm 2: int16 operands, int32
+/// accumulator `ctmp`, per-row flush `C = clamp(ctmp / 2^out_shift,
+/// +-out_limit)`. `alpha` is an int16 scale applied to A elements.
+///
+/// Parameters `out_shift`/`out_limit` default to the thesis values
+/// (divide by 32, clamp magnitude at 32767).
+void gemm_q16_reference(int m, int n, int k, std::int16_t alpha,
+                        std::span<const std::int16_t> a,
+                        std::span<const std::int16_t> b,
+                        std::span<std::int16_t> c, int out_shift = 5,
+                        std::int32_t out_limit = 32767);
+
+/// One row of the quantized GEMM (row `i` of A and C) — the unit of work a
+/// single DPU receives under the thesis' row-per-DPU unrolling (Fig. 4.6).
+void gemm_q16_row_reference(int i, int n, int k, std::int16_t alpha,
+                            std::span<const std::int16_t> a_row,
+                            std::span<const std::int16_t> b,
+                            std::span<std::int16_t> c_row, int out_shift = 5,
+                            std::int32_t out_limit = 32767);
+
+} // namespace pimdnn::nn

@@ -1,0 +1,63 @@
+// im2col lowering: turns a convolution into the GEMM that the thesis
+// offloads to the DPUs (weights become the M x K matrix A, the unrolled
+// input becomes the K x N matrix B; §4.2.3 / Figure 4.6).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace pimdnn::nn {
+
+/// Geometry of one 2-D convolution.
+struct ConvGeom {
+  int in_c;    ///< input channels
+  int in_h;    ///< input height
+  int in_w;    ///< input width
+  int out_c;   ///< filters
+  int ksize;   ///< square kernel side
+  int stride;  ///< stride
+  int pad;     ///< symmetric zero padding
+
+  /// Output height.
+  int out_h() const { return (in_h + 2 * pad - ksize) / stride + 1; }
+  /// Output width.
+  int out_w() const { return (in_w + 2 * pad - ksize) / stride + 1; }
+  /// GEMM M (rows of A and C): the number of filters.
+  int gemm_m() const { return out_c; }
+  /// GEMM K: contraction length = in_c * ksize * ksize.
+  int gemm_k() const { return in_c * ksize * ksize; }
+  /// GEMM N (columns of B and C): output spatial positions.
+  int gemm_n() const { return out_h() * out_w(); }
+  /// Multiply-accumulate count of the lowered GEMM.
+  std::int64_t macs() const {
+    return static_cast<std::int64_t>(gemm_m()) * gemm_k() * gemm_n();
+  }
+};
+
+/// Expands a CHW input into the K x N im2col matrix (row-major), K and N as
+/// defined by `geom`. Works for any arithmetic element type.
+template <typename T>
+void im2col(const ConvGeom& g, std::span<const T> input, std::span<T> out) {
+  const int kk = g.gemm_k();
+  const int nn = g.gemm_n();
+  const int oh = g.out_h();
+  const int ow = g.out_w();
+  for (int row = 0; row < kk; ++row) {
+    const int c = row / (g.ksize * g.ksize);
+    const int kh = (row / g.ksize) % g.ksize;
+    const int kw = row % g.ksize;
+    for (int oy = 0; oy < oh; ++oy) {
+      for (int ox = 0; ox < ow; ++ox) {
+        const int iy = oy * g.stride + kh - g.pad;
+        const int ix = ox * g.stride + kw - g.pad;
+        T v{};
+        if (iy >= 0 && iy < g.in_h && ix >= 0 && ix < g.in_w) {
+          v = input[(static_cast<std::size_t>(c) * g.in_h + iy) * g.in_w + ix];
+        }
+        out[static_cast<std::size_t>(row) * nn + oy * ow + ox] = v;
+      }
+    }
+  }
+}
+
+} // namespace pimdnn::nn

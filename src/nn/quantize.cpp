@@ -1,0 +1,49 @@
+#include "nn/quantize.hpp"
+
+#include <cmath>
+
+namespace pimdnn::nn {
+
+std::vector<std::int16_t> quantize_i16(std::span<const float> x,
+                                       int frac_bits) {
+  QuantizerI16 q{frac_bits};
+  std::vector<std::int16_t> out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    out[i] = q.quantize(x[i]);
+  }
+  return out;
+}
+
+std::vector<std::int8_t> quantize_i8(std::span<const float> x, int frac_bits) {
+  QuantizerI8 q{frac_bits};
+  std::vector<std::int8_t> out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    out[i] = q.quantize(x[i]);
+  }
+  return out;
+}
+
+std::vector<float> dequantize_i16(std::span<const std::int16_t> q,
+                                  int frac_bits) {
+  QuantizerI16 dq{frac_bits};
+  std::vector<float> out(q.size());
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    out[i] = static_cast<float>(dq.dequantize(q[i]));
+  }
+  return out;
+}
+
+int choose_frac_bits_i16(std::span<const float> x) {
+  float mx = 0.0f;
+  for (float v : x) {
+    mx = std::max(mx, std::fabs(v));
+  }
+  int bits = 14;
+  while (bits > 0 &&
+         mx * static_cast<float>(1 << bits) > 32767.0f) {
+    --bits;
+  }
+  return bits;
+}
+
+} // namespace pimdnn::nn

@@ -1,0 +1,28 @@
+// Tensor-level quantization helpers (thesis Chapter 4: "UPMEM only supports
+// fixed-point operations which requires standard CNN implementations to be
+// quantized accordingly").
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/fixed_point.hpp"
+
+namespace pimdnn::nn {
+
+/// Quantizes a float span into int16 with `frac_bits` fractional bits.
+std::vector<std::int16_t> quantize_i16(std::span<const float> x,
+                                       int frac_bits);
+
+/// Quantizes a float span into int8.
+std::vector<std::int8_t> quantize_i8(std::span<const float> x, int frac_bits);
+
+/// Dequantizes int16 back to float.
+std::vector<float> dequantize_i16(std::span<const std::int16_t> q,
+                                  int frac_bits);
+
+/// Picks the largest frac_bits (0..14) such that max|x| fits in int16.
+int choose_frac_bits_i16(std::span<const float> x);
+
+} // namespace pimdnn::nn

@@ -1,0 +1,129 @@
+// Minimal dense tensor used by the CNN implementations.
+//
+// Row-major storage, NCHW convention for 4-D activations (the layout both
+// eBNN and the Darknet-style YOLOv3 code use). Deliberately simple: the
+// paper's contribution is the mapping of kernels onto the PIM, not a tensor
+// framework, so this supports exactly what the networks need — shaped
+// storage, bounds-checked indexing in debug paths, and cheap views.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace pimdnn::nn {
+
+/// Tensor shape: up to 4 dimensions, stored outermost-first.
+class Shape {
+public:
+  /// Empty (rank-0) shape with one element.
+  Shape() = default;
+
+  /// Builds a shape from dimension extents; all must be positive.
+  Shape(std::initializer_list<std::int64_t> dims) : dims_(dims) { check(); }
+
+  /// Builds a shape from a vector of extents.
+  explicit Shape(std::vector<std::int64_t> dims) : dims_(std::move(dims)) {
+    check();
+  }
+
+  /// Number of dimensions.
+  std::size_t rank() const { return dims_.size(); }
+
+  /// Extent of dimension `i`.
+  std::int64_t dim(std::size_t i) const {
+    require(i < dims_.size(), "Shape::dim out of range");
+    return dims_[i];
+  }
+
+  /// Total number of elements.
+  std::int64_t numel() const {
+    return std::accumulate(dims_.begin(), dims_.end(), std::int64_t{1},
+                           [](auto a, auto b) { return a * b; });
+  }
+
+  /// Equality of extents.
+  bool operator==(const Shape& o) const { return dims_ == o.dims_; }
+
+private:
+  void check() const {
+    for (auto d : dims_) {
+      require(d > 0, "Shape dimensions must be positive");
+    }
+  }
+  std::vector<std::int64_t> dims_;
+};
+
+/// Dense row-major tensor of `T`.
+template <typename T>
+class Tensor {
+public:
+  /// Empty tensor (rank 0, one element).
+  Tensor() : shape_(), data_(1, T{}) {}
+
+  /// Zero-initialized tensor of the given shape.
+  explicit Tensor(Shape shape)
+      : shape_(std::move(shape)),
+        data_(static_cast<std::size_t>(shape_.numel()), T{}) {}
+
+  /// Shape of this tensor.
+  const Shape& shape() const { return shape_; }
+
+  /// Total elements.
+  std::int64_t numel() const { return shape_.numel(); }
+
+  /// Raw storage.
+  T* data() { return data_.data(); }
+
+  /// Raw storage (const).
+  const T* data() const { return data_.data(); }
+
+  /// Flat element access with bounds check.
+  T& operator[](std::int64_t i) {
+    require(i >= 0 && i < numel(), "Tensor flat index out of range");
+    return data_[static_cast<std::size_t>(i)];
+  }
+
+  /// Flat element access with bounds check (const).
+  const T& operator[](std::int64_t i) const {
+    require(i >= 0 && i < numel(), "Tensor flat index out of range");
+    return data_[static_cast<std::size_t>(i)];
+  }
+
+  /// 2-D access (rows, cols).
+  T& at(std::int64_t r, std::int64_t c) {
+    return (*this)[r * shape_.dim(1) + c];
+  }
+
+  /// 2-D access (const).
+  const T& at(std::int64_t r, std::int64_t c) const {
+    return (*this)[r * shape_.dim(1) + c];
+  }
+
+  /// 3-D CHW access.
+  T& at(std::int64_t c, std::int64_t h, std::int64_t w) {
+    return (*this)[(c * shape_.dim(1) + h) * shape_.dim(2) + w];
+  }
+
+  /// 3-D CHW access (const).
+  const T& at(std::int64_t c, std::int64_t h, std::int64_t w) const {
+    return (*this)[(c * shape_.dim(1) + h) * shape_.dim(2) + w];
+  }
+
+  /// Fills all elements with `v`.
+  void fill(T v) { std::fill(data_.begin(), data_.end(), v); }
+
+private:
+  Shape shape_;
+  std::vector<T> data_;
+};
+
+using TensorF = Tensor<float>;
+using TensorI8 = Tensor<std::int8_t>;
+using TensorI16 = Tensor<std::int16_t>;
+using TensorI32 = Tensor<std::int32_t>;
+using TensorU32 = Tensor<std::uint32_t>;
+
+} // namespace pimdnn::nn

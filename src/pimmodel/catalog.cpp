@@ -1,0 +1,50 @@
+#include "pimmodel/catalog.hpp"
+
+#include "common/error.hpp"
+
+namespace pimdnn::pimmodel {
+
+Throughput throughput(Seconds latency, double power_w, double area_mm2) {
+  require(latency > 0 && power_w > 0 && area_mm2 > 0,
+          "throughput needs positive latency/power/area");
+  Throughput t;
+  t.frames_per_s = 1.0 / latency;
+  t.frames_per_s_watt = t.frames_per_s / power_w;
+  t.frames_per_s_mm2 = t.frames_per_s / area_mm2;
+  return t;
+}
+
+std::vector<PimDevice> table54_catalog(Seconds upmem_ebnn_latency,
+                                       Seconds upmem_yolo_latency) {
+  // UPMEM per-DPU figures (Table 2.1): 120 mW, 3.75 mm^2. eBNN engages a
+  // single DPU per frame; YOLOv3 engages up to 1024 DPUs (the widest
+  // layer's filter count).
+  constexpr double kDpuPower = 0.120;
+  constexpr double kDpuArea = 3.75;
+  constexpr double kYoloDpus = 1024.0;
+
+  const Seconds upmem_ebnn =
+      upmem_ebnn_latency > 0 ? upmem_ebnn_latency : 1.48e-3;
+  const Seconds upmem_yolo =
+      upmem_yolo_latency > 0 ? upmem_yolo_latency : 65.0;
+
+  std::vector<PimDevice> v;
+  v.push_back({"UPMEM", 0.96, 30.0, upmem_ebnn, upmem_yolo,
+               /*ebnn P/A*/ kDpuPower, kDpuArea,
+               /*yolo P/A*/ kYoloDpus * kDpuPower, kYoloDpus * kDpuArea});
+  v.push_back({"pPIM", 3.5, 25.75, 3.80e-7, 0.68,
+               3.5, 25.75, 3.5, 25.75});
+  v.push_back({"DRISA-3T1C", 98.0, 65.2, 8.21e-7, 1.47,
+               98.0, 65.2, 98.0, 65.2});
+  v.push_back({"DRISA-1T1C-NOR", 98.0, 65.2, 1.96e-6, 3.51,
+               98.0, 65.2, 98.0, 65.2});
+  v.push_back({"SCOPE-Vanilla", 176.4, 273.0, 1.30e-8, 0.0233,
+               176.4, 273.0, 176.4, 273.0});
+  v.push_back({"SCOPE-H2d", 176.4, 273.0, 4.64e-8, 0.0831,
+               176.4, 273.0, 176.4, 273.0});
+  v.push_back({"LACC", 5.3, 54.8, 2.14e-7, 0.384,
+               5.3, 54.8, 5.3, 54.8});
+  return v;
+}
+
+} // namespace pimdnn::pimmodel

@@ -1,0 +1,55 @@
+// Device catalog for the cross-PIM benchmarking of thesis §5.4
+// (Table 5.4 / Figure 5.7): power and area per chip, CNN inference
+// latencies, and the derived throughput-per-watt / throughput-per-area
+// metrics.
+//
+// UPMEM's latencies are measured (Chapter 4; here: produced by our
+// simulator), and its power/area denominators are per-DPU scaled by the
+// DPUs a workload engages (eBNN: 1 DPU; YOLOv3: up to 1024 DPUs) — this is
+// what reproduces the thesis' 5.63e3 frames/s-W eBNN figure from the
+// 120 mW DPU. The other devices carry the thesis' analytically modeled
+// latencies, alongside our own model predictions where Table 5.1
+// parameters exist.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace pimdnn::pimmodel {
+
+/// One catalog entry (column of Table 5.4).
+struct PimDevice {
+  std::string name;
+  double power_w_chip;   ///< power per chip (W)
+  double area_mm2_chip;  ///< area per chip (mm^2)
+  Seconds ebnn_latency;  ///< eBNN latency per frame (s)
+  Seconds yolo_latency;  ///< YOLOv3 latency per frame (s)
+  /// Denominator units for the throughput metrics: per-workload power and
+  /// area actually engaged (equals the chip values except for UPMEM).
+  double ebnn_power_w;
+  double ebnn_area_mm2;
+  double yolo_power_w;
+  double yolo_area_mm2;
+};
+
+/// Derived throughput metrics for one device+workload.
+struct Throughput {
+  double frames_per_s;        ///< 1 / latency
+  double frames_per_s_watt;   ///< Table 5.4 "Throughput/Power"
+  double frames_per_s_mm2;    ///< Table 5.4 "Throughput/Area"
+};
+
+/// Computes the Table 5.4 throughput metrics.
+Throughput throughput(Seconds latency, double power_w, double area_mm2);
+
+/// The seven devices of Table 5.4 with the thesis-reported latencies.
+/// Pass the UPMEM eBNN/YOLOv3 latencies your own simulation produced to
+/// substitute them for the thesis' measurements (pass 0 to keep the
+/// thesis values).
+std::vector<PimDevice> table54_catalog(Seconds upmem_ebnn_latency = 0,
+                                       Seconds upmem_yolo_latency = 0);
+
+} // namespace pimdnn::pimmodel

@@ -1,0 +1,50 @@
+#include "pimmodel/ppim.hpp"
+
+#include "common/error.hpp"
+
+namespace pimdnn::pimmodel {
+
+std::uint64_t ppim_adds_without_carry(std::uint64_t n, std::uint64_t k) {
+  // Algorithm 3 lines 5-8 (n counts down from k; the pattern is symmetric:
+  // 0,2,4,... up to the middle, then back down to 0).
+  if (n == 0 || n > k) return 0;
+  if (2 * n > k) {
+    return 2 * k - 2 * n; // g = -2n + 2k
+  }
+  return 2 * n - 2; // g = 2n - 2
+}
+
+std::uint64_t ppim_total_adds(std::uint64_t k) {
+  // Algorithm 3's recursion, iteratively: temp accumulates the
+  // adds-without-carry moving right-to-left (each column's carry becomes
+  // an extra add in the next column); total sums the per-column counts.
+  std::uint64_t temp = 0;
+  std::uint64_t total = 0;
+  for (std::uint64_t n = k; n >= 1; --n) {
+    temp += ppim_adds_without_carry(n, k);
+    total += temp;
+  }
+  return total;
+}
+
+std::vector<std::uint64_t> ppim_adds_pattern(std::uint64_t k) {
+  std::vector<std::uint64_t> out;
+  out.reserve(k);
+  for (std::uint64_t n = k; n >= 1; --n) {
+    out.push_back(ppim_adds_without_carry(n, k));
+  }
+  return out;
+}
+
+std::uint64_t ppim_mult_cycles(unsigned bits) {
+  require(bits >= 4 && bits % 4 == 0 && bits <= 64,
+          "pPIM operand width must be a multiple of 4 in [4, 64]");
+  // Exact literature values below the estimation threshold (Eq. 5.5's
+  // piecewise split).
+  if (bits == 4) return 1;
+  if (bits == 8) return 6;
+  const std::uint64_t blocks = bits / 4;
+  return blocks * blocks + ppim_total_adds(bits / 2);
+}
+
+} // namespace pimdnn::pimmodel

@@ -1,0 +1,42 @@
+// pPIM worst-case LUT multiplication cost estimation (thesis §5.2.3,
+// Figures 5.3/5.4, Algorithm 3).
+//
+// pPIM multiplies by splitting each operand into 4-bit blocks, producing
+// all pairwise 4-bit partial products (one LUT access each), then adding
+// the partial-product columns serially; every column's carry ripples into
+// the next column as one extra addition. Algorithm 3 captures the
+// resulting add count recursively from the per-column "adds without carry"
+// pattern of Figure 5.4, which rises by 2 to a plateau at the middle and
+// falls by 2 afterwards.
+//
+// Calibration: for 16-bit operands the estimate is 108 adds + 16 partial
+// multiplies = 124 cycles, and for 32-bit 952 + 64 = 1016 cycles — the
+// starred (estimated) entries of Table 5.2.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pimdnn::pimmodel {
+
+/// Figure 5.4's pattern: the number of internal adds without carry at
+/// position `n` (counting k..1 from the leftmost column) for parameter
+/// k = operand_bits / 2.
+std::uint64_t ppim_adds_without_carry(std::uint64_t n, std::uint64_t k);
+
+/// Algorithm 3: total internal additions of a worst-case block-by-block
+/// LUT multiplication with parameter k = operand_bits / 2 (implemented
+/// exactly as the thesis' recursion, including the rolling `temp`).
+std::uint64_t ppim_total_adds(std::uint64_t k);
+
+/// The full per-position pattern (k values, left to right), for the
+/// Figure 5.4 reproduction bench.
+std::vector<std::uint64_t> ppim_adds_pattern(std::uint64_t k);
+
+/// Cycles for one pPIM multiplication at the given operand width.
+/// 4- and 8-bit use the exact literature values (1 and 6); wider operands
+/// use the Algorithm 3 estimate: (bits/4)^2 partial products (one cycle
+/// each) plus the estimated additions.
+std::uint64_t ppim_mult_cycles(unsigned bits);
+
+} // namespace pimdnn::pimmodel

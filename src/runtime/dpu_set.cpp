@@ -1,0 +1,148 @@
+#include "runtime/dpu_set.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "common/bytes.hpp"
+#include "common/error.hpp"
+
+namespace pimdnn::runtime {
+
+using pimdnn::AlignmentError;
+using pimdnn::CapacityError;
+using pimdnn::UsageError;
+
+DpuSet::DpuSet(std::uint32_t n_dpus, const UpmemConfig& cfg) : cfg_(cfg) {
+  dpus_.reserve(n_dpus);
+  for (std::uint32_t i = 0; i < n_dpus; ++i) {
+    dpus_.emplace_back(cfg);
+  }
+  prepared_.assign(n_dpus, nullptr);
+}
+
+DpuSet DpuSet::allocate(std::uint32_t n_dpus, const UpmemConfig& cfg) {
+  if (n_dpus == 0) {
+    throw UsageError("cannot allocate an empty DpuSet");
+  }
+  if (n_dpus > cfg.total_dpus) {
+    throw CapacityError("requested " + std::to_string(n_dpus) +
+                        " DPUs but the system has " +
+                        std::to_string(cfg.total_dpus));
+  }
+  return DpuSet(n_dpus, cfg);
+}
+
+Dpu& DpuSet::dpu(DpuId id) {
+  require(id < dpus_.size(), "DPU id out of range");
+  return dpus_[id];
+}
+
+const Dpu& DpuSet::dpu(DpuId id) const {
+  require(id < dpus_.size(), "DPU id out of range");
+  return dpus_[id];
+}
+
+void DpuSet::load(const DpuProgram& program) {
+  for (Dpu& d : dpus_) {
+    d.load(program);
+  }
+}
+
+void DpuSet::check_aligned(MemSize offset, MemSize size) {
+  if (!is_xfer_aligned(size)) {
+    throw AlignmentError("transfer length " + std::to_string(size) +
+                         " is not divisible by 8 (pad with pad_to_xfer and "
+                         "send the real size separately)");
+  }
+  if (!is_xfer_aligned(offset)) {
+    throw AlignmentError("transfer offset " + std::to_string(offset) +
+                         " is not 8-byte aligned");
+  }
+}
+
+void DpuSet::copy_to(const std::string& symbol, MemSize symbol_offset,
+                     const void* src, MemSize size) {
+  check_aligned(symbol_offset, size);
+  for (Dpu& d : dpus_) {
+    d.host_write(symbol, symbol_offset, src, size);
+  }
+  bytes_to_dpus_ += size * dpus_.size();
+}
+
+void DpuSet::copy_from(DpuId id, const std::string& symbol,
+                       MemSize symbol_offset, void* dst, MemSize size) const {
+  check_aligned(symbol_offset, size);
+  require(id < dpus_.size(), "DPU id out of range");
+  dpus_[id].host_read(symbol, symbol_offset, dst, size);
+  bytes_from_dpus_ += size;
+}
+
+void DpuSet::prepare_xfer(DpuId id, void* buffer) {
+  require(id < dpus_.size(), "DPU id out of range");
+  require(buffer != nullptr, "prepare_xfer with null buffer");
+  prepared_[id] = buffer;
+}
+
+void DpuSet::push_xfer(XferDir dir, const std::string& symbol,
+                       MemSize symbol_offset, MemSize length) {
+  check_aligned(symbol_offset, length);
+  for (std::uint32_t i = 0; i < dpus_.size(); ++i) {
+    if (prepared_[i] == nullptr) {
+      throw UsageError("push_xfer: DPU " + std::to_string(i) +
+                       " has no prepared buffer");
+    }
+  }
+  for (std::uint32_t i = 0; i < dpus_.size(); ++i) {
+    if (dir == XferDir::ToDpu) {
+      dpus_[i].host_write(symbol, symbol_offset, prepared_[i], length);
+    } else {
+      dpus_[i].host_read(symbol, symbol_offset, prepared_[i], length);
+    }
+    prepared_[i] = nullptr;
+  }
+  if (dir == XferDir::ToDpu) {
+    bytes_to_dpus_ += length * dpus_.size();
+  } else {
+    bytes_from_dpus_ += length * dpus_.size();
+  }
+}
+
+LaunchStats DpuSet::launch(std::uint32_t n_tasklets, OptLevel opt) {
+  LaunchStats out;
+  out.per_dpu.resize(dpus_.size());
+
+  const std::uint32_t hw = std::max(1u, std::thread::hardware_concurrency());
+  const std::uint32_t n_threads =
+      std::min<std::uint32_t>(hw, static_cast<std::uint32_t>(dpus_.size()));
+  if (n_threads <= 1) {
+    for (std::size_t i = 0; i < dpus_.size(); ++i) {
+      out.per_dpu[i] = dpus_[i].launch(n_tasklets, opt);
+    }
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(n_threads);
+    std::atomic<std::size_t> next{0};
+    for (std::uint32_t t = 0; t < n_threads; ++t) {
+      workers.emplace_back([&] {
+        for (std::size_t i = next.fetch_add(1); i < dpus_.size();
+             i = next.fetch_add(1)) {
+          out.per_dpu[i] = dpus_[i].launch(n_tasklets, opt);
+        }
+      });
+    }
+    for (auto& w : workers) {
+      w.join();
+    }
+  }
+
+  for (const DpuRunStats& s : out.per_dpu) {
+    out.wall_cycles = std::max(out.wall_cycles, s.cycles);
+    out.total_cycles += s.cycles;
+    out.profile.merge(s.profile);
+  }
+  out.wall_seconds = cfg_.cycles_to_seconds(out.wall_cycles);
+  return out;
+}
+
+} // namespace pimdnn::runtime

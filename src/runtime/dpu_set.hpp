@@ -1,0 +1,115 @@
+// Host-side runtime mirroring the UPMEM SDK's `dpu_set` API (thesis §3.2).
+//
+// The host allocates a set of DPUs, loads one program onto all of them
+// (SIMD across DPUs, §3.1), moves data with either broadcast transfers
+// (`dpu_copy_to`, Eq. 3.1) or per-DPU scatter/gather transfers
+// (`dpu_prepare_xfer` + `dpu_push_xfer`, Eqs. 3.2/3.3), and launches all
+// DPUs in parallel. Every transfer enforces UPMEM's 8-byte alignment and
+// divisibility rule; payloads that violate it must be padded with
+// `pad_to_xfer` and their true size communicated separately — exactly the
+// discipline the thesis describes.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/dpu.hpp"
+
+namespace pimdnn::runtime {
+
+using sim::Dpu;
+using sim::DpuProgram;
+using sim::DpuRunStats;
+using sim::OptLevel;
+using sim::SubroutineProfile;
+using sim::UpmemConfig;
+
+/// Direction of a prepared scatter/gather transfer.
+enum class XferDir : std::uint8_t {
+  ToDpu,   ///< DPU_XFER_TO_DPU
+  FromDpu, ///< DPU_XFER_FROM_DPU
+};
+
+/// Aggregate result of launching a kernel across a DpuSet.
+struct LaunchStats {
+  /// Wall-clock cycles: all DPUs run in parallel, so the set finishes when
+  /// the slowest DPU finishes (§4.1.3: "run in parallel to finish their
+  /// batch of images at the max time for one DPU").
+  Cycles wall_cycles = 0;
+  /// Wall-clock seconds at the DPU frequency.
+  Seconds wall_seconds = 0.0;
+  /// Sum of cycles over all DPUs (device-time, for energy accounting).
+  Cycles total_cycles = 0;
+  /// Per-DPU results.
+  std::vector<DpuRunStats> per_dpu;
+  /// Merged subroutine profile across all DPUs.
+  SubroutineProfile profile;
+};
+
+/// A set of simulated DPUs plus the host orchestration state.
+class DpuSet {
+public:
+  /// Allocates `n_dpus` DPUs; throws CapacityError if the system does not
+  /// have that many (Table 2.1: 2,560).
+  static DpuSet allocate(std::uint32_t n_dpus,
+                         const UpmemConfig& cfg = sim::default_config());
+
+  /// Number of DPUs in the set.
+  std::uint32_t size() const { return static_cast<std::uint32_t>(dpus_.size()); }
+
+  /// Access to one DPU (tests and advanced orchestration).
+  Dpu& dpu(DpuId id);
+
+  /// Const access to one DPU.
+  const Dpu& dpu(DpuId id) const;
+
+  /// Loads the same program on every DPU in the set.
+  void load(const DpuProgram& program);
+
+  /// Broadcast copy (dpu_copy_to): same bytes to the named symbol on every
+  /// DPU. `size` must satisfy the 8-byte rule; `symbol_offset` likewise.
+  void copy_to(const std::string& symbol, MemSize symbol_offset,
+               const void* src, MemSize size);
+
+  /// Reads back from one DPU (dpu_copy_from).
+  void copy_from(DpuId id, const std::string& symbol, MemSize symbol_offset,
+                 void* dst, MemSize size) const;
+
+  /// Registers a distinct host buffer for one DPU (dpu_prepare_xfer). The
+  /// pointer must stay valid until the matching push_xfer.
+  void prepare_xfer(DpuId id, void* buffer);
+
+  /// Executes the prepared transfers (dpu_push_xfer): moves `length` bytes
+  /// between each prepared buffer and the named symbol at `symbol_offset`,
+  /// in the given direction. Every DPU in the set must have a prepared
+  /// buffer. Length/offset must satisfy the 8-byte rule.
+  void push_xfer(XferDir dir, const std::string& symbol,
+                 MemSize symbol_offset, MemSize length);
+
+  /// Launches the loaded program on all DPUs with `n_tasklets` tasklets at
+  /// optimization level `opt`; DPUs execute in parallel (host threads).
+  LaunchStats launch(std::uint32_t n_tasklets, OptLevel opt = OptLevel::O3);
+
+  /// Total bytes the host has pushed to DPUs (telemetry).
+  std::uint64_t bytes_to_dpus() const { return bytes_to_dpus_; }
+
+  /// Total bytes the host has pulled from DPUs (telemetry).
+  std::uint64_t bytes_from_dpus() const { return bytes_from_dpus_; }
+
+  /// Architecture configuration shared by all DPUs in the set.
+  const UpmemConfig& config() const { return cfg_; }
+
+private:
+  DpuSet(std::uint32_t n_dpus, const UpmemConfig& cfg);
+  static void check_aligned(MemSize offset, MemSize size);
+
+  UpmemConfig cfg_;
+  std::vector<Dpu> dpus_;
+  std::vector<void*> prepared_;
+  std::uint64_t bytes_to_dpus_ = 0;
+  mutable std::uint64_t bytes_from_dpus_ = 0;
+};
+
+} // namespace pimdnn::runtime

@@ -1,0 +1,27 @@
+// Wall-clock timing for host-side (CPU baseline) measurements, used by the
+// Figure 4.7(c) CPU-vs-DPU comparison.
+#pragma once
+
+#include <chrono>
+
+#include "common/types.hpp"
+
+namespace pimdnn::runtime {
+
+/// Monotonic stopwatch.
+class HostTimer {
+public:
+  /// Starts (or restarts) the stopwatch.
+  void start() { begin_ = clock::now(); }
+
+  /// Seconds elapsed since start().
+  Seconds elapsed() const {
+    return std::chrono::duration<double>(clock::now() - begin_).count();
+  }
+
+private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point begin_ = clock::now();
+};
+
+} // namespace pimdnn::runtime

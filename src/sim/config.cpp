@@ -1,0 +1,10 @@
+#include "sim/config.hpp"
+
+namespace pimdnn::sim {
+
+const UpmemConfig& default_config() {
+  static const UpmemConfig cfg{};
+  return cfg;
+}
+
+} // namespace pimdnn::sim

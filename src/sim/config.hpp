@@ -1,0 +1,65 @@
+// Static description of the UPMEM PIM system being simulated.
+//
+// Values mirror Table 2.1 of the thesis ("UPMEM PIM Attributes"). They are
+// the published parameters of the commercially available UPMEM DIMMs the
+// thesis evaluated on: 20 DIMMs, 128 DPUs per DIMM, 8 DPUs per chip,
+// 350 MHz, 64 MB MRAM / 64 KB WRAM / 24 KB IRAM per DPU, 11 pipeline
+// stages, 24 hardware threads (tasklets).
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace pimdnn::sim {
+
+/// Compiler optimization level of the simulated `dpu-clang` toolchain
+/// (thesis §3.1: "O 0-3 optimization settings").
+enum class OptLevel : std::uint8_t {
+  O0 = 0, ///< no optimization; every statement spills through the stack
+  O1 = 1,
+  O2 = 2,
+  O3 = 3, ///< full optimization; 16-bit multiplies collapse to hardware ops
+};
+
+/// Architecture attributes of one DPU and of the whole system (Table 2.1).
+struct UpmemConfig {
+  /// Total number of DPUs in the evaluated 20-DIMM server.
+  std::uint32_t total_dpus = 2560;
+  /// DPUs per DIMM.
+  std::uint32_t dpus_per_dimm = 128;
+  /// DPUs per DRAM chip.
+  std::uint32_t dpus_per_chip = 8;
+  /// MRAM capacity per DPU in bytes (64 MB).
+  MemSize mram_bytes = 64ull * 1024 * 1024;
+  /// WRAM capacity per DPU in bytes (64 KB).
+  MemSize wram_bytes = 64ull * 1024;
+  /// IRAM capacity per DPU in bytes (24 KB).
+  MemSize iram_bytes = 24ull * 1024;
+  /// DPU clock frequency in Hz (350 MHz; the white paper promised 600 MHz).
+  double frequency_hz = 350e6;
+  /// Number of pipeline stages; a single tasklet can issue one instruction
+  /// every `pipeline_stages` cycles, so throughput saturates at 11 tasklets.
+  std::uint32_t pipeline_stages = 11;
+  /// Maximum number of hardware threads (tasklets) per DPU.
+  std::uint32_t max_tasklets = 24;
+  /// General-purpose registers available to each thread.
+  std::uint32_t registers_per_thread = 32;
+  /// Per-DPU silicon area in mm^2 (Table 2.1).
+  double dpu_area_mm2 = 3.75;
+  /// Per-DPU power in watts (Table 2.1: 120 mW).
+  double dpu_power_w = 0.120;
+  /// Maximum bytes movable in one host->MRAM image transfer, the limit that
+  /// caps eBNN at 16 images per DPU (thesis §4.1.3).
+  MemSize max_image_xfer_bytes = 2048;
+
+  /// Converts simulated cycles at this configuration's clock to seconds.
+  Seconds cycles_to_seconds(Cycles c) const {
+    return static_cast<double>(c) / frequency_hz;
+  }
+};
+
+/// The default simulated system, matching the thesis' hardware.
+const UpmemConfig& default_config();
+
+} // namespace pimdnn::sim

@@ -1,0 +1,119 @@
+#include "sim/dpu.hpp"
+
+#include <algorithm>
+
+#include "common/bytes.hpp"
+
+namespace pimdnn::sim {
+
+Dpu::Dpu(const UpmemConfig& cfg)
+    : cfg_(cfg),
+      mram_(cfg.mram_bytes),
+      wram_(cfg.wram_bytes),
+      iram_(cfg.iram_bytes) {}
+
+void Dpu::load(const DpuProgram& program) {
+  require(static_cast<bool>(program.entry),
+          "DpuProgram '" + program.name + "' has no entry point");
+  iram_.load_program(program.iram_bytes, program.name);
+
+  std::map<std::string, SymbolInfo> placed;
+  MemSize mram_top = 0;
+  MemSize wram_top = 0;
+  for (const SymbolDecl& d : program.symbols) {
+    if (placed.count(d.name) != 0) {
+      throw SymbolError("duplicate symbol '" + d.name + "' in program '" +
+                        program.name + "'");
+    }
+    MemSize& top = d.kind == MemKind::Mram ? mram_top : wram_top;
+    const MemSize cap =
+        d.kind == MemKind::Mram ? cfg_.mram_bytes : cfg_.wram_bytes;
+    const MemSize offset = align_up(top, kXferAlign);
+    if (offset + d.size > cap) {
+      throw CapacityError("symbol '" + d.name + "' (" +
+                          std::to_string(d.size) + " B) overflows " +
+                          std::string(mem_kind_name(d.kind)) + " (used " +
+                          std::to_string(offset) + " of " +
+                          std::to_string(cap) + " B)");
+    }
+    placed[d.name] = SymbolInfo{d.kind, offset, d.size};
+    top = offset + d.size;
+  }
+
+  program_ = program;
+  symbols_ = std::move(placed);
+  mram_top_ = mram_top;
+  wram_top_ = wram_top;
+}
+
+const SymbolInfo& Dpu::symbol(const std::string& name) const {
+  const auto it = symbols_.find(name);
+  if (it == symbols_.end()) {
+    throw SymbolError("no symbol '" + name + "' in program '" +
+                      program_.name + "'");
+  }
+  return it->second;
+}
+
+bool Dpu::has_symbol(const std::string& name) const {
+  return symbols_.count(name) != 0;
+}
+
+void Dpu::host_write(const std::string& name, MemSize offset, const void* src,
+                     MemSize size) {
+  const SymbolInfo& s = symbol(name);
+  if (offset + size > s.size) {
+    throw OutOfBoundsError("host_write past end of symbol '" + name + "'");
+  }
+  if (s.kind == MemKind::Mram) {
+    mram_.write(s.offset + offset, src, size);
+  } else {
+    wram_.write(s.offset + offset, src, size);
+  }
+}
+
+void Dpu::host_read(const std::string& name, MemSize offset, void* dst,
+                    MemSize size) const {
+  const SymbolInfo& s = symbol(name);
+  if (offset + size > s.size) {
+    throw OutOfBoundsError("host_read past end of symbol '" + name + "'");
+  }
+  if (s.kind == MemKind::Mram) {
+    mram_.read(dst, s.offset + offset, size);
+  } else {
+    wram_.read(dst, s.offset + offset, size);
+  }
+}
+
+DpuRunStats Dpu::launch(std::uint32_t n_tasklets, OptLevel opt) {
+  require(static_cast<bool>(program_.entry),
+          "launch without a loaded program");
+  require(n_tasklets >= 1 && n_tasklets <= cfg_.max_tasklets,
+          "tasklet count must be in [1, " +
+              std::to_string(cfg_.max_tasklets) + "]");
+
+  const CostModel cost(opt);
+  DpuRunStats out;
+  out.tasklets.resize(n_tasklets);
+
+  for (TaskletId t = 0; t < n_tasklets; ++t) {
+    TaskletCtx ctx(*this, t, n_tasklets, cost, out.tasklets[t], out.profile);
+    program_.entry(ctx);
+  }
+
+  Cycles latency_bound = 0;
+  for (const TaskletStats& ts : out.tasklets) {
+    out.total_slots += ts.slots;
+    out.total_dma_cycles += ts.dma_cycles;
+    out.total_dma_bytes += ts.dma_bytes;
+    latency_bound =
+        std::max(latency_bound,
+                 static_cast<Cycles>(ts.slots) * cfg_.pipeline_stages +
+                     ts.dma_cycles);
+  }
+  out.cycles = std::max({static_cast<Cycles>(out.total_slots),
+                         out.total_dma_cycles, latency_bound});
+  return out;
+}
+
+} // namespace pimdnn::sim

@@ -1,0 +1,116 @@
+// One simulated DPU: memories + loaded program + launch machinery.
+//
+// Programs are declared as a set of named MRAM/WRAM symbols plus an entry
+// point invoked once per tasklet (the SPMD model of the real SDK, §3.1).
+// `launch` runs all tasklets functionally and then derives the cycle count
+// from three hardware bounds of the 11-stage fine-grained-multithreaded
+// pipeline (see `DpuRunStats::cycles` docs), which reproduces the tasklet
+// saturation behaviour of Figure 4.7(a).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/config.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/memory.hpp"
+#include "sim/profile.hpp"
+#include "sim/tasklet.hpp"
+
+namespace pimdnn::sim {
+
+/// Declaration of one named buffer in DPU memory.
+struct SymbolDecl {
+  std::string name;  ///< symbol name visible to the host API
+  MemKind kind;      ///< MRAM or WRAM
+  MemSize size;      ///< bytes (will be placed 8-byte aligned)
+};
+
+/// A DPU-side program: entry point, symbols and IRAM footprint.
+struct DpuProgram {
+  std::string name;                     ///< program name (diagnostics)
+  std::vector<SymbolDecl> symbols;      ///< buffers to place in memory
+  MemSize iram_bytes = 4096;            ///< code footprint checked vs 24 KB
+  std::function<void(TaskletCtx&)> entry; ///< run once per tasklet
+};
+
+/// Placed symbol: where a declaration landed.
+struct SymbolInfo {
+  MemKind kind;
+  MemSize offset;
+  MemSize size;
+};
+
+/// Result of one kernel launch on one DPU.
+struct DpuRunStats {
+  /// Modeled execution cycles:
+  ///   max( Σ_t slots_t,                 -- pipeline issues 1 instr/cycle
+  ///        Σ_t dma_t,                   -- single shared DMA engine
+  ///        max_t (11·slots_t + dma_t) ) -- per-tasklet in-order latency
+  Cycles cycles = 0;
+  /// Sum of issue slots over all tasklets.
+  std::uint64_t total_slots = 0;
+  /// Sum of DMA cycles over all tasklets.
+  Cycles total_dma_cycles = 0;
+  /// Bytes moved by DMA.
+  std::uint64_t total_dma_bytes = 0;
+  /// Per-tasklet breakdown.
+  std::vector<TaskletStats> tasklets;
+  /// Runtime-subroutine occurrence profile (Figure 3.2).
+  SubroutineProfile profile;
+};
+
+/// One simulated DPU.
+class Dpu {
+public:
+  /// Creates a DPU with the given architecture configuration.
+  explicit Dpu(const UpmemConfig& cfg = default_config());
+
+  /// Loads a program: places symbols (8-byte aligned) in MRAM/WRAM with
+  /// bump allocation and checks IRAM capacity. Replaces any prior program;
+  /// memory contents are preserved (as on hardware).
+  void load(const DpuProgram& program);
+
+  /// Looks up a placed symbol; throws SymbolError if absent.
+  const SymbolInfo& symbol(const std::string& name) const;
+
+  /// True if a symbol with this name is placed.
+  bool has_symbol(const std::string& name) const;
+
+  /// Host-side write into a symbol at byte offset `offset`.
+  void host_write(const std::string& symbol, MemSize offset, const void* src,
+                  MemSize size);
+
+  /// Host-side read out of a symbol at byte offset `offset`.
+  void host_read(const std::string& symbol, MemSize offset, void* dst,
+                 MemSize size) const;
+
+  /// Runs the loaded program on `n_tasklets` tasklets under the given
+  /// optimization level and returns the cycle accounting.
+  DpuRunStats launch(std::uint32_t n_tasklets,
+                     OptLevel opt = OptLevel::O3);
+
+  /// Architecture configuration.
+  const UpmemConfig& config() const { return cfg_; }
+
+  /// Direct memory handles (used by TaskletCtx and tests).
+  Mram& mram() { return mram_; }
+  Wram& wram() { return wram_; }
+
+private:
+  friend class TaskletCtx;
+
+  UpmemConfig cfg_;
+  Mram mram_;
+  Wram wram_;
+  Iram iram_;
+  DpuProgram program_;
+  std::map<std::string, SymbolInfo> symbols_;
+  MemSize mram_top_ = 0;
+  MemSize wram_top_ = 0;
+};
+
+} // namespace pimdnn::sim

@@ -1,0 +1,61 @@
+#include "sim/profile.hpp"
+
+#include <ostream>
+
+namespace pimdnn::sim {
+
+void SubroutineProfile::record(Subroutine s, std::uint64_t n) {
+  occ_[static_cast<std::size_t>(s)] += n;
+}
+
+std::uint64_t SubroutineProfile::occurrences(Subroutine s) const {
+  return occ_[static_cast<std::size_t>(s)];
+}
+
+std::uint64_t SubroutineProfile::total() const {
+  std::uint64_t t = 0;
+  for (auto v : occ_) t += v;
+  return t;
+}
+
+std::size_t SubroutineProfile::distinct() const {
+  std::size_t d = 0;
+  for (auto v : occ_) {
+    if (v != 0) ++d;
+  }
+  return d;
+}
+
+std::uint64_t SubroutineProfile::float_total() const {
+  std::uint64_t t = 0;
+  for (std::size_t i = 0; i < occ_.size(); ++i) {
+    const auto s = static_cast<Subroutine>(i);
+    if (s == Subroutine::MulSI3 || s == Subroutine::MulDI3 ||
+        s == Subroutine::DivSI3) {
+      continue;
+    }
+    t += occ_[i];
+  }
+  return t;
+}
+
+void SubroutineProfile::merge(const SubroutineProfile& other) {
+  for (std::size_t i = 0; i < occ_.size(); ++i) {
+    occ_[i] += other.occ_[i];
+  }
+}
+
+void SubroutineProfile::print(std::ostream& os) const {
+  os << "subroutine        #occ\n";
+  for (std::size_t i = 0; i < occ_.size(); ++i) {
+    if (occ_[i] == 0) continue;
+    const auto* name = subroutine_name(static_cast<Subroutine>(i));
+    os << name;
+    for (std::size_t p = std::char_traits<char>::length(name); p < 18; ++p) {
+      os << ' ';
+    }
+    os << occ_[i] << "\n";
+  }
+}
+
+} // namespace pimdnn::sim

@@ -1,0 +1,46 @@
+// Subroutine-occurrence profiling, the simulator's analogue of the
+// `dpu-profiling` output shown in thesis Figure 3.2 ("#occ" per runtime
+// subroutine). The LUT transformation of Chapter 4 is evaluated by exactly
+// this metric (Figure 4.3: 11+ subroutine call sites reduced to 2).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+
+#include "sim/cost_model.hpp"
+
+namespace pimdnn::sim {
+
+/// Per-run counters of how many times each runtime subroutine executed.
+class SubroutineProfile {
+public:
+  /// Records `n` executions of subroutine `s`.
+  void record(Subroutine s, std::uint64_t n = 1);
+
+  /// Number of times `s` executed.
+  std::uint64_t occurrences(Subroutine s) const;
+
+  /// Total subroutine executions across all kinds.
+  std::uint64_t total() const;
+
+  /// Number of distinct subroutines that executed at least once (the bar
+  /// Figure 4.3 plots).
+  std::size_t distinct() const;
+
+  /// Total float-related subroutine executions (everything except the
+  /// integer helpers), the quantity the LUT rework eliminates.
+  std::uint64_t float_total() const;
+
+  /// Accumulates another profile into this one.
+  void merge(const SubroutineProfile& other);
+
+  /// Prints a Figure 3.2-style listing: one line per subroutine with #occ.
+  void print(std::ostream& os) const;
+
+private:
+  std::array<std::uint64_t, static_cast<std::size_t>(Subroutine::kCount)>
+      occ_{};
+};
+
+} // namespace pimdnn::sim

@@ -1,0 +1,37 @@
+// Human-readable launch reports: the simulator's equivalent of reading
+// dpu-profiling output plus the back-of-envelope cycle decomposition the
+// thesis does by hand in §4.3 (issue-bound vs DMA-bound vs latency-bound,
+// per-tasklet balance, subroutine hot spots).
+#pragma once
+
+#include <iosfwd>
+
+#include "sim/dpu.hpp"
+
+namespace pimdnn::sim {
+
+/// Which of the three pipeline bounds determined a run's cycle count.
+enum class CycleBound : std::uint8_t {
+  Issue,   ///< Σ issue slots: the pipeline was kept full
+  Dma,     ///< Σ DMA cycles: the MRAM interface was the bottleneck
+  Latency, ///< 11·slots + dma of the slowest tasklet: under-threaded
+};
+
+/// Classifies which bound produced `stats.cycles`.
+CycleBound dominant_bound(const DpuRunStats& stats,
+                          const UpmemConfig& cfg = default_config());
+
+/// Printable name of a bound.
+const char* cycle_bound_name(CycleBound b);
+
+/// Tasklet load imbalance: slowest tasklet's cycles over the mean
+/// (1.0 = perfectly balanced). Returns 0 for empty runs.
+double tasklet_imbalance(const DpuRunStats& stats,
+                         const UpmemConfig& cfg = default_config());
+
+/// Writes a multi-line report for one DPU launch: totals, bound
+/// classification, per-tasklet table and subroutine profile.
+void print_report(std::ostream& os, const DpuRunStats& stats,
+                  const UpmemConfig& cfg = default_config());
+
+} // namespace pimdnn::sim

@@ -1,0 +1,286 @@
+#include "sim/softfloat.hpp"
+
+#include <limits>
+
+namespace pimdnn::sim::softfloat {
+
+namespace {
+
+constexpr std::uint32_t kSignMask = 0x80000000u;
+constexpr std::uint32_t kExpMask = 0x7f800000u;
+constexpr std::uint32_t kFracMask = 0x007fffffu;
+constexpr int kFracBits = 23;
+constexpr int kExpBias = 127;
+constexpr int kExpMax = 0xff;
+
+std::uint32_t sign_of(F32 a) { return a & kSignMask; }
+int exp_of(F32 a) { return static_cast<int>((a & kExpMask) >> kFracBits); }
+std::uint32_t frac_of(F32 a) { return a & kFracMask; }
+
+F32 pack(std::uint32_t sign, int exp, std::uint32_t frac) {
+  return sign | (static_cast<std::uint32_t>(exp) << kFracBits) |
+         (frac & kFracMask);
+}
+
+F32 inf_with(std::uint32_t sign) { return sign | kExpMask; }
+
+/// Shifts right by `n` keeping a sticky OR of the bits shifted out.
+std::uint64_t shift_right_sticky(std::uint64_t v, int n) {
+  if (n <= 0) return v;
+  if (n >= 64) return v != 0 ? 1 : 0;
+  const std::uint64_t out = v >> n;
+  const std::uint64_t lost = v & ((std::uint64_t{1} << n) - 1);
+  return out | (lost != 0 ? 1 : 0);
+}
+
+/// Rounds a significand carrying 3 extra low bits (guard/round/sticky) to
+/// nearest-even and returns the rounded value (may carry out one bit).
+std::uint64_t round_rne3(std::uint64_t sig) {
+  const std::uint64_t grs = sig & 0x7;
+  std::uint64_t out = sig >> 3;
+  if (grs > 4 || (grs == 4 && (out & 1) != 0)) {
+    ++out;
+  }
+  return out;
+}
+
+/// Packs a (possibly denormal/overflowing) result given a sign, an unbiased
+/// "exponent if normalized at bit 23" value, and a significand with 3 GRS
+/// bits appended (i.e. the hidden bit, if any, sits at bit 26).
+F32 normalize_round_pack(std::uint32_t sign, int exp, std::uint64_t sig3) {
+  if (sig3 == 0) return sign; // exact zero keeps the computed sign
+
+  // Normalize so the leading 1 of sig3 is at bit 26 (23 frac + 3 GRS).
+  int lead = 63 - std::countl_zero(sig3);
+  int shift = lead - 26;
+  if (shift > 0) {
+    sig3 = shift_right_sticky(sig3, shift);
+    exp += shift;
+  } else if (shift < 0) {
+    sig3 <<= -shift;
+    exp += shift;
+  }
+
+  if (exp <= 0) {
+    // Subnormal (or underflow to zero): denormalize, then round.
+    sig3 = shift_right_sticky(sig3, 1 - exp);
+    const std::uint64_t rounded = round_rne3(sig3);
+    // Rounding can promote back to the smallest normal; the encoding works
+    // out naturally because frac==2^23 increments the exponent field.
+    return static_cast<F32>(sign | static_cast<std::uint32_t>(rounded));
+  }
+
+  std::uint64_t rounded = round_rne3(sig3);
+  if ((rounded >> (kFracBits + 1)) != 0) { // rounding carried out
+    rounded >>= 1;
+    ++exp;
+  }
+  if (exp >= kExpMax) return inf_with(sign);
+  return pack(sign, exp, static_cast<std::uint32_t>(rounded) & kFracMask);
+}
+
+/// Decomposes a finite nonzero float: significand with hidden bit applied
+/// (subnormals are returned unnormalized with exp = 1).
+void decompose(F32 a, int& exp, std::uint64_t& sig) {
+  const int e = exp_of(a);
+  const std::uint32_t f = frac_of(a);
+  if (e == 0) {
+    exp = 1;
+    sig = f;
+  } else {
+    exp = e;
+    sig = f | (std::uint32_t{1} << kFracBits);
+  }
+}
+
+} // namespace
+
+bool is_nan(F32 a) { return (a & kExpMask) == kExpMask && frac_of(a) != 0; }
+
+bool is_inf(F32 a) { return (a & kExpMask) == kExpMask && frac_of(a) == 0; }
+
+F32 add(F32 a, F32 b) {
+  if (is_nan(a) || is_nan(b)) return kQuietNan;
+  if (is_inf(a)) {
+    if (is_inf(b) && sign_of(a) != sign_of(b)) return kQuietNan;
+    return a;
+  }
+  if (is_inf(b)) return b;
+
+  const std::uint32_t sa = sign_of(a);
+  const std::uint32_t sb = sign_of(b);
+  int ea;
+  int eb;
+  std::uint64_t ma;
+  std::uint64_t mb;
+  decompose(a, ea, ma);
+  decompose(b, eb, mb);
+
+  if (ma == 0 && mb == 0) {
+    // +0 + -0 == +0 under round-to-nearest; equal signs keep the sign.
+    return (sa == sb) ? sa : 0u;
+  }
+
+  // Work with 3 GRS bits appended.
+  ma <<= 3;
+  mb <<= 3;
+  int exp = ea;
+  if (ea > eb) {
+    mb = shift_right_sticky(mb, ea - eb);
+  } else if (eb > ea) {
+    ma = shift_right_sticky(ma, eb - ea);
+    exp = eb;
+  }
+
+  std::uint32_t sign;
+  std::uint64_t mag;
+  if (sa == sb) {
+    sign = sa;
+    mag = ma + mb;
+  } else if (ma > mb) {
+    sign = sa;
+    mag = ma - mb;
+  } else if (mb > ma) {
+    sign = sb;
+    mag = mb - ma;
+  } else {
+    return 0u; // exact cancellation -> +0
+  }
+  return normalize_round_pack(sign, exp, mag);
+}
+
+F32 sub(F32 a, F32 b) {
+  if (is_nan(b)) return kQuietNan;
+  return add(a, b ^ kSignMask);
+}
+
+F32 mul(F32 a, F32 b) {
+  if (is_nan(a) || is_nan(b)) return kQuietNan;
+  const std::uint32_t sign = sign_of(a) ^ sign_of(b);
+  const bool a_zero = (a & ~kSignMask) == 0;
+  const bool b_zero = (b & ~kSignMask) == 0;
+  if (is_inf(a) || is_inf(b)) {
+    if (a_zero || b_zero) return kQuietNan; // 0 * inf
+    return inf_with(sign);
+  }
+  if (a_zero || b_zero) return sign;
+
+  int ea;
+  int eb;
+  std::uint64_t ma;
+  std::uint64_t mb;
+  decompose(a, ea, ma);
+  decompose(b, eb, mb);
+
+  // Product of two <=24-bit significands: value = prod * 2^(ea+eb-2bias-46).
+  // normalize_round_pack represents value = sig3 * 2^(exp - bias - 26), so
+  // pass prod unshifted with exp = ea+eb-bias-20; the rounder normalizes
+  // in either direction without losing sticky bits (the 48-bit product is
+  // exact in a uint64).
+  const std::uint64_t prod = ma * mb;
+  const int exp = ea + eb - kExpBias - (46 - 26);
+  return normalize_round_pack(sign, exp, prod);
+}
+
+F32 div(F32 a, F32 b) {
+  if (is_nan(a) || is_nan(b)) return kQuietNan;
+  const std::uint32_t sign = sign_of(a) ^ sign_of(b);
+  const bool a_zero = (a & ~kSignMask) == 0;
+  const bool b_zero = (b & ~kSignMask) == 0;
+  if (is_inf(a)) {
+    if (is_inf(b)) return kQuietNan;
+    return inf_with(sign);
+  }
+  if (is_inf(b)) return sign;
+  if (b_zero) {
+    if (a_zero) return kQuietNan; // 0/0
+    return inf_with(sign);
+  }
+  if (a_zero) return sign;
+
+  int ea;
+  int eb;
+  std::uint64_t ma;
+  std::uint64_t mb;
+  decompose(a, ea, ma);
+  decompose(b, eb, mb);
+
+  // Normalize subnormal significands so both have their leading 1 at the
+  // hidden-bit position; adjust exponents accordingly.
+  while ((ma & (std::uint64_t{1} << kFracBits)) == 0) {
+    ma <<= 1;
+    --ea;
+  }
+  while ((mb & (std::uint64_t{1} << kFracBits)) == 0) {
+    mb <<= 1;
+    --eb;
+  }
+
+  // Quotient with 26 extra bits of precision plus an appended sticky bit:
+  // value = (q0 + rem/mb) * 2^(ea-eb-26) = sig3 * 2^(ea-eb-27) where
+  // sig3 = (q0 << 1) | sticky. q0 is in [2^25, 2^27), so sig3's leading 1
+  // sits at bit 26 or 27 and the rounder only ever shifts right (keeping
+  // the sticky bit correct) — the guard/round bits are true quotient bits.
+  const std::uint64_t num = ma << 26;
+  const std::uint64_t q0 = num / mb;
+  const std::uint64_t rem = num % mb;
+  const std::uint64_t sig3 = (q0 << 1) | (rem != 0 ? 1 : 0);
+  const int exp = ea - eb + kExpBias - 1;
+  return normalize_round_pack(sign, exp, sig3);
+}
+
+namespace {
+/// Total order key for finite comparisons: flips negatives so integer
+/// comparison matches float comparison.
+std::int64_t order_key(F32 a) {
+  const auto v = static_cast<std::int64_t>(a & ~kSignMask);
+  return sign_of(a) != 0 ? -v : v;
+}
+} // namespace
+
+bool lt(F32 a, F32 b) {
+  if (is_nan(a) || is_nan(b)) return false;
+  return order_key(a) < order_key(b);
+}
+
+bool le(F32 a, F32 b) {
+  if (is_nan(a) || is_nan(b)) return false;
+  return order_key(a) <= order_key(b);
+}
+
+bool eq(F32 a, F32 b) {
+  if (is_nan(a) || is_nan(b)) return false;
+  return order_key(a) == order_key(b);
+}
+
+F32 from_i32(std::int32_t v) {
+  if (v == 0) return 0;
+  const std::uint32_t sign = v < 0 ? kSignMask : 0;
+  auto mag = static_cast<std::uint64_t>(v < 0 ? -static_cast<std::int64_t>(v)
+                                              : static_cast<std::int64_t>(v));
+  // Value = mag * 2^0; express with 3 GRS bits and exponent such that a
+  // leading 1 at bit 26 means exponent (23 + bias).
+  return normalize_round_pack(sign, kExpBias + kFracBits, mag << 3);
+}
+
+std::int32_t to_i32(F32 a) {
+  if (is_nan(a)) return 0;
+  const std::uint32_t sign = sign_of(a);
+  const int e = exp_of(a);
+  if (e < kExpBias) return 0; // |a| < 1
+  const int shift = e - kExpBias; // floor(log2 |a|)
+  if (shift >= 31) {
+    if (sign != 0 && shift == 31 && frac_of(a) == 0) {
+      return std::numeric_limits<std::int32_t>::min();
+    }
+    return sign != 0 ? std::numeric_limits<std::int32_t>::min()
+                     : std::numeric_limits<std::int32_t>::max();
+  }
+  const std::uint64_t sig = frac_of(a) | (std::uint64_t{1} << kFracBits);
+  const std::uint64_t mag = shift >= kFracBits ? sig << (shift - kFracBits)
+                                               : sig >> (kFracBits - shift);
+  const auto m = static_cast<std::int64_t>(mag);
+  return static_cast<std::int32_t>(sign != 0 ? -m : m);
+}
+
+} // namespace pimdnn::sim::softfloat

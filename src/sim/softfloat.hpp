@@ -1,0 +1,65 @@
+// Bit-exact IEEE-754 binary32 software arithmetic.
+//
+// The UPMEM DPU has no floating-point hardware; `dpu-clang` lowers every
+// float operation to a libgcc-style runtime subroutine (__addsf3, __mulsf3,
+// __divsf3, __ltsf2, __floatsisf, ... — thesis §3.3, Figure 3.2). This
+// module implements those subroutines from first principles on raw bit
+// patterns, with round-to-nearest-even and full subnormal support, so that
+// simulated DPU kernels compute *exactly* what the hardware's software
+// float path computes. Property tests check bit-equality against the host
+// FPU across millions of operand pairs.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace pimdnn::sim::softfloat {
+
+/// IEEE-754 binary32 bit pattern.
+using F32 = std::uint32_t;
+
+/// Quiet NaN returned for invalid operations.
+inline constexpr F32 kQuietNan = 0x7fc00000u;
+
+/// Reinterprets a host float as its bit pattern.
+inline F32 to_bits(float f) { return std::bit_cast<F32>(f); }
+
+/// Reinterprets a bit pattern as a host float.
+inline float from_bits(F32 b) { return std::bit_cast<float>(b); }
+
+/// True if `a` encodes any NaN.
+bool is_nan(F32 a);
+
+/// True if `a` encodes +/- infinity.
+bool is_inf(F32 a);
+
+/// __addsf3: a + b with round-to-nearest-even.
+F32 add(F32 a, F32 b);
+
+/// __subsf3: a - b.
+F32 sub(F32 a, F32 b);
+
+/// __mulsf3: a * b.
+F32 mul(F32 a, F32 b);
+
+/// __divsf3: a / b.
+F32 div(F32 a, F32 b);
+
+/// __ltsf2 semantics reduced to a predicate: true iff a < b (false if
+/// either operand is NaN).
+bool lt(F32 a, F32 b);
+
+/// true iff a <= b (false if unordered).
+bool le(F32 a, F32 b);
+
+/// true iff a == b (false if unordered; +0 == -0).
+bool eq(F32 a, F32 b);
+
+/// __floatsisf: int32 -> float with round-to-nearest-even.
+F32 from_i32(std::int32_t v);
+
+/// __fixsfsi: float -> int32, truncating toward zero; saturates at the
+/// int32 bounds and maps NaN to 0 (defined behaviour where C leaves UB).
+std::int32_t to_i32(F32 a);
+
+} // namespace pimdnn::sim::softfloat

@@ -1,0 +1,244 @@
+#include "sim/softfloat64.hpp"
+
+namespace pimdnn::sim::softfloat64 {
+
+namespace {
+
+using U128 = unsigned __int128;
+
+constexpr std::uint64_t kSignMask = 0x8000000000000000ULL;
+constexpr std::uint64_t kExpMask = 0x7ff0000000000000ULL;
+constexpr std::uint64_t kFracMask = 0x000fffffffffffffULL;
+constexpr int kFracBits = 52;
+constexpr int kExpBias = 1023;
+constexpr int kExpMax = 0x7ff;
+constexpr int kSig3 = kFracBits + 3; // hidden-bit position with GRS
+
+std::uint64_t sign_of(F64 a) { return a & kSignMask; }
+int exp_of(F64 a) { return static_cast<int>((a & kExpMask) >> kFracBits); }
+std::uint64_t frac_of(F64 a) { return a & kFracMask; }
+
+F64 pack(std::uint64_t sign, int exp, std::uint64_t frac) {
+  return sign | (static_cast<std::uint64_t>(exp) << kFracBits) |
+         (frac & kFracMask);
+}
+
+F64 inf_with(std::uint64_t sign) { return sign | kExpMask; }
+
+std::uint64_t shift_right_sticky(std::uint64_t v, int n) {
+  if (n <= 0) return v;
+  if (n >= 64) return v != 0 ? 1 : 0;
+  const std::uint64_t out = v >> n;
+  const std::uint64_t lost = v & ((std::uint64_t{1} << n) - 1);
+  return out | (lost != 0 ? 1 : 0);
+}
+
+U128 shift_right_sticky128(U128 v, int n) {
+  if (n <= 0) return v;
+  if (n >= 128) return v != 0 ? 1 : 0;
+  const U128 out = v >> n;
+  const U128 lost = v & ((U128{1} << n) - 1);
+  return out | (lost != 0 ? 1 : 0);
+}
+
+std::uint64_t round_rne3(std::uint64_t sig) {
+  const std::uint64_t grs = sig & 0x7;
+  std::uint64_t out = sig >> 3;
+  if (grs > 4 || (grs == 4 && (out & 1) != 0)) {
+    ++out;
+  }
+  return out;
+}
+
+/// Packs with the convention value = sig3 * 2^(exp - bias - kSig3) where a
+/// normalized sig3 has its leading 1 at bit kSig3.
+F64 normalize_round_pack(std::uint64_t sign, int exp, std::uint64_t sig3) {
+  if (sig3 == 0) return sign;
+
+  const int lead = 63 - std::countl_zero(sig3);
+  const int shift = lead - kSig3;
+  if (shift > 0) {
+    sig3 = shift_right_sticky(sig3, shift);
+    exp += shift;
+  } else if (shift < 0) {
+    sig3 <<= -shift;
+    exp += shift;
+  }
+
+  if (exp <= 0) {
+    sig3 = shift_right_sticky(sig3, 1 - exp);
+    const std::uint64_t rounded = round_rne3(sig3);
+    return sign | rounded; // subnormal encoding (may carry into exp 1)
+  }
+
+  std::uint64_t rounded = round_rne3(sig3);
+  if ((rounded >> (kFracBits + 1)) != 0) {
+    rounded >>= 1;
+    ++exp;
+  }
+  if (exp >= kExpMax) return inf_with(sign);
+  return pack(sign, exp, rounded & kFracMask);
+}
+
+void decompose(F64 a, int& exp, std::uint64_t& sig) {
+  const int e = exp_of(a);
+  const std::uint64_t f = frac_of(a);
+  if (e == 0) {
+    exp = 1;
+    sig = f;
+  } else {
+    exp = e;
+    sig = f | (std::uint64_t{1} << kFracBits);
+  }
+}
+
+} // namespace
+
+bool is_nan(F64 a) { return (a & kExpMask) == kExpMask && frac_of(a) != 0; }
+
+bool is_inf(F64 a) { return (a & kExpMask) == kExpMask && frac_of(a) == 0; }
+
+F64 add(F64 a, F64 b) {
+  if (is_nan(a) || is_nan(b)) return kQuietNan;
+  if (is_inf(a)) {
+    if (is_inf(b) && sign_of(a) != sign_of(b)) return kQuietNan;
+    return a;
+  }
+  if (is_inf(b)) return b;
+
+  const std::uint64_t sa = sign_of(a);
+  const std::uint64_t sb = sign_of(b);
+  int ea;
+  int eb;
+  std::uint64_t ma;
+  std::uint64_t mb;
+  decompose(a, ea, ma);
+  decompose(b, eb, mb);
+
+  if (ma == 0 && mb == 0) {
+    return (sa == sb) ? sa : 0u;
+  }
+
+  ma <<= 3;
+  mb <<= 3;
+  int exp = ea;
+  if (ea > eb) {
+    mb = shift_right_sticky(mb, ea - eb);
+  } else if (eb > ea) {
+    ma = shift_right_sticky(ma, eb - ea);
+    exp = eb;
+  }
+
+  std::uint64_t sign;
+  std::uint64_t mag;
+  if (sa == sb) {
+    sign = sa;
+    mag = ma + mb;
+  } else if (ma > mb) {
+    sign = sa;
+    mag = ma - mb;
+  } else if (mb > ma) {
+    sign = sb;
+    mag = mb - ma;
+  } else {
+    return 0u;
+  }
+  return normalize_round_pack(sign, exp, mag);
+}
+
+F64 sub(F64 a, F64 b) {
+  if (is_nan(b)) return kQuietNan;
+  return add(a, b ^ kSignMask);
+}
+
+F64 mul(F64 a, F64 b) {
+  if (is_nan(a) || is_nan(b)) return kQuietNan;
+  const std::uint64_t sign = sign_of(a) ^ sign_of(b);
+  const bool a_zero = (a & ~kSignMask) == 0;
+  const bool b_zero = (b & ~kSignMask) == 0;
+  if (is_inf(a) || is_inf(b)) {
+    if (a_zero || b_zero) return kQuietNan;
+    return inf_with(sign);
+  }
+  if (a_zero || b_zero) return sign;
+
+  int ea;
+  int eb;
+  std::uint64_t ma;
+  std::uint64_t mb;
+  decompose(a, ea, ma);
+  decompose(b, eb, mb);
+
+  // 53x53-bit product: up to 106 bits; value = prod * 2^(ea+eb-2bias-104).
+  // Reduce to <=60 significant bits with sticky so the 64-bit rounder can
+  // finish; exact (no shift) when the operands were subnormal-small.
+  U128 prod = static_cast<U128>(ma) * mb;
+  int bits = 0;
+  for (U128 t = prod; t != 0; t >>= 1) ++bits;
+  const int s = bits > 60 ? bits - 60 : 0;
+  prod = shift_right_sticky128(prod, s);
+  // value = sig3 * 2^(exp - bias - kSig3) => exp = ea+eb-bias-104+kSig3+s.
+  const int exp = ea + eb - kExpBias - 104 + kSig3 + s;
+  return normalize_round_pack(sign, exp, static_cast<std::uint64_t>(prod));
+}
+
+F64 div(F64 a, F64 b) {
+  if (is_nan(a) || is_nan(b)) return kQuietNan;
+  const std::uint64_t sign = sign_of(a) ^ sign_of(b);
+  const bool a_zero = (a & ~kSignMask) == 0;
+  const bool b_zero = (b & ~kSignMask) == 0;
+  if (is_inf(a)) {
+    if (is_inf(b)) return kQuietNan;
+    return inf_with(sign);
+  }
+  if (is_inf(b)) return sign;
+  if (b_zero) {
+    if (a_zero) return kQuietNan;
+    return inf_with(sign);
+  }
+  if (a_zero) return sign;
+
+  int ea;
+  int eb;
+  std::uint64_t ma;
+  std::uint64_t mb;
+  decompose(a, ea, ma);
+  decompose(b, eb, mb);
+  while ((ma & (std::uint64_t{1} << kFracBits)) == 0) {
+    ma <<= 1;
+    --ea;
+  }
+  while ((mb & (std::uint64_t{1} << kFracBits)) == 0) {
+    mb <<= 1;
+    --eb;
+  }
+
+  // Quotient with 56 extra bits plus appended sticky (same construction
+  // as the binary32 divider): q0 in [2^55, 2^57), so sig3's leading 1 is
+  // at bit 56 or 57 and the rounder only shifts right.
+  const U128 num = static_cast<U128>(ma) << 56;
+  const std::uint64_t q0 = static_cast<std::uint64_t>(num / mb);
+  const std::uint64_t rem = static_cast<std::uint64_t>(num % mb);
+  const std::uint64_t sig3 = (q0 << 1) | (rem != 0 ? 1 : 0);
+  const int exp = ea - eb + kExpBias - 56 - 1 + kSig3;
+  return normalize_round_pack(sign, exp, sig3);
+}
+
+namespace {
+std::int64_t order_key(F64 a) {
+  const auto v = static_cast<std::int64_t>(a & ~kSignMask);
+  return sign_of(a) != 0 ? -v : v;
+}
+} // namespace
+
+bool lt(F64 a, F64 b) {
+  if (is_nan(a) || is_nan(b)) return false;
+  return order_key(a) < order_key(b);
+}
+
+bool eq(F64 a, F64 b) {
+  if (is_nan(a) || is_nan(b)) return false;
+  return order_key(a) == order_key(b);
+}
+
+} // namespace pimdnn::sim::softfloat64

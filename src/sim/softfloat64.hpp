@@ -1,0 +1,50 @@
+// Bit-exact IEEE-754 binary64 software arithmetic — the double-precision
+// siblings (__adddf3, __subdf3, __muldf3, __divdf3) of the binary32
+// routines. Thesis §3.3 names "muldf3 ... and dddf3" among the routines
+// "frequently called in applications"; kernels that keep `double`
+// arithmetic pay these even larger costs. Property tests check
+// bit-equality against the host FPU, including subnormals.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace pimdnn::sim::softfloat64 {
+
+/// IEEE-754 binary64 bit pattern.
+using F64 = std::uint64_t;
+
+/// Quiet NaN returned for invalid operations.
+inline constexpr F64 kQuietNan = 0x7ff8000000000000ULL;
+
+/// Reinterprets a host double as its bit pattern.
+inline F64 to_bits(double f) { return std::bit_cast<F64>(f); }
+
+/// Reinterprets a bit pattern as a host double.
+inline double from_bits(F64 b) { return std::bit_cast<double>(b); }
+
+/// True if `a` encodes any NaN.
+bool is_nan(F64 a);
+
+/// True if `a` encodes +/- infinity.
+bool is_inf(F64 a);
+
+/// __adddf3: a + b with round-to-nearest-even.
+F64 add(F64 a, F64 b);
+
+/// __subdf3: a - b.
+F64 sub(F64 a, F64 b);
+
+/// __muldf3: a * b.
+F64 mul(F64 a, F64 b);
+
+/// __divdf3: a / b.
+F64 div(F64 a, F64 b);
+
+/// a < b (false if unordered).
+bool lt(F64 a, F64 b);
+
+/// a == b (false if unordered; +0 == -0).
+bool eq(F64 a, F64 b);
+
+} // namespace pimdnn::sim::softfloat64

@@ -1,0 +1,260 @@
+#include "yolo/config.hpp"
+
+#include "common/error.hpp"
+#include "nn/im2col.hpp"
+
+namespace pimdnn::yolo {
+
+namespace {
+
+LayerDef conv(int filters, int size, int stride, bool leaky = true) {
+  LayerDef d;
+  d.type = LayerType::Convolutional;
+  d.filters = filters;
+  d.size = size;
+  d.stride = stride;
+  d.pad = size / 2;
+  d.leaky = leaky;
+  return d;
+}
+
+LayerDef shortcut(int from) {
+  LayerDef d;
+  d.type = LayerType::Shortcut;
+  d.from = from;
+  d.leaky = false;
+  return d;
+}
+
+LayerDef route(std::vector<int> layers) {
+  LayerDef d;
+  d.type = LayerType::Route;
+  d.layers = std::move(layers);
+  return d;
+}
+
+LayerDef upsample() {
+  LayerDef d;
+  d.type = LayerType::Upsample;
+  return d;
+}
+
+LayerDef maxpool(int size, int stride) {
+  LayerDef d;
+  d.type = LayerType::Maxpool;
+  d.size = size;
+  d.stride = stride;
+  return d;
+}
+
+LayerDef yolo(std::vector<int> mask) {
+  LayerDef d;
+  d.type = LayerType::Yolo;
+  d.mask = std::move(mask);
+  return d;
+}
+
+/// Appends one Darknet residual: 1x1 bottleneck, 3x3 expand, shortcut -3.
+void residual(std::vector<LayerDef>& v, int filters) {
+  v.push_back(conv(filters / 2, 1, 1));
+  v.push_back(conv(filters, 3, 1));
+  v.push_back(shortcut(-3));
+}
+
+} // namespace
+
+std::vector<LayerDef> yolov3_config() {
+  std::vector<LayerDef> v;
+  // ---- Darknet-53 backbone ----
+  v.push_back(conv(32, 3, 1)); // 0
+  v.push_back(conv(64, 3, 2)); // 1: /2
+  residual(v, 64);             // 2-4
+  v.push_back(conv(128, 3, 2)); // 5: /4
+  for (int i = 0; i < 2; ++i) residual(v, 128); // 6-11
+  v.push_back(conv(256, 3, 2)); // 12: /8
+  for (int i = 0; i < 8; ++i) residual(v, 256); // 13-36 (route point 36)
+  v.push_back(conv(512, 3, 2)); // 37: /16
+  for (int i = 0; i < 8; ++i) residual(v, 512); // 38-61 (route point 61)
+  v.push_back(conv(1024, 3, 2)); // 62: /32
+  for (int i = 0; i < 4; ++i) residual(v, 1024); // 63-74
+
+  // ---- Detection head, scale 1 (13x13 for 416 input) ----
+  v.push_back(conv(512, 1, 1));  // 75
+  v.push_back(conv(1024, 3, 1)); // 76
+  v.push_back(conv(512, 1, 1));  // 77
+  v.push_back(conv(1024, 3, 1)); // 78
+  v.push_back(conv(512, 1, 1));  // 79
+  v.push_back(conv(1024, 3, 1)); // 80
+  v.push_back(conv(255, 1, 1, /*leaky=*/false)); // 81
+  v.push_back(yolo({6, 7, 8}));  // 82
+
+  // ---- Scale 2 (26x26) ----
+  v.push_back(route({-4}));      // 83 -> layer 79
+  v.push_back(conv(256, 1, 1));  // 84
+  v.push_back(upsample());       // 85
+  v.push_back(route({-1, 61}));  // 86
+  v.push_back(conv(256, 1, 1));  // 87
+  v.push_back(conv(512, 3, 1));  // 88
+  v.push_back(conv(256, 1, 1));  // 89
+  v.push_back(conv(512, 3, 1));  // 90
+  v.push_back(conv(256, 1, 1));  // 91
+  v.push_back(conv(512, 3, 1));  // 92
+  v.push_back(conv(255, 1, 1, /*leaky=*/false)); // 93
+  v.push_back(yolo({3, 4, 5}));  // 94
+
+  // ---- Scale 3 (52x52) ----
+  v.push_back(route({-4}));      // 95 -> layer 91
+  v.push_back(conv(128, 1, 1));  // 96
+  v.push_back(upsample());       // 97
+  v.push_back(route({-1, 36}));  // 98
+  v.push_back(conv(128, 1, 1));  // 99
+  v.push_back(conv(256, 3, 1));  // 100
+  v.push_back(conv(128, 1, 1));  // 101
+  v.push_back(conv(256, 3, 1));  // 102
+  v.push_back(conv(128, 1, 1));  // 103
+  v.push_back(conv(256, 3, 1));  // 104
+  v.push_back(conv(255, 1, 1, /*leaky=*/false)); // 105
+  v.push_back(yolo({0, 1, 2}));  // 106
+  return v;
+}
+
+std::vector<LayerDef> yolov3_tiny_config() {
+  std::vector<LayerDef> v;
+  v.push_back(conv(16, 3, 1));   // 0
+  v.push_back(maxpool(2, 2));    // 1: /2
+  v.push_back(conv(32, 3, 1));   // 2
+  v.push_back(maxpool(2, 2));    // 3: /4
+  v.push_back(conv(64, 3, 1));   // 4
+  v.push_back(maxpool(2, 2));    // 5: /8
+  v.push_back(conv(128, 3, 1));  // 6
+  v.push_back(maxpool(2, 2));    // 7: /16
+  v.push_back(conv(256, 3, 1));  // 8 (route point)
+  v.push_back(maxpool(2, 2));    // 9: /32
+  v.push_back(conv(512, 3, 1));  // 10
+  v.push_back(maxpool(2, 1));    // 11: stride-1 pool keeps the size
+  v.push_back(conv(1024, 3, 1)); // 12
+  v.push_back(conv(256, 1, 1));  // 13 (route point)
+  v.push_back(conv(512, 3, 1));  // 14
+  v.push_back(conv(255, 1, 1, /*leaky=*/false)); // 15
+  v.push_back(yolo({3, 4, 5}));  // 16
+  v.push_back(route({13}));      // 17
+  v.push_back(conv(128, 1, 1));  // 18
+  v.push_back(upsample());       // 19
+  v.push_back(route({-1, 8}));   // 20
+  v.push_back(conv(256, 3, 1));  // 21
+  v.push_back(conv(255, 1, 1, /*leaky=*/false)); // 22
+  v.push_back(yolo({0, 1, 2}));  // 23
+  return v;
+}
+
+std::vector<LayerDef> yolov3_lite_config(int width_mult, int max_repeats) {
+  require(width_mult >= 1, "width_mult must be >= 1");
+  require(max_repeats >= 1, "max_repeats must be >= 1");
+  const int b = 8 * width_mult;
+  const int head_filters = 3 * (4 + 5); // 4 classes + box + objectness
+
+  std::vector<LayerDef> v;
+  v.push_back(conv(b, 3, 1));
+  const int stage_repeats[5] = {1, 2, 8, 8, 4};
+  int route_mid = -1; // end of the 3rd downsample stage, for the head route
+  for (int s = 0; s < 5; ++s) {
+    const int filters = b << (s + 1);
+    v.push_back(conv(filters, 3, 2));
+    const int reps = std::min(max_repeats, stage_repeats[s]);
+    for (int r = 0; r < reps; ++r) residual(v, filters);
+    if (s == 2) route_mid = static_cast<int>(v.size()) - 1;
+  }
+
+  // Head scale 1.
+  v.push_back(conv(b * 8, 1, 1));
+  v.push_back(conv(b * 16, 3, 1));
+  v.push_back(conv(head_filters, 1, 1, /*leaky=*/false));
+  v.push_back(yolo({3, 4, 5}));
+  // Head scale 2 via route + upsample to the mid-stage feature map.
+  v.push_back(route({-4}));
+  v.push_back(conv(b * 4, 1, 1));
+  v.push_back(upsample());
+  v.push_back(upsample()); // head sits at /32; mid stage at /8 -> two 2x ups
+  v.push_back(route({-1, route_mid}));
+  v.push_back(conv(b * 8, 3, 1));
+  v.push_back(conv(head_filters, 1, 1, /*leaky=*/false));
+  v.push_back(yolo({0, 1, 2}));
+  return v;
+}
+
+ConfigSummary summarize(const std::vector<LayerDef>& defs, int in_c, int in_h,
+                        int in_w) {
+  ConfigSummary s;
+  struct Dim {
+    int c, h, w;
+  };
+  std::vector<Dim> dims;
+  Dim cur{in_c, in_h, in_w};
+  for (std::size_t i = 0; i < defs.size(); ++i) {
+    const LayerDef& d = defs[i];
+    auto resolve = [&](int idx) -> std::size_t {
+      const long abs =
+          idx < 0 ? static_cast<long>(i) + idx : static_cast<long>(idx);
+      require(abs >= 0 && abs < static_cast<long>(i),
+              "layer " + std::to_string(i) + ": reference " +
+                  std::to_string(idx) + " is unresolvable");
+      return static_cast<std::size_t>(abs);
+    };
+    switch (d.type) {
+      case LayerType::Convolutional: {
+        nn::ConvGeom g{cur.c, cur.h, cur.w, d.filters,
+                       d.size, d.stride, d.pad};
+        require(g.out_h() > 0 && g.out_w() > 0,
+                "layer " + std::to_string(i) + ": degenerate output");
+        s.total_macs += g.macs();
+        cur = {d.filters, g.out_h(), g.out_w()};
+        ++s.conv_layers;
+        break;
+      }
+      case LayerType::Shortcut: {
+        const Dim& other = dims[resolve(d.from)];
+        require(other.c == cur.c && other.h == cur.h && other.w == cur.w,
+                "layer " + std::to_string(i) + ": shortcut shape mismatch");
+        ++s.shortcut_layers;
+        break;
+      }
+      case LayerType::Route: {
+        require(!d.layers.empty(), "route with no layers");
+        Dim out{0, 0, 0};
+        for (int idx : d.layers) {
+          const Dim& other = dims[resolve(idx)];
+          if (out.c == 0) {
+            out = other;
+          } else {
+            require(other.h == out.h && other.w == out.w,
+                    "layer " + std::to_string(i) +
+                        ": route spatial mismatch");
+            out.c += other.c;
+          }
+        }
+        cur = out;
+        ++s.route_layers;
+        break;
+      }
+      case LayerType::Upsample:
+        cur.h *= 2;
+        cur.w *= 2;
+        ++s.upsample_layers;
+        break;
+      case LayerType::Maxpool:
+        // Darknet maxpool geometry: ceil division (stride-1 pools with
+        // edge padding keep the map size).
+        cur.h = (cur.h + d.stride - 1) / d.stride;
+        cur.w = (cur.w + d.stride - 1) / d.stride;
+        ++s.maxpool_layers;
+        break;
+      case LayerType::Yolo:
+        ++s.yolo_layers;
+        break;
+    }
+    dims.push_back(cur);
+  }
+  return s;
+}
+
+} // namespace pimdnn::yolo

@@ -1,0 +1,76 @@
+// YOLOv3 network configuration (thesis §4.2.1: "YOLOv3 features the
+// Darknet-53 network architecture ... fifty-three convolutional layers"
+// in the backbone plus detection heads).
+//
+// `yolov3_config()` reproduces the published Darknet cfg: 75 convolutional
+// layers, 23 shortcut (residual) connections, 4 routes, 2 upsamples and 3
+// YOLO detection layers (106 layers after the input). `yolov3_lite_config`
+// builds a faithfully shaped but scaled-down variant for functional
+// simulation runs where the full 416x416 network would take too long; the
+// full-size network is still used analytically (see dpu_gemm estimator).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pimdnn::yolo {
+
+/// Kinds of layers the runner understands.
+enum class LayerType : std::uint8_t {
+  Convolutional,
+  Shortcut,
+  Route,
+  Upsample,
+  Maxpool,
+  Yolo,
+};
+
+/// One layer of the network, Darknet-cfg style.
+struct LayerDef {
+  LayerType type = LayerType::Convolutional;
+  // Convolutional fields.
+  int filters = 0;   ///< output channels
+  int size = 1;      ///< kernel side
+  int stride = 1;    ///< stride
+  int pad = 0;       ///< zero padding
+  bool leaky = true; ///< leaky (true) vs linear (false) activation
+  // Shortcut: add output of layer (index relative, e.g. -3).
+  int from = 0;
+  // Route: concatenate these layer indices (relative if negative).
+  std::vector<int> layers;
+  // Yolo: anchor-box mask indices (informational).
+  std::vector<int> mask;
+};
+
+/// Static facts about a built configuration.
+struct ConfigSummary {
+  int conv_layers = 0;
+  int shortcut_layers = 0;
+  int route_layers = 0;
+  int upsample_layers = 0;
+  int maxpool_layers = 0;
+  int yolo_layers = 0;
+  std::int64_t total_macs = 0; ///< MACs for a given input size
+};
+
+/// The full YOLOv3 layer list (Darknet-53 backbone + 3 detection heads).
+std::vector<LayerDef> yolov3_config();
+
+/// The official YOLOv3-tiny layer list: 13 convolutions, 6 maxpools, two
+/// detection heads (the lighter network the thesis' future work suggests
+/// evaluating as an "alternative CNN").
+std::vector<LayerDef> yolov3_tiny_config();
+
+/// A scaled-down network with the same structural motifs (downsample
+/// blocks, residuals, route/upsample head) sized by `width_mult` over a
+/// base of 8 filters; residual repeat counts are capped at `max_repeats`.
+std::vector<LayerDef> yolov3_lite_config(int width_mult = 1,
+                                         int max_repeats = 1);
+
+/// Computes per-layer output shapes given input (c,h,w); validates that
+/// routes/shortcuts are resolvable; returns a summary including total MACs.
+ConfigSummary summarize(const std::vector<LayerDef>& defs, int in_c, int in_h,
+                        int in_w);
+
+} // namespace pimdnn::yolo

@@ -1,0 +1,151 @@
+#include "yolo/detect.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace pimdnn::yolo {
+
+namespace {
+float sigmoid(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+} // namespace
+
+std::vector<Anchor> yolov3_anchors() {
+  return {{10, 13},  {16, 30},   {33, 23},   {30, 61},  {62, 45},
+          {59, 119}, {116, 90},  {156, 198}, {373, 326}};
+}
+
+std::vector<Detection> decode_yolo_layer(std::span<const std::int16_t> preds,
+                                         int channels, int h, int w,
+                                         int classes,
+                                         std::span<const Anchor> anchors,
+                                         std::span<const int> mask,
+                                         int net_w, int net_h, int frac_bits,
+                                         float obj_threshold) {
+  const int per_box = 5 + classes;
+  const int boxes = static_cast<int>(mask.size());
+  require(channels == boxes * per_box,
+          "decode_yolo_layer: channel count does not match mask/classes");
+  require(preds.size() >= static_cast<std::size_t>(channels) * h * w,
+          "decode_yolo_layer: prediction map too small");
+
+  const float scale = static_cast<float>(1 << frac_bits);
+  auto at = [&](int c, int y, int x) {
+    return static_cast<float>(
+               preds[(static_cast<std::size_t>(c) * h + y) * w + x]) /
+           scale;
+  };
+
+  std::vector<Detection> out;
+  for (int b = 0; b < boxes; ++b) {
+    const Anchor& anchor = anchors[static_cast<std::size_t>(mask[b])];
+    const int base = b * per_box;
+    for (int y = 0; y < h; ++y) {
+      for (int x = 0; x < w; ++x) {
+        const float obj = sigmoid(at(base + 4, y, x));
+        if (obj < obj_threshold) continue;
+        Detection d;
+        d.x = (static_cast<float>(x) + sigmoid(at(base + 0, y, x))) /
+              static_cast<float>(w);
+        d.y = (static_cast<float>(y) + sigmoid(at(base + 1, y, x))) /
+              static_cast<float>(h);
+        // Clamp the box-size logits as Darknet effectively does via its
+        // trained weight range; unconstrained random int16 inputs would
+        // overflow exp().
+        const float tw = std::clamp(at(base + 2, y, x), -8.0f, 8.0f);
+        const float th = std::clamp(at(base + 3, y, x), -8.0f, 8.0f);
+        d.w = anchor.w * std::exp(tw) / static_cast<float>(net_w);
+        d.h = anchor.h * std::exp(th) / static_cast<float>(net_h);
+        d.objectness = obj;
+        int best = 0;
+        float best_p = -1.0f;
+        for (int c = 0; c < classes; ++c) {
+          const float p = sigmoid(at(base + 5 + c, y, x));
+          if (p > best_p) {
+            best_p = p;
+            best = c;
+          }
+        }
+        d.class_id = best;
+        d.class_prob = best_p;
+        out.push_back(d);
+      }
+    }
+  }
+  return out;
+}
+
+float iou(const Detection& a, const Detection& b) {
+  const float ax0 = a.x - a.w / 2, ax1 = a.x + a.w / 2;
+  const float ay0 = a.y - a.h / 2, ay1 = a.y + a.h / 2;
+  const float bx0 = b.x - b.w / 2, bx1 = b.x + b.w / 2;
+  const float by0 = b.y - b.h / 2, by1 = b.y + b.h / 2;
+  const float ix = std::max(0.0f, std::min(ax1, bx1) - std::max(ax0, bx0));
+  const float iy = std::max(0.0f, std::min(ay1, by1) - std::max(ay0, by0));
+  const float inter = ix * iy;
+  const float uni = a.w * a.h + b.w * b.h - inter;
+  return uni <= 0.0f ? 0.0f : inter / uni;
+}
+
+std::vector<Detection> nms(std::vector<Detection> dets, float iou_threshold) {
+  std::sort(dets.begin(), dets.end(), [](const auto& a, const auto& b) {
+    return a.objectness > b.objectness;
+  });
+  std::vector<Detection> kept;
+  for (const Detection& d : dets) {
+    bool suppressed = false;
+    for (const Detection& k : kept) {
+      if (k.class_id == d.class_id && iou(k, d) > iou_threshold) {
+        suppressed = true;
+        break;
+      }
+    }
+    if (!suppressed) kept.push_back(d);
+  }
+  return kept;
+}
+
+std::vector<std::int16_t> make_synthetic_image(int c, int h, int w,
+                                               int frac_bits,
+                                               std::uint64_t seed) {
+  Rng rng(seed);
+  const float scale = static_cast<float>(1 << frac_bits);
+  std::vector<std::int16_t> img(static_cast<std::size_t>(c) * h * w);
+
+  // Low-frequency background per channel.
+  for (int ch = 0; ch < c; ++ch) {
+    const double fx = rng.uniform(1.0, 3.0);
+    const double fy = rng.uniform(1.0, 3.0);
+    const double phase = rng.uniform(0.0, 6.28);
+    for (int y = 0; y < h; ++y) {
+      for (int x = 0; x < w; ++x) {
+        const double v = 0.35 + 0.15 * std::sin(fx * x * 6.28 / w + phase) *
+                                    std::cos(fy * y * 6.28 / h);
+        img[(static_cast<std::size_t>(ch) * h + y) * w + x] =
+            static_cast<std::int16_t>(v * scale);
+      }
+    }
+  }
+  // A few bright rectangles ("objects").
+  const int n_obj = 3;
+  for (int o = 0; o < n_obj; ++o) {
+    const int ow = static_cast<int>(rng.uniform_int(w / 8, w / 3));
+    const int oh = static_cast<int>(rng.uniform_int(h / 8, h / 3));
+    const int ox = static_cast<int>(rng.uniform_int(0, w - ow - 1));
+    const int oy = static_cast<int>(rng.uniform_int(0, h - oh - 1));
+    for (int ch = 0; ch < c; ++ch) {
+      const double level = rng.uniform(0.7, 1.0);
+      for (int y = oy; y < oy + oh; ++y) {
+        for (int x = ox; x < ox + ow; ++x) {
+          img[(static_cast<std::size_t>(ch) * h + y) * w + x] =
+              static_cast<std::int16_t>(level * scale);
+        }
+      }
+    }
+  }
+  return img;
+}
+
+} // namespace pimdnn::yolo

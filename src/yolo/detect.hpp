@@ -1,0 +1,56 @@
+// YOLO head decoding: turns raw int16 prediction maps into detection boxes
+// (host-side float, as in Darknet), plus a synthetic input-image generator
+// standing in for the thesis' 416x416 sample image (§4.2.2) — the dataset
+// is a latency workload, so a deterministic procedural image exercises the
+// identical code path (see DESIGN.md "Substitutions").
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "yolo/network.hpp"
+
+namespace pimdnn::yolo {
+
+/// One decoded detection.
+struct Detection {
+  float x, y, w, h;   ///< box center/size, normalized to [0,1]
+  float objectness;   ///< sigmoid objectness score
+  int class_id;       ///< argmax class
+  float class_prob;   ///< probability of that class
+};
+
+/// Anchor box prior (pixels at the network input scale).
+struct Anchor {
+  float w, h;
+};
+
+/// The nine YOLOv3 anchors from the paper's cfg.
+std::vector<Anchor> yolov3_anchors();
+
+/// Decodes one YOLO layer's output map. `preds` is CHW int16 with
+/// C = boxes_per_cell * (5 + classes); `frac_bits` is the activation
+/// quantization scale. Detections below `obj_threshold` are dropped.
+std::vector<Detection> decode_yolo_layer(std::span<const std::int16_t> preds,
+                                         int channels, int h, int w,
+                                         int classes,
+                                         std::span<const Anchor> anchors,
+                                         std::span<const int> mask,
+                                         int net_w, int net_h, int frac_bits,
+                                         float obj_threshold);
+
+/// Greedy non-maximum suppression by IoU.
+std::vector<Detection> nms(std::vector<Detection> dets, float iou_threshold);
+
+/// Intersection-over-union of two detections' boxes.
+float iou(const Detection& a, const Detection& b);
+
+/// Deterministic synthetic RGB test image (CHW int16, `frac_bits`-scaled
+/// values in [0,1]): a textured background with a few bright rectangular
+/// "objects".
+std::vector<std::int16_t> make_synthetic_image(int c, int h, int w,
+                                               int frac_bits,
+                                               std::uint64_t seed);
+
+} // namespace pimdnn::yolo

@@ -1,0 +1,348 @@
+#include "yolo/dpu_gemm.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/bytes.hpp"
+#include "common/error.hpp"
+#include "common/fixed_point.hpp"
+
+namespace pimdnn::yolo {
+
+using runtime::DpuSet;
+using runtime::XferDir;
+using sim::CostModel;
+using sim::MemKind;
+using sim::TaskletCtx;
+
+namespace {
+
+/// Maximum bytes per single MRAM->WRAM DMA (the same 2048-byte limit that
+/// caps eBNN at 16 images, §4.1.3).
+constexpr MemSize kDmaMax = 2048;
+
+/// Maximum tasklets the program allocates strip buffers for.
+constexpr std::uint32_t kMaxGemmTasklets = 16;
+
+/// WRAM budget for the staged A rows.
+constexpr MemSize kMaxAStageBytes = 20 * 1024;
+
+struct Meta {
+  std::uint64_t n;
+  std::uint64_t k;
+  std::int64_t alpha;
+  std::uint64_t variant;
+  std::uint64_t rows;
+};
+
+MemSize a_stride_bytes(int k) {
+  return align_up(static_cast<MemSize>(k) * 2, kXferAlign);
+}
+
+MemSize c_stride_bytes(int n) {
+  return align_up(static_cast<MemSize>(n) * 2, kXferAlign);
+}
+
+void gemm_tasklet(TaskletCtx& ctx) {
+  auto meta = ctx.wram_span<std::uint64_t>("meta");
+  ctx.charge_alu(5);
+  const int n = static_cast<int>(meta[0]);
+  const int k = static_cast<int>(meta[1]);
+  const auto alpha =
+      static_cast<std::int32_t>(static_cast<std::int64_t>(meta[2]));
+  const auto variant = static_cast<GemmVariant>(meta[3]);
+  const int rows = static_cast<int>(meta[4]);
+
+  require(ctx.n_tasklets() <= kMaxGemmTasklets,
+          "GEMM program supports at most 16 tasklets");
+
+  auto a_wram = ctx.wram_span<std::int16_t>("a_wram");
+  auto bchunk_all = ctx.wram_span<std::int16_t>("bchunk");
+  auto ctmp_all = ctx.wram_span<std::int32_t>("ctmpw");
+  auto cout_all = ctx.wram_span<std::int16_t>("coutw");
+
+  const MemSize a_base = ctx.mram_addr("a_rows");
+  const MemSize b_base = ctx.mram_addr("b_mat");
+  const MemSize c_base = ctx.mram_addr("c_rows");
+  const MemSize ctmp_base = ctx.mram_addr("ctmp_mram");
+  const MemSize a_stride = a_stride_bytes(k);
+  const MemSize c_stride = c_stride_bytes(n);
+
+  std::int16_t* bch = bchunk_all.data() + ctx.id() * kGemmStrip;
+  std::int32_t* ctmp = ctmp_all.data() + ctx.id() * kGemmStrip;
+  std::int16_t* cout = cout_all.data() + ctx.id() * kGemmStrip;
+
+  // Stage every assigned A row into WRAM once (tasklet 0; runs before the
+  // others use it in the simulator's sequential tasklet execution).
+  if (variant == GemmVariant::WramTiled && ctx.id() == 0) {
+    for (int r = 0; r < rows; ++r) {
+      MemSize off = 0;
+      const MemSize row_bytes = static_cast<MemSize>(k) * 2;
+      auto* dst = reinterpret_cast<std::uint8_t*>(
+          a_wram.data() + static_cast<std::size_t>(r) * k);
+      while (off < row_bytes) {
+        const MemSize chunk = std::min<MemSize>(kDmaMax, row_bytes - off);
+        ctx.mram_read(dst + off, a_base + r * a_stride + off, chunk);
+        ctx.charge_loop(1);
+        off += chunk;
+      }
+    }
+  }
+
+  const int n_strips = (n + kGemmStrip - 1) / kGemmStrip;
+  for (int r = 0; r < rows; ++r) {
+    ctx.charge_loop(1);
+    for (int strip = static_cast<int>(ctx.id()); strip < n_strips;
+         strip += static_cast<int>(ctx.n_tasklets())) {
+      const int c0 = strip * kGemmStrip;
+      const int cols = std::min(kGemmStrip, n - c0);
+
+      // Zero the accumulator strip.
+      ctx.charge_loop(static_cast<std::uint64_t>(cols));
+      ctx.charge_alu(static_cast<std::uint64_t>(cols));
+      std::memset(ctmp, 0, static_cast<std::size_t>(cols) * sizeof(*ctmp));
+      if (variant == GemmVariant::MramResident) {
+        // The resident accumulator must start from zeros in MRAM too —
+        // the k-loop's first read-back would otherwise see the previous
+        // row's totals.
+        ctx.mram_write(ctmp_base + static_cast<MemSize>(c0) * 4, ctmp,
+                       static_cast<MemSize>(cols) * 4);
+      }
+
+      for (int kk = 0; kk < k; ++kk) {
+        ctx.charge_loop(1);
+
+        std::int32_t a_val;
+        if (variant == GemmVariant::WramTiled) {
+          a_val = a_wram[static_cast<std::size_t>(r) * k + kk];
+          ctx.charge_alu(1);
+        } else {
+          // MramResident: fetch the A element through an 8-byte DMA every
+          // iteration — the naive port's access pattern.
+          std::int16_t tmp[4];
+          const MemSize byte = static_cast<MemSize>(kk) * 2;
+          ctx.mram_read(tmp, a_base + r * a_stride + (byte & ~MemSize{7}),
+                        8);
+          a_val = tmp[byte % 8 / 2];
+        }
+        // APART = ALPHA * A[i*K+k] (Algorithm 2 line 5): 16x16-bit mult.
+        ctx.charge_mul(16, 1);
+        const auto apart = static_cast<std::uint32_t>(alpha * a_val);
+
+        // Stream this k-row's strip of B through WRAM.
+        ctx.mram_read(bch,
+                      b_base + (static_cast<MemSize>(kk) * n + c0) * 2,
+                      static_cast<MemSize>(cols) * 2);
+        if (variant == GemmVariant::MramResident) {
+          ctx.mram_read(ctmp, ctmp_base + static_cast<MemSize>(c0) * 4,
+                        static_cast<MemSize>(cols) * 4);
+        }
+
+        // MAC loop (Algorithm 2 line 7). APART is 32-bit, so every
+        // multiply is a __mulsi3 call — the dominant cost of YOLOv3.
+        ctx.charge_loop(static_cast<std::uint64_t>(cols));
+        ctx.charge_mul(32, static_cast<std::uint64_t>(cols));
+        ctx.charge_alu(4 * static_cast<std::uint64_t>(cols));
+        for (int j = 0; j < cols; ++j) {
+          const auto term =
+              apart * static_cast<std::uint32_t>(
+                          static_cast<std::int32_t>(bch[j]));
+          ctmp[j] = static_cast<std::int32_t>(
+              static_cast<std::uint32_t>(ctmp[j]) + term);
+        }
+
+        if (variant == GemmVariant::MramResident) {
+          ctx.mram_write(ctmp_base + static_cast<MemSize>(c0) * 4, ctmp,
+                         static_cast<MemSize>(cols) * 4);
+        }
+      }
+
+      // Output stage (Algorithm 2 line 9): C = absolutemax(ctmp/32, 32767).
+      ctx.charge_loop(static_cast<std::uint64_t>(cols));
+      ctx.charge_alu(4 * static_cast<std::uint64_t>(cols));
+      for (int j = 0; j < cols; ++j) {
+        cout[j] = saturate_shift_down(ctmp[j], 5, 32767);
+      }
+      ctx.mram_write(c_base + r * c_stride + static_cast<MemSize>(c0) * 2,
+                     cout, static_cast<MemSize>(cols) * 2);
+    }
+  }
+}
+
+} // namespace
+
+sim::DpuProgram make_gemm_program(int n, int k, GemmVariant /*variant*/,
+                                  int rows_per_dpu) {
+  require(n >= 1 && k >= 1, "GEMM dimensions must be positive");
+  require(rows_per_dpu >= 1, "rows_per_dpu must be positive");
+  const MemSize a_bytes =
+      static_cast<MemSize>(rows_per_dpu) * a_stride_bytes(k);
+  require(a_bytes <= kMaxAStageBytes,
+          "A rows too large to stage in WRAM (rows_per_dpu * k > 10240)");
+
+  sim::DpuProgram prog;
+  prog.name = "yolo_gemm";
+  prog.iram_bytes = 4096;
+  prog.symbols = {
+      {"meta", MemKind::Wram, sizeof(Meta)},
+      {"a_wram", MemKind::Wram, a_bytes},
+      {"bchunk", MemKind::Wram, kMaxGemmTasklets * kGemmStrip * 2},
+      {"ctmpw", MemKind::Wram, kMaxGemmTasklets * kGemmStrip * 4},
+      {"coutw", MemKind::Wram, kMaxGemmTasklets * kGemmStrip * 2},
+      {"a_rows", MemKind::Mram, a_bytes},
+      {"b_mat", MemKind::Mram,
+       align_up(static_cast<MemSize>(k) * n * 2, kXferAlign)},
+      {"c_rows", MemKind::Mram,
+       static_cast<MemSize>(rows_per_dpu) * c_stride_bytes(n)},
+      {"ctmp_mram", MemKind::Mram,
+       align_up(static_cast<MemSize>(n) * 4, kXferAlign)},
+  };
+  prog.entry = gemm_tasklet;
+  return prog;
+}
+
+GemmResult dpu_gemm(int m, int n, int k, std::int16_t alpha,
+                    std::span<const std::int16_t> a,
+                    std::span<const std::int16_t> b, GemmVariant variant,
+                    std::uint32_t n_tasklets, runtime::OptLevel opt,
+                    const runtime::UpmemConfig& sys, int rows_per_dpu) {
+  require(m >= 1, "GEMM needs at least one row");
+  require(rows_per_dpu >= 1, "rows_per_dpu must be positive");
+  require(a.size() >= static_cast<std::size_t>(m) * k, "A too small");
+  require(b.size() >= static_cast<std::size_t>(k) * n, "B too small");
+  require(n_tasklets >= 1 && n_tasklets <= kMaxGemmTasklets,
+          "GEMM tasklets must be in [1, 16]");
+
+  const int n_dpus = (m + rows_per_dpu - 1) / rows_per_dpu;
+  DpuSet set = DpuSet::allocate(static_cast<std::uint32_t>(n_dpus), sys);
+  set.load(make_gemm_program(n, k, variant, rows_per_dpu));
+
+  // Broadcast B (the whole input matrix goes to every DPU, Figure 4.6)
+  // and the kernel metadata.
+  {
+    const auto padded = pad_to_xfer(b.data(), static_cast<MemSize>(k) * n * 2);
+    set.copy_to("b_mat", 0, padded.data(), padded.size());
+    const Meta meta{static_cast<std::uint64_t>(n),
+                    static_cast<std::uint64_t>(k),
+                    static_cast<std::int64_t>(alpha),
+                    static_cast<std::uint64_t>(variant),
+                    static_cast<std::uint64_t>(rows_per_dpu)};
+    set.copy_to("meta", 0, &meta, sizeof(meta));
+  }
+
+  // Scatter: rows [d*R, d*R + R) of A to DPU d; out-of-range rows stay
+  // zero (the padded rows compute to zeros and are discarded on gather).
+  const MemSize a_stride = a_stride_bytes(k);
+  const MemSize stage_bytes = static_cast<MemSize>(rows_per_dpu) * a_stride;
+  std::vector<std::vector<std::uint8_t>> stage(
+      static_cast<std::size_t>(n_dpus));
+  for (int d = 0; d < n_dpus; ++d) {
+    auto& buf = stage[static_cast<std::size_t>(d)];
+    buf.assign(stage_bytes, 0);
+    for (int r = 0; r < rows_per_dpu; ++r) {
+      const int row = d * rows_per_dpu + r;
+      if (row >= m) break;
+      std::memcpy(buf.data() + static_cast<std::size_t>(r) * a_stride,
+                  a.data() + static_cast<std::size_t>(row) * k,
+                  static_cast<std::size_t>(k) * 2);
+    }
+    set.prepare_xfer(static_cast<DpuId>(d), buf.data());
+  }
+  set.push_xfer(XferDir::ToDpu, "a_rows", 0, stage_bytes);
+
+  GemmResult out;
+  out.dpus_used = static_cast<std::uint32_t>(n_dpus);
+  out.stats = set.launch(n_tasklets, opt);
+
+  // Gather: row i of C from DPU i/R, slot i%R.
+  out.c.resize(static_cast<std::size_t>(m) * n);
+  const MemSize c_stride = c_stride_bytes(n);
+  std::vector<std::int16_t> row(c_stride / 2);
+  for (int i = 0; i < m; ++i) {
+    set.copy_from(static_cast<DpuId>(i / rows_per_dpu), "c_rows",
+                  static_cast<MemSize>(i % rows_per_dpu) * c_stride,
+                  row.data(), c_stride);
+    std::memcpy(out.c.data() + static_cast<std::size_t>(i) * n, row.data(),
+                static_cast<std::size_t>(n) * 2);
+  }
+  return out;
+}
+
+Cycles estimate_gemm_row_cycles(int n, int k, GemmVariant variant,
+                                std::uint32_t n_tasklets,
+                                runtime::OptLevel opt, int rows_per_dpu) {
+  require(n >= 1 && k >= 1, "GEMM dimensions must be positive");
+  require(rows_per_dpu >= 1, "rows_per_dpu must be positive");
+  require(n_tasklets >= 1 && n_tasklets <= kMaxGemmTasklets,
+          "GEMM tasklets must be in [1, 16]");
+  const CostModel cost(opt);
+
+  struct T {
+    std::uint64_t slots = 0;
+    Cycles dma = 0;
+  };
+  std::vector<T> t(n_tasklets);
+  for (auto& ts : t) {
+    ts.slots += 5 * cost.alu_stmt(); // meta loads
+  }
+
+  if (variant == GemmVariant::WramTiled) {
+    // Tasklet 0 stages each A row in <=2048-byte DMAs.
+    for (int r = 0; r < rows_per_dpu; ++r) {
+      const MemSize row_bytes = static_cast<MemSize>(k) * 2;
+      MemSize off = 0;
+      while (off < row_bytes) {
+        const MemSize chunk = std::min<MemSize>(kDmaMax, row_bytes - off);
+        t[0].dma += CostModel::dma_cycles(chunk);
+        t[0].slots += cost.loop_iter();
+        off += chunk;
+      }
+    }
+  }
+
+  const int n_strips = (n + kGemmStrip - 1) / kGemmStrip;
+  for (int r = 0; r < rows_per_dpu; ++r) {
+    for (auto& ts : t) {
+      ts.slots += cost.loop_iter(); // row loop
+    }
+    for (int strip = 0; strip < n_strips; ++strip) {
+      T& ts = t[static_cast<std::uint32_t>(strip) % n_tasklets];
+      const int cols = std::min(kGemmStrip, n - strip * kGemmStrip);
+      const auto ucols = static_cast<std::uint64_t>(cols);
+
+      // Zero (plus the resident variant's initial flush to MRAM).
+      ts.slots += ucols * (cost.loop_iter() + cost.alu_stmt());
+      if (variant == GemmVariant::MramResident) {
+        ts.dma += CostModel::dma_cycles(ucols * 4);
+      }
+      // k iterations.
+      const std::uint64_t per_kk =
+          cost.loop_iter() +
+          (variant == GemmVariant::WramTiled ? cost.alu_stmt() : 0) +
+          cost.mul_stmt(16) +
+          ucols * (cost.loop_iter() + cost.mul_stmt(32) + 4 * cost.alu_stmt());
+      ts.slots += static_cast<std::uint64_t>(k) * per_kk;
+      Cycles per_kk_dma = CostModel::dma_cycles(ucols * 2);
+      if (variant == GemmVariant::MramResident) {
+        per_kk_dma += CostModel::dma_cycles(8)               // A element
+                      + 2 * CostModel::dma_cycles(ucols * 4); // ctmp RMW
+      }
+      ts.dma += static_cast<Cycles>(k) * per_kk_dma;
+      // Output stage.
+      ts.slots += ucols * (cost.loop_iter() + 4 * cost.alu_stmt());
+      ts.dma += CostModel::dma_cycles(ucols * 2);
+    }
+  }
+
+  std::uint64_t sum_slots = 0;
+  Cycles sum_dma = 0;
+  Cycles latency = 0;
+  for (const T& ts : t) {
+    sum_slots += ts.slots;
+    sum_dma += ts.dma;
+    latency = std::max(latency, static_cast<Cycles>(ts.slots) * 11 + ts.dma);
+  }
+  return std::max({static_cast<Cycles>(sum_slots), sum_dma, latency});
+}
+
+} // namespace pimdnn::yolo

@@ -1,0 +1,82 @@
+// The quantized GEMM DPU program — thesis §4.2.3 / Figure 4.6.
+//
+// The GEMM is unrolled across DPUs: DPU i receives row i of the weight
+// matrix A (K int16), the whole im2col input B (K x N int16), and produces
+// row i of C (N int16). Inside a DPU, tasklets parallelize over output
+// columns. Two implementation variants are provided:
+//
+//  * `WramTiled` — output columns are processed in 256-column strips whose
+//    int32 accumulators live in WRAM; B streams through WRAM in strip-sized
+//    DMA reads. This is the "carefully programmed to increase the number of
+//    WRAM accesses" style §4.3.3 recommends.
+//  * `MramResident` — the accumulator strip itself is re-read/re-written
+//    through MRAM on every k iteration and A is fetched element-by-element,
+//    modeling the thesis' actual port whose "memory accesses go to MRAM"
+//    and which suffered accordingly.
+//
+// Each multiply-accumulate multiplies a 32-bit APART by a 16-bit B element,
+// so every MAC calls __mulsi3 (no 32-bit multiplier in the DPU) — this is
+// the dominant cost and the reason a 416x416 YOLOv3 inference takes on the
+// order of a minute on the real hardware (§4.3.1).
+//
+// `estimate_gemm_row_cycles` computes the exact cycle count of one DPU's
+// row analytically (it mirrors the kernel's charges one-for-one; a test
+// asserts equality), enabling full-size per-layer latency reports without
+// functionally simulating 32 GMACs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "runtime/dpu_set.hpp"
+
+namespace pimdnn::yolo {
+
+/// GEMM kernel implementation variant (see file comment).
+enum class GemmVariant : std::uint8_t {
+  WramTiled,
+  MramResident,
+};
+
+/// Columns per strip: 256 int16 outputs / 256 int32 accumulators per
+/// tasklet keep 16 tasklets' buffers plus a staged A row inside 64 KB WRAM.
+inline constexpr int kGemmStrip = 256;
+
+/// Result of an offloaded GEMM.
+struct GemmResult {
+  /// The M x N output matrix, bit-identical to gemm_q16_reference.
+  std::vector<std::int16_t> c;
+  /// Launch statistics (wall = slowest DPU row).
+  runtime::LaunchStats stats;
+  /// DPUs used (= M, one row per DPU).
+  std::uint32_t dpus_used = 0;
+};
+
+/// Builds the GEMM DPU program for the given dimensions with
+/// `rows_per_dpu` rows of A/C resident per DPU.
+sim::DpuProgram make_gemm_program(int n, int k, GemmVariant variant,
+                                  int rows_per_dpu = 1);
+
+/// Offloads C(MxN) = clamp(alpha * A(MxK) * B(KxN) / 32) to
+/// ceil(M / rows_per_dpu) DPUs. `rows_per_dpu = 1` is the thesis' mapping
+/// (Figure 4.6: one row of A and C per DPU, all of B on every DPU);
+/// larger values implement the §6.1 future-work mapping that packs more
+/// work per DPU to free DPUs for other frames.
+GemmResult dpu_gemm(int m, int n, int k, std::int16_t alpha,
+                    std::span<const std::int16_t> a,
+                    std::span<const std::int16_t> b, GemmVariant variant,
+                    std::uint32_t n_tasklets,
+                    runtime::OptLevel opt = runtime::OptLevel::O3,
+                    const runtime::UpmemConfig& sys = sim::default_config(),
+                    int rows_per_dpu = 1);
+
+/// Exact analytic cycle count for one DPU computing `rows_per_dpu`
+/// N-column rows with the given variant/tasklets/opt — mirrors the
+/// kernel's cost charges one-for-one (tests assert equality).
+pimdnn::Cycles estimate_gemm_row_cycles(int n, int k, GemmVariant variant,
+                                        std::uint32_t n_tasklets,
+                                        runtime::OptLevel opt,
+                                        int rows_per_dpu = 1);
+
+} // namespace pimdnn::yolo

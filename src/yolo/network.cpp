@@ -1,0 +1,271 @@
+#include "yolo/network.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/fixed_point.hpp"
+#include "common/rng.hpp"
+#include "nn/gemm.hpp"
+#include "nn/im2col.hpp"
+#include "nn/layers.hpp"
+
+namespace pimdnn::yolo {
+
+YoloWeights YoloWeights::random(const std::vector<LayerDef>& defs, int in_c,
+                                std::uint64_t seed) {
+  Rng rng(seed);
+  YoloWeights w;
+  w.conv.resize(defs.size());
+
+  // Track channel counts the same way the runner does, so K is right.
+  struct Dim {
+    int c;
+  };
+  std::vector<Dim> dims;
+  int cur = in_c;
+  for (std::size_t i = 0; i < defs.size(); ++i) {
+    const LayerDef& d = defs[i];
+    auto resolve = [&](int idx) {
+      return static_cast<std::size_t>(
+          idx < 0 ? static_cast<long>(i) + idx : static_cast<long>(idx));
+    };
+    switch (d.type) {
+      case LayerType::Convolutional: {
+        const int kdim = cur * d.size * d.size;
+        auto& c = w.conv[i];
+        c.w.resize(static_cast<std::size_t>(d.filters) * kdim);
+        for (auto& v : c.w) {
+          v = static_cast<std::int16_t>(rng.uniform_int(-24, 24));
+        }
+        c.bias.resize(static_cast<std::size_t>(d.filters));
+        for (auto& v : c.bias) {
+          v = static_cast<std::int16_t>(rng.uniform_int(-64, 64));
+        }
+        c.alpha = 1;
+        cur = d.filters;
+        break;
+      }
+      case LayerType::Route: {
+        int sum = 0;
+        for (int idx : d.layers) sum += dims[resolve(idx)].c;
+        cur = sum;
+        break;
+      }
+      case LayerType::Shortcut:
+      case LayerType::Upsample:
+      case LayerType::Maxpool:
+      case LayerType::Yolo:
+        break;
+    }
+    dims.push_back({cur});
+  }
+  return w;
+}
+
+YoloRunner::YoloRunner(std::vector<LayerDef> defs, YoloWeights weights,
+                       int in_c, int in_h, int in_w,
+                       const runtime::UpmemConfig& sys)
+    : defs_(std::move(defs)),
+      weights_(std::move(weights)),
+      in_c_(in_c),
+      in_h_(in_h),
+      in_w_(in_w),
+      sys_(sys) {
+  require(weights_.conv.size() == defs_.size(),
+          "weights/layer count mismatch");
+  summarize(defs_, in_c, in_h, in_w); // validates the topology
+}
+
+YoloRunResult YoloRunner::run(std::span<const std::int16_t> input,
+                              ExecMode mode, std::uint32_t n_tasklets,
+                              runtime::OptLevel opt) const {
+  require(input.size() == static_cast<std::size_t>(in_c_) * in_h_ * in_w_,
+          "YoloRunner::run: wrong input size");
+
+  YoloRunResult out;
+  out.outputs.reserve(defs_.size());
+  out.layers.reserve(defs_.size());
+
+  struct Dim {
+    int c, h, w;
+  };
+  std::vector<Dim> dims;
+  std::vector<std::int16_t> cur(input.begin(), input.end());
+  Dim cd{in_c_, in_h_, in_w_};
+
+  for (std::size_t i = 0; i < defs_.size(); ++i) {
+    const LayerDef& d = defs_[i];
+    LayerStats ls;
+    ls.type = d.type;
+    auto resolve = [&](int idx) {
+      return static_cast<std::size_t>(
+          idx < 0 ? static_cast<long>(i) + idx : static_cast<long>(idx));
+    };
+
+    switch (d.type) {
+      case LayerType::Convolutional: {
+        const nn::ConvGeom g{cd.c, cd.h, cd.w, d.filters,
+                             d.size, d.stride, d.pad};
+        const int m = g.gemm_m();
+        const int k = g.gemm_k();
+        const int n = g.gemm_n();
+        ls.macs = g.macs();
+
+        std::vector<std::int16_t> cols(static_cast<std::size_t>(k) * n);
+        nn::im2col<std::int16_t>(g, cur, cols);
+
+        std::vector<std::int16_t> conv_out(static_cast<std::size_t>(m) * n);
+        const auto& cw = weights_.conv[i];
+        if (mode == ExecMode::Cpu) {
+          nn::gemm_q16_reference(m, n, k, cw.alpha, cw.w, cols, conv_out);
+        } else {
+          const GemmVariant variant = mode == ExecMode::DpuWram
+                                          ? GemmVariant::WramTiled
+                                          : GemmVariant::MramResident;
+          GemmResult r = dpu_gemm(m, n, k, cw.alpha, cw.w, cols, variant,
+                                  n_tasklets, opt, sys_);
+          conv_out = std::move(r.c);
+          ls.dpus = r.dpus_used;
+          ls.cycles = r.stats.wall_cycles;
+          out.profile.merge(r.stats.profile);
+        }
+
+        // Host post-processing: bias add + activation (§4.2.3: only the
+        // GEMM runs on the DPUs).
+        for (int f = 0; f < m; ++f) {
+          const std::int32_t bias = cw.bias[static_cast<std::size_t>(f)];
+          for (int j = 0; j < n; ++j) {
+            auto& v = conv_out[static_cast<std::size_t>(f) * n + j];
+            v = static_cast<std::int16_t>(
+                std::clamp(static_cast<std::int32_t>(v) + bias, -32767, 32767));
+          }
+        }
+        if (d.leaky) {
+          nn::leaky_relu_q16(conv_out);
+        }
+        cur = std::move(conv_out);
+        cd = {d.filters, g.out_h(), g.out_w()};
+        break;
+      }
+      case LayerType::Shortcut: {
+        const auto& other = out.outputs[resolve(d.from)];
+        std::vector<std::int16_t> sum(cur.size());
+        nn::shortcut_q16(cur, other, sum);
+        cur = std::move(sum);
+        break;
+      }
+      case LayerType::Route: {
+        std::vector<std::int16_t> cat;
+        Dim nd{0, 0, 0};
+        for (int idx : d.layers) {
+          const auto li = resolve(idx);
+          cat.insert(cat.end(), out.outputs[li].begin(),
+                     out.outputs[li].end());
+          nd.c += dims[li].c;
+          nd.h = dims[li].h;
+          nd.w = dims[li].w;
+        }
+        cur = std::move(cat);
+        cd = nd;
+        break;
+      }
+      case LayerType::Upsample: {
+        std::vector<std::int16_t> up(cur.size() * 4);
+        nn::upsample2x<std::int16_t>(cd.c, cd.h, cd.w, cur, up);
+        cur = std::move(up);
+        cd = {cd.c, cd.h * 2, cd.w * 2};
+        break;
+      }
+      case LayerType::Maxpool: {
+        const int oh = (cd.h + d.stride - 1) / d.stride;
+        const int ow = (cd.w + d.stride - 1) / d.stride;
+        std::vector<std::int16_t> pooled(
+            static_cast<std::size_t>(cd.c) * oh * ow);
+        nn::maxpool2d_darknet<std::int16_t>(cd.c, cd.h, cd.w, d.size,
+                                            d.stride, cur, pooled);
+        cur = std::move(pooled);
+        cd = {cd.c, oh, ow};
+        break;
+      }
+      case LayerType::Yolo:
+        break; // raw predictions pass through; decoding is in detect.cpp
+    }
+
+    ls.out_c = cd.c;
+    ls.out_h = cd.h;
+    ls.out_w = cd.w;
+    ls.seconds = sys_.cycles_to_seconds(ls.cycles);
+    out.total_cycles += ls.cycles;
+    out.layers.push_back(ls);
+    out.outputs.push_back(cur);
+    dims.push_back(cd);
+  }
+  out.total_seconds = sys_.cycles_to_seconds(out.total_cycles);
+  return out;
+}
+
+std::vector<LayerStats> YoloRunner::estimate(
+    const std::vector<LayerDef>& defs, int in_c, int in_h, int in_w,
+    GemmVariant variant, std::uint32_t n_tasklets, runtime::OptLevel opt) {
+  summarize(defs, in_c, in_h, in_w); // validate
+  std::vector<LayerStats> out;
+  out.reserve(defs.size());
+  const runtime::UpmemConfig& sys = sim::default_config();
+
+  struct Dim {
+    int c, h, w;
+  };
+  std::vector<Dim> dims;
+  Dim cd{in_c, in_h, in_w};
+  for (std::size_t i = 0; i < defs.size(); ++i) {
+    const LayerDef& d = defs[i];
+    LayerStats ls;
+    ls.type = d.type;
+    auto resolve = [&](int idx) {
+      return static_cast<std::size_t>(
+          idx < 0 ? static_cast<long>(i) + idx : static_cast<long>(idx));
+    };
+    switch (d.type) {
+      case LayerType::Convolutional: {
+        const nn::ConvGeom g{cd.c, cd.h, cd.w, d.filters,
+                             d.size, d.stride, d.pad};
+        ls.macs = g.macs();
+        ls.dpus = static_cast<std::uint32_t>(g.gemm_m());
+        ls.cycles = estimate_gemm_row_cycles(g.gemm_n(), g.gemm_k(), variant,
+                                             n_tasklets, opt);
+        cd = {d.filters, g.out_h(), g.out_w()};
+        break;
+      }
+      case LayerType::Route: {
+        Dim nd{0, 0, 0};
+        for (int idx : d.layers) {
+          nd.c += dims[resolve(idx)].c;
+          nd.h = dims[resolve(idx)].h;
+          nd.w = dims[resolve(idx)].w;
+        }
+        cd = nd;
+        break;
+      }
+      case LayerType::Upsample:
+        cd.h *= 2;
+        cd.w *= 2;
+        break;
+      case LayerType::Maxpool:
+        cd.h = (cd.h + d.stride - 1) / d.stride;
+        cd.w = (cd.w + d.stride - 1) / d.stride;
+        break;
+      case LayerType::Shortcut:
+      case LayerType::Yolo:
+        break;
+    }
+    ls.out_c = cd.c;
+    ls.out_h = cd.h;
+    ls.out_w = cd.w;
+    ls.seconds = sys.cycles_to_seconds(ls.cycles);
+    out.push_back(ls);
+    dims.push_back(cd);
+  }
+  return out;
+}
+
+} // namespace pimdnn::yolo

@@ -1,0 +1,108 @@
+// Quantized YOLOv3 network runner.
+//
+// Host/DPU split per thesis §4.2.3: only the GEMM inside each convolution
+// is delegated to the DPUs (quantization, bias, activation, shortcut,
+// route, upsample and the YOLO heads stay on the host). Layers execute
+// serially; each convolutional layer allocates M DPUs (one output row per
+// DPU, Figure 4.6) and the network's DPU time is the sum of per-layer wall
+// times. The CPU mode runs the identical integer arithmetic on the host;
+// DPU and CPU modes must agree bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "runtime/dpu_set.hpp"
+#include "sim/profile.hpp"
+#include "yolo/config.hpp"
+#include "yolo/dpu_gemm.hpp"
+
+namespace pimdnn::yolo {
+
+/// Where the convolutions' GEMMs execute.
+enum class ExecMode : std::uint8_t {
+  Cpu,      ///< host reference (golden model / baseline)
+  DpuWram,  ///< DPUs, WRAM-tiled kernel
+  DpuMram,  ///< DPUs, MRAM-resident kernel (the thesis-style port)
+};
+
+/// Per-layer quantized parameters.
+struct YoloWeights {
+  /// One entry per layer; only convolutional entries are populated.
+  struct Conv {
+    std::vector<std::int16_t> w;    ///< OIHW flattened, M x K
+    std::vector<std::int16_t> bias; ///< per filter, added on the host
+    std::int16_t alpha = 1;         ///< Algorithm 2's ALPHA scale
+  };
+  std::vector<Conv> conv;
+
+  /// Deterministic random weights for a layer list.
+  static YoloWeights random(const std::vector<LayerDef>& defs, int in_c,
+                            std::uint64_t seed);
+};
+
+/// Timing/shape record for one executed layer.
+struct LayerStats {
+  LayerType type;
+  int out_c = 0;
+  int out_h = 0;
+  int out_w = 0;
+  std::int64_t macs = 0;       ///< conv layers only
+  std::uint32_t dpus = 0;      ///< DPUs used (conv layers in DPU modes)
+  Cycles cycles = 0;           ///< wall cycles of the layer's DPU launch
+  Seconds seconds = 0.0;       ///< cycles at 350 MHz
+};
+
+/// Result of one inference.
+struct YoloRunResult {
+  /// Output tensor of every layer (CHW int16), index-aligned with defs.
+  std::vector<std::vector<std::int16_t>> outputs;
+  /// Per-layer stats.
+  std::vector<LayerStats> layers;
+  /// Sum of per-layer wall cycles (layers are serialized).
+  Cycles total_cycles = 0;
+  /// Total DPU seconds for the frame.
+  Seconds total_seconds = 0.0;
+  /// Merged subroutine profile over all launches.
+  sim::SubroutineProfile profile;
+};
+
+/// Network executor bound to a config and weights.
+class YoloRunner {
+public:
+  /// Binds the runner; validates the config against the input shape.
+  YoloRunner(std::vector<LayerDef> defs, YoloWeights weights, int in_c,
+             int in_h, int in_w,
+             const runtime::UpmemConfig& sys = sim::default_config());
+
+  /// Runs one frame (CHW int16 input of the bound shape).
+  YoloRunResult run(std::span<const std::int16_t> input, ExecMode mode,
+                    std::uint32_t n_tasklets = 11,
+                    runtime::OptLevel opt = runtime::OptLevel::O3) const;
+
+  /// Analytic per-layer cycle estimates for this config at any input size,
+  /// without computing the network (exact for the simulated kernels; used
+  /// for full-size 416x416 reports).
+  static std::vector<LayerStats> estimate(const std::vector<LayerDef>& defs,
+                                          int in_c, int in_h, int in_w,
+                                          GemmVariant variant,
+                                          std::uint32_t n_tasklets,
+                                          runtime::OptLevel opt);
+
+  /// The bound layer list.
+  const std::vector<LayerDef>& defs() const { return defs_; }
+
+  /// Bound input channel count / height / width.
+  int in_c() const { return in_c_; }
+  int in_h() const { return in_h_; }
+  int in_w() const { return in_w_; }
+
+private:
+  std::vector<LayerDef> defs_;
+  YoloWeights weights_;
+  int in_c_, in_h_, in_w_;
+  runtime::UpmemConfig sys_;
+};
+
+} // namespace pimdnn::yolo

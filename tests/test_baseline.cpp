@@ -1,0 +1,50 @@
+// CPU baseline tests: timing sanity and CPU/DPU prediction agreement.
+#include <gtest/gtest.h>
+
+#include "baseline/cpu_baseline.hpp"
+#include "ebnn/host.hpp"
+
+namespace pimdnn::baseline {
+namespace {
+
+TEST(CpuBaseline, TimesEbnnBatchAndPredicts) {
+  ebnn::EbnnConfig cfg;
+  cfg.filters = 8;
+  const auto w = ebnn::EbnnWeights::random(cfg, 3);
+  const auto data = ebnn::make_synthetic_mnist(8, 4);
+  const auto t = time_cpu_ebnn(cfg, w, ebnn::images_only(data), 2);
+  EXPECT_EQ(t.images, 8u);
+  EXPECT_GT(t.seconds, 0.0);
+  EXPECT_NEAR(t.seconds_per_image * 8.0, t.seconds, 1e-12);
+  ASSERT_EQ(t.predicted.size(), 8u);
+}
+
+TEST(CpuBaseline, PredictionsAgreeWithDpuPath) {
+  ebnn::EbnnConfig cfg;
+  cfg.filters = 8;
+  const auto w = ebnn::EbnnWeights::random(cfg, 5);
+  const auto data = ebnn::make_synthetic_mnist(6, 6);
+  const auto cpu = time_cpu_ebnn(cfg, w, ebnn::images_only(data), 1);
+  ebnn::EbnnHost host(cfg, w, ebnn::BnMode::HostLut);
+  const auto dpu = host.run(ebnn::images_only(data), 6);
+  EXPECT_EQ(cpu.predicted, dpu.predicted);
+}
+
+TEST(CpuBaseline, GemmTimingPositiveAndScales) {
+  const Seconds small = time_cpu_gemm_q16(8, 64, 16, 2);
+  const Seconds large = time_cpu_gemm_q16(32, 512, 64, 2);
+  EXPECT_GT(small, 0.0);
+  EXPECT_GT(large, small);
+}
+
+TEST(CpuBaseline, EmptyBatchIsWellDefined) {
+  ebnn::EbnnConfig cfg;
+  cfg.filters = 8;
+  const auto w = ebnn::EbnnWeights::random(cfg, 7);
+  const auto t = time_cpu_ebnn(cfg, w, {}, 1);
+  EXPECT_EQ(t.images, 0u);
+  EXPECT_EQ(t.seconds_per_image, 0.0);
+}
+
+} // namespace
+} // namespace pimdnn::baseline

@@ -1,0 +1,297 @@
+// Analytical PIM model tests: Algorithm 3 / Figure 5.4 pattern, Table 5.1
+// column reproduction, Table 5.2 Cop values, Eq. 5.3 parallelization
+// behaviour (Figure 5.5 trends), the Figure 5.6 crossover, the Table 5.3
+// memory model, and the Table 5.4 catalog/throughput math.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "pimmodel/catalog.hpp"
+#include "pimmodel/model.hpp"
+#include "pimmodel/ppim.hpp"
+
+namespace pimdnn::pimmodel {
+namespace {
+
+TEST(Ppim, AddsWithoutCarryPatternRisesThenFalls) {
+  // Figure 5.4: 0,2,4,...,plateau,...,4,2,0 for k = bits/2.
+  const auto p8 = ppim_adds_pattern(8); // 16-bit operands
+  EXPECT_EQ(p8, (std::vector<std::uint64_t>{0, 2, 4, 6, 6, 4, 2, 0}));
+  const auto p4 = ppim_adds_pattern(4); // 8-bit operands
+  EXPECT_EQ(p4, (std::vector<std::uint64_t>{0, 2, 2, 0}));
+  const auto p16 = ppim_adds_pattern(16);
+  EXPECT_EQ(p16.front(), 0u);
+  EXPECT_EQ(p16[7], 14u); // rises by 2 to the halfway plateau
+  EXPECT_EQ(p16[8], 14u);
+  EXPECT_EQ(p16.back(), 0u);
+}
+
+TEST(Ppim, TotalAddsMatchStarredTable52Entries) {
+  // 16-bit: 108 adds + 16 partial products = 124*; 32-bit: 952 + 64 = 1016*.
+  EXPECT_EQ(ppim_total_adds(8), 108u);
+  EXPECT_EQ(ppim_total_adds(16), 952u);
+}
+
+TEST(Ppim, MultCyclesTable52) {
+  EXPECT_EQ(ppim_mult_cycles(4), 1u);
+  EXPECT_EQ(ppim_mult_cycles(8), 6u);
+  EXPECT_EQ(ppim_mult_cycles(16), 124u);
+  EXPECT_EQ(ppim_mult_cycles(32), 1016u);
+  EXPECT_THROW(ppim_mult_cycles(7), UsageError);
+  EXPECT_THROW(ppim_mult_cycles(0), UsageError);
+}
+
+TEST(Model, Table51ColumnsAt8Bit) {
+  PpimModel ppim;
+  DrisaModel drisa;
+  UpmemModel upmem;
+  // Row 1: Dp. Row 2: CBB. Rows 4-5: scale functions. Row 6: Cop(MAC).
+  EXPECT_EQ(ppim.dp(), 1u);
+  EXPECT_EQ(drisa.dp(), 1u);
+  EXPECT_EQ(upmem.dp(), 11u);
+  EXPECT_EQ(ppim.cbb(), 1u);
+  EXPECT_EQ(ppim.acc_f(8), 2u);
+  EXPECT_EQ(drisa.acc_f(8), 11u);
+  EXPECT_EQ(upmem.acc_f(8), 4u);
+  EXPECT_EQ(ppim.mult_f(8), 6u);
+  EXPECT_EQ(drisa.mult_f(8), 200u);
+  EXPECT_EQ(upmem.mult_f(8), 4u);
+  EXPECT_EQ(ppim.cop_mac(8), 8u);
+  EXPECT_EQ(drisa.cop_mac(8), 211u);
+  EXPECT_EQ(upmem.cop_mac(8), 88u);
+  // Rows 7-8: PEs and frequency.
+  EXPECT_EQ(ppim.pes(), 256u);
+  EXPECT_EQ(drisa.pes(), 32768u);
+  EXPECT_EQ(upmem.pes(), 2560u);
+  EXPECT_DOUBLE_EQ(ppim.frequency_hz(), 1.25e9);
+  EXPECT_DOUBLE_EQ(drisa.frequency_hz(), 1.19e8);
+  EXPECT_DOUBLE_EQ(upmem.frequency_hz(), 3.5e8);
+}
+
+TEST(Model, Table51DerivedRows) {
+  // Rows 10-13 for the 8-bit AlexNet workload.
+  PpimModel ppim;
+  DrisaModel drisa;
+  UpmemModel upmem;
+  // Tcomp for one MAC (row 11).
+  EXPECT_NEAR(static_cast<double>(ppim.cop_mac(8)) / ppim.frequency_hz(),
+              6.40e-9, 1e-11);
+  EXPECT_NEAR(static_cast<double>(drisa.cop_mac(8)) / drisa.frequency_hz(),
+              1.77e-6, 2e-8);
+  EXPECT_NEAR(static_cast<double>(upmem.cop_mac(8)) / upmem.frequency_hz(),
+              2.51e-7, 1e-9);
+  // Ccomp / Tcomp for the full AlexNet (rows 12-13).
+  EXPECT_NEAR(static_cast<double>(ppim.ccomp(8, kAlexnetOps)), 8.0938e7,
+              8.0938e7 * 1e-3);
+  EXPECT_NEAR(ppim.tcomp(ppim.cop_mac(8), kAlexnetOps), 6.48e-2, 1e-3);
+  EXPECT_NEAR(drisa.tcomp(drisa.cop_mac(8), kAlexnetOps), 1.40e-1, 2e-3);
+  EXPECT_NEAR(upmem.tcomp(upmem.cop_mac(8), kAlexnetOps), 2.54e-1, 2e-3);
+}
+
+TEST(Model, Table52CopMultiplication) {
+  PpimModel ppim;
+  DrisaModel drisa;
+  UpmemModel upmem;
+  EXPECT_EQ(ppim.cop_mult(4), 1u);
+  EXPECT_EQ(ppim.cop_mult(8), 6u);
+  EXPECT_EQ(ppim.cop_mult(16), 124u);
+  EXPECT_EQ(ppim.cop_mult(32), 1016u);
+  EXPECT_EQ(drisa.cop_mult(4), 110u);
+  EXPECT_EQ(drisa.cop_mult(8), 200u);
+  EXPECT_EQ(drisa.cop_mult(16), 380u);
+  EXPECT_EQ(drisa.cop_mult(32), 740u);
+  EXPECT_EQ(upmem.cop_mult(4), 44u);
+  EXPECT_EQ(upmem.cop_mult(8), 44u);
+  // The thesis rounds 370/570; instruction-exact values are 374/572.
+  EXPECT_NEAR(static_cast<double>(upmem.cop_mult(16)), 370.0, 5.0);
+  EXPECT_NEAR(static_cast<double>(upmem.cop_mult(32)), 570.0, 5.0);
+}
+
+TEST(Model, Eq57ComposedDrisaReproducesLiteratureValues) {
+  // The four-building-block composition of Eq. 5.7 must land on the same
+  // multiplication costs as the fitted table (within a few cycles),
+  // validating the thesis' claim that Eq. 5.6 collapses to the simpler
+  // forms when parameters are plugged in.
+  DrisaModel drisa;
+  for (unsigned bits : {4u, 8u, 16u, 32u}) {
+    const auto composed = drisa_mult_composed(bits);
+    const auto table = drisa.mult_f(bits);
+    EXPECT_NEAR(static_cast<double>(composed), static_cast<double>(table),
+                5.0)
+        << bits << "-bit";
+  }
+}
+
+TEST(Model, CcompIsStepFunctionInTops) {
+  // Figure 5.5(a-c): cycles step up each time TOPs crosses a PE multiple.
+  PpimModel m;
+  const auto cop = m.cop_mult(8);
+  EXPECT_EQ(m.ccomp(cop, 1), m.ccomp(cop, 256));
+  EXPECT_GT(m.ccomp(cop, 257), m.ccomp(cop, 256));
+  EXPECT_EQ(m.ccomp(cop, 257), m.ccomp(cop, 512));
+  EXPECT_EQ(m.ccomp(cop, 512), 2 * m.ccomp(cop, 256));
+}
+
+TEST(Model, CcompDropsSteeplyThenLogarithmicallyInPes) {
+  // Figure 5.5(d-f): a steep drop when parallelism first appears, then a
+  // slow decay. Model the PE sweep by scaling a pPIM-like architecture.
+  const std::uint64_t tops = 100000;
+  const std::uint64_t cop = 6;
+  auto cycles = [&](std::uint64_t pes) {
+    return cop * ((tops + pes - 1) / pes);
+  };
+  EXPECT_EQ(cycles(1), cop * tops);
+  EXPECT_NEAR(static_cast<double>(cycles(2)),
+              static_cast<double>(cycles(1)) / 2.0,
+              static_cast<double>(cop));
+  const double drop_1_to_16 =
+      static_cast<double>(cycles(1)) / static_cast<double>(cycles(16));
+  const double drop_16_to_256 =
+      static_cast<double>(cycles(16)) / static_cast<double>(cycles(256));
+  EXPECT_NEAR(drop_1_to_16, 16.0, 0.1);
+  EXPECT_NEAR(drop_16_to_256, 16.0, 0.2);
+  // Monotone non-increasing throughout.
+  std::uint64_t prev = cycles(1);
+  for (std::uint64_t p = 2; p <= 4096; p *= 2) {
+    EXPECT_LE(cycles(p), prev);
+    prev = cycles(p);
+  }
+}
+
+TEST(Model, Figure56CrossoverLowPrecisionPpimWinsHighPrecisionUpmem) {
+  // "pPIM is best for both 8-bit and 16-bit multiplication but UPMEM does
+  // the best for 32-bit" at PEs=2560, TOPs=100000.
+  const std::uint64_t tops = 100000;
+  const std::uint64_t pes = 2560;
+  auto cycles = [&](const PimModel& m, unsigned bits) {
+    return m.cop_mult(bits) * ((tops + pes - 1) / pes);
+  };
+  PpimModel ppim;
+  DrisaModel drisa;
+  UpmemModel upmem;
+  for (unsigned bits : {8u, 16u}) {
+    EXPECT_LT(cycles(ppim, bits), cycles(drisa, bits)) << bits;
+    EXPECT_LT(cycles(ppim, bits), cycles(upmem, bits)) << bits;
+  }
+  EXPECT_LT(cycles(upmem, 32), cycles(ppim, 32));
+  EXPECT_LT(cycles(upmem, 32), cycles(drisa, 32));
+}
+
+TEST(Model, Table53MemoryModel) {
+  PpimModel ppim;
+  DrisaModel drisa;
+  UpmemModel upmem;
+  // OPs per PE (row 6).
+  EXPECT_EQ(ppim.sizebuf_bits() / 16, 16u);
+  EXPECT_EQ(drisa.sizebuf_bits() / 16, 65536u);
+  EXPECT_EQ(upmem.sizebuf_bits() / 16, 32000u);
+  // Local ops (row 7).
+  EXPECT_EQ(ppim.local_ops(8), 4096u);
+  EXPECT_EQ(drisa.local_ops(8), 2147483648u);
+  EXPECT_EQ(upmem.local_ops(8), 81920000u);
+  // Tmem (row 8).
+  EXPECT_NEAR(ppim.tmem(kAlexnetOps, 8), 4.24e-3, 2e-5);
+  EXPECT_NEAR(drisa.tmem(kAlexnetOps, 8), 1.80e-7, 1e-9);
+  EXPECT_NEAR(upmem.tmem(kAlexnetOps, 8), 3.07e-3, 1e-5);
+}
+
+TEST(Model, Section531TotalTimes) {
+  // "The total time for pPIM is 6.90E-02 s; DRISA 1.40E-01 s; UPMEM
+  // 2.57E-01 s."
+  PpimModel ppim;
+  DrisaModel drisa;
+  UpmemModel upmem;
+  EXPECT_NEAR(ppim.ttot(kAlexnetOps, 8), 6.90e-2, 1e-3);
+  EXPECT_NEAR(drisa.ttot(kAlexnetOps, 8), 1.40e-1, 2e-3);
+  EXPECT_NEAR(upmem.ttot(kAlexnetOps, 8), 2.57e-1, 2e-3);
+}
+
+TEST(Model, StandardModelsFactory) {
+  const auto models = standard_models();
+  ASSERT_EQ(models.size(), 3u);
+  EXPECT_EQ(models[0]->name(), "pPIM");
+  EXPECT_EQ(models[1]->name(), "DRISA");
+  EXPECT_EQ(models[2]->name(), "UPMEM");
+}
+
+TEST(Catalog, Table54SevenDevices) {
+  const auto devices = table54_catalog();
+  ASSERT_EQ(devices.size(), 7u);
+  EXPECT_EQ(devices[0].name, "UPMEM");
+  EXPECT_EQ(devices[4].name, "SCOPE-Vanilla");
+  // Power/area rows.
+  EXPECT_DOUBLE_EQ(devices[0].power_w_chip, 0.96);
+  EXPECT_DOUBLE_EQ(devices[0].area_mm2_chip, 30.0);
+  EXPECT_DOUBLE_EQ(devices[1].power_w_chip, 3.5);
+  EXPECT_DOUBLE_EQ(devices[4].area_mm2_chip, 273.0);
+}
+
+TEST(Catalog, UpmemThroughputUsesEngagedDpus) {
+  // Table 5.4: eBNN 5.63e3 frames/s-W and 1.80e2 frames/s-mm^2 follow from
+  // one DPU's 120 mW / 3.75 mm^2 at the measured 1.48 ms latency.
+  const auto devices = table54_catalog();
+  const auto& upmem = devices[0];
+  const auto e = throughput(upmem.ebnn_latency, upmem.ebnn_power_w,
+                            upmem.ebnn_area_mm2);
+  EXPECT_NEAR(e.frames_per_s_watt, 5.63e3, 5.63e3 * 0.01);
+  EXPECT_NEAR(e.frames_per_s_mm2, 1.80e2, 1.80e2 * 0.01);
+  const auto y = throughput(upmem.yolo_latency, upmem.yolo_power_w,
+                            upmem.yolo_area_mm2);
+  EXPECT_NEAR(y.frames_per_s_watt, 1.25e-4, 1.25e-4 * 0.02);
+}
+
+TEST(Catalog, Figure57Orderings) {
+  // DRISA is the poorest of the analytical models on both metrics; pPIM
+  // and LAcc lead frames/W; SCOPE leads frames/mm^2 (thesis §5.4.1).
+  const auto devices = table54_catalog();
+  auto find = [&](const std::string& n) -> const PimDevice& {
+    for (const auto& d : devices) {
+      if (d.name == n) return d;
+    }
+    throw UsageError("missing device " + n);
+  };
+  auto ew = [&](const PimDevice& d) {
+    return throughput(d.ebnn_latency, d.ebnn_power_w, d.ebnn_area_mm2)
+        .frames_per_s_watt;
+  };
+  auto ea = [&](const PimDevice& d) {
+    return throughput(d.ebnn_latency, d.ebnn_power_w, d.ebnn_area_mm2)
+        .frames_per_s_mm2;
+  };
+  EXPECT_GT(ew(find("pPIM")), ew(find("DRISA-3T1C")));
+  EXPECT_GT(ew(find("LACC")), ew(find("DRISA-3T1C")));
+  EXPECT_GT(ea(find("SCOPE-Vanilla")), ea(find("pPIM")));
+  EXPECT_GT(ea(find("SCOPE-Vanilla")), ea(find("DRISA-3T1C")));
+  // UPMEM's measured latencies leave it far behind the analytical models.
+  EXPECT_LT(ew(find("UPMEM")), ew(find("pPIM")));
+}
+
+TEST(Catalog, SimulatedUpmemLatenciesSubstitute) {
+  const auto devices = table54_catalog(2.0e-3, 50.0);
+  EXPECT_DOUBLE_EQ(devices[0].ebnn_latency, 2.0e-3);
+  EXPECT_DOUBLE_EQ(devices[0].yolo_latency, 50.0);
+  EXPECT_DOUBLE_EQ(devices[1].ebnn_latency, 3.8e-7); // others untouched
+}
+
+TEST(Catalog, ThroughputValidatesInputs) {
+  EXPECT_THROW(throughput(0.0, 1.0, 1.0), UsageError);
+  EXPECT_THROW(throughput(1.0, -1.0, 1.0), UsageError);
+}
+
+class ModelBitsSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ModelBitsSweep, CopGrowsWithPrecisionWithinEachModel) {
+  const unsigned bits = GetParam();
+  for (const auto& m : standard_models()) {
+    if (bits < 32) {
+      EXPECT_LE(m->cop_mult(bits), m->cop_mult(bits * 2)) << m->name();
+      EXPECT_LE(m->cop_mac(bits), m->cop_mac(bits * 2)) << m->name();
+    }
+    EXPECT_GE(m->cop_mult(bits), 1u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, ModelBitsSweep,
+                         ::testing::Values(4u, 8u, 16u, 32u));
+
+} // namespace
+} // namespace pimdnn::pimmodel

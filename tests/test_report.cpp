@@ -1,0 +1,91 @@
+// Tests for the launch-report module: bound classification, imbalance
+// metric and report rendering.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/dpu.hpp"
+#include "sim/report.hpp"
+
+namespace pimdnn::sim {
+namespace {
+
+DpuProgram program_with(std::function<void(TaskletCtx&)> fn) {
+  DpuProgram p;
+  p.name = "report_test";
+  p.symbols = {{"m", MemKind::Mram, 1 << 20}, {"w", MemKind::Wram, 4096}};
+  p.entry = std::move(fn);
+  return p;
+}
+
+TEST(Report, ClassifiesLatencyBound) {
+  // One tasklet: per-tasklet latency (11x slots) dominates.
+  Dpu d;
+  d.load(program_with([](TaskletCtx& ctx) { ctx.charge_alu(1000); }));
+  const auto stats = d.launch(1, OptLevel::O3);
+  EXPECT_EQ(dominant_bound(stats), CycleBound::Latency);
+}
+
+TEST(Report, ClassifiesIssueBound) {
+  // 16 balanced tasklets: the pipeline issues back-to-back.
+  Dpu d;
+  d.load(program_with([](TaskletCtx& ctx) { ctx.charge_alu(1000); }));
+  const auto stats = d.launch(16, OptLevel::O3);
+  EXPECT_EQ(dominant_bound(stats), CycleBound::Issue);
+  EXPECT_EQ(stats.cycles, stats.total_slots);
+}
+
+TEST(Report, ClassifiesDmaBound) {
+  Dpu d;
+  d.load(program_with([](TaskletCtx& ctx) {
+    auto buf = ctx.wram_span<std::uint8_t>("w");
+    for (int i = 0; i < 64; ++i) {
+      ctx.mram_read(buf.data(), ctx.mram_addr("m"), 2048);
+    }
+    ctx.charge_alu(10);
+  }));
+  const auto stats = d.launch(4, OptLevel::O3);
+  EXPECT_EQ(dominant_bound(stats), CycleBound::Dma);
+}
+
+TEST(Report, ImbalanceMetric) {
+  Dpu d;
+  d.load(program_with([](TaskletCtx& ctx) {
+    ctx.charge_alu(ctx.id() == 0 ? 3000 : 1000);
+  }));
+  const auto stats = d.launch(2, OptLevel::O3);
+  // Slowest = 3000, mean = 2000 -> 1.5.
+  EXPECT_NEAR(tasklet_imbalance(stats), 1.5, 1e-9);
+
+  Dpu b;
+  b.load(program_with([](TaskletCtx& ctx) { ctx.charge_alu(500); }));
+  EXPECT_NEAR(tasklet_imbalance(b.launch(8, OptLevel::O3)), 1.0, 1e-9);
+}
+
+TEST(Report, PrintContainsKeySections) {
+  Dpu d;
+  d.load(program_with([](TaskletCtx& ctx) {
+    (void)ctx.fadd(1.0f, 2.0f);
+    ctx.charge_alu(50);
+  }));
+  const auto stats = d.launch(2, OptLevel::O0);
+  std::ostringstream os;
+  print_report(os, stats);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("cycles:"), std::string::npos);
+  EXPECT_NE(s.find("bound:"), std::string::npos);
+  EXPECT_NE(s.find("[ 0]"), std::string::npos);
+  EXPECT_NE(s.find("__addsf3"), std::string::npos);
+}
+
+TEST(Report, BoundNamesPrintable) {
+  EXPECT_STREQ(cycle_bound_name(CycleBound::Issue),
+               "issue-bound (pipeline full)");
+  EXPECT_STREQ(cycle_bound_name(CycleBound::Dma),
+               "DMA-bound (MRAM interface)");
+  EXPECT_STREQ(cycle_bound_name(CycleBound::Latency),
+               "latency-bound (under-threaded)");
+}
+
+} // namespace
+} // namespace pimdnn::sim

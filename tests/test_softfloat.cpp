@@ -1,0 +1,217 @@
+// Property tests for the bit-exact IEEE-754 soft-float library: results
+// must equal the host FPU bit-for-bit across large random operand sweeps,
+// including subnormals, zeros and infinities. This is what justifies the
+// simulator computing DPU float math natively while charging subroutine
+// cycles.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "common/rng.hpp"
+#include "sim/softfloat.hpp"
+
+namespace pimdnn::sim::softfloat {
+namespace {
+
+/// Random float covering normals, subnormals, zeros, infinities.
+F32 random_bits(Rng& rng) {
+  // Bias toward interesting exponents occasionally.
+  const auto roll = rng.next_u32() % 10;
+  if (roll == 0) {
+    // subnormal or zero
+    return (rng.next_u32() & 0x807fffffu);
+  }
+  if (roll == 1) {
+    // near-extreme exponents
+    const std::uint32_t exp = (rng.next_u32() % 4 < 2) ? 1 : 0xfe;
+    return (rng.next_u32() & 0x807fffffu) | (exp << 23);
+  }
+  return rng.next_u32();
+}
+
+bool both_nan(float a, float b) { return std::isnan(a) && std::isnan(b); }
+
+void expect_bits_equal(float expected, F32 got_bits, F32 a, F32 b,
+                       const char* op) {
+  const float got = from_bits(got_bits);
+  if (both_nan(expected, got)) return; // NaN payloads may differ
+  EXPECT_EQ(to_bits(expected), got_bits)
+      << op << " a=" << std::hexfloat << from_bits(a) << " b=" << from_bits(b)
+      << " expected=" << expected << " got=" << got;
+}
+
+TEST(SoftFloat, AddMatchesHardwareRandomSweep) {
+  Rng rng(101);
+  for (int i = 0; i < 200000; ++i) {
+    const F32 a = random_bits(rng);
+    const F32 b = random_bits(rng);
+    if (is_nan(a) || is_nan(b)) continue;
+    expect_bits_equal(from_bits(a) + from_bits(b), add(a, b), a, b, "add");
+  }
+}
+
+TEST(SoftFloat, SubMatchesHardwareRandomSweep) {
+  Rng rng(102);
+  for (int i = 0; i < 200000; ++i) {
+    const F32 a = random_bits(rng);
+    const F32 b = random_bits(rng);
+    if (is_nan(a) || is_nan(b)) continue;
+    expect_bits_equal(from_bits(a) - from_bits(b), sub(a, b), a, b, "sub");
+  }
+}
+
+TEST(SoftFloat, MulMatchesHardwareRandomSweep) {
+  Rng rng(103);
+  for (int i = 0; i < 200000; ++i) {
+    const F32 a = random_bits(rng);
+    const F32 b = random_bits(rng);
+    if (is_nan(a) || is_nan(b)) continue;
+    expect_bits_equal(from_bits(a) * from_bits(b), mul(a, b), a, b, "mul");
+  }
+}
+
+TEST(SoftFloat, DivMatchesHardwareRandomSweep) {
+  Rng rng(104);
+  for (int i = 0; i < 200000; ++i) {
+    const F32 a = random_bits(rng);
+    const F32 b = random_bits(rng);
+    if (is_nan(a) || is_nan(b)) continue;
+    expect_bits_equal(from_bits(a) / from_bits(b), div(a, b), a, b, "div");
+  }
+}
+
+TEST(SoftFloat, AddHandlesSignedZeros) {
+  EXPECT_EQ(add(to_bits(0.0f), to_bits(-0.0f)), to_bits(0.0f));
+  EXPECT_EQ(add(to_bits(-0.0f), to_bits(-0.0f)), to_bits(-0.0f));
+  EXPECT_EQ(add(to_bits(0.0f), to_bits(0.0f)), to_bits(0.0f));
+  // Exact cancellation of finite values gives +0 in round-to-nearest.
+  EXPECT_EQ(add(to_bits(1.5f), to_bits(-1.5f)), to_bits(0.0f));
+}
+
+TEST(SoftFloat, InfinityArithmetic) {
+  const F32 inf = to_bits(INFINITY);
+  const F32 ninf = to_bits(-INFINITY);
+  EXPECT_EQ(add(inf, to_bits(1.0f)), inf);
+  EXPECT_TRUE(is_nan(add(inf, ninf)));
+  EXPECT_EQ(mul(inf, to_bits(-2.0f)), ninf);
+  EXPECT_TRUE(is_nan(mul(inf, to_bits(0.0f))));
+  EXPECT_EQ(div(to_bits(1.0f), to_bits(0.0f)), inf);
+  EXPECT_EQ(div(to_bits(-1.0f), to_bits(0.0f)), ninf);
+  EXPECT_TRUE(is_nan(div(to_bits(0.0f), to_bits(0.0f))));
+  EXPECT_TRUE(is_nan(div(inf, inf)));
+  EXPECT_EQ(div(to_bits(1.0f), inf), to_bits(0.0f));
+}
+
+TEST(SoftFloat, OverflowRoundsToInfinity) {
+  const float big = 3.0e38f;
+  expect_bits_equal(big + big, add(to_bits(big), to_bits(big)), to_bits(big),
+                    to_bits(big), "add-overflow");
+  expect_bits_equal(big * 10.0f, mul(to_bits(big), to_bits(10.0f)),
+                    to_bits(big), to_bits(10.0f), "mul-overflow");
+}
+
+TEST(SoftFloat, UnderflowProducesSubnormals) {
+  const float tiny = 1.0e-38f;
+  expect_bits_equal(tiny / 16.0f, div(to_bits(tiny), to_bits(16.0f)),
+                    to_bits(tiny), to_bits(16.0f), "div-subnormal");
+  expect_bits_equal(tiny * 0.001f, mul(to_bits(tiny), to_bits(0.001f)),
+                    to_bits(tiny), to_bits(0.001f), "mul-subnormal");
+}
+
+TEST(SoftFloat, ComparisonsMatchHardware) {
+  Rng rng(105);
+  for (int i = 0; i < 100000; ++i) {
+    const F32 a = random_bits(rng);
+    const F32 b = random_bits(rng);
+    const float fa = from_bits(a);
+    const float fb = from_bits(b);
+    EXPECT_EQ(lt(a, b), fa < fb) << fa << " " << fb;
+    EXPECT_EQ(le(a, b), fa <= fb) << fa << " " << fb;
+    EXPECT_EQ(eq(a, b), fa == fb) << fa << " " << fb;
+  }
+}
+
+TEST(SoftFloat, ComparisonTreatsZerosEqual) {
+  EXPECT_TRUE(eq(to_bits(0.0f), to_bits(-0.0f)));
+  EXPECT_FALSE(lt(to_bits(-0.0f), to_bits(0.0f)));
+  EXPECT_TRUE(le(to_bits(-0.0f), to_bits(0.0f)));
+}
+
+TEST(SoftFloat, NanIsUnordered) {
+  const F32 nan = kQuietNan;
+  EXPECT_FALSE(lt(nan, to_bits(1.0f)));
+  EXPECT_FALSE(le(nan, nan));
+  EXPECT_FALSE(eq(nan, nan));
+}
+
+TEST(SoftFloat, FromI32MatchesHardwareExhaustiveSmall) {
+  for (std::int32_t v = -70000; v <= 70000; v += 7) {
+    expect_bits_equal(static_cast<float>(v), from_i32(v), 0, 0, "i2f");
+  }
+}
+
+TEST(SoftFloat, FromI32MatchesHardwareRandom) {
+  Rng rng(106);
+  for (int i = 0; i < 100000; ++i) {
+    const auto v = static_cast<std::int32_t>(rng.next_u32());
+    expect_bits_equal(static_cast<float>(v), from_i32(v), 0, 0, "i2f-rand");
+  }
+  expect_bits_equal(static_cast<float>(INT32_MIN), from_i32(INT32_MIN), 0, 0,
+                    "i2f-min");
+  expect_bits_equal(static_cast<float>(INT32_MAX), from_i32(INT32_MAX), 0, 0,
+                    "i2f-max");
+}
+
+TEST(SoftFloat, ToI32TruncatesTowardZero) {
+  EXPECT_EQ(to_i32(to_bits(1.9f)), 1);
+  EXPECT_EQ(to_i32(to_bits(-1.9f)), -1);
+  EXPECT_EQ(to_i32(to_bits(0.99f)), 0);
+  EXPECT_EQ(to_i32(to_bits(-0.99f)), 0);
+  EXPECT_EQ(to_i32(to_bits(123456.0f)), 123456);
+}
+
+TEST(SoftFloat, ToI32SaturatesAndHandlesEdges) {
+  EXPECT_EQ(to_i32(to_bits(3.0e9f)), INT32_MAX);
+  EXPECT_EQ(to_i32(to_bits(-3.0e9f)), INT32_MIN);
+  EXPECT_EQ(to_i32(to_bits(-2147483648.0f)), INT32_MIN);
+  EXPECT_EQ(to_i32(kQuietNan), 0);
+  EXPECT_EQ(to_i32(to_bits(INFINITY)), INT32_MAX);
+  EXPECT_EQ(to_i32(to_bits(-INFINITY)), INT32_MIN);
+}
+
+TEST(SoftFloat, ToI32MatchesHardwareInRange) {
+  Rng rng(107);
+  for (int i = 0; i < 100000; ++i) {
+    const float f = static_cast<float>(rng.uniform(-2.0e9, 2.0e9));
+    EXPECT_EQ(to_i32(to_bits(f)), static_cast<std::int32_t>(f)) << f;
+  }
+}
+
+TEST(SoftFloat, BnChainMatchesNativeFloat) {
+  // The exact operation sequence of the eBNN BN-BinAct block must agree
+  // with native float evaluation for every possible conv-pool input.
+  Rng rng(108);
+  for (int trial = 0; trial < 1000; ++trial) {
+    const float w0 = static_cast<float>(rng.uniform(-1, 1));
+    const float w1 = static_cast<float>(rng.uniform(-2, 2));
+    const float w2 =
+        static_cast<float>(rng.uniform(0.5, 2.5)) * (rng.sign() > 0 ? 1 : -1);
+    const float w3 = static_cast<float>(rng.uniform(0.25, 1.5));
+    const float w4 = static_cast<float>(rng.uniform(-1, 1));
+    for (int x = -9; x <= 9; ++x) {
+      const float native = ((static_cast<float>(x) + w0 - w1) / w2) * w3 + w4;
+      F32 t = from_i32(x);
+      t = add(t, to_bits(w0));
+      t = sub(t, to_bits(w1));
+      t = div(t, to_bits(w2));
+      t = mul(t, to_bits(w3));
+      t = add(t, to_bits(w4));
+      EXPECT_EQ(to_bits(native), t);
+      EXPECT_EQ(native >= 0.0f, !lt(t, to_bits(0.0f)));
+    }
+  }
+}
+
+} // namespace
+} // namespace pimdnn::sim::softfloat
