@@ -161,11 +161,10 @@ bench-build/CMakeFiles/bench_fig4_7b_optimization.dir/bench_fig4_7b_optimization
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/yolo/detect.hpp \
  /usr/include/c++/12/span /usr/include/c++/12/array \
  /usr/include/c++/12/cstddef /root/repo/src/yolo/network.hpp \
- /root/repo/src/runtime/dpu_set.hpp /usr/include/c++/12/optional \
+ /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
- /root/repo/src/common/types.hpp /root/repo/src/sim/dpu.hpp \
- /usr/include/c++/12/functional /usr/include/c++/12/tuple \
- /usr/include/c++/12/bits/uses_allocator.h \
+ /root/repo/src/runtime/dpu_pool.hpp /usr/include/c++/12/functional \
+ /usr/include/c++/12/tuple /usr/include/c++/12/bits/uses_allocator.h \
  /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map \
  /usr/include/c++/12/ext/aligned_buffer.h \
@@ -179,7 +178,9 @@ bench-build/CMakeFiles/bench_fig4_7b_optimization.dir/bench_fig4_7b_optimization
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/sim/config.hpp \
+ /usr/include/c++/12/bits/stl_multimap.h \
+ /root/repo/src/runtime/dpu_set.hpp /root/repo/src/common/types.hpp \
+ /root/repo/src/sim/dpu.hpp /root/repo/src/sim/config.hpp \
  /root/repo/src/sim/cost_model.hpp /root/repo/src/sim/memory.hpp \
  /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
  /usr/include/c++/12/memory \
@@ -219,8 +220,12 @@ bench-build/CMakeFiles/bench_fig4_7b_optimization.dir/bench_fig4_7b_optimization
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h \
- /root/repo/src/common/error.hpp /root/repo/src/sim/profile.hpp \
- /root/repo/src/sim/tasklet.hpp /root/repo/src/sim/softfloat.hpp \
- /root/repo/src/sim/softfloat64.hpp /root/repo/src/yolo/config.hpp \
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/common/error.hpp \
+ /root/repo/src/sim/profile.hpp /root/repo/src/sim/tasklet.hpp \
+ /root/repo/src/sim/softfloat.hpp /root/repo/src/sim/softfloat64.hpp \
+ /root/repo/src/sim/report.hpp /root/repo/src/yolo/config.hpp \
  /root/repo/src/yolo/dpu_gemm.hpp

@@ -220,8 +220,12 @@ bench-build/CMakeFiles/bench_fw_optimized_kernel.dir/bench_fw_optimized_kernel.c
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h \
- /root/repo/src/common/error.hpp /root/repo/src/sim/profile.hpp \
- /root/repo/src/sim/tasklet.hpp /root/repo/src/sim/softfloat.hpp \
- /root/repo/src/sim/softfloat64.hpp /root/repo/src/runtime/dpu_set.hpp \
- /usr/include/c++/12/optional /root/repo/src/ebnn/mnist_synth.hpp
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/common/error.hpp \
+ /root/repo/src/sim/profile.hpp /root/repo/src/sim/tasklet.hpp \
+ /root/repo/src/sim/softfloat.hpp /root/repo/src/sim/softfloat64.hpp \
+ /root/repo/src/runtime/dpu_set.hpp /usr/include/c++/12/optional \
+ /root/repo/src/sim/report.hpp /root/repo/src/ebnn/mnist_synth.hpp

@@ -222,7 +222,9 @@ bench-build/CMakeFiles/bench_micro_kernels.dir/bench_micro_kernels.cpp.o: \
  /usr/include/c++/12/backward/auto_ptr.h \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
- /usr/include/c++/12/pstl/glue_memory_defs.h \
- /root/repo/src/common/error.hpp /root/repo/src/sim/profile.hpp \
- /root/repo/src/sim/tasklet.hpp /root/repo/src/sim/softfloat.hpp \
- /root/repo/src/sim/softfloat64.hpp
+ /usr/include/c++/12/pstl/glue_memory_defs.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/common/error.hpp \
+ /root/repo/src/sim/profile.hpp /root/repo/src/sim/tasklet.hpp \
+ /root/repo/src/sim/softfloat.hpp /root/repo/src/sim/softfloat64.hpp

@@ -223,10 +223,14 @@ bench-build/CMakeFiles/bench_sec4_3_latency.dir/bench_sec4_3_latency.cpp.o: \
  /usr/include/c++/12/backward/auto_ptr.h \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
- /usr/include/c++/12/pstl/glue_memory_defs.h \
- /root/repo/src/common/error.hpp /root/repo/src/sim/profile.hpp \
- /root/repo/src/sim/tasklet.hpp /root/repo/src/sim/softfloat.hpp \
- /root/repo/src/sim/softfloat64.hpp /root/repo/src/runtime/dpu_set.hpp \
- /usr/include/c++/12/optional /root/repo/src/ebnn/mnist_synth.hpp \
- /root/repo/src/yolo/network.hpp /root/repo/src/yolo/config.hpp \
- /root/repo/src/yolo/dpu_gemm.hpp
+ /usr/include/c++/12/pstl/glue_memory_defs.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/common/error.hpp \
+ /root/repo/src/sim/profile.hpp /root/repo/src/sim/tasklet.hpp \
+ /root/repo/src/sim/softfloat.hpp /root/repo/src/sim/softfloat64.hpp \
+ /root/repo/src/runtime/dpu_set.hpp /usr/include/c++/12/optional \
+ /root/repo/src/sim/report.hpp /root/repo/src/ebnn/mnist_synth.hpp \
+ /root/repo/src/yolo/network.hpp /root/repo/src/runtime/dpu_pool.hpp \
+ /root/repo/src/yolo/config.hpp /root/repo/src/yolo/dpu_gemm.hpp

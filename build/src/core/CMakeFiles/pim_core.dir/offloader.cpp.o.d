@@ -136,17 +136,17 @@ src/core/CMakeFiles/pim_core.dir/offloader.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/types/error_t.h \
  /usr/include/c++/12/bits/charconv.h \
  /usr/include/c++/12/bits/basic_string.tcc \
- /root/repo/src/runtime/dpu_set.hpp /usr/include/c++/12/optional \
+ /root/repo/src/runtime/dpu_pool.hpp /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/optional \
  /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/bits/nested_exception.h \
- /root/repo/src/common/types.hpp /usr/include/c++/12/cstddef \
- /root/repo/src/sim/dpu.hpp /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/sim/config.hpp \
- /root/repo/src/sim/cost_model.hpp /root/repo/src/sim/memory.hpp \
- /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
- /usr/include/c++/12/memory \
+ /root/repo/src/runtime/dpu_set.hpp /root/repo/src/common/types.hpp \
+ /usr/include/c++/12/cstddef /root/repo/src/sim/dpu.hpp \
+ /root/repo/src/sim/config.hpp /root/repo/src/sim/cost_model.hpp \
+ /root/repo/src/sim/memory.hpp /usr/include/c++/12/cstring \
+ /usr/include/string.h /usr/include/strings.h /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \
@@ -215,10 +215,14 @@ src/core/CMakeFiles/pim_core.dir/offloader.cpp.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h \
- /root/repo/src/common/error.hpp /root/repo/src/sim/profile.hpp \
- /root/repo/src/sim/tasklet.hpp /usr/include/c++/12/span \
- /root/repo/src/sim/softfloat.hpp /root/repo/src/sim/softfloat64.hpp \
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/common/error.hpp \
+ /root/repo/src/sim/profile.hpp /root/repo/src/sim/tasklet.hpp \
+ /usr/include/c++/12/span /root/repo/src/sim/softfloat.hpp \
+ /root/repo/src/sim/softfloat64.hpp /root/repo/src/sim/report.hpp \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \

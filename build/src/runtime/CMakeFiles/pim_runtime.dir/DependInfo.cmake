@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/dpu_pool.cpp" "src/runtime/CMakeFiles/pim_runtime.dir/dpu_pool.cpp.o" "gcc" "src/runtime/CMakeFiles/pim_runtime.dir/dpu_pool.cpp.o.d"
   "/root/repo/src/runtime/dpu_set.cpp" "src/runtime/CMakeFiles/pim_runtime.dir/dpu_set.cpp.o" "gcc" "src/runtime/CMakeFiles/pim_runtime.dir/dpu_set.cpp.o.d"
   )
 

@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/pim_runtime.dir/dpu_pool.cpp.o"
+  "CMakeFiles/pim_runtime.dir/dpu_pool.cpp.o.d"
   "CMakeFiles/pim_runtime.dir/dpu_set.cpp.o"
   "CMakeFiles/pim_runtime.dir/dpu_set.cpp.o.d"
   "libpim_runtime.a"

@@ -300,8 +300,11 @@ tests/CMakeFiles/test_calibration.dir/test_calibration.cpp.o: \
  /root/repo/src/nn/im2col.hpp /root/repo/src/sim/dpu.hpp \
  /root/repo/src/sim/config.hpp /root/repo/src/sim/cost_model.hpp \
  /root/repo/src/sim/memory.hpp /usr/include/c++/12/cstring \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/common/error.hpp /root/repo/src/sim/profile.hpp \
  /root/repo/src/sim/tasklet.hpp /root/repo/src/sim/softfloat.hpp \
  /root/repo/src/sim/softfloat64.hpp /root/repo/src/runtime/dpu_set.hpp \
- /root/repo/src/ebnn/mnist_synth.hpp /root/repo/src/yolo/dpu_gemm.hpp \
+ /root/repo/src/sim/report.hpp /root/repo/src/ebnn/mnist_synth.hpp \
+ /root/repo/src/yolo/dpu_gemm.hpp /root/repo/src/runtime/dpu_pool.hpp \
  /root/repo/src/yolo/network.hpp /root/repo/src/yolo/config.hpp

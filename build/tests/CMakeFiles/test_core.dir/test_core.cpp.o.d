@@ -297,10 +297,13 @@ tests/CMakeFiles/test_core.dir/test_core.cpp.o: \
  /root/repo/src/runtime/dpu_set.hpp /root/repo/src/common/types.hpp \
  /root/repo/src/sim/dpu.hpp /root/repo/src/sim/config.hpp \
  /root/repo/src/sim/cost_model.hpp /root/repo/src/sim/memory.hpp \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/common/error.hpp /root/repo/src/sim/profile.hpp \
  /root/repo/src/sim/tasklet.hpp /usr/include/c++/12/span \
  /root/repo/src/sim/softfloat.hpp /root/repo/src/sim/softfloat64.hpp \
- /root/repo/src/core/offloader.hpp /root/repo/src/ebnn/host.hpp \
+ /root/repo/src/sim/report.hpp /root/repo/src/core/offloader.hpp \
+ /root/repo/src/runtime/dpu_pool.hpp /root/repo/src/ebnn/host.hpp \
  /root/repo/src/ebnn/dpu_kernel.hpp /root/repo/src/ebnn/lut.hpp \
  /root/repo/src/ebnn/model.hpp /root/repo/src/common/rng.hpp \
  /root/repo/src/nn/layers.hpp /root/repo/src/nn/im2col.hpp \

@@ -299,8 +299,11 @@ tests/CMakeFiles/test_ebnn.dir/test_ebnn.cpp.o: \
  /usr/include/c++/12/span /root/repo/src/nn/im2col.hpp \
  /root/repo/src/sim/dpu.hpp /root/repo/src/sim/config.hpp \
  /root/repo/src/sim/cost_model.hpp /root/repo/src/sim/memory.hpp \
- /usr/include/c++/12/cstring /root/repo/src/common/error.hpp \
+ /usr/include/c++/12/cstring /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/common/error.hpp \
  /root/repo/src/sim/profile.hpp /root/repo/src/sim/tasklet.hpp \
  /root/repo/src/sim/softfloat.hpp /root/repo/src/sim/softfloat64.hpp \
  /root/repo/src/ebnn/host.hpp /root/repo/src/runtime/dpu_set.hpp \
- /root/repo/src/ebnn/mnist_synth.hpp /root/repo/src/ebnn/train.hpp
+ /root/repo/src/sim/report.hpp /root/repo/src/ebnn/mnist_synth.hpp \
+ /root/repo/src/ebnn/train.hpp

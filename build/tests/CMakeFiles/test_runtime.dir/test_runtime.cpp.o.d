@@ -297,6 +297,9 @@ tests/CMakeFiles/test_runtime.dir/test_runtime.cpp.o: \
  /root/repo/src/common/error.hpp /root/repo/src/runtime/dpu_set.hpp \
  /root/repo/src/sim/dpu.hpp /root/repo/src/sim/config.hpp \
  /root/repo/src/sim/cost_model.hpp /root/repo/src/sim/memory.hpp \
- /usr/include/c++/12/cstring /root/repo/src/sim/profile.hpp \
+ /usr/include/c++/12/cstring /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/sim/profile.hpp \
  /root/repo/src/sim/tasklet.hpp /usr/include/c++/12/span \
- /root/repo/src/sim/softfloat.hpp /root/repo/src/sim/softfloat64.hpp
+ /root/repo/src/sim/softfloat.hpp /root/repo/src/sim/softfloat64.hpp \
+ /root/repo/src/sim/report.hpp

@@ -20,3 +20,4 @@ include("/root/repo/build/tests/test_property[1]_include.cmake")
 include("/root/repo/build/tests/test_deep_ebnn[1]_include.cmake")
 include("/root/repo/build/tests/test_softfloat64[1]_include.cmake")
 include("/root/repo/build/tests/test_calibration[1]_include.cmake")
+include("/root/repo/build/tests/test_pool[1]_include.cmake")

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "runtime/dpu_pool.hpp"
 #include "runtime/dpu_set.hpp"
 
 namespace pimdnn::core {
@@ -64,14 +65,18 @@ using ItemKernel = std::function<void(ItemCtx&)>;
 struct OffloadResult {
   /// Per-item outputs, in submission order.
   std::vector<std::vector<std::uint8_t>> outputs;
-  /// Aggregate launch statistics.
+  /// Aggregate launch statistics; `launch.host` carries this batch's
+  /// host-side overhead (loads, scatter, gather).
   runtime::LaunchStats launch;
   /// DPUs used.
   std::uint32_t dpus_used = 0;
 };
 
 /// The offload engine. Construct once per (spec, kernel) pair, run many
-/// batches.
+/// batches: the engine owns a persistent DpuPool, so the program is loaded
+/// once and the broadcast constants are uploaded once — later batches pay
+/// only for their inputs and outputs (a batch needing more DPUs than any
+/// before it grows the pool and re-uploads).
 class Offloader {
 public:
   /// Validates the spec (capacities, transfer limits) and builds the DPU
@@ -91,6 +96,9 @@ public:
   /// MRAM stride of one output slot.
   MemSize out_stride() const { return out_stride_; }
 
+  /// Cumulative host-side accounting across every batch run so far.
+  sim::HostXferStats host_stats() const { return pool_.host_stats(); }
+
 private:
   sim::DpuProgram build_program() const;
 
@@ -99,6 +107,7 @@ private:
   runtime::UpmemConfig sys_;
   MemSize in_stride_;
   MemSize out_stride_;
+  runtime::DpuPool pool_;
 };
 
 } // namespace pimdnn::core

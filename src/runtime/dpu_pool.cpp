@@ -1,0 +1,153 @@
+#include "runtime/dpu_pool.hpp"
+
+#include <utility>
+
+#include "common/bytes.hpp"
+#include "common/error.hpp"
+
+namespace pimdnn::runtime {
+
+using pimdnn::UsageError;
+using sim::MemKind;
+
+namespace {
+
+/// Name of the reservation symbol prepended to every cached program so its
+/// real MRAM symbols are bump-placed past the regions of earlier programs.
+constexpr const char* kPoolBaseSymbol = "__pool_base";
+
+/// MRAM bytes the program's symbols occupy when placed starting at `base`
+/// (mirrors the bump placement in Dpu::load).
+MemSize mram_footprint(const sim::DpuProgram& prog, MemSize base) {
+  MemSize top = base;
+  for (const sim::SymbolDecl& d : prog.symbols) {
+    if (d.kind != MemKind::Mram) continue;
+    top = align_up(top, kXferAlign) + d.size;
+  }
+  return top - base;
+}
+
+} // namespace
+
+DpuPool::DpuPool(const UpmemConfig& cfg) : cfg_(cfg) {}
+
+std::uint32_t DpuPool::size() const {
+  return set_.has_value() ? set_->size() : 0;
+}
+
+void DpuPool::reserve(std::uint32_t n_dpus) {
+  if (set_.has_value() && n_dpus <= set_->size()) {
+    return;
+  }
+  if (set_.has_value()) {
+    // Re-allocating discards every DPU's memory, so cached programs and
+    // their residents are gone; keep the lifetime host accounting.
+    carried_ += set_->host_stats();
+    reset_cache();
+    ++resets_;
+  }
+  set_.emplace(DpuSet::allocate(n_dpus, cfg_));
+}
+
+void DpuPool::reset_cache() {
+  entries_.clear();
+  active_.clear();
+  mram_cursor_ = 0;
+}
+
+DpuPool::Entry DpuPool::build_entry(
+    const std::function<sim::DpuProgram()>& builder, std::uint32_t n_dpus) {
+  Entry e;
+  e.prog = builder();
+  e.mram_base = mram_cursor_;
+  e.mram_bytes = mram_footprint(e.prog, e.mram_base);
+  e.n_dpus = n_dpus;
+  if (e.mram_base > 0) {
+    e.prog.symbols.insert(
+        e.prog.symbols.begin(),
+        sim::SymbolDecl{kPoolBaseSymbol, MemKind::Mram, e.mram_base});
+  }
+  return e;
+}
+
+DpuPool::Activation DpuPool::activate(
+    const std::string& key, std::uint32_t n_dpus,
+    const std::function<sim::DpuProgram()>& builder) {
+  require(n_dpus > 0, "DpuPool::activate with zero DPUs");
+  reserve(n_dpus);
+
+  auto it = entries_.find(key);
+  if (it != entries_.end() && n_dpus > it->second.n_dpus) {
+    // The extra DPUs never saw this program or its residents: rebuild the
+    // entry over the wider span, reusing its MRAM region (same footprint —
+    // the signature pins the symbol sizes).
+    Entry wider = build_entry(builder, n_dpus);
+    require(wider.mram_bytes == it->second.mram_bytes,
+            "DpuPool: builder for '" + key +
+                "' changed its MRAM footprint between activations");
+    wider.mram_base = it->second.mram_base;
+    it->second = std::move(wider);
+    set_->load(it->second.prog);
+    active_ = key;
+    return Activation::Fresh;
+  }
+  if (it != entries_.end()) {
+    if (active_ == key) {
+      set_->note_cached_activation();
+      return Activation::Active;
+    }
+    set_->load(it->second.prog);
+    set_->note_cached_activation();
+    active_ = key;
+    return Activation::Switched;
+  }
+
+  Entry e = build_entry(builder, n_dpus);
+  if (e.mram_base + e.mram_bytes > cfg_.mram_bytes) {
+    // Cached regions no longer fit alongside a new one: drop the cache and
+    // start the bump allocator over (the new program may still fit alone;
+    // if not, Dpu::load reports the overflow precisely).
+    reset_cache();
+    ++resets_;
+    e = build_entry(builder, n_dpus);
+  }
+  mram_cursor_ = align_up(e.mram_base + e.mram_bytes, kXferAlign);
+  set_->load(e.prog);
+  entries_.emplace(key, std::move(e));
+  active_ = key;
+  return Activation::Fresh;
+}
+
+bool DpuPool::ensure_resident(const std::string& tag, std::uint64_t version) {
+  require(!active_.empty(), "DpuPool::ensure_resident with no active program");
+  Entry& e = entries_.at(active_);
+  if (e.resident_tag == tag && e.resident_version == version &&
+      !e.resident_tag.empty()) {
+    return true;
+  }
+  // Recorded before the caller uploads: a throwing upload leaves a stale
+  // record, but it also leaves the pool itself unusable mid-transfer.
+  e.resident_tag = tag;
+  e.resident_version = version;
+  return false;
+}
+
+std::uint32_t DpuPool::active_dpus() const {
+  require(!active_.empty(), "DpuPool::active_dpus with no active program");
+  return entries_.at(active_).n_dpus;
+}
+
+DpuSet& DpuPool::set() {
+  require(set_.has_value(), "DpuPool::set before any reserve/activate");
+  return *set_;
+}
+
+sim::HostXferStats DpuPool::host_stats() const {
+  sim::HostXferStats out = carried_;
+  if (set_.has_value()) {
+    out += set_->host_stats();
+  }
+  return out;
+}
+
+} // namespace pimdnn::runtime

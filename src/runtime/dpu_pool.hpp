@@ -1,0 +1,127 @@
+// Persistent DPU pool: one DpuSet reused across kernels, layers and frames.
+//
+// The thesis' YOLOv3 host path re-allocates a DpuSet, re-loads the GEMM
+// program and re-scatters the weight rows for every convolutional layer of
+// every frame — exactly the first-order host overheads Gómez-Luna et al.
+// (arXiv:2105.03814) measure on real UPMEM systems. The pool amortizes all
+// three:
+//
+//  * **Allocation** happens once: the pool keeps a single DpuSet sized for
+//    the largest kernel seen (`reserve`); small kernels run on a prefix of
+//    it via the set's `n_active` addressing.
+//  * **Program loads** are cached by a caller-chosen signature string
+//    (`activate`): the program is built once per signature, and re-activating
+//    the signature that is already loaded is a no-op.
+//  * **MRAM residency**: each cached program gets a *disjoint* MRAM region
+//    (a bump allocator prepends a reservation symbol, so symbol placement
+//    lands past every earlier program's region). Because `Dpu::load`
+//    preserves memory contents — as real hardware does — data uploaded under
+//    one signature survives activations of other signatures. Callers tag
+//    uploads with `ensure_resident` and skip the transfer on later frames;
+//    this is how the YOLOv3 path keeps its A-row weights on the DPUs between
+//    frames and re-sends only the im2col input.
+//
+// When the cumulative MRAM footprint of cached programs would exceed the
+// per-DPU capacity, the cache is reset wholesale (counted in `resets()`)
+// and signatures re-populate on demand — a simple policy that is exact for
+// the workloads here, whose per-layer footprints sum well below 64 MB.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "runtime/dpu_set.hpp"
+
+namespace pimdnn::runtime {
+
+/// Persistent, program-caching owner of one DpuSet (see file comment).
+class DpuPool {
+public:
+  explicit DpuPool(const UpmemConfig& cfg = sim::default_config());
+
+  /// What `activate` had to do for the requested signature.
+  enum class Activation : std::uint8_t {
+    /// Program built and loaded for the first time (or re-built after a
+    /// pool reset/grow): the caller must upload metadata *and* resident
+    /// data.
+    Fresh,
+    /// A cached program was re-loaded: its MRAM region is intact (resident
+    /// data survives) but WRAM metadata was clobbered by other programs
+    /// and must be re-broadcast.
+    Switched,
+    /// The signature is already the active program: nothing to re-upload.
+    Active,
+  };
+
+  /// Ensures the pool's set holds at least `n_dpus` DPUs. Growing
+  /// re-allocates the set and resets the program cache (resident data is
+  /// lost); callers that know their peak width should reserve it up front.
+  void reserve(std::uint32_t n_dpus);
+
+  /// DPUs currently allocated (0 before the first reserve/activate).
+  std::uint32_t size() const;
+
+  /// Activates the program registered under `key` for `n_dpus` DPUs,
+  /// building it with `builder` on first use. Returns what the caller must
+  /// re-upload (see Activation). Re-activating a signature with a larger
+  /// `n_dpus` than before re-runs the builder and drops that signature's
+  /// residents (the extra DPUs never saw them).
+  Activation activate(const std::string& key, std::uint32_t n_dpus,
+                      const std::function<sim::DpuProgram()>& builder);
+
+  /// True if resident datum `tag` at `version` is already uploaded for the
+  /// *active* program — the caller skips its transfer. Otherwise records
+  /// (tag, version) and returns false: the caller must upload it now.
+  /// Each cached program tracks exactly ONE resident datum: tagging a
+  /// different (tag, version) replaces the record, because the program's
+  /// MRAM region holds only the most recent upload (callers that want
+  /// per-dataset residency should fold the tag into the activation key so
+  /// each dataset gets its own region).
+  bool ensure_resident(const std::string& tag, std::uint64_t version);
+
+  /// DPU span of the active program (what launches/transfers should use).
+  std::uint32_t active_dpus() const;
+
+  /// The pooled set. Valid after the first reserve/activate. Transfers and
+  /// launches should pass `active_dpus()` as `n_active`.
+  DpuSet& set();
+
+  /// Cumulative host-side accounting across the pool's whole lifetime
+  /// (survives set re-allocation). Snapshot/diff with sim::host_xfer_delta.
+  sim::HostXferStats host_stats() const;
+
+  /// Number of wholesale cache resets (MRAM budget overflow or growth).
+  std::uint64_t resets() const { return resets_; }
+
+  /// Number of program signatures currently cached.
+  std::size_t cached_programs() const { return entries_.size(); }
+
+  /// Architecture configuration.
+  const UpmemConfig& config() const { return cfg_; }
+
+private:
+  struct Entry {
+    sim::DpuProgram prog;      ///< builder's program + MRAM base reservation
+    MemSize mram_base = 0;     ///< start of this program's MRAM region
+    MemSize mram_bytes = 0;    ///< MRAM footprint past the base
+    std::uint32_t n_dpus = 0;  ///< widest DPU span activated so far
+    std::string resident_tag;  ///< identity of the last tagged upload
+    std::uint64_t resident_version = 0;
+  };
+
+  void reset_cache();
+  Entry build_entry(const std::function<sim::DpuProgram()>& builder,
+                    std::uint32_t n_dpus);
+
+  UpmemConfig cfg_;
+  std::optional<DpuSet> set_;
+  std::map<std::string, Entry> entries_;
+  std::string active_;           ///< empty = no active program
+  MemSize mram_cursor_ = 0;      ///< bump allocator over cached regions
+  std::uint64_t resets_ = 0;
+  sim::HostXferStats carried_;   ///< host stats of replaced sets
+};
+
+} // namespace pimdnn::runtime

@@ -6,6 +6,7 @@
 
 #include "common/bytes.hpp"
 #include "common/error.hpp"
+#include "runtime/host_timer.hpp"
 
 namespace pimdnn::runtime {
 
@@ -43,10 +44,23 @@ const Dpu& DpuSet::dpu(DpuId id) const {
   return dpus_[id];
 }
 
+std::uint32_t DpuSet::resolve_active(std::uint32_t n_active) const {
+  if (n_active == 0) {
+    return static_cast<std::uint32_t>(dpus_.size());
+  }
+  require(n_active <= dpus_.size(),
+          "active DPU count exceeds the set size");
+  return n_active;
+}
+
 void DpuSet::load(const DpuProgram& program) {
+  HostTimer t;
+  t.start();
   for (Dpu& d : dpus_) {
     d.load(program);
   }
+  host_.load_seconds += t.elapsed();
+  host_.program_loads += 1;
 }
 
 void DpuSet::check_aligned(MemSize offset, MemSize size) {
@@ -62,20 +76,27 @@ void DpuSet::check_aligned(MemSize offset, MemSize size) {
 }
 
 void DpuSet::copy_to(const std::string& symbol, MemSize symbol_offset,
-                     const void* src, MemSize size) {
+                     const void* src, MemSize size, std::uint32_t n_active) {
   check_aligned(symbol_offset, size);
-  for (Dpu& d : dpus_) {
-    d.host_write(symbol, symbol_offset, src, size);
+  const std::uint32_t n = resolve_active(n_active);
+  HostTimer t;
+  t.start();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    dpus_[i].host_write(symbol, symbol_offset, src, size);
   }
-  bytes_to_dpus_ += size * dpus_.size();
+  host_.to_dpu_seconds += t.elapsed();
+  host_.bytes_to_dpu += size * n;
 }
 
 void DpuSet::copy_from(DpuId id, const std::string& symbol,
                        MemSize symbol_offset, void* dst, MemSize size) const {
   check_aligned(symbol_offset, size);
   require(id < dpus_.size(), "DPU id out of range");
+  HostTimer t;
+  t.start();
   dpus_[id].host_read(symbol, symbol_offset, dst, size);
-  bytes_from_dpus_ += size;
+  host_.from_dpu_seconds += t.elapsed();
+  host_.bytes_from_dpu += size;
 }
 
 void DpuSet::prepare_xfer(DpuId id, void* buffer) {
@@ -85,15 +106,19 @@ void DpuSet::prepare_xfer(DpuId id, void* buffer) {
 }
 
 void DpuSet::push_xfer(XferDir dir, const std::string& symbol,
-                       MemSize symbol_offset, MemSize length) {
+                       MemSize symbol_offset, MemSize length,
+                       std::uint32_t n_active) {
   check_aligned(symbol_offset, length);
-  for (std::uint32_t i = 0; i < dpus_.size(); ++i) {
+  const std::uint32_t n = resolve_active(n_active);
+  for (std::uint32_t i = 0; i < n; ++i) {
     if (prepared_[i] == nullptr) {
       throw UsageError("push_xfer: DPU " + std::to_string(i) +
                        " has no prepared buffer");
     }
   }
-  for (std::uint32_t i = 0; i < dpus_.size(); ++i) {
+  HostTimer t;
+  t.start();
+  for (std::uint32_t i = 0; i < n; ++i) {
     if (dir == XferDir::ToDpu) {
       dpus_[i].host_write(symbol, symbol_offset, prepared_[i], length);
     } else {
@@ -102,21 +127,24 @@ void DpuSet::push_xfer(XferDir dir, const std::string& symbol,
     prepared_[i] = nullptr;
   }
   if (dir == XferDir::ToDpu) {
-    bytes_to_dpus_ += length * dpus_.size();
+    host_.to_dpu_seconds += t.elapsed();
+    host_.bytes_to_dpu += length * n;
   } else {
-    bytes_from_dpus_ += length * dpus_.size();
+    host_.from_dpu_seconds += t.elapsed();
+    host_.bytes_from_dpu += length * n;
   }
 }
 
-LaunchStats DpuSet::launch(std::uint32_t n_tasklets, OptLevel opt) {
+LaunchStats DpuSet::launch(std::uint32_t n_tasklets, OptLevel opt,
+                           std::uint32_t n_active) {
+  const std::uint32_t n = resolve_active(n_active);
   LaunchStats out;
-  out.per_dpu.resize(dpus_.size());
+  out.per_dpu.resize(n);
 
   const std::uint32_t hw = std::max(1u, std::thread::hardware_concurrency());
-  const std::uint32_t n_threads =
-      std::min<std::uint32_t>(hw, static_cast<std::uint32_t>(dpus_.size()));
+  const std::uint32_t n_threads = std::min<std::uint32_t>(hw, n);
   if (n_threads <= 1) {
-    for (std::size_t i = 0; i < dpus_.size(); ++i) {
+    for (std::size_t i = 0; i < n; ++i) {
       out.per_dpu[i] = dpus_[i].launch(n_tasklets, opt);
     }
   } else {
@@ -125,7 +153,7 @@ LaunchStats DpuSet::launch(std::uint32_t n_tasklets, OptLevel opt) {
     std::atomic<std::size_t> next{0};
     for (std::uint32_t t = 0; t < n_threads; ++t) {
       workers.emplace_back([&] {
-        for (std::size_t i = next.fetch_add(1); i < dpus_.size();
+        for (std::size_t i = next.fetch_add(1); i < n;
              i = next.fetch_add(1)) {
           out.per_dpu[i] = dpus_[i].launch(n_tasklets, opt);
         }

@@ -8,6 +8,14 @@
 // divisibility rule; payloads that violate it must be padded with
 // `pad_to_xfer` and their true size communicated separately — exactly the
 // discipline the thesis describes.
+//
+// Transfers, loads and launches optionally address only the first
+// `n_active` DPUs (the SDK's sub-set/rank addressing), which lets a
+// persistent pool (dpu_pool.hpp) keep one large set allocated while a
+// small layer runs on a prefix of it. Every host-side operation is also
+// wall-clock timed into a cumulative sim::HostXferStats so the host-path
+// overhead the thesis' §4.3 numbers hide (allocate + load + scatter +
+// gather per layer) is observable.
 #pragma once
 
 #include <optional>
@@ -16,6 +24,7 @@
 
 #include "common/types.hpp"
 #include "sim/dpu.hpp"
+#include "sim/report.hpp"
 
 namespace pimdnn::runtime {
 
@@ -46,6 +55,11 @@ struct LaunchStats {
   std::vector<DpuRunStats> per_dpu;
   /// Merged subroutine profile across all DPUs.
   SubroutineProfile profile;
+  /// Host-side (non-DPU-cycle) overhead attributable to this launch:
+  /// transfer walls, bytes moved and program loads. Filled by the pooled
+  /// paths (DpuPool / dpu_gemm / Offloader); zero when the caller drove
+  /// the DpuSet by hand without snapshotting.
+  sim::HostXferStats host;
 };
 
 /// A set of simulated DPUs plus the host orchestration state.
@@ -68,10 +82,11 @@ public:
   /// Loads the same program on every DPU in the set.
   void load(const DpuProgram& program);
 
-  /// Broadcast copy (dpu_copy_to): same bytes to the named symbol on every
-  /// DPU. `size` must satisfy the 8-byte rule; `symbol_offset` likewise.
+  /// Broadcast copy (dpu_copy_to): same bytes to the named symbol on the
+  /// first `n_active` DPUs (0 = every DPU in the set). `size` must satisfy
+  /// the 8-byte rule; `symbol_offset` likewise.
   void copy_to(const std::string& symbol, MemSize symbol_offset,
-               const void* src, MemSize size);
+               const void* src, MemSize size, std::uint32_t n_active = 0);
 
   /// Reads back from one DPU (dpu_copy_from).
   void copy_from(DpuId id, const std::string& symbol, MemSize symbol_offset,
@@ -83,20 +98,31 @@ public:
 
   /// Executes the prepared transfers (dpu_push_xfer): moves `length` bytes
   /// between each prepared buffer and the named symbol at `symbol_offset`,
-  /// in the given direction. Every DPU in the set must have a prepared
-  /// buffer. Length/offset must satisfy the 8-byte rule.
+  /// in the given direction. The first `n_active` DPUs (0 = all) must have
+  /// a prepared buffer. Length/offset must satisfy the 8-byte rule.
   void push_xfer(XferDir dir, const std::string& symbol,
-                 MemSize symbol_offset, MemSize length);
+                 MemSize symbol_offset, MemSize length,
+                 std::uint32_t n_active = 0);
 
-  /// Launches the loaded program on all DPUs with `n_tasklets` tasklets at
-  /// optimization level `opt`; DPUs execute in parallel (host threads).
-  LaunchStats launch(std::uint32_t n_tasklets, OptLevel opt = OptLevel::O3);
+  /// Launches the loaded program on the first `n_active` DPUs (0 = all)
+  /// with `n_tasklets` tasklets at optimization level `opt`; active DPUs
+  /// execute in parallel (host threads).
+  LaunchStats launch(std::uint32_t n_tasklets, OptLevel opt = OptLevel::O3,
+                     std::uint32_t n_active = 0);
 
   /// Total bytes the host has pushed to DPUs (telemetry).
-  std::uint64_t bytes_to_dpus() const { return bytes_to_dpus_; }
+  std::uint64_t bytes_to_dpus() const { return host_.bytes_to_dpu; }
 
   /// Total bytes the host has pulled from DPUs (telemetry).
-  std::uint64_t bytes_from_dpus() const { return bytes_from_dpus_; }
+  std::uint64_t bytes_from_dpus() const { return host_.bytes_from_dpu; }
+
+  /// Cumulative host-side transfer/load accounting since allocation.
+  /// Snapshot before/after a phase and diff with sim::host_xfer_delta.
+  const sim::HostXferStats& host_stats() const { return host_; }
+
+  /// Records one program build/load avoided by a cache (called by DpuPool
+  /// when an activation is served from its program cache).
+  void note_cached_activation() { host_.cached_activations += 1; }
 
   /// Architecture configuration shared by all DPUs in the set.
   const UpmemConfig& config() const { return cfg_; }
@@ -104,12 +130,12 @@ public:
 private:
   DpuSet(std::uint32_t n_dpus, const UpmemConfig& cfg);
   static void check_aligned(MemSize offset, MemSize size);
+  std::uint32_t resolve_active(std::uint32_t n_active) const;
 
   UpmemConfig cfg_;
   std::vector<Dpu> dpus_;
   std::vector<void*> prepared_;
-  std::uint64_t bytes_to_dpus_ = 0;
-  mutable std::uint64_t bytes_from_dpus_ = 0;
+  mutable sim::HostXferStats host_;
 };
 
 } // namespace pimdnn::runtime

@@ -1,10 +1,53 @@
 #include "sim/dpu.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
 
 #include "common/bytes.hpp"
 
 namespace pimdnn::sim {
+
+/// Generation-counting barrier (usable across multiple kernel phases).
+/// std::barrier would do, but a hand-rolled condition-variable barrier keeps
+/// the toolchain floor at the repo's C++20-minus-<barrier> baseline.
+class Dpu::LaunchBarrier {
+public:
+  explicit LaunchBarrier(std::uint32_t parties) : parties_(parties) {}
+
+  void arrive_and_wait() {
+    std::unique_lock<std::mutex> lk(mtx_);
+    const std::uint64_t gen = generation_;
+    if (++arrived_ == parties_) {
+      arrived_ = 0;
+      ++generation_;
+      cv_.notify_all();
+      return;
+    }
+    cv_.wait(lk, [&] { return generation_ != gen; });
+  }
+
+  /// Permanently removes one party (a tasklet that died in the kernel);
+  /// completes the current generation if it was the last one outstanding.
+  void arrive_and_drop() {
+    std::lock_guard<std::mutex> lk(mtx_);
+    if (--parties_ > 0 && arrived_ == parties_) {
+      arrived_ = 0;
+      ++generation_;
+      cv_.notify_all();
+    }
+  }
+
+private:
+  std::mutex mtx_;
+  std::condition_variable cv_;
+  std::uint32_t parties_;
+  std::uint32_t arrived_ = 0;
+  std::uint64_t generation_ = 0;
+};
 
 Dpu::Dpu(const UpmemConfig& cfg)
     : cfg_(cfg),
@@ -85,7 +128,21 @@ void Dpu::host_read(const std::string& name, MemSize offset, void* dst,
   }
 }
 
-DpuRunStats Dpu::launch(std::uint32_t n_tasklets, OptLevel opt) {
+void Dpu::tasklet_barrier_wait() {
+  if (barrier_ != nullptr) {
+    barrier_->arrive_and_wait();
+    return;
+  }
+  if (!program_.uses_barrier) {
+    throw UsageError("kernel called barrier_wait() but DpuProgram '" +
+                     program_.name + "' does not declare uses_barrier");
+  }
+  // Single-tasklet launch of a barrier program: a barrier of one tasklet
+  // never waits.
+}
+
+DpuRunStats Dpu::launch(std::uint32_t n_tasklets, OptLevel opt,
+                        TaskletSchedule schedule) {
   require(static_cast<bool>(program_.entry),
           "launch without a loaded program");
   require(n_tasklets >= 1 && n_tasklets <= cfg_.max_tasklets,
@@ -96,9 +153,54 @@ DpuRunStats Dpu::launch(std::uint32_t n_tasklets, OptLevel opt) {
   DpuRunStats out;
   out.tasklets.resize(n_tasklets);
 
-  for (TaskletId t = 0; t < n_tasklets; ++t) {
-    TaskletCtx ctx(*this, t, n_tasklets, cost, out.tasklets[t], out.profile);
-    program_.entry(ctx);
+  if (program_.uses_barrier && n_tasklets > 1) {
+    // Barrier programs run every tasklet on its own host thread so
+    // barrier_wait() provides real happens-before ordering and the kernel's
+    // correctness cannot lean on any particular tasklet schedule. Each
+    // tasklet charges into its own stats/profile; charges are
+    // interleaving-independent, so cycle accounting stays deterministic.
+    LaunchBarrier barrier(n_tasklets);
+    barrier_ = &barrier;
+    std::vector<SubroutineProfile> profiles(n_tasklets);
+    std::vector<std::exception_ptr> errors(n_tasklets);
+    std::vector<std::thread> threads;
+    threads.reserve(n_tasklets);
+    for (TaskletId t = 0; t < n_tasklets; ++t) {
+      threads.emplace_back([&, t] {
+        try {
+          if (schedule == TaskletSchedule::StaggeredReverse) {
+            // Adversarial start order: tasklet 0 enters the kernel last, so
+            // any kernel relying on "tasklet 0 runs first" breaks here.
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(200) * (n_tasklets - 1 - t));
+          }
+          TaskletCtx ctx(*this, t, n_tasklets, cost, out.tasklets[t],
+                         profiles[t]);
+          program_.entry(ctx);
+        } catch (...) {
+          errors[t] = std::current_exception();
+          // Keep peers from deadlocking on a barrier this tasklet will
+          // never reach; the launch rethrows the error after the join.
+          barrier.arrive_and_drop();
+        }
+      });
+    }
+    for (auto& th : threads) {
+      th.join();
+    }
+    barrier_ = nullptr;
+    for (const auto& e : errors) {
+      if (e) std::rethrow_exception(e);
+    }
+    for (const auto& p : profiles) {
+      out.profile.merge(p);
+    }
+  } else {
+    for (TaskletId t = 0; t < n_tasklets; ++t) {
+      TaskletCtx ctx(*this, t, n_tasklets, cost, out.tasklets[t],
+                     out.profile);
+      program_.entry(ctx);
+    }
   }
 
   Cycles latency_bound = 0;

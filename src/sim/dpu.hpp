@@ -35,6 +35,19 @@ struct DpuProgram {
   std::vector<SymbolDecl> symbols;      ///< buffers to place in memory
   MemSize iram_bytes = 4096;            ///< code footprint checked vs 24 KB
   std::function<void(TaskletCtx&)> entry; ///< run once per tasklet
+  /// True if `entry` synchronizes through TaskletCtx::barrier_wait().
+  /// Barrier programs execute their tasklets on concurrent host threads so
+  /// the barrier provides real happens-before ordering (any scheduling
+  /// order is correct); non-barrier programs run tasklets sequentially.
+  bool uses_barrier = false;
+};
+
+/// How a launch orders tasklet start-up. Only observable for barrier
+/// programs (which run threaded); used by tests to prove kernels do not
+/// depend on the historical tasklet-0-first sequential schedule.
+enum class TaskletSchedule : std::uint8_t {
+  InOrder,          ///< start tasklets in id order (hardware-like)
+  StaggeredReverse, ///< delay low ids so high ids reach the kernel first
 };
 
 /// Placed symbol: where a declaration landed.
@@ -89,9 +102,11 @@ public:
                  MemSize size) const;
 
   /// Runs the loaded program on `n_tasklets` tasklets under the given
-  /// optimization level and returns the cycle accounting.
+  /// optimization level and returns the cycle accounting. `schedule`
+  /// selects the tasklet start order for barrier programs.
   DpuRunStats launch(std::uint32_t n_tasklets,
-                     OptLevel opt = OptLevel::O3);
+                     OptLevel opt = OptLevel::O3,
+                     TaskletSchedule schedule = TaskletSchedule::InOrder);
 
   /// Architecture configuration.
   const UpmemConfig& config() const { return cfg_; }
@@ -103,6 +118,14 @@ public:
 private:
   friend class TaskletCtx;
 
+  /// Called by TaskletCtx::barrier_wait(): blocks until every tasklet of
+  /// the current launch has arrived (real synchronization on the threaded
+  /// path; a no-op for single-tasklet launches). Throws UsageError when the
+  /// loaded program did not declare `uses_barrier`.
+  void tasklet_barrier_wait();
+
+  class LaunchBarrier; ///< condition-variable barrier (defined in dpu.cpp)
+
   UpmemConfig cfg_;
   Mram mram_;
   Wram wram_;
@@ -111,6 +134,7 @@ private:
   std::map<std::string, SymbolInfo> symbols_;
   MemSize mram_top_ = 0;
   MemSize wram_top_ = 0;
+  LaunchBarrier* barrier_ = nullptr; ///< non-null only during threaded launch
 };
 
 } // namespace pimdnn::sim

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <cstring>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -81,6 +82,11 @@ private:
 
   MemSize capacity_;
   mutable std::vector<std::unique_ptr<std::uint8_t[]>> chunks_;
+  /// Guards lazy chunk materialization: barrier programs run tasklets on
+  /// concurrent threads, and two tasklets writing disjoint regions of the
+  /// same still-unmaterialized 64 KB chunk must not both allocate it.
+  /// Held only while installing a chunk pointer, never during the memcpy.
+  std::unique_ptr<std::mutex> chunk_mtx_ = std::make_unique<std::mutex>();
 };
 
 /// IRAM model: tracks the instruction footprint of the loaded program. The

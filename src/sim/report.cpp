@@ -80,4 +80,41 @@ void print_report(std::ostream& os, const DpuRunStats& stats,
   os.flush();
 }
 
+HostXferStats& HostXferStats::operator+=(const HostXferStats& o) {
+  to_dpu_seconds += o.to_dpu_seconds;
+  from_dpu_seconds += o.from_dpu_seconds;
+  load_seconds += o.load_seconds;
+  bytes_to_dpu += o.bytes_to_dpu;
+  bytes_from_dpu += o.bytes_from_dpu;
+  program_loads += o.program_loads;
+  cached_activations += o.cached_activations;
+  return *this;
+}
+
+HostXferStats host_xfer_delta(const HostXferStats& after,
+                              const HostXferStats& before) {
+  HostXferStats d;
+  d.to_dpu_seconds = after.to_dpu_seconds - before.to_dpu_seconds;
+  d.from_dpu_seconds = after.from_dpu_seconds - before.from_dpu_seconds;
+  d.load_seconds = after.load_seconds - before.load_seconds;
+  d.bytes_to_dpu = after.bytes_to_dpu - before.bytes_to_dpu;
+  d.bytes_from_dpu = after.bytes_from_dpu - before.bytes_from_dpu;
+  d.program_loads = after.program_loads - before.program_loads;
+  d.cached_activations =
+      after.cached_activations - before.cached_activations;
+  return d;
+}
+
+void print_host_xfer_report(std::ostream& os, const HostXferStats& h) {
+  os << "host-side overhead\n"
+     << "  to DPUs:       " << std::fixed << std::setprecision(3)
+     << h.to_dpu_seconds * 1e3 << " ms (" << h.bytes_to_dpu << " bytes)\n"
+     << "  from DPUs:     " << h.from_dpu_seconds * 1e3 << " ms ("
+     << h.bytes_from_dpu << " bytes)\n"
+     << "  program loads: " << h.program_loads << " ("
+     << h.load_seconds * 1e3 << " ms), cache hits: "
+     << h.cached_activations << "\n";
+  os.flush();
+}
+
 } // namespace pimdnn::sim

@@ -1,6 +1,8 @@
 #include "yolo/network.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <thread>
 
 #include "common/error.hpp"
 #include "common/fixed_point.hpp"
@@ -10,6 +12,53 @@
 #include "nn/layers.hpp"
 
 namespace pimdnn::yolo {
+
+namespace {
+
+/// Bias add + optional leaky ReLU over the M x N conv output, parallelized
+/// across filter rows on host threads (mirrors the worker pool in
+/// DpuSet::launch). Each row is processed independently with the same
+/// arithmetic as the serial loop, so the result is bit-identical.
+void postprocess_conv(std::span<std::int16_t> conv_out, int m, int n,
+                      std::span<const std::int16_t> bias, bool leaky) {
+  auto do_row = [&](int f) {
+    const std::int32_t b = bias[static_cast<std::size_t>(f)];
+    std::int16_t* row = conv_out.data() + static_cast<std::size_t>(f) * n;
+    for (int j = 0; j < n; ++j) {
+      row[j] = static_cast<std::int16_t>(
+          std::clamp(static_cast<std::int32_t>(row[j]) + b, -32767, 32767));
+    }
+    if (leaky) {
+      nn::leaky_relu_q16(
+          std::span<std::int16_t>(row, static_cast<std::size_t>(n)));
+    }
+  };
+
+  const std::uint32_t hw = std::max(1u, std::thread::hardware_concurrency());
+  const std::uint32_t n_threads =
+      std::min<std::uint32_t>(hw, static_cast<std::uint32_t>(m));
+  if (n_threads <= 1) {
+    for (int f = 0; f < m; ++f) {
+      do_row(f);
+    }
+    return;
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(n_threads);
+  std::atomic<int> next{0};
+  for (std::uint32_t t = 0; t < n_threads; ++t) {
+    workers.emplace_back([&] {
+      for (int f = next.fetch_add(1); f < m; f = next.fetch_add(1)) {
+        do_row(f);
+      }
+    });
+  }
+  for (auto& w : workers) {
+    w.join();
+  }
+}
+
+} // namespace
 
 YoloWeights YoloWeights::random(const std::vector<LayerDef>& defs, int in_c,
                                 std::uint64_t seed) {
@@ -79,12 +128,71 @@ YoloRunner::YoloRunner(std::vector<LayerDef> defs, YoloWeights weights,
 YoloRunResult YoloRunner::run(std::span<const std::int16_t> input,
                               ExecMode mode, std::uint32_t n_tasklets,
                               runtime::OptLevel opt) const {
+  RunOptions opts;
+  opts.mode = mode;
+  opts.n_tasklets = n_tasklets;
+  opts.opt = opt;
+  return run(input, opts);
+}
+
+sim::HostXferStats YoloRunner::pool_host_stats() const {
+  return pool_.has_value() ? pool_->host_stats() : sim::HostXferStats{};
+}
+
+YoloRunResult YoloRunner::run(std::span<const std::int16_t> input,
+                              const RunOptions& opts) const {
   require(input.size() == static_cast<std::size_t>(in_c_) * in_h_ * in_w_,
           "YoloRunner::run: wrong input size");
+  require(opts.rows_per_dpu >= 1, "rows_per_dpu must be positive");
+
+  // Activation lifetimes: last_use[i] is the last layer whose route /
+  // shortcut consumes output i (i itself when nothing does); retain[i]
+  // marks outputs that must survive the whole frame regardless.
+  std::vector<std::size_t> last_use(defs_.size());
+  std::vector<char> retain(defs_.size(), opts.retain_all_outputs ? 1 : 0);
+  for (std::size_t i = 0; i < defs_.size(); ++i) {
+    last_use[i] = i;
+    const LayerDef& d = defs_[i];
+    auto resolve = [&](int idx) {
+      return static_cast<std::size_t>(
+          idx < 0 ? static_cast<long>(i) + idx : static_cast<long>(idx));
+    };
+    if (d.type == LayerType::Shortcut) {
+      last_use[resolve(d.from)] = i;
+    } else if (d.type == LayerType::Route) {
+      for (int idx : d.layers) {
+        last_use[resolve(idx)] = i;
+      }
+    }
+    if (d.type == LayerType::Yolo) {
+      retain[i] = 1;
+    }
+  }
+  if (!defs_.empty()) {
+    retain[defs_.size() - 1] = 1;
+  }
 
   YoloRunResult out;
   out.outputs.reserve(defs_.size());
   out.layers.reserve(defs_.size());
+
+  // One pool for the whole runner lifetime, sized up front for the widest
+  // layer so no mid-frame growth resets the program/residency cache.
+  if (opts.mode != ExecMode::Cpu) {
+    std::uint32_t peak = 1;
+    for (const LayerDef& d : defs_) {
+      if (d.type == LayerType::Convolutional) {
+        peak = std::max(peak,
+                        static_cast<std::uint32_t>(
+                            (d.filters + opts.rows_per_dpu - 1) /
+                            opts.rows_per_dpu));
+      }
+    }
+    if (!pool_.has_value()) {
+      pool_.emplace(sys_);
+    }
+    pool_->reserve(peak);
+  }
 
   struct Dim {
     int c, h, w;
@@ -116,33 +224,29 @@ YoloRunResult YoloRunner::run(std::span<const std::int16_t> input,
 
         std::vector<std::int16_t> conv_out(static_cast<std::size_t>(m) * n);
         const auto& cw = weights_.conv[i];
-        if (mode == ExecMode::Cpu) {
+        if (opts.mode == ExecMode::Cpu) {
           nn::gemm_q16_reference(m, n, k, cw.alpha, cw.w, cols, conv_out);
         } else {
-          const GemmVariant variant = mode == ExecMode::DpuWram
+          const GemmVariant variant = opts.mode == ExecMode::DpuWram
                                           ? GemmVariant::WramTiled
                                           : GemmVariant::MramResident;
-          GemmResult r = dpu_gemm(m, n, k, cw.alpha, cw.w, cols, variant,
-                                  n_tasklets, opt, sys_);
+          // The weight tag pins this layer's A rows in MRAM: frames after
+          // the first skip the scatter (the weights are bound at
+          // construction, so the version never changes).
+          GemmResult r = dpu_gemm_pooled(
+              *pool_, m, n, k, cw.alpha, cw.w, cols, variant,
+              opts.n_tasklets, opts.opt, opts.rows_per_dpu,
+              "A/conv" + std::to_string(i));
           conv_out = std::move(r.c);
           ls.dpus = r.dpus_used;
           ls.cycles = r.stats.wall_cycles;
           out.profile.merge(r.stats.profile);
+          out.host += r.stats.host;
         }
 
         // Host post-processing: bias add + activation (§4.2.3: only the
-        // GEMM runs on the DPUs).
-        for (int f = 0; f < m; ++f) {
-          const std::int32_t bias = cw.bias[static_cast<std::size_t>(f)];
-          for (int j = 0; j < n; ++j) {
-            auto& v = conv_out[static_cast<std::size_t>(f) * n + j];
-            v = static_cast<std::int16_t>(
-                std::clamp(static_cast<std::int32_t>(v) + bias, -32767, 32767));
-          }
-        }
-        if (d.leaky) {
-          nn::leaky_relu_q16(conv_out);
-        }
+        // GEMM runs on the DPUs), parallelized across filter rows.
+        postprocess_conv(conv_out, m, n, cw.bias, d.leaky);
         cur = std::move(conv_out);
         cd = {d.filters, g.out_h(), g.out_w()};
         break;
@@ -199,6 +303,17 @@ YoloRunResult YoloRunner::run(std::span<const std::int16_t> input,
     out.layers.push_back(ls);
     out.outputs.push_back(cur);
     dims.push_back(cd);
+
+    // Free activations whose last consumer has now run (route/shortcut
+    // read earlier outputs, so an output must only survive until the last
+    // layer that references it).
+    if (!opts.retain_all_outputs) {
+      for (std::size_t j = 0; j <= i; ++j) {
+        if (!retain[j] && last_use[j] <= i && !out.outputs[j].empty()) {
+          std::vector<std::int16_t>().swap(out.outputs[j]);
+        }
+      }
+    }
   }
   out.total_seconds = sys_.cycles_to_seconds(out.total_cycles);
   return out;
@@ -206,8 +321,10 @@ YoloRunResult YoloRunner::run(std::span<const std::int16_t> input,
 
 std::vector<LayerStats> YoloRunner::estimate(
     const std::vector<LayerDef>& defs, int in_c, int in_h, int in_w,
-    GemmVariant variant, std::uint32_t n_tasklets, runtime::OptLevel opt) {
+    GemmVariant variant, std::uint32_t n_tasklets, runtime::OptLevel opt,
+    int rows_per_dpu) {
   summarize(defs, in_c, in_h, in_w); // validate
+  require(rows_per_dpu >= 1, "rows_per_dpu must be positive");
   std::vector<LayerStats> out;
   out.reserve(defs.size());
   const runtime::UpmemConfig& sys = sim::default_config();
@@ -230,9 +347,13 @@ std::vector<LayerStats> YoloRunner::estimate(
         const nn::ConvGeom g{cd.c, cd.h, cd.w, d.filters,
                              d.size, d.stride, d.pad};
         ls.macs = g.macs();
-        ls.dpus = static_cast<std::uint32_t>(g.gemm_m());
+        // ceil(M / rows_per_dpu) DPUs, each computing rows_per_dpu rows —
+        // reporting gemm_m() DPUs and per-row cycles regardless of the
+        // mapping was the historical bug this parameter fixes.
+        ls.dpus = static_cast<std::uint32_t>(
+            (g.gemm_m() + rows_per_dpu - 1) / rows_per_dpu);
         ls.cycles = estimate_gemm_row_cycles(g.gemm_n(), g.gemm_k(), variant,
-                                             n_tasklets, opt);
+                                             n_tasklets, opt, rows_per_dpu);
         cd = {d.filters, g.out_h(), g.out_w()};
         break;
       }

@@ -3,16 +3,23 @@
 // Host/DPU split per thesis §4.2.3: only the GEMM inside each convolution
 // is delegated to the DPUs (quantization, bias, activation, shortcut,
 // route, upsample and the YOLO heads stay on the host). Layers execute
-// serially; each convolutional layer allocates M DPUs (one output row per
-// DPU, Figure 4.6) and the network's DPU time is the sum of per-layer wall
-// times. The CPU mode runs the identical integer arithmetic on the host;
-// DPU and CPU modes must agree bit-for-bit.
+// serially on a persistent DpuPool owned by the runner: the pool is sized
+// once for the widest layer, each layer's GEMM program load is cached by
+// its dimension signature, and the scattered weight rows stay
+// MRAM-resident between frames — so warm frames re-send only the im2col
+// input (and the network's DPU time is still the sum of per-layer wall
+// times, Figure 4.6). Host-side bias+activation post-processing runs on a
+// thread pool mirroring DpuSet::launch. The CPU mode runs the identical
+// integer arithmetic on the host; DPU and CPU modes must agree
+// bit-for-bit.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <vector>
 
+#include "runtime/dpu_pool.hpp"
 #include "runtime/dpu_set.hpp"
 #include "sim/profile.hpp"
 #include "yolo/config.hpp"
@@ -54,9 +61,25 @@ struct LayerStats {
   Seconds seconds = 0.0;       ///< cycles at 350 MHz
 };
 
+/// Options for one inference.
+struct RunOptions {
+  ExecMode mode = ExecMode::DpuWram;
+  std::uint32_t n_tasklets = 11;
+  runtime::OptLevel opt = runtime::OptLevel::O3;
+  /// Rows of A/C packed per DPU (1 = the thesis' row-per-DPU mapping).
+  int rows_per_dpu = 1;
+  /// Keep every layer's output tensor in YoloRunResult::outputs. When
+  /// false, an output is freed as soon as the last route/shortcut layer
+  /// that references it has consumed it (its slot is left empty); outputs
+  /// of Yolo heads and of the final layer are always retained.
+  bool retain_all_outputs = true;
+};
+
 /// Result of one inference.
 struct YoloRunResult {
   /// Output tensor of every layer (CHW int16), index-aligned with defs.
+  /// Slots may be empty when the run disabled retain_all_outputs (see
+  /// RunOptions).
   std::vector<std::vector<std::int16_t>> outputs;
   /// Per-layer stats.
   std::vector<LayerStats> layers;
@@ -66,6 +89,10 @@ struct YoloRunResult {
   Seconds total_seconds = 0.0;
   /// Merged subroutine profile over all launches.
   sim::SubroutineProfile profile;
+  /// Host-side overhead of this frame (program loads/activations, scatter,
+  /// broadcast and gather walls/bytes). Warm frames show smaller
+  /// bytes_to_dpu (no A scatter) and cached activations.
+  sim::HostXferStats host;
 };
 
 /// Network executor bound to a config and weights.
@@ -76,19 +103,32 @@ public:
              int in_h, int in_w,
              const runtime::UpmemConfig& sys = sim::default_config());
 
-  /// Runs one frame (CHW int16 input of the bound shape).
+  /// Runs one frame (CHW int16 input of the bound shape). The first DPU
+  /// frame is "cold" (programs built, weights scattered); later frames
+  /// reuse the runner's pool and skip the weight scatter.
+  YoloRunResult run(std::span<const std::int16_t> input,
+                    const RunOptions& opts) const;
+
+  /// Convenience overload with the historical signature.
   YoloRunResult run(std::span<const std::int16_t> input, ExecMode mode,
                     std::uint32_t n_tasklets = 11,
                     runtime::OptLevel opt = runtime::OptLevel::O3) const;
 
+  /// Cumulative host-side accounting of the runner's pool across all
+  /// frames run so far (zero before the first DPU-mode frame).
+  sim::HostXferStats pool_host_stats() const;
+
   /// Analytic per-layer cycle estimates for this config at any input size,
   /// without computing the network (exact for the simulated kernels; used
-  /// for full-size 416x416 reports).
+  /// for full-size 416x416 reports). `rows_per_dpu` matches the run-time
+  /// mapping: a conv layer reports ceil(M / rows_per_dpu) DPUs and the
+  /// per-DPU cycle count for its row block.
   static std::vector<LayerStats> estimate(const std::vector<LayerDef>& defs,
                                           int in_c, int in_h, int in_w,
                                           GemmVariant variant,
                                           std::uint32_t n_tasklets,
-                                          runtime::OptLevel opt);
+                                          runtime::OptLevel opt,
+                                          int rows_per_dpu = 1);
 
   /// The bound layer list.
   const std::vector<LayerDef>& defs() const { return defs_; }
@@ -103,6 +143,10 @@ private:
   YoloWeights weights_;
   int in_c_, in_h_, in_w_;
   runtime::UpmemConfig sys_;
+  /// Lazily created on the first DPU-mode frame; holds the cached GEMM
+  /// programs and the MRAM-resident weight rows between frames. Mutable:
+  /// running a frame is logically const but warms the pool.
+  mutable std::optional<runtime::DpuPool> pool_;
 };
 
 } // namespace pimdnn::yolo

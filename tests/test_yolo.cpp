@@ -162,6 +162,40 @@ INSTANTIATE_TEST_SUITE_P(
                           GemmCase{1, 1030, 7, 1}), // many strips
         ::testing::Values(GemmVariant::WramTiled, GemmVariant::MramResident)));
 
+class DpuGemmRowsPacked
+    : public ::testing::TestWithParam<std::tuple<GemmCase, GemmVariant, int>> {
+};
+
+TEST_P(DpuGemmRowsPacked, PackedRowsBitExactWithCorrectDpuCount) {
+  // rows_per_dpu > 1 exercises the zero-padded scatter (tail rows of the
+  // last DPU), the per-slot MRAM offsets inside each DPU's A/C blocks and
+  // the batched gather's per-slot unpacking — all against the same
+  // Algorithm 2 reference as the row-per-DPU mapping.
+  const auto [c, variant, rows] = GetParam();
+  Rng rng(4000 + c.m * 11 + c.n * 5 + c.k + rows);
+  std::vector<std::int16_t> a(static_cast<std::size_t>(c.m) * c.k);
+  std::vector<std::int16_t> b(static_cast<std::size_t>(c.k) * c.n);
+  for (auto& v : a) v = static_cast<std::int16_t>(rng.uniform_int(-99, 99));
+  for (auto& v : b) v = static_cast<std::int16_t>(rng.uniform_int(-99, 99));
+
+  std::vector<std::int16_t> expect(static_cast<std::size_t>(c.m) * c.n);
+  nn::gemm_q16_reference(c.m, c.n, c.k, c.alpha, a, b, expect);
+
+  const auto r = dpu_gemm(c.m, c.n, c.k, c.alpha, a, b, variant, 4,
+                          OptLevel::O3, sim::default_config(), rows);
+  EXPECT_EQ(r.dpus_used, static_cast<std::uint32_t>((c.m + rows - 1) / rows));
+  EXPECT_EQ(r.c, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Dims, DpuGemmRowsPacked,
+    ::testing::Combine(
+        ::testing::Values(GemmCase{4, 40, 6, 1},   // m % rows == 0 for rows=2
+                          GemmCase{5, 257, 9, 2},  // padded tail, strip + 1
+                          GemmCase{7, 300, 31, 3}),
+        ::testing::Values(GemmVariant::WramTiled, GemmVariant::MramResident),
+        ::testing::Values(2, 3)));
+
 TEST(DpuGemm, ResultsIndependentOfTaskletCountAndOpt) {
   Rng rng(77);
   const int m = 3, n = 530, k = 12;
