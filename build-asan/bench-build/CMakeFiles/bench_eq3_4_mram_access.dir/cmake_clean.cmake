@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_eq3_4_mram_access"
+  "../bench/bench_eq3_4_mram_access.pdb"
+  "CMakeFiles/bench_eq3_4_mram_access.dir/bench_eq3_4_mram_access.cpp.o"
+  "CMakeFiles/bench_eq3_4_mram_access.dir/bench_eq3_4_mram_access.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_eq3_4_mram_access.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

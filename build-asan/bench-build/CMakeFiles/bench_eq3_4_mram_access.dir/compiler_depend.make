@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_eq3_4_mram_access.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_eq3_4_mram_access.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_3_lut_subroutines"
+  "../bench/bench_fig4_3_lut_subroutines.pdb"
+  "CMakeFiles/bench_fig4_3_lut_subroutines.dir/bench_fig4_3_lut_subroutines.cpp.o"
+  "CMakeFiles/bench_fig4_3_lut_subroutines.dir/bench_fig4_3_lut_subroutines.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_3_lut_subroutines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_7b_optimization"
+  "../bench/bench_fig4_7b_optimization.pdb"
+  "CMakeFiles/bench_fig4_7b_optimization.dir/bench_fig4_7b_optimization.cpp.o"
+  "CMakeFiles/bench_fig4_7b_optimization.dir/bench_fig4_7b_optimization.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_7b_optimization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

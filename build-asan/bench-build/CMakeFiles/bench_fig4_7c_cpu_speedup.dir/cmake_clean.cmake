@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_7c_cpu_speedup"
+  "../bench/bench_fig4_7c_cpu_speedup.pdb"
+  "CMakeFiles/bench_fig4_7c_cpu_speedup.dir/bench_fig4_7c_cpu_speedup.cpp.o"
+  "CMakeFiles/bench_fig4_7c_cpu_speedup.dir/bench_fig4_7c_cpu_speedup.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_7c_cpu_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

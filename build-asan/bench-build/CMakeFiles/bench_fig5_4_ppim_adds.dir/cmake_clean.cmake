@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_4_ppim_adds"
+  "../bench/bench_fig5_4_ppim_adds.pdb"
+  "CMakeFiles/bench_fig5_4_ppim_adds.dir/bench_fig5_4_ppim_adds.cpp.o"
+  "CMakeFiles/bench_fig5_4_ppim_adds.dir/bench_fig5_4_ppim_adds.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_4_ppim_adds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig5_5_sweeps.cpp" "bench-build/CMakeFiles/bench_fig5_5_sweeps.dir/bench_fig5_5_sweeps.cpp.o" "gcc" "bench-build/CMakeFiles/bench_fig5_5_sweeps.dir/bench_fig5_5_sweeps.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/baseline/CMakeFiles/pim_baseline.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/yolo/CMakeFiles/pim_yolo.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/ebnn/CMakeFiles/pim_ebnn.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/pimmodel/CMakeFiles/pim_pimmodel.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/core/CMakeFiles/pim_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/runtime/CMakeFiles/pim_runtime.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/pim_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/nn/CMakeFiles/pim_nn.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/common/CMakeFiles/pim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_5_sweeps"
+  "../bench/bench_fig5_5_sweeps.pdb"
+  "CMakeFiles/bench_fig5_5_sweeps.dir/bench_fig5_5_sweeps.cpp.o"
+  "CMakeFiles/bench_fig5_5_sweeps.dir/bench_fig5_5_sweeps.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_5_sweeps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

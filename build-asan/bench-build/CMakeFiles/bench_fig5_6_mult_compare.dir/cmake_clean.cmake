@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_6_mult_compare"
+  "../bench/bench_fig5_6_mult_compare.pdb"
+  "CMakeFiles/bench_fig5_6_mult_compare.dir/bench_fig5_6_mult_compare.cpp.o"
+  "CMakeFiles/bench_fig5_6_mult_compare.dir/bench_fig5_6_mult_compare.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_6_mult_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

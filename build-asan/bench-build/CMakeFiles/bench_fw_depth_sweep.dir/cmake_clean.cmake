@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fw_depth_sweep"
+  "../bench/bench_fw_depth_sweep.pdb"
+  "CMakeFiles/bench_fw_depth_sweep.dir/bench_fw_depth_sweep.cpp.o"
+  "CMakeFiles/bench_fw_depth_sweep.dir/bench_fw_depth_sweep.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fw_depth_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fw_improvements"
+  "../bench/bench_fw_improvements.pdb"
+  "CMakeFiles/bench_fw_improvements.dir/bench_fw_improvements.cpp.o"
+  "CMakeFiles/bench_fw_improvements.dir/bench_fw_improvements.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fw_improvements.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

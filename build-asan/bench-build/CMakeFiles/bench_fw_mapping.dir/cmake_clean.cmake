@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fw_mapping"
+  "../bench/bench_fw_mapping.pdb"
+  "CMakeFiles/bench_fw_mapping.dir/bench_fw_mapping.cpp.o"
+  "CMakeFiles/bench_fw_mapping.dir/bench_fw_mapping.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fw_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

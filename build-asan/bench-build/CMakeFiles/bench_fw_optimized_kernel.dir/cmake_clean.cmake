@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fw_optimized_kernel"
+  "../bench/bench_fw_optimized_kernel.pdb"
+  "CMakeFiles/bench_fw_optimized_kernel.dir/bench_fw_optimized_kernel.cpp.o"
+  "CMakeFiles/bench_fw_optimized_kernel.dir/bench_fw_optimized_kernel.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fw_optimized_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fw_pool_reuse"
+  "../bench/bench_fw_pool_reuse.pdb"
+  "CMakeFiles/bench_fw_pool_reuse.dir/bench_fw_pool_reuse.cpp.o"
+  "CMakeFiles/bench_fw_pool_reuse.dir/bench_fw_pool_reuse.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fw_pool_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

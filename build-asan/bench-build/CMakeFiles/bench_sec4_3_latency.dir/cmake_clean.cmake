@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec4_3_latency"
+  "../bench/bench_sec4_3_latency.pdb"
+  "CMakeFiles/bench_sec4_3_latency.dir/bench_sec4_3_latency.cpp.o"
+  "CMakeFiles/bench_sec4_3_latency.dir/bench_sec4_3_latency.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec4_3_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

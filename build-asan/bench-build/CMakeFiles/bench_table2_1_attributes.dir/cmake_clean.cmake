@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_1_attributes"
+  "../bench/bench_table2_1_attributes.pdb"
+  "CMakeFiles/bench_table2_1_attributes.dir/bench_table2_1_attributes.cpp.o"
+  "CMakeFiles/bench_table2_1_attributes.dir/bench_table2_1_attributes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_1_attributes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_1_op_cycles"
+  "../bench/bench_table3_1_op_cycles.pdb"
+  "CMakeFiles/bench_table3_1_op_cycles.dir/bench_table3_1_op_cycles.cpp.o"
+  "CMakeFiles/bench_table3_1_op_cycles.dir/bench_table3_1_op_cycles.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_1_op_cycles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table5_2_cop"
+  "../bench/bench_table5_2_cop.pdb"
+  "CMakeFiles/bench_table5_2_cop.dir/bench_table5_2_cop.cpp.o"
+  "CMakeFiles/bench_table5_2_cop.dir/bench_table5_2_cop.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_2_cop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table5_3_mem_model"
+  "../bench/bench_table5_3_mem_model.pdb"
+  "CMakeFiles/bench_table5_3_mem_model.dir/bench_table5_3_mem_model.cpp.o"
+  "CMakeFiles/bench_table5_3_mem_model.dir/bench_table5_3_mem_model.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_3_mem_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

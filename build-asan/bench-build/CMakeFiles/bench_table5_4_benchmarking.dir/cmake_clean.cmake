@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table5_4_benchmarking"
+  "../bench/bench_table5_4_benchmarking.pdb"
+  "CMakeFiles/bench_table5_4_benchmarking.dir/bench_table5_4_benchmarking.cpp.o"
+  "CMakeFiles/bench_table5_4_benchmarking.dir/bench_table5_4_benchmarking.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_4_benchmarking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ebnn_mnist_batch.dir/ebnn_mnist_batch.cpp.o"
+  "CMakeFiles/ebnn_mnist_batch.dir/ebnn_mnist_batch.cpp.o.d"
+  "ebnn_mnist_batch"
+  "ebnn_mnist_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ebnn_mnist_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

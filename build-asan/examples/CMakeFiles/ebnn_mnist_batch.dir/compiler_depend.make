@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ebnn_mnist_batch.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for ebnn_mnist_batch.
+# This may be replaced when dependencies are built.

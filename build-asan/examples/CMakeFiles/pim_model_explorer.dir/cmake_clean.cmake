@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pim_model_explorer.dir/pim_model_explorer.cpp.o"
+  "CMakeFiles/pim_model_explorer.dir/pim_model_explorer.cpp.o.d"
+  "pim_model_explorer"
+  "pim_model_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pim_model_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

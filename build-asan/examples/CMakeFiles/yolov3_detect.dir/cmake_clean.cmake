@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yolov3_detect.dir/yolov3_detect.cpp.o"
+  "CMakeFiles/yolov3_detect.dir/yolov3_detect.cpp.o.d"
+  "yolov3_detect"
+  "yolov3_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yolov3_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

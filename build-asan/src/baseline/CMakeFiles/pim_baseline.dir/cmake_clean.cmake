@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pim_baseline.dir/cpu_baseline.cpp.o"
+  "CMakeFiles/pim_baseline.dir/cpu_baseline.cpp.o.d"
+  "libpim_baseline.a"
+  "libpim_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pim_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpim_baseline.a"
+)

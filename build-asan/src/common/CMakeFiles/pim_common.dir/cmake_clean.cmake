@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pim_common.dir/bytes.cpp.o"
+  "CMakeFiles/pim_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/pim_common.dir/error.cpp.o"
+  "CMakeFiles/pim_common.dir/error.cpp.o.d"
+  "CMakeFiles/pim_common.dir/fixed_point.cpp.o"
+  "CMakeFiles/pim_common.dir/fixed_point.cpp.o.d"
+  "CMakeFiles/pim_common.dir/rng.cpp.o"
+  "CMakeFiles/pim_common.dir/rng.cpp.o.d"
+  "CMakeFiles/pim_common.dir/stats.cpp.o"
+  "CMakeFiles/pim_common.dir/stats.cpp.o.d"
+  "CMakeFiles/pim_common.dir/table.cpp.o"
+  "CMakeFiles/pim_common.dir/table.cpp.o.d"
+  "libpim_common.a"
+  "libpim_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pim_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/advisor.cpp" "src/core/CMakeFiles/pim_core.dir/advisor.cpp.o" "gcc" "src/core/CMakeFiles/pim_core.dir/advisor.cpp.o.d"
+  "/root/repo/src/core/offloader.cpp" "src/core/CMakeFiles/pim_core.dir/offloader.cpp.o" "gcc" "src/core/CMakeFiles/pim_core.dir/offloader.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/runtime/CMakeFiles/pim_runtime.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/pim_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/common/CMakeFiles/pim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pim_core.dir/advisor.cpp.o"
+  "CMakeFiles/pim_core.dir/advisor.cpp.o.d"
+  "CMakeFiles/pim_core.dir/offloader.cpp.o"
+  "CMakeFiles/pim_core.dir/offloader.cpp.o.d"
+  "libpim_core.a"
+  "libpim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ebnn/deep.cpp" "src/ebnn/CMakeFiles/pim_ebnn.dir/deep.cpp.o" "gcc" "src/ebnn/CMakeFiles/pim_ebnn.dir/deep.cpp.o.d"
+  "/root/repo/src/ebnn/dpu_kernel.cpp" "src/ebnn/CMakeFiles/pim_ebnn.dir/dpu_kernel.cpp.o" "gcc" "src/ebnn/CMakeFiles/pim_ebnn.dir/dpu_kernel.cpp.o.d"
+  "/root/repo/src/ebnn/host.cpp" "src/ebnn/CMakeFiles/pim_ebnn.dir/host.cpp.o" "gcc" "src/ebnn/CMakeFiles/pim_ebnn.dir/host.cpp.o.d"
+  "/root/repo/src/ebnn/lut.cpp" "src/ebnn/CMakeFiles/pim_ebnn.dir/lut.cpp.o" "gcc" "src/ebnn/CMakeFiles/pim_ebnn.dir/lut.cpp.o.d"
+  "/root/repo/src/ebnn/mnist_synth.cpp" "src/ebnn/CMakeFiles/pim_ebnn.dir/mnist_synth.cpp.o" "gcc" "src/ebnn/CMakeFiles/pim_ebnn.dir/mnist_synth.cpp.o.d"
+  "/root/repo/src/ebnn/model.cpp" "src/ebnn/CMakeFiles/pim_ebnn.dir/model.cpp.o" "gcc" "src/ebnn/CMakeFiles/pim_ebnn.dir/model.cpp.o.d"
+  "/root/repo/src/ebnn/train.cpp" "src/ebnn/CMakeFiles/pim_ebnn.dir/train.cpp.o" "gcc" "src/ebnn/CMakeFiles/pim_ebnn.dir/train.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/runtime/CMakeFiles/pim_runtime.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/nn/CMakeFiles/pim_nn.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/common/CMakeFiles/pim_common.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/pim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

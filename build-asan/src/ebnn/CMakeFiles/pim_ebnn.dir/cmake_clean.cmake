@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pim_ebnn.dir/deep.cpp.o"
+  "CMakeFiles/pim_ebnn.dir/deep.cpp.o.d"
+  "CMakeFiles/pim_ebnn.dir/dpu_kernel.cpp.o"
+  "CMakeFiles/pim_ebnn.dir/dpu_kernel.cpp.o.d"
+  "CMakeFiles/pim_ebnn.dir/host.cpp.o"
+  "CMakeFiles/pim_ebnn.dir/host.cpp.o.d"
+  "CMakeFiles/pim_ebnn.dir/lut.cpp.o"
+  "CMakeFiles/pim_ebnn.dir/lut.cpp.o.d"
+  "CMakeFiles/pim_ebnn.dir/mnist_synth.cpp.o"
+  "CMakeFiles/pim_ebnn.dir/mnist_synth.cpp.o.d"
+  "CMakeFiles/pim_ebnn.dir/model.cpp.o"
+  "CMakeFiles/pim_ebnn.dir/model.cpp.o.d"
+  "CMakeFiles/pim_ebnn.dir/train.cpp.o"
+  "CMakeFiles/pim_ebnn.dir/train.cpp.o.d"
+  "libpim_ebnn.a"
+  "libpim_ebnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pim_ebnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

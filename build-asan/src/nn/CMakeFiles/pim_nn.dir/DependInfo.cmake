@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/alexnet.cpp" "src/nn/CMakeFiles/pim_nn.dir/alexnet.cpp.o" "gcc" "src/nn/CMakeFiles/pim_nn.dir/alexnet.cpp.o.d"
+  "/root/repo/src/nn/bitpack.cpp" "src/nn/CMakeFiles/pim_nn.dir/bitpack.cpp.o" "gcc" "src/nn/CMakeFiles/pim_nn.dir/bitpack.cpp.o.d"
+  "/root/repo/src/nn/gemm.cpp" "src/nn/CMakeFiles/pim_nn.dir/gemm.cpp.o" "gcc" "src/nn/CMakeFiles/pim_nn.dir/gemm.cpp.o.d"
+  "/root/repo/src/nn/layers.cpp" "src/nn/CMakeFiles/pim_nn.dir/layers.cpp.o" "gcc" "src/nn/CMakeFiles/pim_nn.dir/layers.cpp.o.d"
+  "/root/repo/src/nn/quantize.cpp" "src/nn/CMakeFiles/pim_nn.dir/quantize.cpp.o" "gcc" "src/nn/CMakeFiles/pim_nn.dir/quantize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/common/CMakeFiles/pim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pim_nn.dir/alexnet.cpp.o"
+  "CMakeFiles/pim_nn.dir/alexnet.cpp.o.d"
+  "CMakeFiles/pim_nn.dir/bitpack.cpp.o"
+  "CMakeFiles/pim_nn.dir/bitpack.cpp.o.d"
+  "CMakeFiles/pim_nn.dir/gemm.cpp.o"
+  "CMakeFiles/pim_nn.dir/gemm.cpp.o.d"
+  "CMakeFiles/pim_nn.dir/layers.cpp.o"
+  "CMakeFiles/pim_nn.dir/layers.cpp.o.d"
+  "CMakeFiles/pim_nn.dir/quantize.cpp.o"
+  "CMakeFiles/pim_nn.dir/quantize.cpp.o.d"
+  "libpim_nn.a"
+  "libpim_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pim_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

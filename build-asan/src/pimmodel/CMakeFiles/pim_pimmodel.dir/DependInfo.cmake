@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pimmodel/catalog.cpp" "src/pimmodel/CMakeFiles/pim_pimmodel.dir/catalog.cpp.o" "gcc" "src/pimmodel/CMakeFiles/pim_pimmodel.dir/catalog.cpp.o.d"
+  "/root/repo/src/pimmodel/model.cpp" "src/pimmodel/CMakeFiles/pim_pimmodel.dir/model.cpp.o" "gcc" "src/pimmodel/CMakeFiles/pim_pimmodel.dir/model.cpp.o.d"
+  "/root/repo/src/pimmodel/ppim.cpp" "src/pimmodel/CMakeFiles/pim_pimmodel.dir/ppim.cpp.o" "gcc" "src/pimmodel/CMakeFiles/pim_pimmodel.dir/ppim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/common/CMakeFiles/pim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

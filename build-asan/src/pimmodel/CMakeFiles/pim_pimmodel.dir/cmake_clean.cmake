@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pim_pimmodel.dir/catalog.cpp.o"
+  "CMakeFiles/pim_pimmodel.dir/catalog.cpp.o.d"
+  "CMakeFiles/pim_pimmodel.dir/model.cpp.o"
+  "CMakeFiles/pim_pimmodel.dir/model.cpp.o.d"
+  "CMakeFiles/pim_pimmodel.dir/ppim.cpp.o"
+  "CMakeFiles/pim_pimmodel.dir/ppim.cpp.o.d"
+  "libpim_pimmodel.a"
+  "libpim_pimmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pim_pimmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/dpu_pool.cpp" "src/runtime/CMakeFiles/pim_runtime.dir/dpu_pool.cpp.o" "gcc" "src/runtime/CMakeFiles/pim_runtime.dir/dpu_pool.cpp.o.d"
+  "/root/repo/src/runtime/dpu_set.cpp" "src/runtime/CMakeFiles/pim_runtime.dir/dpu_set.cpp.o" "gcc" "src/runtime/CMakeFiles/pim_runtime.dir/dpu_set.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/sim/CMakeFiles/pim_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/common/CMakeFiles/pim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pim_runtime.dir/dpu_pool.cpp.o"
+  "CMakeFiles/pim_runtime.dir/dpu_pool.cpp.o.d"
+  "CMakeFiles/pim_runtime.dir/dpu_set.cpp.o"
+  "CMakeFiles/pim_runtime.dir/dpu_set.cpp.o.d"
+  "libpim_runtime.a"
+  "libpim_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pim_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

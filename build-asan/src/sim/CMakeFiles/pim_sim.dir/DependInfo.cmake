@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/config.cpp" "src/sim/CMakeFiles/pim_sim.dir/config.cpp.o" "gcc" "src/sim/CMakeFiles/pim_sim.dir/config.cpp.o.d"
+  "/root/repo/src/sim/cost_model.cpp" "src/sim/CMakeFiles/pim_sim.dir/cost_model.cpp.o" "gcc" "src/sim/CMakeFiles/pim_sim.dir/cost_model.cpp.o.d"
+  "/root/repo/src/sim/dpu.cpp" "src/sim/CMakeFiles/pim_sim.dir/dpu.cpp.o" "gcc" "src/sim/CMakeFiles/pim_sim.dir/dpu.cpp.o.d"
+  "/root/repo/src/sim/memory.cpp" "src/sim/CMakeFiles/pim_sim.dir/memory.cpp.o" "gcc" "src/sim/CMakeFiles/pim_sim.dir/memory.cpp.o.d"
+  "/root/repo/src/sim/profile.cpp" "src/sim/CMakeFiles/pim_sim.dir/profile.cpp.o" "gcc" "src/sim/CMakeFiles/pim_sim.dir/profile.cpp.o.d"
+  "/root/repo/src/sim/report.cpp" "src/sim/CMakeFiles/pim_sim.dir/report.cpp.o" "gcc" "src/sim/CMakeFiles/pim_sim.dir/report.cpp.o.d"
+  "/root/repo/src/sim/softfloat.cpp" "src/sim/CMakeFiles/pim_sim.dir/softfloat.cpp.o" "gcc" "src/sim/CMakeFiles/pim_sim.dir/softfloat.cpp.o.d"
+  "/root/repo/src/sim/softfloat64.cpp" "src/sim/CMakeFiles/pim_sim.dir/softfloat64.cpp.o" "gcc" "src/sim/CMakeFiles/pim_sim.dir/softfloat64.cpp.o.d"
+  "/root/repo/src/sim/tasklet.cpp" "src/sim/CMakeFiles/pim_sim.dir/tasklet.cpp.o" "gcc" "src/sim/CMakeFiles/pim_sim.dir/tasklet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/common/CMakeFiles/pim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

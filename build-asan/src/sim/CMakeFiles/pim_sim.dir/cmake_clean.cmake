@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pim_sim.dir/config.cpp.o"
+  "CMakeFiles/pim_sim.dir/config.cpp.o.d"
+  "CMakeFiles/pim_sim.dir/cost_model.cpp.o"
+  "CMakeFiles/pim_sim.dir/cost_model.cpp.o.d"
+  "CMakeFiles/pim_sim.dir/dpu.cpp.o"
+  "CMakeFiles/pim_sim.dir/dpu.cpp.o.d"
+  "CMakeFiles/pim_sim.dir/memory.cpp.o"
+  "CMakeFiles/pim_sim.dir/memory.cpp.o.d"
+  "CMakeFiles/pim_sim.dir/profile.cpp.o"
+  "CMakeFiles/pim_sim.dir/profile.cpp.o.d"
+  "CMakeFiles/pim_sim.dir/report.cpp.o"
+  "CMakeFiles/pim_sim.dir/report.cpp.o.d"
+  "CMakeFiles/pim_sim.dir/softfloat.cpp.o"
+  "CMakeFiles/pim_sim.dir/softfloat.cpp.o.d"
+  "CMakeFiles/pim_sim.dir/softfloat64.cpp.o"
+  "CMakeFiles/pim_sim.dir/softfloat64.cpp.o.d"
+  "CMakeFiles/pim_sim.dir/tasklet.cpp.o"
+  "CMakeFiles/pim_sim.dir/tasklet.cpp.o.d"
+  "libpim_sim.a"
+  "libpim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

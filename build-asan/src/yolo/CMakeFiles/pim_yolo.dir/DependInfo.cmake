@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/yolo/config.cpp" "src/yolo/CMakeFiles/pim_yolo.dir/config.cpp.o" "gcc" "src/yolo/CMakeFiles/pim_yolo.dir/config.cpp.o.d"
+  "/root/repo/src/yolo/detect.cpp" "src/yolo/CMakeFiles/pim_yolo.dir/detect.cpp.o" "gcc" "src/yolo/CMakeFiles/pim_yolo.dir/detect.cpp.o.d"
+  "/root/repo/src/yolo/dpu_gemm.cpp" "src/yolo/CMakeFiles/pim_yolo.dir/dpu_gemm.cpp.o" "gcc" "src/yolo/CMakeFiles/pim_yolo.dir/dpu_gemm.cpp.o.d"
+  "/root/repo/src/yolo/network.cpp" "src/yolo/CMakeFiles/pim_yolo.dir/network.cpp.o" "gcc" "src/yolo/CMakeFiles/pim_yolo.dir/network.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/runtime/CMakeFiles/pim_runtime.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/nn/CMakeFiles/pim_nn.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/common/CMakeFiles/pim_common.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/pim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

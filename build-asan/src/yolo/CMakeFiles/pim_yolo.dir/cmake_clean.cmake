@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pim_yolo.dir/config.cpp.o"
+  "CMakeFiles/pim_yolo.dir/config.cpp.o.d"
+  "CMakeFiles/pim_yolo.dir/detect.cpp.o"
+  "CMakeFiles/pim_yolo.dir/detect.cpp.o.d"
+  "CMakeFiles/pim_yolo.dir/dpu_gemm.cpp.o"
+  "CMakeFiles/pim_yolo.dir/dpu_gemm.cpp.o.d"
+  "CMakeFiles/pim_yolo.dir/network.cpp.o"
+  "CMakeFiles/pim_yolo.dir/network.cpp.o.d"
+  "libpim_yolo.a"
+  "libpim_yolo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pim_yolo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_deep_ebnn.dir/test_deep_ebnn.cpp.o"
+  "CMakeFiles/test_deep_ebnn.dir/test_deep_ebnn.cpp.o.d"
+  "test_deep_ebnn"
+  "test_deep_ebnn.pdb"
+  "test_deep_ebnn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_deep_ebnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

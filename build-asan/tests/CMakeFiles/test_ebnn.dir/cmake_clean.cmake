@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ebnn.dir/test_ebnn.cpp.o"
+  "CMakeFiles/test_ebnn.dir/test_ebnn.cpp.o.d"
+  "test_ebnn"
+  "test_ebnn.pdb"
+  "test_ebnn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ebnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pimmodel.dir/test_pimmodel.cpp.o"
+  "CMakeFiles/test_pimmodel.dir/test_pimmodel.cpp.o.d"
+  "test_pimmodel"
+  "test_pimmodel.pdb"
+  "test_pimmodel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pimmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_softfloat.dir/test_softfloat.cpp.o"
+  "CMakeFiles/test_softfloat.dir/test_softfloat.cpp.o.d"
+  "test_softfloat"
+  "test_softfloat.pdb"
+  "test_softfloat[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_softfloat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_softfloat64.dir/test_softfloat64.cpp.o"
+  "CMakeFiles/test_softfloat64.dir/test_softfloat64.cpp.o.d"
+  "test_softfloat64"
+  "test_softfloat64.pdb"
+  "test_softfloat64[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_softfloat64.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

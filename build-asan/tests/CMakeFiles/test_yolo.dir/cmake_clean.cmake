@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_yolo.dir/test_yolo.cpp.o"
+  "CMakeFiles/test_yolo.dir/test_yolo.cpp.o.d"
+  "test_yolo"
+  "test_yolo.pdb"
+  "test_yolo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_yolo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

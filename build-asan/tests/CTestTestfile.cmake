@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-asan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-asan/tests/test_common[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_softfloat[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_sim[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_runtime[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_nn[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_ebnn[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_yolo[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_pimmodel[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_baseline[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_integration[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_core[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_report[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_property[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_deep_ebnn[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_softfloat64[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_calibration[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_pool[1]_include.cmake")
