@@ -46,6 +46,10 @@ int main() {
   }
   std::cout << "\nDPU wall time: " << result.launch.wall_seconds * 1e3
             << " ms (" << result.launch.wall_cycles << " cycles @ 350 MHz)\n"
+            << "host-side overhead: " << result.launch.host.host_seconds() * 1e3
+            << " ms (" << result.launch.host.bytes_to_dpu << " B up, "
+            << result.launch.host.bytes_from_dpu << " B down, "
+            << result.launch.host.program_loads << " program load)\n"
             << "float subroutine executions on the DPUs: "
             << result.launch.profile.float_total() << " (the LUT removed"
             << " them all)\n";

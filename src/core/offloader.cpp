@@ -5,11 +5,11 @@
 
 #include "common/bytes.hpp"
 #include "common/error.hpp"
+#include "runtime/kernel_session.hpp"
 
 namespace pimdnn::core {
 
-using runtime::DpuSet;
-using runtime::XferDir;
+using runtime::KernelSession;
 using sim::MemKind;
 using sim::TaskletCtx;
 
@@ -142,63 +142,35 @@ OffloadResult Offloader::run(
   }
 
   const std::uint32_t per_dpu = spec_.items_per_dpu;
-  const auto n_dpus =
-      static_cast<std::uint32_t>((items.size() + per_dpu - 1) / per_dpu);
-  const sim::HostXferStats host_before = pool_.host_stats();
+  const auto n_dpus = KernelSession::dpus_for(items.size(), per_dpu);
 
   // One cached program per engine: the first batch loads it (and any later
   // batch that outgrows the pool reloads it); otherwise activation is a
   // no-op and the broadcast constants are still in WRAM from last time.
-  const auto act = pool_.activate("offload/" + spec_.name, n_dpus,
-                                  [this] { return build_program(); });
-  runtime::DpuSet& set = pool_.set();
-  if (!spec_.consts.empty() && act != runtime::DpuPool::Activation::Active) {
-    const auto padded = pad_to_xfer(spec_.consts.data(), spec_.consts.size());
-    set.copy_to("consts", 0, padded.data(), padded.size(), n_dpus);
+  KernelSession session(pool_, "offload/" + spec_.name, n_dpus,
+                        [this] { return build_program(); });
+  if (!spec_.consts.empty()) {
+    session.broadcast_const("consts", spec_.consts.data(),
+                            spec_.consts.size());
   }
 
-  // Scatter inputs: one padded staging buffer per DPU.
-  const MemSize stage_bytes = per_dpu * in_stride_;
-  std::vector<std::vector<std::uint8_t>> staged(n_dpus);
-  std::vector<std::uint64_t> counts(n_dpus, 0);
-  for (std::uint32_t d = 0; d < n_dpus; ++d) {
-    staged[d].assign(stage_bytes, 0);
-    for (std::uint32_t s = 0; s < per_dpu; ++s) {
-      const std::size_t global = static_cast<std::size_t>(d) * per_dpu + s;
-      if (global >= items.size()) break;
-      std::memcpy(staged[d].data() + s * in_stride_, items[global].data(),
-                  spec_.item_in_bytes);
-      ++counts[d];
-    }
-    set.prepare_xfer(d, staged[d].data());
-  }
-  set.push_xfer(XferDir::ToDpu, "in_mram", 0, stage_bytes, n_dpus);
-  for (std::uint32_t d = 0; d < n_dpus; ++d) {
-    set.prepare_xfer(d, &counts[d]);
-  }
-  set.push_xfer(XferDir::ToDpu, "meta", 0, sizeof(std::uint64_t), n_dpus);
+  // Scatter inputs + per-DPU true counts, launch, batched gather.
+  session.scatter_items("in_mram", "meta", items.size(), per_dpu, in_stride_,
+                        spec_.item_in_bytes,
+                        [&](std::size_t i) { return items[i].data(); });
+
+  session.launch(n_tasklets, opt);
 
   OffloadResult out;
   out.dpus_used = n_dpus;
-  out.launch = set.launch(n_tasklets, opt, n_dpus);
-
-  // Gather outputs with one batched transfer, then unpack in item order
-  // (dropping per-slot alignment padding and the unused tail slots).
-  const MemSize gather_bytes = per_dpu * out_stride_;
-  std::vector<std::vector<std::uint8_t>> gathered(n_dpus);
-  for (std::uint32_t d = 0; d < n_dpus; ++d) {
-    gathered[d].resize(gather_bytes);
-    set.prepare_xfer(d, gathered[d].data());
-  }
-  set.push_xfer(XferDir::FromDpu, "out_mram", 0, gather_bytes, n_dpus);
   out.outputs.resize(items.size());
-  for (std::size_t i = 0; i < items.size(); ++i) {
-    const auto* slot = gathered[i / per_dpu].data() +
-                       (i % per_dpu) * out_stride_;
-    out.outputs[i].assign(slot, slot + spec_.item_out_bytes);
-  }
+  session.gather_items("out_mram", items.size(), per_dpu, out_stride_,
+                       [&](std::size_t i, const std::uint8_t* slot) {
+                         out.outputs[i].assign(
+                             slot, slot + spec_.item_out_bytes);
+                       });
 
-  out.launch.host = sim::host_xfer_delta(pool_.host_stats(), host_before);
+  out.launch = session.finish();
   return out;
 }
 

@@ -17,7 +17,10 @@
 //   * launching all DPUs in parallel and gathering results in item order.
 //
 // The kernel author supplies only the per-item computation, written
-// against TaskletCtx like any other DPU kernel.
+// against TaskletCtx like any other DPU kernel. The host choreography
+// itself (program caching, padded scatter, true-count metadata, batched
+// gather, host-overhead accounting) is one runtime::KernelSession over the
+// offloader's persistent pool, shared with the eBNN and YOLOv3 pipelines.
 #pragma once
 
 #include <cstdint>

@@ -7,11 +7,12 @@
 #include "common/error.hpp"
 #include "nn/bitpack.hpp"
 #include "nn/layers.hpp"
+#include "runtime/kernel_session.hpp"
 
 namespace pimdnn::ebnn {
 
-using runtime::DpuSet;
-using runtime::XferDir;
+using runtime::DpuPool;
+using runtime::KernelSession;
 using sim::MemKind;
 using sim::TaskletCtx;
 
@@ -433,7 +434,8 @@ DeepEbnnHost::DeepEbnnHost(const DeepEbnnConfig& cfg,
     : cfg_(cfg),
       weights_(std::move(weights)),
       sys_(sys),
-      dims_(deep_dims(cfg)) {
+      dims_(deep_dims(cfg)),
+      pool_(sys) {
   for (std::size_t b = 0; b < cfg_.blocks.size(); ++b) {
     luts_.push_back(build_bn_binact_lut_range(-dims_[b].taps, dims_[b].taps,
                                               weights_.bn[b]));
@@ -457,85 +459,79 @@ DeepEbnnBatchResult DeepEbnnHost::run(const std::vector<Image>& images,
   require(n_tasklets >= 1 && n_tasklets <= params.capacity,
           "DeepEbnnHost::run: tasklets must be in [1, images_per_dpu]");
 
-  // Flatten weights and LUTs.
-  std::vector<std::uint32_t> conv_words;
-  std::vector<std::uint8_t> lut_bytes;
+  // Symbol sizes are needed to build the program even when the flattened
+  // payloads are not (the warm-batch path skips the uploads).
+  std::size_t conv_size = 0;
+  std::size_t lut_size = 0;
   for (std::size_t b = 0; b < cfg_.blocks.size(); ++b) {
-    conv_words.insert(conv_words.end(), weights_.conv[b].begin(),
-                      weights_.conv[b].end());
-    lut_bytes.insert(lut_bytes.end(), luts_[b].table.begin(),
-                     luts_[b].table.end());
+    conv_size += weights_.conv[b].size();
+    lut_size += luts_[b].table.size();
   }
 
   const std::uint32_t per_dpu = params.capacity;
-  const auto n_dpus = static_cast<std::uint32_t>(
-      (images.size() + per_dpu - 1) / per_dpu);
-  DpuSet set = DpuSet::allocate(n_dpus, sys_);
-  set.load(make_deep_program(params, conv_words.size(), lut_bytes.size()));
+  const auto n_dpus = KernelSession::dpus_for(images.size(), per_dpu);
+  KernelSession session(pool_, "ebnn_deep", n_dpus, [&] {
+    return make_deep_program(params, conv_size, lut_size);
+  });
 
-  {
-    const auto padded =
-        pad_to_xfer(conv_words.data(), conv_words.size() * 4);
-    set.copy_to("conv_w", 0, padded.data(), padded.size());
-    const auto lpad = pad_to_xfer(lut_bytes.data(), lut_bytes.size());
-    set.copy_to("luts", 0, lpad.data(), lpad.size());
-  }
-
-  const std::size_t stage_bytes = per_dpu * params.image_stride;
-  std::vector<std::vector<std::uint8_t>> staged(n_dpus);
-  std::vector<std::uint64_t> counts(n_dpus, 0);
-  for (std::uint32_t d = 0; d < n_dpus; ++d) {
-    staged[d].assign(stage_bytes, 0);
-    for (std::uint32_t s = 0; s < per_dpu; ++s) {
-      const std::size_t global = static_cast<std::size_t>(d) * per_dpu + s;
-      if (global >= images.size()) break;
-      std::memcpy(staged[d].data() + s * params.image_stride,
-                  images[global].data(), img_bytes);
-      ++counts[d];
+  // Per-block weights and LUTs are WRAM constants: re-broadcast only when
+  // the activation rebuilt or reloaded the program.
+  if (session.activation() != DpuPool::Activation::Active) {
+    std::vector<std::uint32_t> conv_words;
+    std::vector<std::uint8_t> lut_bytes;
+    conv_words.reserve(conv_size);
+    lut_bytes.reserve(lut_size);
+    for (std::size_t b = 0; b < cfg_.blocks.size(); ++b) {
+      conv_words.insert(conv_words.end(), weights_.conv[b].begin(),
+                        weights_.conv[b].end());
+      lut_bytes.insert(lut_bytes.end(), luts_[b].table.begin(),
+                       luts_[b].table.end());
     }
-    set.prepare_xfer(d, staged[d].data());
+    session.broadcast("conv_w", conv_words.data(), conv_words.size() * 4);
+    session.broadcast("luts", lut_bytes.data(), lut_bytes.size());
   }
-  set.push_xfer(XferDir::ToDpu, "images", 0, stage_bytes);
-  for (std::uint32_t d = 0; d < n_dpus; ++d) {
-    set.prepare_xfer(d, &counts[d]);
-  }
-  set.push_xfer(XferDir::ToDpu, "meta", 0, sizeof(std::uint64_t));
 
-  DeepEbnnBatchResult out;
-  out.dpus_used = n_dpus;
-  out.images_per_dpu = per_dpu;
-  out.launch = set.launch(n_tasklets, opt);
+  session.scatter_items("images", "meta", images.size(), per_dpu,
+                        params.image_stride, img_bytes,
+                        [&](std::size_t i) { return images[i].data(); });
 
-  // Gather + host tail.
+  session.launch(n_tasklets, opt);
+
+  // Batched gather + host tail.
   const std::size_t feat_words =
       params.result_stride / sizeof(std::uint32_t);
   const std::size_t feat_bits =
       static_cast<std::size_t>(deep_feature_bits(cfg_));
+  DeepEbnnBatchResult out;
+  out.dpus_used = n_dpus;
+  out.images_per_dpu = per_dpu;
   std::vector<std::uint32_t> words(feat_words);
-  for (std::size_t i = 0; i < images.size(); ++i) {
-    const auto d = static_cast<std::uint32_t>(i / per_dpu);
-    set.copy_from(d, "results", (i % per_dpu) * params.result_stride,
-                  words.data(), params.result_stride);
-    std::vector<int> feature(feat_bits);
-    for (std::size_t bit = 0; bit < feat_bits; ++bit) {
-      feature[bit] =
-          static_cast<int>((words[bit / 32] >> (bit % 32)) & 1u);
-    }
-    // FC tail on the host using the reference weights.
-    std::vector<float> logits(static_cast<std::size_t>(cfg_.classes), 0.0f);
-    for (int c = 0; c < cfg_.classes; ++c) {
-      float acc = 0.0f;
-      for (std::size_t b = 0; b < feat_bits; ++b) {
-        acc += weights_.fc[static_cast<std::size_t>(c) * feat_bits + b] *
-               (feature[b] != 0 ? 1.0f : -1.0f);
-      }
-      logits[static_cast<std::size_t>(c)] = acc;
-    }
-    std::vector<float> probs(logits.size());
-    nn::softmax(logits, probs);
-    out.predicted.push_back(static_cast<int>(nn::argmax(probs)));
-    out.features.push_back(std::move(feature));
-  }
+  session.gather_items(
+      "results", images.size(), per_dpu, params.result_stride,
+      [&](std::size_t, const std::uint8_t* slot) {
+        std::memcpy(words.data(), slot, feat_words * sizeof(std::uint32_t));
+        std::vector<int> feature(feat_bits);
+        for (std::size_t bit = 0; bit < feat_bits; ++bit) {
+          feature[bit] =
+              static_cast<int>((words[bit / 32] >> (bit % 32)) & 1u);
+        }
+        // FC tail on the host using the reference weights.
+        std::vector<float> logits(static_cast<std::size_t>(cfg_.classes),
+                                  0.0f);
+        for (int c = 0; c < cfg_.classes; ++c) {
+          float acc = 0.0f;
+          for (std::size_t b = 0; b < feat_bits; ++b) {
+            acc += weights_.fc[static_cast<std::size_t>(c) * feat_bits + b] *
+                   (feature[b] != 0 ? 1.0f : -1.0f);
+          }
+          logits[static_cast<std::size_t>(c)] = acc;
+        }
+        std::vector<float> probs(logits.size());
+        nn::softmax(logits, probs);
+        out.predicted.push_back(static_cast<int>(nn::argmax(probs)));
+        out.features.push_back(std::move(feature));
+      });
+  out.launch = session.finish();
   return out;
 }
 

@@ -21,6 +21,7 @@
 #include "ebnn/host.hpp"
 #include "ebnn/lut.hpp"
 #include "ebnn/model.hpp"
+#include "runtime/dpu_pool.hpp"
 #include "runtime/dpu_set.hpp"
 
 namespace pimdnn::ebnn {
@@ -118,6 +119,10 @@ public:
   /// Images one DPU can hold given the WRAM budget (1..16).
   std::uint32_t images_per_dpu() const { return images_per_dpu_; }
 
+  /// Cumulative host-side accounting of the host's pool across every
+  /// batch run so far.
+  sim::HostXferStats pool_host_stats() const { return pool_.host_stats(); }
+
 private:
   DeepEbnnConfig cfg_;
   DeepEbnnWeights weights_;
@@ -125,6 +130,7 @@ private:
   std::vector<DeepBlockDims> dims_;
   std::vector<BnBinactLut> luts_;
   std::uint32_t images_per_dpu_;
+  runtime::DpuPool pool_;
 };
 
 } // namespace pimdnn::ebnn

@@ -5,11 +5,12 @@
 #include "common/bytes.hpp"
 #include "common/error.hpp"
 #include "nn/bitpack.hpp"
+#include "runtime/kernel_session.hpp"
 
 namespace pimdnn::ebnn {
 
-using runtime::DpuSet;
-using runtime::XferDir;
+using runtime::DpuPool;
+using runtime::KernelSession;
 
 EbnnHost::EbnnHost(const EbnnConfig& cfg, EbnnWeights weights, BnMode mode,
                    const runtime::UpmemConfig& sys, ConvKernel kernel)
@@ -20,7 +21,8 @@ EbnnHost::EbnnHost(const EbnnConfig& cfg, EbnnWeights weights, BnMode mode,
       sys_(sys),
       layout_(ebnn_layout(cfg)),
       lut_(build_bn_binact_lut(cfg, weights_.bn)),
-      reference_(cfg_, weights_) {}
+      reference_(cfg_, weights_),
+      pool_(sys) {}
 
 EbnnBatchResult EbnnHost::run(const std::vector<Image>& images,
                               std::uint32_t n_tasklets,
@@ -35,96 +37,72 @@ EbnnBatchResult EbnnHost::run(const std::vector<Image>& images,
   }
 
   const std::uint32_t per_dpu = layout_.max_images;
-  const auto n_dpus = static_cast<std::uint32_t>(
-      (images.size() + per_dpu - 1) / per_dpu);
+  const auto n_dpus = KernelSession::dpus_for(images.size(), per_dpu);
 
-  DpuSet set = DpuSet::allocate(n_dpus, sys_);
-  set.load(make_ebnn_program(cfg_, mode_, kernel_));
+  KernelSession session(pool_, "ebnn", n_dpus,
+                        [&] { return make_ebnn_program(cfg_, mode_, kernel_); });
 
-  // Broadcast the weights (same on every DPU).
-  {
-    const auto packed = pad_to_xfer(
-        weights_.conv_bits.data(),
-        weights_.conv_bits.size() * sizeof(std::uint32_t));
-    set.copy_to(symbols::kConvWeights, 0, packed.data(), packed.size());
-  }
-  if (mode_ == BnMode::HostLut) {
-    const auto packed = pad_to_xfer(lut_.table.data(), lut_.table.size());
-    set.copy_to(symbols::kBnLut, 0, packed.data(), packed.size());
-  } else {
-    std::vector<float> bn;
-    bn.reserve(5 * static_cast<std::size_t>(cfg_.filters));
-    for (const auto* v : {&weights_.bn.w0, &weights_.bn.w1, &weights_.bn.w2,
-                          &weights_.bn.w3, &weights_.bn.w4}) {
-      bn.insert(bn.end(), v->begin(), v->end());
+  // Weights and the BN stage are WRAM constants: broadcast_const re-sends
+  // them only when the activation rebuilt/reloaded the program, so warm
+  // batches pay only for images + counts.
+  session.broadcast_const(symbols::kConvWeights, weights_.conv_bits.data(),
+                          weights_.conv_bits.size() * sizeof(std::uint32_t));
+  if (session.activation() != DpuPool::Activation::Active) {
+    if (mode_ == BnMode::HostLut) {
+      session.broadcast(symbols::kBnLut, lut_.table.data(),
+                        lut_.table.size());
+    } else {
+      std::vector<float> bn;
+      bn.reserve(5 * static_cast<std::size_t>(cfg_.filters));
+      for (const auto* v : {&weights_.bn.w0, &weights_.bn.w1, &weights_.bn.w2,
+                            &weights_.bn.w3, &weights_.bn.w4}) {
+        bn.insert(bn.end(), v->begin(), v->end());
+      }
+      session.broadcast(symbols::kBnParams, bn.data(),
+                        bn.size() * sizeof(float));
     }
-    const auto packed = pad_to_xfer(bn.data(), bn.size() * sizeof(float));
-    set.copy_to(symbols::kBnParams, 0, packed.data(), packed.size());
   }
 
-  // Scatter images: one staging buffer per DPU (prepare_xfer/push_xfer,
-  // the different-data-per-DPU pattern of Eqs. 3.2/3.3).
-  const std::size_t stage_bytes = per_dpu * layout_.image_stride;
-  std::vector<std::vector<std::uint8_t>> staged(n_dpus);
-  std::vector<std::uint64_t> counts(n_dpus, 0);
-  for (std::uint32_t d = 0; d < n_dpus; ++d) {
-    staged[d].assign(stage_bytes, 0);
-    for (std::uint32_t s = 0; s < per_dpu; ++s) {
-      const std::size_t global = static_cast<std::size_t>(d) * per_dpu + s;
-      if (global >= images.size()) break;
-      std::memcpy(staged[d].data() + s * layout_.image_stride,
-                  images[global].data(), img_bytes);
-      ++counts[d];
-    }
-    set.prepare_xfer(d, staged[d].data());
-  }
-  set.push_xfer(XferDir::ToDpu, symbols::kImages, 0, stage_bytes);
-
-  // Per-DPU image counts (the "size of the non-padded buffer must be sent
-  // from the host to the DPU" rule, §3.2).
-  for (std::uint32_t d = 0; d < n_dpus; ++d) {
-    set.prepare_xfer(d, &counts[d]);
-  }
-  set.push_xfer(XferDir::ToDpu, symbols::kMeta, 0, sizeof(std::uint64_t));
+  // Scatter images and per-DPU true counts (Eqs. 3.2/3.3 + the §3.2 rule).
+  session.scatter_items(symbols::kImages, symbols::kMeta, images.size(),
+                        per_dpu, layout_.image_stride, img_bytes,
+                        [&](std::size_t i) { return images[i].data(); });
 
   // Launch all DPUs in parallel.
-  EbnnBatchResult out;
-  out.dpus_used = n_dpus;
-  out.launch = set.launch(n_tasklets, opt);
+  session.launch(n_tasklets, opt);
 
-  // Gather and post-process: unpack each image's feature bits, then run
-  // the host tail (FC + softmax) serially per image.
+  // Batched gather, then post-process per image: unpack the feature bits
+  // and run the host tail (FC + softmax).
   const std::size_t feat_words = static_cast<std::size_t>(cfg_.filters) *
                                  layout_.words_per_filter;
-  // Reads obey the same 8-byte rule as writes: read the padded slot size.
-  const MemSize read_bytes =
-      align_up(feat_words * sizeof(std::uint32_t), kXferAlign);
   const int ppf = cfg_.pool_h() * cfg_.pool_w();
-  std::vector<std::uint32_t> words(read_bytes / sizeof(std::uint32_t));
+  EbnnBatchResult out;
+  out.dpus_used = n_dpus;
   out.predicted.reserve(images.size());
   out.features.reserve(images.size());
-  for (std::size_t i = 0; i < images.size(); ++i) {
-    const auto d = static_cast<std::uint32_t>(i / per_dpu);
-    const std::size_t slot = i % per_dpu;
-    set.copy_from(d, symbols::kResults, slot * layout_.result_stride,
-                  words.data(), read_bytes);
-    std::vector<int> feature(static_cast<std::size_t>(cfg_.feature_bits()));
-    for (int f = 0; f < cfg_.filters; ++f) {
-      for (int p = 0; p < ppf; ++p) {
-        const std::uint32_t word =
-            words[static_cast<std::size_t>(f) * layout_.words_per_filter +
-                  static_cast<std::size_t>(p) / 32];
-        feature[static_cast<std::size_t>(f) * ppf + p] =
-            static_cast<int>((word >> (p % 32)) & 1u);
-      }
-    }
-    std::vector<float> logits;
-    std::vector<float> probs;
-    int predicted = -1;
-    reference_.infer_tail(feature, logits, probs, predicted);
-    out.predicted.push_back(predicted);
-    out.features.push_back(std::move(feature));
-  }
+  std::vector<std::uint32_t> words(feat_words);
+  session.gather_items(
+      symbols::kResults, images.size(), per_dpu, layout_.result_stride,
+      [&](std::size_t, const std::uint8_t* slot) {
+        std::memcpy(words.data(), slot, feat_words * sizeof(std::uint32_t));
+        std::vector<int> feature(static_cast<std::size_t>(cfg_.feature_bits()));
+        for (int f = 0; f < cfg_.filters; ++f) {
+          for (int p = 0; p < ppf; ++p) {
+            const std::uint32_t word =
+                words[static_cast<std::size_t>(f) * layout_.words_per_filter +
+                      static_cast<std::size_t>(p) / 32];
+            feature[static_cast<std::size_t>(f) * ppf + p] =
+                static_cast<int>((word >> (p % 32)) & 1u);
+          }
+        }
+        std::vector<float> logits;
+        std::vector<float> probs;
+        int predicted = -1;
+        reference_.infer_tail(feature, logits, probs, predicted);
+        out.predicted.push_back(predicted);
+        out.features.push_back(std::move(feature));
+      });
+  out.launch = session.finish();
   return out;
 }
 

@@ -1,10 +1,17 @@
-// Host-side orchestration of eBNN inference over a DpuSet.
+// Host-side orchestration of eBNN inference over a persistent DPU pool.
 //
 // Implements the thesis' many-images-per-DPU mapping (§4.1.3): the input
 // image batch is divided by 16 (images per DPU) to get the number of DPUs;
 // all DPUs run in parallel and finish at the max time of one DPU; then the
 // host parses each DPU's temporary results and serially runs the Softmax
 // tail per image.
+//
+// All host choreography goes through runtime::KernelSession: the program
+// is built once and cached by the host's pool, the conv weights and
+// BN-LUT are broadcast only when an activation rebuilt or reloaded the
+// program (warm batches re-send only the images + counts), results are
+// gathered in one batched transfer, and every batch's host-side overhead
+// lands in LaunchStats::host.
 #pragma once
 
 #include <cstdint>
@@ -12,6 +19,7 @@
 
 #include "ebnn/dpu_kernel.hpp"
 #include "ebnn/model.hpp"
+#include "runtime/dpu_pool.hpp"
 #include "runtime/dpu_set.hpp"
 
 namespace pimdnn::ebnn {
@@ -59,6 +67,10 @@ public:
   /// The convolution kernel variant in use.
   ConvKernel kernel() const { return kernel_; }
 
+  /// Cumulative host-side accounting of the host's pool across every
+  /// batch run so far.
+  sim::HostXferStats pool_host_stats() const { return pool_.host_stats(); }
+
 private:
   EbnnConfig cfg_;
   EbnnWeights weights_;
@@ -68,6 +80,7 @@ private:
   EbnnLayout layout_;
   BnBinactLut lut_;
   EbnnReference reference_;
+  runtime::DpuPool pool_;
 };
 
 } // namespace pimdnn::ebnn

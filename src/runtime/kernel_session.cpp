@@ -1,0 +1,134 @@
+#include "runtime/kernel_session.hpp"
+
+#include <cstring>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/error.hpp"
+
+namespace pimdnn::runtime {
+
+KernelSession::KernelSession(DpuPool& pool, const std::string& signature,
+                             std::uint32_t n_dpus,
+                             const std::function<sim::DpuProgram()>& builder)
+    : pool_(pool),
+      n_dpus_(n_dpus),
+      host_before_(pool.host_stats()),
+      activation_(pool.activate(signature, n_dpus, builder)) {}
+
+std::uint32_t KernelSession::dpus_for(std::size_t n_items,
+                                      std::uint32_t items_per_dpu) {
+  require(items_per_dpu >= 1, "KernelSession: items_per_dpu must be >= 1");
+  require(n_items >= 1, "KernelSession: need at least one item");
+  return static_cast<std::uint32_t>((n_items + items_per_dpu - 1) /
+                                    items_per_dpu);
+}
+
+void KernelSession::broadcast(const std::string& symbol, const void* data,
+                              MemSize bytes) {
+  if (is_xfer_aligned(bytes)) {
+    set().copy_to(symbol, 0, data, bytes, n_dpus_);
+    return;
+  }
+  const auto padded = pad_to_xfer(data, bytes);
+  set().copy_to(symbol, 0, padded.data(), padded.size(), n_dpus_);
+}
+
+bool KernelSession::broadcast_const(const std::string& symbol,
+                                    const void* data, MemSize bytes) {
+  if (activation_ == DpuPool::Activation::Active) {
+    return false; // program never left the DPUs: WRAM upload still there
+  }
+  broadcast(symbol, data, bytes);
+  return true;
+}
+
+void KernelSession::scatter(const std::string& symbol, MemSize slot_bytes,
+                            const Fill& fill) {
+  require(is_xfer_aligned(slot_bytes),
+          "KernelSession::scatter: slot stride must obey the 8-byte rule");
+  std::vector<std::vector<std::uint8_t>> staged(n_dpus_);
+  for (std::uint32_t d = 0; d < n_dpus_; ++d) {
+    staged[d].assign(slot_bytes, 0);
+    fill(d, staged[d].data());
+    set().prepare_xfer(d, staged[d].data());
+  }
+  set().push_xfer(XferDir::ToDpu, symbol, 0, slot_bytes, n_dpus_);
+}
+
+bool KernelSession::scatter_resident(const std::string& tag,
+                                     std::uint64_t version,
+                                     const std::string& symbol,
+                                     MemSize slot_bytes, const Fill& fill) {
+  if (pool_.ensure_resident(tag, version)) {
+    return false; // still in the active program's MRAM region
+  }
+  scatter(symbol, slot_bytes, fill);
+  return true;
+}
+
+void KernelSession::scatter_items(
+    const std::string& data_symbol, const std::string& meta_symbol,
+    std::size_t n_items, std::uint32_t items_per_dpu, MemSize item_stride,
+    MemSize item_bytes,
+    const std::function<const void*(std::size_t)>& item) {
+  require(item_bytes <= item_stride,
+          "KernelSession::scatter_items: item overflows its slot");
+  require(dpus_for(n_items, items_per_dpu) == n_dpus_,
+          "KernelSession::scatter_items: item count does not match the "
+          "session's DPU span");
+  std::vector<std::uint64_t> counts(n_dpus_, 0);
+  scatter(data_symbol, items_per_dpu * item_stride,
+          [&](std::uint32_t d, std::uint8_t* slot) {
+            for (std::uint32_t s = 0; s < items_per_dpu; ++s) {
+              const std::size_t global =
+                  static_cast<std::size_t>(d) * items_per_dpu + s;
+              if (global >= n_items) break;
+              std::memcpy(slot + s * item_stride, item(global), item_bytes);
+              ++counts[d];
+            }
+          });
+  // True (unpadded) item count per DPU, §3.2.
+  for (std::uint32_t d = 0; d < n_dpus_; ++d) {
+    set().prepare_xfer(d, &counts[d]);
+  }
+  set().push_xfer(XferDir::ToDpu, meta_symbol, 0, sizeof(std::uint64_t),
+                  n_dpus_);
+}
+
+void KernelSession::launch(std::uint32_t n_tasklets, OptLevel opt) {
+  stats_ = set().launch(n_tasklets, opt, n_dpus_);
+  launched_ = true;
+}
+
+void KernelSession::gather_items(const std::string& symbol,
+                                 std::size_t n_items,
+                                 std::uint32_t items_per_dpu,
+                                 MemSize slot_stride, const Sink& sink) {
+  require(is_xfer_aligned(slot_stride),
+          "KernelSession::gather_items: slot stride must obey the 8-byte "
+          "rule");
+  require(dpus_for(n_items, items_per_dpu) == n_dpus_,
+          "KernelSession::gather_items: item count does not match the "
+          "session's DPU span");
+  const MemSize block = items_per_dpu * slot_stride;
+  std::vector<std::vector<std::uint8_t>> gathered(n_dpus_);
+  for (std::uint32_t d = 0; d < n_dpus_; ++d) {
+    gathered[d].resize(block);
+    set().prepare_xfer(d, gathered[d].data());
+  }
+  set().push_xfer(XferDir::FromDpu, symbol, 0, block, n_dpus_);
+  for (std::size_t i = 0; i < n_items; ++i) {
+    sink(i, gathered[i / items_per_dpu].data() +
+                (i % items_per_dpu) * slot_stride);
+  }
+}
+
+LaunchStats KernelSession::finish() {
+  require(launched_, "KernelSession::finish before launch");
+  stats_.host = sim::host_xfer_delta(pool_.host_stats(), host_before_);
+  launched_ = false;
+  return std::move(stats_);
+}
+
+} // namespace pimdnn::runtime

@@ -1,0 +1,135 @@
+// One kernel offload through a persistent DpuPool — the shared host
+// choreography layer.
+//
+// The thesis' two mapping schemes (§4.1.3 many-images-per-DPU eBNN, §4.2.3
+// one-row-per-DPU YOLOv3 GEMM) drive the host identically: activate a
+// program, broadcast the constants every DPU shares, scatter each DPU's
+// payload with zero padding to the 8-byte rule, send the true (unpadded)
+// item counts separately (§3.2), launch, and gather the per-DPU result
+// blocks in one batched transfer while discarding the padded tail. A
+// KernelSession owns exactly that lifecycle on top of a DpuPool, so every
+// pipeline (eBNN, deep eBNN, YOLOv3 GEMM, the generic Offloader) is a thin
+// client instead of a hand-rolled copy — the separation Gómez-Luna et al.
+// (arXiv:2105.03814) show matters, because these host-side transfer/load
+// overheads dominate real UPMEM workloads.
+//
+// A session is one offload: construct it (snapshotting the pool's host
+// accounting and activating the program), move data, launch, gather, then
+// call `finish()` — the returned LaunchStats carry the host-transfer
+// walls/bytes of everything the session did in `LaunchStats::host`,
+// uniformly across every pipeline.
+//
+// Residency contract (what a caller may skip re-uploading):
+//  * WRAM constants (weights, LUTs, metadata) survive only while the
+//    program stays the pool's *active* program — any switch or rebuild
+//    clobbers WRAM. `broadcast_const` encodes this: it re-sends unless the
+//    activation was `Active`.
+//  * MRAM payloads survive program switches (each cached program owns a
+//    disjoint MRAM region) but not pool resets/growth. `scatter_resident`
+//    encodes this via the pool's `ensure_resident` (tag, version) record.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "runtime/dpu_pool.hpp"
+#include "runtime/dpu_set.hpp"
+
+namespace pimdnn::runtime {
+
+/// Host-side lifecycle of one kernel offload (see file comment).
+class KernelSession {
+public:
+  /// Populates DPU `dpu`'s staging slot (zero-initialized, slot_bytes long).
+  using Fill = std::function<void(std::uint32_t dpu, std::uint8_t* slot)>;
+  /// Consumes item `item`'s gathered slot (slot_stride bytes of it valid).
+  using Sink = std::function<void(std::size_t item, const std::uint8_t* slot)>;
+
+  /// Snapshots the pool's host accounting, then activates the program
+  /// cached under `signature` for `n_dpus` DPUs (building it on first
+  /// use). All subsequent transfers/launches address the first `n_dpus`
+  /// DPUs of the pool's set.
+  KernelSession(DpuPool& pool, const std::string& signature,
+                std::uint32_t n_dpus,
+                const std::function<sim::DpuProgram()>& builder);
+
+  KernelSession(const KernelSession&) = delete;
+  KernelSession& operator=(const KernelSession&) = delete;
+
+  /// What the activation had to do — callers gate re-uploads on this.
+  DpuPool::Activation activation() const { return activation_; }
+
+  /// DPU span this session addresses.
+  std::uint32_t n_dpus() const { return n_dpus_; }
+
+  /// Architecture configuration of the underlying pool.
+  const UpmemConfig& config() const { return pool_.config(); }
+
+  /// DPUs needed to hold `n_items` at `items_per_dpu` each.
+  static std::uint32_t dpus_for(std::size_t n_items,
+                                std::uint32_t items_per_dpu);
+
+  /// Broadcasts `bytes` of `data` to `symbol` on every session DPU,
+  /// padding to the 8-byte transfer rule automatically.
+  void broadcast(const std::string& symbol, const void* data, MemSize bytes);
+
+  /// Broadcasts a WRAM-resident constant: skipped (returns false) when the
+  /// activation was `Active`, i.e. the program never left the DPUs and its
+  /// WRAM still holds the previous upload. Any other activation re-sends.
+  bool broadcast_const(const std::string& symbol, const void* data,
+                       MemSize bytes);
+
+  /// Scatters a distinct `slot_bytes` payload to `symbol` on each session
+  /// DPU: one zero-initialized staging buffer per DPU is passed to `fill`,
+  /// then all are pushed in one batched transfer. `slot_bytes` must obey
+  /// the 8-byte rule (it is an MRAM/WRAM slot stride, not a payload size).
+  void scatter(const std::string& symbol, MemSize slot_bytes,
+               const Fill& fill);
+
+  /// Scatter of an MRAM-resident payload: skipped (returns false) when the
+  /// pool still holds `(tag, version)` for the active program — the
+  /// warm-frame path that keeps weights on the DPUs between batches.
+  bool scatter_resident(const std::string& tag, std::uint64_t version,
+                        const std::string& symbol, MemSize slot_bytes,
+                        const Fill& fill);
+
+  /// Item-oriented scatter: packs `n_items` fixed-size items
+  /// (`items_per_dpu` per DPU at `item_stride` slot spacing, copying
+  /// `item_bytes` from `item(i)` into each slot) and then sends each DPU
+  /// its true item count as a u64 into `meta_symbol` — the "size of the
+  /// non-padded buffer must be sent from the host to the DPU" rule (§3.2).
+  void scatter_items(const std::string& data_symbol,
+                     const std::string& meta_symbol, std::size_t n_items,
+                     std::uint32_t items_per_dpu, MemSize item_stride,
+                     MemSize item_bytes,
+                     const std::function<const void*(std::size_t)>& item);
+
+  /// Launches the active program on the session's DPUs.
+  void launch(std::uint32_t n_tasklets, OptLevel opt = OptLevel::O3);
+
+  /// Batched gather: pulls `items_per_dpu * slot_stride` bytes of `symbol`
+  /// from every session DPU in one transfer, then hands the `n_items` real
+  /// slots to `sink` in item order — the padded tail slots of the last DPU
+  /// and each slot's alignment padding are discarded here, not by callers.
+  void gather_items(const std::string& symbol, std::size_t n_items,
+                    std::uint32_t items_per_dpu, MemSize slot_stride,
+                    const Sink& sink);
+
+  /// Stamps the host-transfer delta since construction (activation, every
+  /// broadcast/scatter/gather, the launch's load walls) into the launch
+  /// stats and returns them. Call once, after the last gather.
+  LaunchStats finish();
+
+private:
+  DpuSet& set() { return pool_.set(); }
+
+  DpuPool& pool_;
+  std::uint32_t n_dpus_;
+  sim::HostXferStats host_before_;
+  DpuPool::Activation activation_;
+  LaunchStats stats_;
+  bool launched_ = false;
+};
+
+} // namespace pimdnn::runtime

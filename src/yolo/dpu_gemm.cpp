@@ -6,11 +6,11 @@
 #include "common/bytes.hpp"
 #include "common/error.hpp"
 #include "common/fixed_point.hpp"
+#include "runtime/kernel_session.hpp"
 
 namespace pimdnn::yolo {
 
-using runtime::DpuSet;
-using runtime::XferDir;
+using runtime::KernelSession;
 using sim::CostModel;
 using sim::MemKind;
 using sim::TaskletCtx;
@@ -223,9 +223,8 @@ GemmResult dpu_gemm_pooled(runtime::DpuPool& pool, int m, int n, int k,
   require(n_tasklets >= 1 && n_tasklets <= kMaxGemmTasklets,
           "GEMM tasklets must be in [1, 16]");
 
-  const int n_dpus = (m + rows_per_dpu - 1) / rows_per_dpu;
-  const auto na = static_cast<std::uint32_t>(n_dpus);
-  const sim::HostXferStats host_before = pool.host_stats();
+  const auto na = KernelSession::dpus_for(static_cast<std::size_t>(m),
+                                          static_cast<std::uint32_t>(rows_per_dpu));
 
   // Program activation: the load is cached by the dimension signature, so
   // warm frames skip the rebuild (and, for the already-active signature,
@@ -240,26 +239,21 @@ GemmResult dpu_gemm_pooled(runtime::DpuPool& pool, int m, int n, int k,
   if (!weights_tag.empty()) {
     sig += "/w=" + weights_tag;
   }
-  pool.activate(sig, na,
-                [&] { return make_gemm_program(n, k, variant, rows_per_dpu); });
-  DpuSet& set = pool.set();
+  KernelSession session(pool, sig, na, [&] {
+    return make_gemm_program(n, k, variant, rows_per_dpu);
+  });
 
   // Broadcast the kernel metadata every call — alpha is not part of the
   // program signature, so two layers sharing (n, k) may disagree on it.
-  {
-    const Meta meta{static_cast<std::uint64_t>(n),
-                    static_cast<std::uint64_t>(k),
-                    static_cast<std::int64_t>(alpha),
-                    static_cast<std::uint64_t>(variant),
-                    static_cast<std::uint64_t>(rows_per_dpu)};
-    set.copy_to("meta", 0, &meta, sizeof(meta), na);
-  }
+  const Meta meta{static_cast<std::uint64_t>(n),
+                  static_cast<std::uint64_t>(k),
+                  static_cast<std::int64_t>(alpha),
+                  static_cast<std::uint64_t>(variant),
+                  static_cast<std::uint64_t>(rows_per_dpu)};
+  session.broadcast("meta", &meta, sizeof(meta));
 
   // Broadcast B (the whole input matrix goes to every DPU, Figure 4.6).
-  {
-    const auto padded = pad_to_xfer(b.data(), static_cast<MemSize>(k) * n * 2);
-    set.copy_to("b_mat", 0, padded.data(), padded.size(), na);
-  }
+  session.broadcast("b_mat", b.data(), static_cast<MemSize>(k) * n * 2);
 
   // Scatter: rows [d*R, d*R + R) of A to DPU d; out-of-range rows stay
   // zero (the padded rows compute to zeros and are discarded on gather).
@@ -267,53 +261,39 @@ GemmResult dpu_gemm_pooled(runtime::DpuPool& pool, int m, int n, int k,
   // still MRAM-resident from an earlier call (the warm-frame path).
   const MemSize a_stride = a_stride_bytes(k);
   const MemSize stage_a_bytes = static_cast<MemSize>(rows_per_dpu) * a_stride;
-  const bool a_resident =
-      !weights_tag.empty() && pool.ensure_resident(weights_tag, weights_version);
-  if (!a_resident) {
-    std::vector<std::vector<std::uint8_t>> stage(
-        static_cast<std::size_t>(n_dpus));
-    for (int d = 0; d < n_dpus; ++d) {
-      auto& buf = stage[static_cast<std::size_t>(d)];
-      buf.assign(stage_a_bytes, 0);
-      for (int r = 0; r < rows_per_dpu; ++r) {
-        const int row = d * rows_per_dpu + r;
-        if (row >= m) break;
-        std::memcpy(buf.data() + static_cast<std::size_t>(r) * a_stride,
-                    a.data() + static_cast<std::size_t>(row) * k,
-                    static_cast<std::size_t>(k) * 2);
-      }
-      set.prepare_xfer(static_cast<DpuId>(d), buf.data());
+  const auto fill_a = [&](std::uint32_t d, std::uint8_t* slot) {
+    for (int r = 0; r < rows_per_dpu; ++r) {
+      const int row = static_cast<int>(d) * rows_per_dpu + r;
+      if (row >= m) break;
+      std::memcpy(slot + static_cast<std::size_t>(r) * a_stride,
+                  a.data() + static_cast<std::size_t>(row) * k,
+                  static_cast<std::size_t>(k) * 2);
     }
-    set.push_xfer(XferDir::ToDpu, "a_rows", 0, stage_a_bytes, na);
+  };
+  if (weights_tag.empty()) {
+    session.scatter("a_rows", stage_a_bytes, fill_a);
+  } else {
+    session.scatter_resident(weights_tag, weights_version, "a_rows",
+                             stage_a_bytes, fill_a);
   }
 
+  session.launch(n_tasklets, opt);
+
+  // Gather: one batched transfer pulls every DPU's full C block; the
+  // session unpacks the M real rows (dropping each row's alignment padding
+  // and the padded tail rows of the last DPU).
   GemmResult out;
   out.dpus_used = na;
-  out.stats = set.launch(n_tasklets, opt, na);
-
-  // Gather: one batched transfer pulls every DPU's full C block, then the
-  // host unpacks the M real rows (dropping each row's alignment padding and
-  // the padded tail rows of the last DPU).
-  const MemSize c_stride = c_stride_bytes(n);
-  const MemSize stage_c_bytes = static_cast<MemSize>(rows_per_dpu) * c_stride;
-  std::vector<std::vector<std::uint8_t>> gather(
-      static_cast<std::size_t>(n_dpus));
-  for (int d = 0; d < n_dpus; ++d) {
-    auto& buf = gather[static_cast<std::size_t>(d)];
-    buf.resize(stage_c_bytes);
-    set.prepare_xfer(static_cast<DpuId>(d), buf.data());
-  }
-  set.push_xfer(XferDir::FromDpu, "c_rows", 0, stage_c_bytes, na);
   out.c.resize(static_cast<std::size_t>(m) * n);
-  for (int i = 0; i < m; ++i) {
-    const auto& buf = gather[static_cast<std::size_t>(i / rows_per_dpu)];
-    std::memcpy(out.c.data() + static_cast<std::size_t>(i) * n,
-                buf.data() +
-                    static_cast<std::size_t>(i % rows_per_dpu) * c_stride,
-                static_cast<std::size_t>(n) * 2);
-  }
+  session.gather_items(
+      "c_rows", static_cast<std::size_t>(m),
+      static_cast<std::uint32_t>(rows_per_dpu), c_stride_bytes(n),
+      [&](std::size_t i, const std::uint8_t* slot) {
+        std::memcpy(out.c.data() + i * n, slot,
+                    static_cast<std::size_t>(n) * 2);
+      });
 
-  out.stats.host = sim::host_xfer_delta(pool.host_stats(), host_before);
+  out.stats = session.finish();
   return out;
 }
 

@@ -23,6 +23,12 @@
 // row analytically (it mirrors the kernel's charges one-for-one; a test
 // asserts equality), enabling full-size per-layer latency reports without
 // functionally simulating 32 GMACs.
+//
+// Host side, `dpu_gemm_pooled` is a thin runtime::KernelSession client:
+// the metadata and B broadcast, the A-row scatter (skipped on warm frames
+// when `weights_tag` is still MRAM-resident) and the batched C gather all
+// go through the shared session choreography, which also stamps the
+// host-transfer walls/bytes into `GemmRunStats::stats.host`.
 #pragma once
 
 #include <cstdint>
