@@ -25,10 +25,11 @@
 #include "yolo/detect.hpp"
 #include "yolo/network.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pimdnn;
   using namespace pimdnn::yolo;
 
+  bench::JsonReport report("fw_pool_reuse", argc, argv);
   bench::banner("Persistent DPU pool - cold vs warm frame host overhead");
 
   constexpr int kSize = 32;
@@ -73,6 +74,14 @@ int main() {
 
   const double warm_avg_ms = warm_host / (kFrames - 1) * 1e3;
   const double cold_ms = cold.host_seconds() * 1e3;
+  report.metric("yolo_cold_host_ms", cold_ms, "ms");
+  report.metric("yolo_warm_host_ms", warm_avg_ms, "ms");
+  report.metric("yolo_warm_cold_ratio", warm_avg_ms / cold_ms, "x");
+  report.metric("yolo_cold_bytes_to_dpu",
+                static_cast<double>(cold.bytes_to_dpu), "B");
+  report.metric("yolo_warm_bytes_to_dpu_per_frame",
+                static_cast<double>(warm_sum.bytes_to_dpu) / (kFrames - 1),
+                "B");
   std::cout << "\ncold frame host overhead: " << Table::num(cold_ms, 3)
             << " ms (" << Table::num(cold.program_loads)
             << " program loads, "
@@ -127,6 +136,9 @@ int main() {
 
   const double ewarm_avg_ms = ewarm_host / (kBatches - 1) * 1e3;
   const double ecold_ms = ecold.host_seconds() * 1e3;
+  report.metric("ebnn_cold_host_ms", ecold_ms, "ms");
+  report.metric("ebnn_warm_host_ms", ewarm_avg_ms, "ms");
+  report.metric("ebnn_warm_cold_ratio", ewarm_avg_ms / ecold_ms, "x");
   std::cout << "\neBNN cold batch host overhead: " << Table::num(ecold_ms, 3)
             << " ms (" << Table::num(ecold.program_loads)
             << " program load, conv weights + BN LUT broadcast)\n"

@@ -5,18 +5,20 @@
 // plus the §4.3.3 WRAM-vs-MRAM ablation for the GEMM kernel.
 #include <algorithm>
 #include <iostream>
+#include <tuple>
 
 #include "bench_util.hpp"
 #include "ebnn/host.hpp"
 #include "ebnn/mnist_synth.hpp"
 #include "yolo/network.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pimdnn;
   using namespace pimdnn::ebnn;
   namespace yolo = pimdnn::yolo;
   using runtime::OptLevel;
 
+  bench::JsonReport report("sec4_3_latency", argc, argv);
   bench::banner("Section 4.3.1 - headline CNN latencies");
 
   // --- eBNN ---
@@ -34,12 +36,19 @@ int main() {
   te.row({"amortized per image, 16 tasklets (ms)",
           Table::num(batch.launch.wall_seconds / 16 * 1e3, 3), "-"});
   te.print(std::cout);
+  report.metric("ebnn_single_image_ms", single.launch.wall_seconds * 1e3,
+                "ms");
+  report.metric("ebnn_batch16_wall_ms", batch.launch.wall_seconds * 1e3,
+                "ms");
+  report.metric("ebnn_amortized_per_image_ms",
+                batch.launch.wall_seconds / 16 * 1e3, "ms");
 
   // --- YOLOv3 full size, analytic per-layer ---
-  for (const auto& [vlabel, variant] :
-       {std::pair{"WRAM-tiled kernel", yolo::GemmVariant::WramTiled},
-        std::pair{"MRAM-resident kernel (thesis-style port)",
-                  yolo::GemmVariant::MramResident}}) {
+  for (const auto& [vlabel, vkey, variant] :
+       {std::tuple{"WRAM-tiled kernel", "wram",
+                   yolo::GemmVariant::WramTiled},
+        std::tuple{"MRAM-resident kernel (thesis-style port)", "mram",
+                   yolo::GemmVariant::MramResident}}) {
     const auto layers = yolo::YoloRunner::estimate(
         yolo::yolov3_config(), 3, 416, 416, variant, 11, OptLevel::O3);
     Seconds total = 0;
@@ -59,6 +68,8 @@ int main() {
     ty.row({"conv layers", Table::num(std::uint64_t(convs)), "75"});
     ty.print(std::cout);
     std::cout << "\n";
+    report.metric(std::string("yolov3_") + vkey + "_total_s", total, "s");
+    report.metric(std::string("yolov3_") + vkey + "_max_layer_s", worst, "s");
   }
   // --- YOLOv3-tiny (the §6.1 "alternative CNN") for scale context ---
   {

@@ -1,12 +1,20 @@
 // Shared helpers for the table/figure reproduction benches: uniform
 // "paper vs measured" rows so EXPERIMENTS.md can be cross-checked against
-// bench output directly.
+// bench output directly, plus an opt-in machine-readable JSON emitter
+// (`--json <path>`) so CI and plotting scripts can consume bench results
+// without scraping the ASCII tables.
 #pragma once
 
+#include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/table.hpp"
+#include "obs/trace.hpp"
 
 namespace pimdnn::bench {
 
@@ -21,5 +29,68 @@ inline std::string delta_pct(double measured, double paper) {
 inline void banner(const std::string& what) {
   std::cout << "\n#### " << what << " ####\n";
 }
+
+/// Collects named metrics and writes them as one JSON object when the bench
+/// was invoked with `--json <path>`; a no-op otherwise. Usage:
+///
+///   int main(int argc, char** argv) {
+///     bench::JsonReport report("fw_pool_reuse", argc, argv);
+///     ...
+///     report.metric("warm_host_ms", warm_ms, "ms");
+///   }  // file written at scope exit
+class JsonReport {
+public:
+  JsonReport(std::string bench, int argc, char** argv)
+      : bench_(std::move(bench)) {
+    for (int i = 1; i + 1 < argc; ++i) {
+      if (std::strcmp(argv[i], "--json") == 0) {
+        path_ = argv[i + 1];
+      }
+    }
+  }
+
+  JsonReport(const JsonReport&) = delete;
+  JsonReport& operator=(const JsonReport&) = delete;
+
+  /// True when a --json destination was given.
+  bool enabled() const { return !path_.empty(); }
+
+  /// Records one metric (recorded even when disabled; cheap).
+  void metric(const std::string& name, double value,
+              const std::string& unit = "") {
+    metrics_.emplace_back(Entry{name, value, unit});
+  }
+
+  /// Writes the report now (also runs at destruction). Returns false when
+  /// disabled or the file cannot be opened.
+  bool write() {
+    if (path_.empty()) return false;
+    std::ofstream os(path_, std::ios::trunc);
+    if (!os) return false;
+    os << "{\"bench\":\"" << obs::json_escape(bench_) << "\",\"metrics\":[";
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      char num[48];
+      std::snprintf(num, sizeof(num), "%.9g", metrics_[i].value);
+      os << (i == 0 ? "" : ",") << "{\"name\":\""
+         << obs::json_escape(metrics_[i].name) << "\",\"value\":" << num
+         << ",\"unit\":\"" << obs::json_escape(metrics_[i].unit) << "\"}";
+    }
+    os << "]}\n";
+    return true;
+  }
+
+  ~JsonReport() { write(); }
+
+private:
+  struct Entry {
+    std::string name;
+    double value;
+    std::string unit;
+  };
+
+  std::string bench_;
+  std::string path_;
+  std::vector<Entry> metrics_;
+};
 
 } // namespace pimdnn::bench

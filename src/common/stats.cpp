@@ -1,8 +1,29 @@
 #include "common/stats.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 namespace pimdnn {
+
+namespace {
+
+/// Sketch accuracy parameter: relative bucket width. Percentile error is
+/// bounded by (gamma - 1) / (gamma + 1) ~ 1%.
+constexpr double kGamma = 1.02;
+const double kInvLogGamma = 1.0 / std::log(kGamma);
+
+} // namespace
+
+std::int32_t RunningStats::bucket_index(double magnitude) {
+  // magnitude > 0 by construction (zeros are counted separately).
+  return static_cast<std::int32_t>(
+      std::ceil(std::log(magnitude) * kInvLogGamma));
+}
+
+double RunningStats::bucket_value(std::int32_t index) {
+  // Midpoint of bucket (gamma^(i-1), gamma^i].
+  return 2.0 * std::pow(kGamma, index) / (kGamma + 1.0);
+}
 
 void RunningStats::add(double x) {
   ++n_;
@@ -12,6 +33,13 @@ void RunningStats::add(double x) {
   m2_ += delta * (x - mean_);
   if (x < min_) min_ = x;
   if (x > max_) max_ = x;
+  if (x > 0.0) {
+    ++pos_[bucket_index(x)];
+  } else if (x < 0.0) {
+    ++neg_[bucket_index(-x)];
+  } else {
+    ++zeros_;
+  }
 }
 
 double RunningStats::min() const {
@@ -32,6 +60,39 @@ double RunningStats::variance() const {
 
 double RunningStats::stddev() const { return std::sqrt(variance()); }
 
+double RunningStats::percentile(double q) const {
+  if (n_ == 0) return std::nan("");
+  q = std::clamp(q, 0.0, 1.0);
+  // Nearest-rank: the smallest value with at least ceil(q * n) observations
+  // at or below it.
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(n_))));
+  // The extreme ranks are tracked exactly; no need to settle for a bucket
+  // midpoint there.
+  if (rank <= 1) return min_;
+  if (rank >= n_) return max_;
+  std::uint64_t seen = 0;
+  // Ascending value order: most-negative magnitude first.
+  for (auto it = neg_.rbegin(); it != neg_.rend(); ++it) {
+    seen += it->second;
+    if (seen >= rank) {
+      return std::clamp(-bucket_value(it->first), min_, max_);
+    }
+  }
+  seen += zeros_;
+  if (seen >= rank) {
+    return std::clamp(0.0, min_, max_);
+  }
+  for (const auto& [idx, cnt] : pos_) {
+    seen += cnt;
+    if (seen >= rank) {
+      return std::clamp(bucket_value(idx), min_, max_);
+    }
+  }
+  return max_;
+}
+
 void RunningStats::merge(const RunningStats& other) {
   if (other.n_ == 0) return;
   if (n_ == 0) {
@@ -48,6 +109,9 @@ void RunningStats::merge(const RunningStats& other) {
   sum_ += other.sum_;
   if (other.min_ < min_) min_ = other.min_;
   if (other.max_ > max_) max_ = other.max_;
+  for (const auto& [idx, cnt] : other.pos_) pos_[idx] += cnt;
+  for (const auto& [idx, cnt] : other.neg_) neg_[idx] += cnt;
+  zeros_ += other.zeros_;
 }
 
 } // namespace pimdnn

@@ -4,10 +4,18 @@
 
 #include <cstdint>
 #include <limits>
+#include <map>
 
 namespace pimdnn {
 
-/// Accumulates count/min/max/mean/variance in one pass (Welford).
+/// Accumulates count/min/max/mean/variance in one pass (Welford), plus a
+/// mergeable log-bucketed quantile sketch for percentile estimation.
+///
+/// The sketch (DDSketch-style): each observation lands in the bucket
+/// ceil(log_gamma |x|) with gamma = 1.02, so any percentile estimate is
+/// within ~1% relative error of a true sample value; buckets merge by
+/// plain count addition, making merge() exact (two merged accumulators
+/// report the same percentiles as one accumulator fed both streams).
 class RunningStats {
 public:
   /// Adds one observation.
@@ -34,16 +42,38 @@ public:
   /// Population standard deviation (NaN if empty).
   double stddev() const;
 
-  /// Merges another accumulator into this one.
+  /// Estimated value at quantile `q` in [0, 1] (NaN if empty). Within ~1%
+  /// relative error; clamped into [min(), max()] so the extremes are exact.
+  double percentile(double q) const;
+
+  /// Median estimate.
+  double p50() const { return percentile(0.50); }
+
+  /// 95th-percentile estimate.
+  double p95() const { return percentile(0.95); }
+
+  /// 99th-percentile estimate.
+  double p99() const { return percentile(0.99); }
+
+  /// Merges another accumulator into this one (exact, including the
+  /// percentile sketch).
   void merge(const RunningStats& other);
 
 private:
+  static std::int32_t bucket_index(double magnitude);
+  static double bucket_value(std::int32_t index);
+
   std::uint64_t n_ = 0;
   double mean_ = 0.0;
   double m2_ = 0.0;
   double sum_ = 0.0;
   double min_ = std::numeric_limits<double>::infinity();
   double max_ = -std::numeric_limits<double>::infinity();
+  /// Quantile sketch: log-bucket counts for positive and negative
+  /// magnitudes plus an exact zero count.
+  std::map<std::int32_t, std::uint64_t> pos_;
+  std::map<std::int32_t, std::uint64_t> neg_;
+  std::uint64_t zeros_ = 0;
 };
 
 } // namespace pimdnn

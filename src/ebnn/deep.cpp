@@ -7,6 +7,7 @@
 #include "common/error.hpp"
 #include "nn/bitpack.hpp"
 #include "nn/layers.hpp"
+#include "obs/trace.hpp"
 #include "runtime/kernel_session.hpp"
 
 namespace pimdnn::ebnn {
@@ -470,6 +471,11 @@ DeepEbnnBatchResult DeepEbnnHost::run(const std::vector<Image>& images,
 
   const std::uint32_t per_dpu = params.capacity;
   const auto n_dpus = KernelSession::dpus_for(images.size(), per_dpu);
+  obs::Span batch_sp("deep_ebnn.batch", "pipeline");
+  if (batch_sp.active()) {
+    batch_sp.u64("n_images", images.size());
+    batch_sp.u64("n_dpus", n_dpus);
+  }
   KernelSession session(pool_, "ebnn_deep", n_dpus, [&] {
     return make_deep_program(params, conv_size, lut_size);
   });

@@ -5,6 +5,7 @@
 #include "common/bytes.hpp"
 #include "common/error.hpp"
 #include "nn/bitpack.hpp"
+#include "obs/trace.hpp"
 #include "runtime/kernel_session.hpp"
 
 namespace pimdnn::ebnn {
@@ -38,6 +39,12 @@ EbnnBatchResult EbnnHost::run(const std::vector<Image>& images,
 
   const std::uint32_t per_dpu = layout_.max_images;
   const auto n_dpus = KernelSession::dpus_for(images.size(), per_dpu);
+
+  obs::Span batch_sp("ebnn.batch", "pipeline");
+  if (batch_sp.active()) {
+    batch_sp.u64("n_images", images.size());
+    batch_sp.u64("n_dpus", n_dpus);
+  }
 
   KernelSession session(pool_, "ebnn", n_dpus,
                         [&] { return make_ebnn_program(cfg_, mode_, kernel_); });

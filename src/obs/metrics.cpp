@@ -1,0 +1,237 @@
+#include "obs/metrics.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <ostream>
+
+#include "common/table.hpp"
+#include "obs/trace.hpp"
+
+namespace pimdnn::obs {
+
+namespace {
+
+double ratio(std::uint64_t hits, std::uint64_t misses) {
+  const std::uint64_t total = hits + misses;
+  return total == 0 ? 0.0
+                    : static_cast<double>(hits) / static_cast<double>(total);
+}
+
+std::string fmt(double v, int prec = 1) {
+  char buf[48];
+  if (std::isnan(v)) return "-";
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+
+std::string json_num(double v) {
+  if (std::isnan(v) || std::isinf(v)) return "null";
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+} // namespace
+
+void SignatureSummary::add(const OffloadSample& s) {
+  ++launches;
+  cycles.add(static_cast<double>(s.wall_cycles));
+  host_seconds += s.host_seconds;
+  bytes_to_dpu += s.bytes_to_dpu;
+  bytes_from_dpu += s.bytes_from_dpu;
+  program_loads += s.program_loads;
+  cached_activations += s.cached_activations;
+  resident_hits += s.resident_hits;
+  resident_misses += s.resident_misses;
+  const_hits += s.const_hits;
+  const_misses += s.const_misses;
+}
+
+struct Metrics::Impl {
+  mutable std::mutex mu;
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, RunningStats> histograms;
+  std::map<std::string, SignatureSummary> signatures;
+  std::string summary_path; ///< PIMDNN_SUMMARY destination ("" = off)
+};
+
+Metrics::Metrics() : impl_(new Impl) {
+  const char* path = std::getenv("PIMDNN_SUMMARY");
+  if (path != nullptr && path[0] != '\0') {
+    impl_->summary_path = path;
+  }
+}
+
+Metrics::~Metrics() {
+  if (!impl_->summary_path.empty()) {
+    if (impl_->summary_path == "-") {
+      print_summary(std::cout);
+    } else if (impl_->summary_path.size() > 5 &&
+               impl_->summary_path.compare(impl_->summary_path.size() - 5, 5,
+                                           ".json") == 0) {
+      std::ofstream os(impl_->summary_path, std::ios::trunc);
+      if (os) write_summary_json(os);
+    } else {
+      std::ofstream os(impl_->summary_path, std::ios::trunc);
+      if (os) print_summary(os);
+    }
+  }
+  delete impl_;
+}
+
+Metrics& Metrics::instance() {
+  static Metrics metrics;
+  return metrics;
+}
+
+void Metrics::add(std::string_view counter, std::uint64_t delta) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->counters[std::string(counter)] += delta;
+}
+
+std::uint64_t Metrics::counter(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  const auto it = impl_->counters.find(std::string(name));
+  return it == impl_->counters.end() ? 0 : it->second;
+}
+
+void Metrics::record(std::string_view histogram, double value) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->histograms[std::string(histogram)].add(value);
+}
+
+RunningStats Metrics::histogram(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  const auto it = impl_->histograms.find(std::string(name));
+  return it == impl_->histograms.end() ? RunningStats{} : it->second;
+}
+
+void Metrics::record_offload(const std::string& signature,
+                             const OffloadSample& s) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->signatures[signature].add(s);
+}
+
+std::map<std::string, SignatureSummary> Metrics::signatures() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->signatures;
+}
+
+std::map<std::string, std::uint64_t> Metrics::counters() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->counters;
+}
+
+std::map<std::string, RunningStats> Metrics::histograms() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->histograms;
+}
+
+void Metrics::reset() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->counters.clear();
+  impl_->histograms.clear();
+  impl_->signatures.clear();
+}
+
+void print_summary(std::ostream& os) {
+  auto& m = Metrics::instance();
+  const auto sigs = m.signatures();
+  const auto counters = m.counters();
+  const auto hists = m.histograms();
+
+  if (!sigs.empty()) {
+    Table t("pimdnn offload summary (per kernel signature)");
+    t.header({"signature", "launches", "cyc p50", "cyc p95", "host ms",
+              "MB->dpu", "MB<-dpu", "loads", "res hit%", "const hit%"});
+    for (const auto& [sig, s] : sigs) {
+      t.row({sig, Table::num(static_cast<std::uint64_t>(s.launches)),
+             fmt(s.cycles.p50(), 0), fmt(s.cycles.p95(), 0),
+             fmt(s.host_seconds * 1e3, 2),
+             fmt(static_cast<double>(s.bytes_to_dpu) / 1e6, 2),
+             fmt(static_cast<double>(s.bytes_from_dpu) / 1e6, 2),
+             Table::num(s.program_loads),
+             fmt(100.0 * ratio(s.resident_hits, s.resident_misses), 1),
+             fmt(100.0 * ratio(s.const_hits, s.const_misses), 1)});
+    }
+    t.print(os);
+  }
+
+  if (!counters.empty()) {
+    Table t("pimdnn counters");
+    t.header({"counter", "value"});
+    for (const auto& [name, value] : counters) {
+      t.row({name, Table::num(value)});
+    }
+    t.print(os);
+  }
+
+  if (!hists.empty()) {
+    Table t("pimdnn histograms");
+    t.header({"histogram", "count", "mean", "p50", "p95", "p99", "max"});
+    for (const auto& [name, h] : hists) {
+      t.row({name, Table::num(h.count()), fmt(h.mean(), 2), fmt(h.p50(), 2),
+             fmt(h.p95(), 2), fmt(h.p99(), 2), fmt(h.max(), 2)});
+    }
+    t.print(os);
+  }
+
+  if (sigs.empty() && counters.empty() && hists.empty()) {
+    os << "pimdnn obs: no metrics recorded\n";
+  }
+}
+
+void write_summary_json(std::ostream& os) {
+  auto& m = Metrics::instance();
+  const auto sigs = m.signatures();
+  const auto counters = m.counters();
+  const auto hists = m.histograms();
+
+  os << "{\"signatures\":[";
+  bool first = true;
+  for (const auto& [sig, s] : sigs) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"signature\":\"" << json_escape(sig) << "\""
+       << ",\"launches\":" << s.launches
+       << ",\"cycles\":{\"p50\":" << json_num(s.cycles.p50())
+       << ",\"p95\":" << json_num(s.cycles.p95())
+       << ",\"mean\":" << json_num(s.cycles.mean())
+       << ",\"max\":" << json_num(s.cycles.max()) << "}"
+       << ",\"host_seconds\":" << json_num(s.host_seconds)
+       << ",\"bytes_to_dpu\":" << s.bytes_to_dpu
+       << ",\"bytes_from_dpu\":" << s.bytes_from_dpu
+       << ",\"program_loads\":" << s.program_loads
+       << ",\"cached_activations\":" << s.cached_activations
+       << ",\"resident_hit_rate\":"
+       << json_num(ratio(s.resident_hits, s.resident_misses))
+       << ",\"const_hit_rate\":"
+       << json_num(ratio(s.const_hits, s.const_misses)) << "}";
+  }
+  os << "],\"counters\":{";
+  first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << json_escape(name) << "\":" << value;
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : hists) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << json_escape(name) << "\":{\"count\":" << h.count()
+       << ",\"mean\":" << json_num(h.mean())
+       << ",\"p50\":" << json_num(h.p50())
+       << ",\"p95\":" << json_num(h.p95())
+       << ",\"p99\":" << json_num(h.p99())
+       << ",\"max\":" << json_num(h.max()) << "}";
+  }
+  os << "}}\n";
+}
+
+} // namespace pimdnn::obs

@@ -1,0 +1,106 @@
+// pimdnn::obs metrics — named counters, histograms with percentiles, and a
+// per-kernel-signature offload summary.
+//
+// PIMSIM-NN (arXiv:2402.18089) ships machine-readable performance output
+// as a first-class simulator feature; this registry is pimdnn's
+// equivalent. The runtime feeds it automatically — DpuPool counts program
+// builds/loads and MRAM-residency hits, every KernelSession::finish()
+// records one OffloadSample under its program signature — so any program
+// that drives a pipeline can end with `obs::print_summary(std::cout)` (or
+// export JSON) and get per-signature launch counts, cycle p50/p95, host
+// bytes each way and cache/residency hit rates without bespoke printouts.
+//
+// At-exit reporting is env-gated: PIMDNN_SUMMARY=- writes the text summary
+// to stdout when the process ends; PIMDNN_SUMMARY=<path> writes to a file
+// (JSON when the path ends in ".json", text otherwise).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/stats.hpp"
+
+namespace pimdnn::obs {
+
+/// Host-side accounting of one finished KernelSession offload.
+struct OffloadSample {
+  std::uint64_t wall_cycles = 0;    ///< slowest DPU of the launch
+  double host_seconds = 0.0;        ///< transfer + load walls
+  std::uint64_t bytes_to_dpu = 0;
+  std::uint64_t bytes_from_dpu = 0;
+  std::uint64_t program_loads = 0;
+  std::uint64_t cached_activations = 0;
+  std::uint64_t resident_hits = 0;   ///< MRAM scatters skipped (warm)
+  std::uint64_t resident_misses = 0; ///< MRAM scatters performed (cold)
+  std::uint64_t const_hits = 0;      ///< WRAM const broadcasts skipped
+  std::uint64_t const_misses = 0;    ///< WRAM const broadcasts performed
+};
+
+/// Accumulated offload statistics for one kernel signature.
+struct SignatureSummary {
+  std::uint64_t launches = 0;
+  RunningStats cycles;       ///< wall cycles per launch (p50/p95 capable)
+  double host_seconds = 0.0;
+  std::uint64_t bytes_to_dpu = 0;
+  std::uint64_t bytes_from_dpu = 0;
+  std::uint64_t program_loads = 0;
+  std::uint64_t cached_activations = 0;
+  std::uint64_t resident_hits = 0;
+  std::uint64_t resident_misses = 0;
+  std::uint64_t const_hits = 0;
+  std::uint64_t const_misses = 0;
+
+  /// Folds one offload into the summary.
+  void add(const OffloadSample& s);
+};
+
+/// Process-wide metrics registry (thread-safe).
+class Metrics {
+public:
+  /// The singleton. First access reads PIMDNN_SUMMARY for at-exit output.
+  static Metrics& instance();
+
+  /// Increments the named counter.
+  void add(std::string_view counter, std::uint64_t delta = 1);
+
+  /// Current value of a counter (0 if never incremented).
+  std::uint64_t counter(std::string_view name) const;
+
+  /// Records one observation into the named histogram.
+  void record(std::string_view histogram, double value);
+
+  /// Copy of a histogram's accumulator (empty stats if absent).
+  RunningStats histogram(std::string_view name) const;
+
+  /// Folds one finished offload into its signature's summary.
+  void record_offload(const std::string& signature, const OffloadSample& s);
+
+  /// Copies of the per-signature summaries / counters / histograms.
+  std::map<std::string, SignatureSummary> signatures() const;
+  std::map<std::string, std::uint64_t> counters() const;
+  std::map<std::string, RunningStats> histograms() const;
+
+  /// Clears everything (tests).
+  void reset();
+
+  Metrics(const Metrics&) = delete;
+  Metrics& operator=(const Metrics&) = delete;
+  ~Metrics();
+
+private:
+  Metrics();
+  struct Impl;
+  Impl* impl_;
+};
+
+/// Renders the aggregate summary (per-signature table + counters +
+/// histograms) as human-readable text.
+void print_summary(std::ostream& os);
+
+/// Writes the aggregate summary as a machine-readable JSON object.
+void write_summary_json(std::ostream& os);
+
+} // namespace pimdnn::obs

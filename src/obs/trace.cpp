@@ -1,0 +1,246 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+
+namespace pimdnn::obs {
+
+namespace detail {
+std::atomic<bool> g_trace_enabled{false};
+} // namespace detail
+
+namespace {
+
+/// Buffer cap: a runaway loop cannot eat unbounded memory; drops are
+/// counted and reported in the exported file's metadata.
+constexpr std::size_t kMaxEvents = 1u << 20;
+
+using Clock = std::chrono::steady_clock;
+
+std::string render_args(const TraceEvent& ev) {
+  std::string out = "{";
+  for (std::size_t i = 0; i < ev.args.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\"" + json_escape(ev.args[i].first) + "\":" + ev.args[i].second;
+  }
+  out += "}";
+  return out;
+}
+
+/// One event as a Chrome trace "X" (complete) record.
+std::string render_event(const TraceEvent& ev) {
+  char num[64];
+  std::string out = "{\"name\":\"" + json_escape(ev.name) + "\",\"cat\":\"" +
+                    json_escape(ev.cat) + "\",\"ph\":\"X\",\"pid\":1,\"tid\":";
+  out += std::to_string(ev.tid);
+  std::snprintf(num, sizeof(num), ",\"ts\":%.3f,\"dur\":%.3f", ev.ts_us,
+                ev.dur_us);
+  out += num;
+  out += ",\"args\":" + render_args(ev) + "}";
+  return out;
+}
+
+} // namespace
+
+namespace {
+/// Constructs the singleton at startup so PIMDNN_TRACE / PIMDNN_TRACE_JSONL
+/// take effect without any explicit enable() call — Span's fast path reads
+/// only the atomic flag and would otherwise never touch the instance.
+const bool g_tracer_bootstrap = (Tracer::instance(), true);
+} // namespace
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+struct Tracer::Impl {
+  mutable std::mutex mu;
+  Clock::time_point epoch = Clock::now();
+  bool recording = false;
+  std::string chrome_path;
+  std::ofstream jsonl;
+  std::vector<TraceEvent> events;
+  std::uint64_t dropped = 0;
+  std::atomic<std::uint32_t> next_tid{0};
+
+  void refresh_enabled_locked() {
+    detail::g_trace_enabled.store(recording,
+                                  std::memory_order_relaxed);
+  }
+};
+
+Tracer::Tracer() : impl_(new Impl) {
+  const char* path = std::getenv("PIMDNN_TRACE");
+  if (path != nullptr && path[0] != '\0') {
+    enable(path);
+  }
+  const char* jsonl = std::getenv("PIMDNN_TRACE_JSONL");
+  if (jsonl != nullptr && jsonl[0] != '\0') {
+    enable_jsonl(jsonl);
+  }
+}
+
+Tracer::~Tracer() {
+  flush();
+  delete impl_;
+}
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::enable(const std::string& path) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->chrome_path = path;
+  impl_->events.clear();
+  impl_->dropped = 0;
+  impl_->recording = true;
+  impl_->refresh_enabled_locked();
+}
+
+void Tracer::enable_jsonl(const std::string& path) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->jsonl.open(path, std::ios::trunc);
+  impl_->recording = true;
+  impl_->refresh_enabled_locked();
+}
+
+void Tracer::disable() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->recording = false;
+  if (impl_->jsonl.is_open()) {
+    impl_->jsonl.close();
+  }
+  impl_->refresh_enabled_locked();
+}
+
+void Tracer::record(TraceEvent&& ev) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  if (!impl_->recording) {
+    return;
+  }
+  if (impl_->jsonl.is_open()) {
+    impl_->jsonl << render_event(ev) << "\n";
+  }
+  if (impl_->events.size() >= kMaxEvents) {
+    ++impl_->dropped;
+    return;
+  }
+  impl_->events.push_back(std::move(ev));
+}
+
+void Tracer::flush() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  if (impl_->jsonl.is_open()) {
+    impl_->jsonl.flush();
+  }
+  if (impl_->chrome_path.empty()) {
+    return;
+  }
+  std::ofstream os(impl_->chrome_path, std::ios::trunc);
+  if (!os) {
+    return;
+  }
+  os << "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"tool\":\"pimdnn\","
+     << "\"dropped\":" << impl_->dropped << "},\"traceEvents\":[";
+  for (std::size_t i = 0; i < impl_->events.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n") << render_event(impl_->events[i]);
+  }
+  os << "\n]}\n";
+}
+
+std::vector<TraceEvent> Tracer::snapshot() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->events;
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->dropped;
+}
+
+std::uint32_t Tracer::thread_id() {
+  thread_local const std::uint32_t id =
+      instance().impl_->next_tid.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+double Tracer::now_us() const {
+  return std::chrono::duration<double, std::micro>(Clock::now() -
+                                                   impl_->epoch)
+      .count();
+}
+
+Span::Span(const char* name, const char* cat) {
+  if (!Tracer::enabled()) {
+    return;
+  }
+  active_ = true;
+  ev_.name = name;
+  ev_.cat = cat;
+  ev_.tid = Tracer::thread_id();
+  start_us_ = Tracer::instance().now_us();
+}
+
+void Span::u64(const char* key, std::uint64_t v) {
+  if (!active_) return;
+  ev_.args.emplace_back(key, std::to_string(v));
+}
+
+void Span::i64(const char* key, std::int64_t v) {
+  if (!active_) return;
+  ev_.args.emplace_back(key, std::to_string(v));
+}
+
+void Span::f64(const char* key, double v) {
+  if (!active_) return;
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  ev_.args.emplace_back(key, buf);
+}
+
+void Span::str(const char* key, std::string_view v) {
+  if (!active_) return;
+  ev_.args.emplace_back(key, "\"" + json_escape(v) + "\"");
+}
+
+void Span::flag(const char* key, bool v) {
+  if (!active_) return;
+  ev_.args.emplace_back(key, v ? "true" : "false");
+}
+
+void Span::end() {
+  if (!active_) {
+    return;
+  }
+  active_ = false;
+  ev_.ts_us = start_us_;
+  ev_.dur_us = Tracer::instance().now_us() - start_us_;
+  Tracer::instance().record(std::move(ev_));
+}
+
+} // namespace pimdnn::obs

@@ -1,0 +1,135 @@
+// pimdnn::obs span tracer — end-to-end host/DPU timelines as Chrome
+// trace-event JSON (loadable in Perfetto / chrome://tracing) plus an
+// optional JSONL event stream.
+//
+// The thesis' empirical story is a cycle/latency decomposition (§4.3), and
+// Gómez-Luna et al. (arXiv:2105.03814) show the host-side transfer/load
+// path dominates real UPMEM workloads — so every layer of this stack
+// (DpuPool activation, KernelSession transfers, sim::Dpu launches, the
+// pipeline batches above them) opens a Span around its work. With tracing
+// disabled (the default) a Span is one relaxed atomic load; nothing
+// allocates and nothing is recorded, so instrumented hot paths stay hot.
+//
+// Enabling:
+//  * env   PIMDNN_TRACE=<path>        — Chrome trace JSON written at exit
+//                                       (or on Tracer::flush()),
+//  * env   PIMDNN_TRACE_JSONL=<path>  — one JSON object per completed span,
+//                                       streamed as spans finish,
+//  * API   Tracer::instance().enable(path) / enable_jsonl(path).
+//
+// Thread model: spans may begin/end on any thread (DpuSet launches kernels
+// on a worker pool); each thread gets a small sequential tid so per-thread
+// lanes nest correctly in Perfetto. All shared state is mutex-protected.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace pimdnn::obs {
+
+namespace detail {
+/// Process-wide "is any sink attached" flag; read on every Span
+/// construction, so it must stay a bare relaxed atomic.
+extern std::atomic<bool> g_trace_enabled;
+} // namespace detail
+
+/// One completed span, ready for export. Argument values are stored as
+/// pre-rendered JSON literals (numbers, or quoted escaped strings).
+struct TraceEvent {
+  std::string name;
+  std::string cat;
+  double ts_us = 0.0;  ///< start, microseconds since tracer epoch
+  double dur_us = 0.0; ///< duration, microseconds
+  std::uint32_t tid = 0;
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+/// Escapes a string for embedding in a JSON string literal (no quotes).
+std::string json_escape(std::string_view s);
+
+/// Process-wide trace registry and exporter (see file comment).
+class Tracer {
+public:
+  /// The singleton. First access reads PIMDNN_TRACE / PIMDNN_TRACE_JSONL.
+  static Tracer& instance();
+
+  /// True when any sink is attached — the Span fast-path gate.
+  static bool enabled() {
+    return detail::g_trace_enabled.load(std::memory_order_relaxed);
+  }
+
+  /// Starts recording to a Chrome trace file at `path` (written by flush()
+  /// and at process exit). Clears previously buffered events.
+  void enable(const std::string& path);
+
+  /// Streams every completed span as one JSON object per line to `path`.
+  void enable_jsonl(const std::string& path);
+
+  /// Stops recording; buffered events are kept until flush().
+  void disable();
+
+  /// Writes the buffered events as a complete Chrome trace JSON file to the
+  /// enable() path (no-op without one). Safe to call repeatedly.
+  void flush();
+
+  /// Appends a completed event (dropped when recording is off or the
+  /// buffer cap is hit).
+  void record(TraceEvent&& ev);
+
+  /// Copy of the buffered events (tests and summary tooling).
+  std::vector<TraceEvent> snapshot() const;
+
+  /// Events dropped by the buffer cap.
+  std::uint64_t dropped() const;
+
+  /// Small sequential id of the calling thread.
+  static std::uint32_t thread_id();
+
+  /// Microseconds since the tracer's epoch.
+  double now_us() const;
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+  ~Tracer();
+
+private:
+  Tracer();
+  struct Impl;
+  Impl* impl_;
+};
+
+/// RAII span: opens on construction, records on end()/destruction. When
+/// tracing is disabled the constructor is a single atomic load and every
+/// other method is an early-out.
+class Span {
+public:
+  explicit Span(const char* name, const char* cat = "pim");
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() { end(); }
+
+  /// True when this span is being recorded — gate expensive argument
+  /// construction on it.
+  bool active() const { return active_; }
+
+  /// Attaches a typed argument (no-ops when inactive).
+  void u64(const char* key, std::uint64_t v);
+  void i64(const char* key, std::int64_t v);
+  void f64(const char* key, double v);
+  void str(const char* key, std::string_view v);
+  void flag(const char* key, bool v);
+
+  /// Closes the span and hands it to the tracer. Idempotent.
+  void end();
+
+private:
+  bool active_ = false;
+  double start_us_ = 0.0;
+  TraceEvent ev_;
+};
+
+} // namespace pimdnn::obs

@@ -4,6 +4,8 @@
 
 #include "common/bytes.hpp"
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace pimdnn::runtime {
 
@@ -57,8 +59,12 @@ void DpuPool::reset_cache() {
 
 DpuPool::Entry DpuPool::build_entry(
     const std::function<sim::DpuProgram()>& builder, std::uint32_t n_dpus) {
+  obs::Span sp("program.build", "pool");
   Entry e;
   e.prog = builder();
+  if (sp.active()) {
+    sp.str("program", e.prog.name);
+  }
   e.mram_base = mram_cursor_;
   e.mram_bytes = mram_footprint(e.prog, e.mram_base);
   e.n_dpus = n_dpus;
@@ -74,6 +80,16 @@ DpuPool::Activation DpuPool::activate(
     const std::string& key, std::uint32_t n_dpus,
     const std::function<sim::DpuProgram()>& builder) {
   require(n_dpus > 0, "DpuPool::activate with zero DPUs");
+  obs::Span sp("activate", "pool");
+  if (sp.active()) {
+    sp.str("signature", key);
+    sp.u64("n_dpus", n_dpus);
+  }
+  const auto done = [&sp](Activation a, const char* name) {
+    obs::Metrics::instance().add(std::string("pool.activate.") + name);
+    sp.str("result", name);
+    return a;
+  };
   reserve(n_dpus);
 
   auto it = entries_.find(key);
@@ -87,19 +103,19 @@ DpuPool::Activation DpuPool::activate(
                 "' changed its MRAM footprint between activations");
     wider.mram_base = it->second.mram_base;
     it->second = std::move(wider);
-    set_->load(it->second.prog);
+    load_program(it->second.prog);
     active_ = key;
-    return Activation::Fresh;
+    return done(Activation::Fresh, "fresh");
   }
   if (it != entries_.end()) {
     if (active_ == key) {
       set_->note_cached_activation();
-      return Activation::Active;
+      return done(Activation::Active, "active");
     }
-    set_->load(it->second.prog);
+    load_program(it->second.prog);
     set_->note_cached_activation();
     active_ = key;
-    return Activation::Switched;
+    return done(Activation::Switched, "switched");
   }
 
   Entry e = build_entry(builder, n_dpus);
@@ -112,10 +128,19 @@ DpuPool::Activation DpuPool::activate(
     e = build_entry(builder, n_dpus);
   }
   mram_cursor_ = align_up(e.mram_base + e.mram_bytes, kXferAlign);
-  set_->load(e.prog);
+  load_program(e.prog);
   entries_.emplace(key, std::move(e));
   active_ = key;
-  return Activation::Fresh;
+  return done(Activation::Fresh, "fresh");
+}
+
+void DpuPool::load_program(const sim::DpuProgram& prog) {
+  obs::Span sp("program.load", "pool");
+  if (sp.active()) {
+    sp.str("program", prog.name);
+    sp.u64("n_dpus", set_->size());
+  }
+  set_->load(prog);
 }
 
 bool DpuPool::ensure_resident(const std::string& tag, std::uint64_t version) {
@@ -123,8 +148,10 @@ bool DpuPool::ensure_resident(const std::string& tag, std::uint64_t version) {
   Entry& e = entries_.at(active_);
   if (e.resident_tag == tag && e.resident_version == version &&
       !e.resident_tag.empty()) {
+    obs::Metrics::instance().add("pool.resident.hit");
     return true;
   }
+  obs::Metrics::instance().add("pool.resident.miss");
   // Recorded before the caller uploads: a throwing upload leaves a stale
   // record, but it also leaves the pool itself unusable mid-transfer.
   e.resident_tag = tag;

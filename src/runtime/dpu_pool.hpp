@@ -114,6 +114,7 @@ private:
   void reset_cache();
   Entry build_entry(const std::function<sim::DpuProgram()>& builder,
                     std::uint32_t n_dpus);
+  void load_program(const sim::DpuProgram& prog);
 
   UpmemConfig cfg_;
   std::optional<DpuSet> set_;

@@ -5,6 +5,8 @@
 
 #include "common/bytes.hpp"
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "sim/report.hpp"
 
 namespace pimdnn::runtime {
 
@@ -13,8 +15,15 @@ KernelSession::KernelSession(DpuPool& pool, const std::string& signature,
                              const std::function<sim::DpuProgram()>& builder)
     : pool_(pool),
       n_dpus_(n_dpus),
+      signature_(signature),
       host_before_(pool.host_stats()),
-      activation_(pool.activate(signature, n_dpus, builder)) {}
+      span_("offload", "session"),
+      activation_(pool.activate(signature, n_dpus, builder)) {
+  if (span_.active()) {
+    span_.str("signature", signature_);
+    span_.u64("n_dpus", n_dpus_);
+  }
+}
 
 std::uint32_t KernelSession::dpus_for(std::size_t n_items,
                                       std::uint32_t items_per_dpu) {
@@ -26,6 +35,11 @@ std::uint32_t KernelSession::dpus_for(std::size_t n_items,
 
 void KernelSession::broadcast(const std::string& symbol, const void* data,
                               MemSize bytes) {
+  obs::Span sp("broadcast", "session");
+  if (sp.active()) {
+    sp.str("symbol", symbol);
+    sp.u64("bytes", static_cast<std::uint64_t>(bytes) * n_dpus_);
+  }
   if (is_xfer_aligned(bytes)) {
     set().copy_to(symbol, 0, data, bytes, n_dpus_);
     return;
@@ -36,15 +50,28 @@ void KernelSession::broadcast(const std::string& symbol, const void* data,
 
 bool KernelSession::broadcast_const(const std::string& symbol,
                                     const void* data, MemSize bytes) {
+  obs::Span sp("broadcast_const", "session");
+  if (sp.active()) {
+    sp.str("symbol", symbol);
+  }
   if (activation_ == DpuPool::Activation::Active) {
+    ++const_hits_;
+    sp.flag("skipped", true);
     return false; // program never left the DPUs: WRAM upload still there
   }
+  ++const_misses_;
+  sp.flag("skipped", false);
   broadcast(symbol, data, bytes);
   return true;
 }
 
 void KernelSession::scatter(const std::string& symbol, MemSize slot_bytes,
                             const Fill& fill) {
+  obs::Span sp("scatter", "session");
+  if (sp.active()) {
+    sp.str("symbol", symbol);
+    sp.u64("bytes", static_cast<std::uint64_t>(slot_bytes) * n_dpus_);
+  }
   require(is_xfer_aligned(slot_bytes),
           "KernelSession::scatter: slot stride must obey the 8-byte rule");
   std::vector<std::vector<std::uint8_t>> staged(n_dpus_);
@@ -60,9 +87,18 @@ bool KernelSession::scatter_resident(const std::string& tag,
                                      std::uint64_t version,
                                      const std::string& symbol,
                                      MemSize slot_bytes, const Fill& fill) {
+  obs::Span sp("scatter_resident", "session");
+  if (sp.active()) {
+    sp.str("tag", tag);
+    sp.u64("version", version);
+  }
   if (pool_.ensure_resident(tag, version)) {
+    ++resident_hits_;
+    sp.flag("skipped", true);
     return false; // still in the active program's MRAM region
   }
+  ++resident_misses_;
+  sp.flag("skipped", false);
   scatter(symbol, slot_bytes, fill);
   return true;
 }
@@ -72,6 +108,11 @@ void KernelSession::scatter_items(
     std::size_t n_items, std::uint32_t items_per_dpu, MemSize item_stride,
     MemSize item_bytes,
     const std::function<const void*(std::size_t)>& item) {
+  obs::Span sp("scatter_items", "session");
+  if (sp.active()) {
+    sp.str("symbol", data_symbol);
+    sp.u64("n_items", n_items);
+  }
   require(item_bytes <= item_stride,
           "KernelSession::scatter_items: item overflows its slot");
   require(dpus_for(n_items, items_per_dpu) == n_dpus_,
@@ -97,14 +138,38 @@ void KernelSession::scatter_items(
 }
 
 void KernelSession::launch(std::uint32_t n_tasklets, OptLevel opt) {
+  obs::Span sp("launch", "session");
+  if (sp.active()) {
+    sp.str("signature", signature_);
+    sp.u64("n_tasklets", n_tasklets);
+  }
   stats_ = set().launch(n_tasklets, opt, n_dpus_);
   launched_ = true;
+  if (sp.active()) {
+    sp.u64("cycles", stats_.wall_cycles);
+    // Bound classification of the slowest DPU — the one that set the wall.
+    const sim::DpuRunStats* slowest = nullptr;
+    for (const sim::DpuRunStats& d : stats_.per_dpu) {
+      if (slowest == nullptr || d.cycles > slowest->cycles) slowest = &d;
+    }
+    if (slowest != nullptr) {
+      sp.str("bound",
+             sim::cycle_bound_name(sim::dominant_bound(*slowest, config())));
+    }
+  }
 }
 
 void KernelSession::gather_items(const std::string& symbol,
                                  std::size_t n_items,
                                  std::uint32_t items_per_dpu,
                                  MemSize slot_stride, const Sink& sink) {
+  obs::Span sp("gather", "session");
+  if (sp.active()) {
+    sp.str("symbol", symbol);
+    sp.u64("n_items", n_items);
+    sp.u64("bytes", static_cast<std::uint64_t>(items_per_dpu) * slot_stride *
+                        n_dpus_);
+  }
   require(is_xfer_aligned(slot_stride),
           "KernelSession::gather_items: slot stride must obey the 8-byte "
           "rule");
@@ -128,6 +193,27 @@ LaunchStats KernelSession::finish() {
   require(launched_, "KernelSession::finish before launch");
   stats_.host = sim::host_xfer_delta(pool_.host_stats(), host_before_);
   launched_ = false;
+
+  obs::OffloadSample sample;
+  sample.wall_cycles = stats_.wall_cycles;
+  sample.host_seconds = stats_.host.host_seconds();
+  sample.bytes_to_dpu = stats_.host.bytes_to_dpu;
+  sample.bytes_from_dpu = stats_.host.bytes_from_dpu;
+  sample.program_loads = stats_.host.program_loads;
+  sample.cached_activations = stats_.host.cached_activations;
+  sample.resident_hits = resident_hits_;
+  sample.resident_misses = resident_misses_;
+  sample.const_hits = const_hits_;
+  sample.const_misses = const_misses_;
+  obs::Metrics::instance().record_offload(signature_, sample);
+
+  if (span_.active()) {
+    span_.u64("cycles", stats_.wall_cycles);
+    span_.f64("host_ms", stats_.host.host_seconds() * 1e3);
+    span_.u64("bytes_to_dpu", stats_.host.bytes_to_dpu);
+    span_.u64("bytes_from_dpu", stats_.host.bytes_from_dpu);
+  }
+  span_.end();
   return std::move(stats_);
 }
 

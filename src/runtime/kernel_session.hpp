@@ -33,6 +33,7 @@
 #include <functional>
 #include <string>
 
+#include "obs/trace.hpp"
 #include "runtime/dpu_pool.hpp"
 #include "runtime/dpu_set.hpp"
 
@@ -118,7 +119,8 @@ public:
 
   /// Stamps the host-transfer delta since construction (activation, every
   /// broadcast/scatter/gather, the launch's load walls) into the launch
-  /// stats and returns them. Call once, after the last gather.
+  /// stats, closes the session's trace span, and records the offload under
+  /// its signature in obs::Metrics. Call once, after the last gather.
   LaunchStats finish();
 
 private:
@@ -126,10 +128,18 @@ private:
 
   DpuPool& pool_;
   std::uint32_t n_dpus_;
+  std::string signature_;
   sim::HostXferStats host_before_;
+  /// Root trace span of the whole offload; declared before `activation_` so
+  /// the pool's activate/build/load spans nest inside it.
+  obs::Span span_;
   DpuPool::Activation activation_;
   LaunchStats stats_;
   bool launched_ = false;
+  std::uint64_t resident_hits_ = 0;   ///< scatter_resident skips
+  std::uint64_t resident_misses_ = 0; ///< scatter_resident uploads
+  std::uint64_t const_hits_ = 0;      ///< broadcast_const skips
+  std::uint64_t const_misses_ = 0;    ///< broadcast_const uploads
 };
 
 } // namespace pimdnn::runtime

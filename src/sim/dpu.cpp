@@ -8,6 +8,8 @@
 #include <thread>
 
 #include "common/bytes.hpp"
+#include "obs/trace.hpp"
+#include "sim/report.hpp"
 
 namespace pimdnn::sim {
 
@@ -149,6 +151,12 @@ DpuRunStats Dpu::launch(std::uint32_t n_tasklets, OptLevel opt,
           "tasklet count must be in [1, " +
               std::to_string(cfg_.max_tasklets) + "]");
 
+  obs::Span sp("dpu.launch", "sim");
+  if (sp.active()) {
+    sp.str("program", program_.name);
+    sp.u64("n_tasklets", n_tasklets);
+  }
+
   const CostModel cost(opt);
   DpuRunStats out;
   out.tasklets.resize(n_tasklets);
@@ -215,6 +223,14 @@ DpuRunStats Dpu::launch(std::uint32_t n_tasklets, OptLevel opt,
   }
   out.cycles = std::max({static_cast<Cycles>(out.total_slots),
                          out.total_dma_cycles, latency_bound});
+  if (sp.active()) {
+    sp.u64("cycles", out.cycles);
+    sp.u64("slots", out.total_slots);
+    sp.u64("dma_cycles", out.total_dma_cycles);
+    sp.u64("dma_bytes", out.total_dma_bytes);
+    sp.str("bound", cycle_bound_name(dominant_bound(out, cfg_)));
+    sp.f64("imbalance", tasklet_imbalance(out, cfg_));
+  }
   return out;
 }
 

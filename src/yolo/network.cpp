@@ -10,10 +10,23 @@
 #include "nn/gemm.hpp"
 #include "nn/im2col.hpp"
 #include "nn/layers.hpp"
+#include "obs/trace.hpp"
 
 namespace pimdnn::yolo {
 
 namespace {
+
+const char* layer_type_name(LayerType t) {
+  switch (t) {
+    case LayerType::Convolutional: return "conv";
+    case LayerType::Shortcut: return "shortcut";
+    case LayerType::Route: return "route";
+    case LayerType::Upsample: return "upsample";
+    case LayerType::Maxpool: return "maxpool";
+    case LayerType::Yolo: return "yolo";
+  }
+  return "?";
+}
 
 /// Bias add + optional leaky ReLU over the M x N conv output, parallelized
 /// across filter rows on host threads (mirrors the worker pool in
@@ -172,6 +185,11 @@ YoloRunResult YoloRunner::run(std::span<const std::int16_t> input,
     retain[defs_.size() - 1] = 1;
   }
 
+  obs::Span frame_sp("yolo.frame", "pipeline");
+  if (frame_sp.active()) {
+    frame_sp.u64("n_layers", defs_.size());
+  }
+
   YoloRunResult out;
   out.outputs.reserve(defs_.size());
   out.layers.reserve(defs_.size());
@@ -205,6 +223,11 @@ YoloRunResult YoloRunner::run(std::span<const std::int16_t> input,
     const LayerDef& d = defs_[i];
     LayerStats ls;
     ls.type = d.type;
+    obs::Span layer_sp("yolo.layer", "pipeline");
+    if (layer_sp.active()) {
+      layer_sp.u64("index", i);
+      layer_sp.str("type", layer_type_name(d.type));
+    }
     auto resolve = [&](int idx) {
       return static_cast<std::size_t>(
           idx < 0 ? static_cast<long>(i) + idx : static_cast<long>(idx));
@@ -299,6 +322,10 @@ YoloRunResult YoloRunner::run(std::span<const std::int16_t> input,
     ls.out_h = cd.h;
     ls.out_w = cd.w;
     ls.seconds = sys_.cycles_to_seconds(ls.cycles);
+    if (layer_sp.active() && ls.cycles > 0) {
+      layer_sp.u64("cycles", ls.cycles);
+      layer_sp.u64("dpus", ls.dpus);
+    }
     out.total_cycles += ls.cycles;
     out.layers.push_back(ls);
     out.outputs.push_back(cur);

@@ -149,6 +149,70 @@ TEST(Stats, EmptyIsNan) {
   RunningStats s;
   EXPECT_TRUE(std::isnan(s.mean()));
   EXPECT_TRUE(std::isnan(s.min()));
+  EXPECT_TRUE(std::isnan(s.percentile(0.5)));
+}
+
+TEST(Stats, PercentilesWithinSketchError) {
+  // 1..1000 uniformly: the sketch (gamma = 1.02) must land within ~2%
+  // relative error of the true nearest-rank value.
+  RunningStats s;
+  for (int i = 1; i <= 1000; ++i) s.add(static_cast<double>(i));
+  EXPECT_NEAR(s.p50(), 500.0, 500.0 * 0.025);
+  EXPECT_NEAR(s.p95(), 950.0, 950.0 * 0.025);
+  EXPECT_NEAR(s.p99(), 990.0, 990.0 * 0.025);
+  // Extremes clamp to the exact observed min/max.
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 1000.0);
+}
+
+TEST(Stats, PercentilesHandleSignsAndZeros) {
+  RunningStats s;
+  for (double v : {-100.0, -10.0, 0.0, 0.0, 10.0, 100.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), -100.0);
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 100.0);
+  // Ranks 3 and 4 of 6 are the zeros.
+  EXPECT_DOUBLE_EQ(s.percentile(0.5), 0.0);
+  // Rank 2 is -10: negative buckets must come back ascending.
+  EXPECT_NEAR(s.percentile(0.3), -10.0, 10.0 * 0.025);
+}
+
+TEST(Stats, SingleValueAllPercentiles) {
+  RunningStats s;
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.p50(), 42.0);
+  EXPECT_DOUBLE_EQ(s.p95(), 42.0);
+  EXPECT_DOUBLE_EQ(s.p99(), 42.0);
+}
+
+TEST(Stats, MergePreservesPercentilesExactly) {
+  // The sketch merges by bucket-count addition, so a merged accumulator
+  // must report the *identical* percentile estimates as one accumulator
+  // fed both streams — not merely close ones.
+  RunningStats a;
+  RunningStats b;
+  RunningStats all;
+  for (int i = 0; i < 500; ++i) {
+    const double v = (i % 7 == 0 ? -1.0 : 1.0) * (i * 1.7 + 1.0);
+    (i % 3 == 0 ? a : b).add(v);
+    all.add(v);
+  }
+  a.merge(b);
+  for (double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(a.percentile(q), all.percentile(q)) << "q=" << q;
+  }
+}
+
+TEST(Stats, MergeIntoEmptyCopiesSketch) {
+  RunningStats a;
+  RunningStats b;
+  for (int i = 1; i <= 100; ++i) b.add(static_cast<double>(i));
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.p50(), b.p50());
+  EXPECT_DOUBLE_EQ(a.p95(), b.p95());
+  // Merging an empty accumulator changes nothing.
+  const double before = a.p95();
+  a.merge(RunningStats{});
+  EXPECT_DOUBLE_EQ(a.p95(), before);
 }
 
 TEST(Bytes, AlignUp) {

@@ -87,5 +87,71 @@ TEST(Report, BoundNamesPrintable) {
                "latency-bound (under-threaded)");
 }
 
+TEST(Report, HostXferAccumulateAndDelta) {
+  HostXferStats before;
+  before.to_dpu_seconds = 0.5;
+  before.from_dpu_seconds = 0.25;
+  before.load_seconds = 0.125;
+  before.bytes_to_dpu = 1000;
+  before.bytes_from_dpu = 200;
+  before.program_loads = 2;
+  before.cached_activations = 3;
+
+  HostXferStats step;
+  step.to_dpu_seconds = 0.1;
+  step.from_dpu_seconds = 0.2;
+  step.load_seconds = 0.3;
+  step.bytes_to_dpu = 64;
+  step.bytes_from_dpu = 32;
+  step.program_loads = 1;
+  step.cached_activations = 4;
+
+  HostXferStats after = before;
+  after += step;
+  EXPECT_DOUBLE_EQ(after.to_dpu_seconds, 0.6);
+  EXPECT_DOUBLE_EQ(after.from_dpu_seconds, 0.45);
+  EXPECT_DOUBLE_EQ(after.load_seconds, 0.425);
+  EXPECT_EQ(after.bytes_to_dpu, 1064u);
+  EXPECT_EQ(after.bytes_from_dpu, 232u);
+  EXPECT_EQ(after.program_loads, 3u);
+  EXPECT_EQ(after.cached_activations, 7u);
+  EXPECT_DOUBLE_EQ(after.host_seconds(), 0.6 + 0.45 + 0.425);
+
+  // Delta of a cumulative counter around one step recovers the step.
+  const HostXferStats d = host_xfer_delta(after, before);
+  EXPECT_DOUBLE_EQ(d.to_dpu_seconds, step.to_dpu_seconds);
+  EXPECT_DOUBLE_EQ(d.from_dpu_seconds, step.from_dpu_seconds);
+  EXPECT_DOUBLE_EQ(d.load_seconds, step.load_seconds);
+  EXPECT_EQ(d.bytes_to_dpu, step.bytes_to_dpu);
+  EXPECT_EQ(d.bytes_from_dpu, step.bytes_from_dpu);
+  EXPECT_EQ(d.program_loads, step.program_loads);
+  EXPECT_EQ(d.cached_activations, step.cached_activations);
+
+  // Delta of a counter against itself is all-zero.
+  const HostXferStats zero = host_xfer_delta(after, after);
+  EXPECT_DOUBLE_EQ(zero.host_seconds(), 0.0);
+  EXPECT_EQ(zero.bytes_to_dpu, 0u);
+  EXPECT_EQ(zero.program_loads, 0u);
+}
+
+TEST(Report, HostXferReportContainsKeyFields) {
+  HostXferStats h;
+  h.to_dpu_seconds = 0.001;
+  h.from_dpu_seconds = 0.002;
+  h.load_seconds = 0.003;
+  h.bytes_to_dpu = 123456;
+  h.bytes_from_dpu = 7890;
+  h.program_loads = 5;
+  h.cached_activations = 9;
+  std::ostringstream os;
+  print_host_xfer_report(os, h);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("123456"), std::string::npos);
+  EXPECT_NE(s.find("7890"), std::string::npos);
+  EXPECT_NE(s.find("5"), std::string::npos);
+  EXPECT_NE(s.find("9"), std::string::npos);
+  EXPECT_FALSE(s.empty());
+}
+
 } // namespace
 } // namespace pimdnn::sim
