@@ -21,6 +21,7 @@
 #include "bench_util.hpp"
 #include "ebnn/host.hpp"
 #include "ebnn/mnist_synth.hpp"
+#include "sim/fault.hpp"
 #include "sim/report.hpp"
 #include "yolo/detect.hpp"
 #include "yolo/network.hpp"
@@ -146,6 +147,72 @@ int main(int argc, char** argv) {
             << " ms avg (images + counts only)\n"
             << "eBNN warm/cold host time: "
             << Table::num(ewarm_avg_ms / ecold_ms, 3) << "x\n";
+
+  // ---- faulty substrate: retry overhead at a 1% launch-fault rate ----------
+  bench::banner("Faulty substrate - eBNN batches, clean vs 1% launch faults");
+
+  // Enough launches for a 1% per-DPU rate to trip several times under the
+  // fixed seed (4 DPUs x 32 batches = 128 draws).
+  constexpr int kFaultBatches = 32;
+  const auto run_batches = [&](ebnn::EbnnHost& host, std::uint64_t& retries,
+                               std::uint64_t& fallbacks,
+                               std::uint64_t& absorbed,
+                               std::uint64_t& retry_cycles) {
+    Seconds host_s = 0.0;
+    for (int b = 0; b < kFaultBatches; ++b) {
+      const auto batch = ebnn::make_synthetic_mnist(kImages, 100 + b);
+      const auto run = host.run(ebnn::images_only(batch), 16);
+      host_s += run.launch.host.host_seconds();
+      retries += run.launch.retries;
+      fallbacks += run.launch.cpu_fallback ? 1 : 0;
+      absorbed += run.launch.faults_absorbed;
+      retry_cycles += run.launch.retry_cycles;
+    }
+    return host_s;
+  };
+
+  std::uint64_t clean_retries = 0, clean_fallbacks = 0, clean_absorbed = 0,
+                clean_retry_cycles = 0;
+  ebnn::EbnnHost clean_host(ecfg, ew, ebnn::BnMode::HostLut);
+  const Seconds clean_s = run_batches(clean_host, clean_retries,
+                                      clean_fallbacks, clean_absorbed,
+                                      clean_retry_cycles);
+
+  sim::FaultConfig fcfg;
+  fcfg.seed = 42;
+  fcfg.launch_fail_rate = 0.01;
+  sim::set_fault_config(fcfg);
+  std::uint64_t fault_retries = 0, fault_fallbacks = 0, fault_absorbed = 0,
+                fault_retry_cycles = 0;
+  ebnn::EbnnHost fault_host(ecfg, ew, ebnn::BnMode::HostLut);
+  const Seconds fault_s = run_batches(fault_host, fault_retries,
+                                      fault_fallbacks, fault_absorbed,
+                                      fault_retry_cycles);
+  sim::set_fault_config(sim::FaultConfig{});
+
+  const double clean_ms = clean_s * 1e3;
+  const double fault_ms = fault_s * 1e3;
+  report.metric("fault_clean_host_ms", clean_ms, "ms");
+  report.metric("fault_faulty_host_ms", fault_ms, "ms");
+  report.metric("fault_host_overhead_ratio", fault_ms / clean_ms, "x");
+  report.metric("fault_retries", static_cast<double>(fault_retries), "count");
+  report.metric("fault_fallbacks", static_cast<double>(fault_fallbacks),
+                "count");
+  report.metric("fault_absorbed", static_cast<double>(fault_absorbed),
+                "count");
+  report.metric("fault_retry_cycles",
+                static_cast<double>(fault_retry_cycles), "cycles");
+  std::cout << "clean substrate:  " << Table::num(clean_ms, 3) << " ms host, "
+            << Table::num(clean_retries) << " retries, "
+            << Table::num(clean_fallbacks) << " fallbacks\n"
+            << "1% launch faults: " << Table::num(fault_ms, 3) << " ms host, "
+            << Table::num(fault_retries) << " retries, "
+            << Table::num(fault_fallbacks) << " fallbacks, "
+            << Table::num(fault_absorbed) << " faults absorbed, "
+            << Table::num(fault_retry_cycles)
+            << " backoff cycles charged\n"
+            << "host overhead under faults: "
+            << Table::num(fault_ms / clean_ms, 3) << "x\n";
 
   std::cout
       << "\nConclusion: keeping the DpuSet allocated and the weight rows"

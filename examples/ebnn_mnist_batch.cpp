@@ -61,7 +61,11 @@ int main(int argc, char** argv) {
     const auto cold = host.run(images, 16);
     host.run(images, 16);
     std::cout << "\nfirst DPU of the LUT run:\n";
-    sim::print_report(std::cout, cold.launch.per_dpu[0]);
+    if (cold.launch.per_dpu.empty()) {
+      std::cout << "  (offload degraded to CPU fallback - no DPU report)\n";
+    } else {
+      sim::print_report(std::cout, cold.launch.per_dpu[0]);
+    }
   }
   std::cout << "\n";
   obs::print_summary(std::cout);

@@ -12,6 +12,7 @@
 
 #include "common/table.hpp"
 #include "obs/metrics.hpp"
+#include "sim/fault.hpp"
 #include "yolo/detect.hpp"
 #include "yolo/network.hpp"
 
@@ -33,7 +34,12 @@ int main(int argc, char** argv) {
   const auto image = make_synthetic_image(3, size, size, kFracBits, 3);
 
   std::cout << "yolov3-lite " << size << "x" << size
-            << ", GEMM offloaded row-per-DPU, 11 tasklets, -O3\n\n";
+            << ", GEMM offloaded row-per-DPU, 11 tasklets, -O3\n";
+  if (sim::fault_plan().enabled()) {
+    std::cout << "fault injection: " << sim::fault_plan().config().describe()
+              << "\n";
+  }
+  std::cout << "\n";
   RunOptions opts;
   opts.mode = ExecMode::DpuWram;
   opts.n_tasklets = 11;

@@ -159,10 +159,17 @@ OffloadResult Offloader::run(
                         spec_.item_in_bytes,
                         [&](std::size_t i) { return items[i].data(); });
 
-  session.launch(n_tasklets, opt);
-
   OffloadResult out;
   out.dpus_used = n_dpus;
+
+  // A degraded session routes the batch through one spare private DPU —
+  // the same kernel closure, chunk by chunk, so results stay bit-identical.
+  if (!session.launch(n_tasklets, opt)) {
+    run_host_fallback(items, n_tasklets, opt, out);
+    out.launch = session.finish();
+    return out;
+  }
+
   out.outputs.resize(items.size());
   session.gather_items("out_mram", items.size(), per_dpu, out_stride_,
                        [&](std::size_t i, const std::uint8_t* slot) {
@@ -172,6 +179,39 @@ OffloadResult Offloader::run(
 
   out.launch = session.finish();
   return out;
+}
+
+void Offloader::run_host_fallback(
+    const std::vector<std::vector<std::uint8_t>>& items,
+    std::uint32_t n_tasklets, runtime::OptLevel opt,
+    OffloadResult& out) const {
+  sim::Dpu spare(sys_);
+  spare.load(build_program());
+  if (!spec_.consts.empty()) {
+    const auto padded = pad_to_xfer(spec_.consts.data(), spec_.consts.size());
+    spare.host_write("consts", 0, padded.data(), padded.size());
+  }
+  out.outputs.resize(items.size());
+  const std::uint32_t per_dpu = spec_.items_per_dpu;
+  std::vector<std::uint8_t> slot(in_stride_);
+  std::vector<std::uint8_t> result(out_stride_);
+  for (std::size_t first = 0; first < items.size(); first += per_dpu) {
+    const std::uint64_t count =
+        std::min<std::size_t>(per_dpu, items.size() - first);
+    for (std::uint64_t s = 0; s < count; ++s) {
+      std::fill(slot.begin(), slot.end(), 0);
+      std::memcpy(slot.data(), items[first + s].data(), spec_.item_in_bytes);
+      spare.host_write("in_mram", s * in_stride_, slot.data(), in_stride_);
+    }
+    spare.host_write("meta", 0, &count, sizeof(count));
+    spare.launch(n_tasklets, opt);
+    for (std::uint64_t s = 0; s < count; ++s) {
+      spare.host_read("out_mram", s * out_stride_, result.data(),
+                      out_stride_);
+      out.outputs[first + s].assign(result.begin(),
+                                    result.begin() + spec_.item_out_bytes);
+    }
+  }
 }
 
 } // namespace pimdnn::core

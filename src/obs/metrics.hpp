@@ -37,6 +37,9 @@ struct OffloadSample {
   std::uint64_t resident_misses = 0; ///< MRAM scatters performed (cold)
   std::uint64_t const_hits = 0;      ///< WRAM const broadcasts skipped
   std::uint64_t const_misses = 0;    ///< WRAM const broadcasts performed
+  std::uint64_t retries = 0;         ///< launch attempts repeated (faults)
+  std::uint64_t faults_absorbed = 0; ///< faults retried/repaired away
+  std::uint64_t cpu_fallbacks = 0;   ///< 1 when the offload degraded to CPU
 };
 
 /// Accumulated offload statistics for one kernel signature.
@@ -52,6 +55,9 @@ struct SignatureSummary {
   std::uint64_t resident_misses = 0;
   std::uint64_t const_hits = 0;
   std::uint64_t const_misses = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t faults_absorbed = 0;
+  std::uint64_t cpu_fallbacks = 0;
 
   /// Folds one offload into the summary.
   void add(const OffloadSample& s);

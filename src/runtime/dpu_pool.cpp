@@ -1,5 +1,6 @@
 #include "runtime/dpu_pool.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/bytes.hpp"
@@ -38,23 +39,54 @@ std::uint32_t DpuPool::size() const {
 }
 
 void DpuPool::reserve(std::uint32_t n_dpus) {
-  if (set_.has_value() && n_dpus <= set_->size()) {
+  if (set_.has_value() && n_dpus <= set_->size() &&
+      healthy_capacity() >= n_dpus) {
     return;
   }
+  // Over-allocate past the quarantined capacity so the healthy prefix
+  // still covers the request (the known-bad DPUs will be re-discovered
+  // and re-quarantined on the fresh set).
+  std::uint64_t target = n_dpus;
+  if (set_.has_value()) {
+    target = std::max<std::uint64_t>(
+        target, static_cast<std::uint64_t>(n_dpus) + n_quarantined_);
+    target = std::max<std::uint64_t>(target, set_->size());
+  }
+  // Clamp only the quarantine over-allocation to the system size: a request
+  // that is itself too large must still fail with CapacityError below.
+  if (target > cfg_.total_dpus && n_dpus <= cfg_.total_dpus) {
+    target = cfg_.total_dpus;
+  }
+  // Allocate before touching any cache state: a failed (or fault-injected)
+  // allocation must leave the pool exactly as it was — no half-built
+  // entries, no phantom reset.
+  DpuSet fresh = DpuSet::allocate(static_cast<std::uint32_t>(target), cfg_);
   if (set_.has_value()) {
     // Re-allocating discards every DPU's memory, so cached programs and
     // their residents are gone; keep the lifetime host accounting.
     carried_ += set_->host_stats();
-    reset_cache();
     ++resets_;
   }
-  set_.emplace(DpuSet::allocate(n_dpus, cfg_));
+  reset_cache();
+  set_.emplace(std::move(fresh));
+  strikes_.assign(set_->size(), 0);
+  quarantine_.assign(set_->size(), 0);
+  n_quarantined_ = 0;
 }
 
 void DpuPool::reset_cache() {
   entries_.clear();
   active_.clear();
   mram_cursor_ = 0;
+}
+
+void DpuPool::drop_residents() {
+  for (auto& [key, e] : entries_) {
+    e.resident_valid = false;
+    e.resident_tag.clear();
+    e.resident_version = 0;
+    e.resident_sums.clear();
+  }
 }
 
 DpuPool::Entry DpuPool::build_entry(
@@ -143,20 +175,88 @@ void DpuPool::load_program(const sim::DpuProgram& prog) {
   set_->load(prog);
 }
 
-bool DpuPool::ensure_resident(const std::string& tag, std::uint64_t version) {
-  require(!active_.empty(), "DpuPool::ensure_resident with no active program");
+bool DpuPool::resident_matches(const std::string& tag,
+                               std::uint64_t version) const {
+  require(!active_.empty(),
+          "DpuPool::resident_matches with no active program");
+  const Entry& e = entries_.at(active_);
+  return e.resident_valid && e.resident_tag == tag &&
+         e.resident_version == version;
+}
+
+void DpuPool::begin_resident(const std::string& tag, std::uint64_t version) {
+  require(!active_.empty(), "DpuPool::begin_resident with no active program");
   Entry& e = entries_.at(active_);
-  if (e.resident_tag == tag && e.resident_version == version &&
-      !e.resident_tag.empty()) {
-    obs::Metrics::instance().add("pool.resident.hit");
-    return true;
-  }
-  obs::Metrics::instance().add("pool.resident.miss");
-  // Recorded before the caller uploads: a throwing upload leaves a stale
-  // record, but it also leaves the pool itself unusable mid-transfer.
+  // Invalid until commit: a throwing upload leaves "nothing resident"
+  // rather than a poisoned claim for data that never arrived.
+  e.resident_valid = false;
   e.resident_tag = tag;
   e.resident_version = version;
-  return false;
+  e.resident_sums.clear();
+}
+
+void DpuPool::commit_resident(const std::string& tag, std::uint64_t version,
+                              std::vector<std::uint64_t> checksums) {
+  require(!active_.empty(),
+          "DpuPool::commit_resident with no active program");
+  Entry& e = entries_.at(active_);
+  require(e.resident_tag == tag && e.resident_version == version,
+          "DpuPool::commit_resident without a matching begin_resident");
+  e.resident_sums = std::move(checksums);
+  e.resident_valid = true;
+}
+
+const std::vector<std::uint64_t>& DpuPool::resident_checksums() const {
+  require(!active_.empty(),
+          "DpuPool::resident_checksums with no active program");
+  return entries_.at(active_).resident_sums;
+}
+
+bool DpuPool::note_fault(std::uint32_t phys, sim::FaultKind kind) {
+  require(set_.has_value(), "DpuPool::note_fault before any reserve");
+  require(phys < set_->size(), "DpuPool::note_fault: DPU out of range");
+  if (quarantine_[phys] != 0) {
+    return false;
+  }
+  obs::Metrics::instance().add("pool.fault.strike");
+  strikes_[phys] +=
+      kind == sim::FaultKind::BadDpu ? kStrikeLimit : 1;
+  if (strikes_[phys] < kStrikeLimit) {
+    return false;
+  }
+  quarantine_[phys] = 1;
+  ++n_quarantined_;
+  obs::Metrics::instance().add("pool.quarantined");
+  // Slide the logical prefix onto the healthy DPUs. The remapped DPUs hold
+  // none of the previously scattered payloads, so every resident record is
+  // dropped — the next session re-uploads through the normal miss path.
+  std::vector<std::uint32_t> map;
+  map.reserve(set_->size() - n_quarantined_);
+  for (std::uint32_t i = 0; i < set_->size(); ++i) {
+    if (quarantine_[i] == 0) {
+      map.push_back(i);
+    }
+  }
+  set_->set_logical_map(std::move(map));
+  drop_residents();
+  return true;
+}
+
+std::uint32_t DpuPool::healthy_capacity() const {
+  if (!set_.has_value()) {
+    return 0;
+  }
+  return set_->size() - n_quarantined_;
+}
+
+bool DpuPool::reactivate(const std::string& key) {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    return false;
+  }
+  load_program(it->second.prog);
+  active_ = key;
+  return true;
 }
 
 std::uint32_t DpuPool::active_dpus() const {

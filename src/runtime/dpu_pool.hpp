@@ -17,14 +17,25 @@
 //    lands past every earlier program's region). Because `Dpu::load`
 //    preserves memory contents — as real hardware does — data uploaded under
 //    one signature survives activations of other signatures. Callers tag
-//    uploads with `ensure_resident` and skip the transfer on later frames;
-//    this is how the YOLOv3 path keeps its A-row weights on the DPUs between
-//    frames and re-sends only the im2col input.
+//    uploads with the two-phase `begin_resident`/`commit_resident` record
+//    and skip the transfer when `resident_matches` on later frames; this is
+//    how the YOLOv3 path keeps its A-row weights on the DPUs between frames
+//    and re-sends only the im2col input. The record commits only after the
+//    upload succeeded, so a throwing transfer can never leave a poisoned
+//    "already resident" claim behind.
 //
 // When the cumulative MRAM footprint of cached programs would exceed the
 // per-DPU capacity, the cache is reset wholesale (counted in `resets()`)
 // and signatures re-populate on demand — a simple policy that is exact for
 // the workloads here, whose per-layer footprints sum well below 64 MB.
+//
+// The pool is also the substrate's health authority (see sim/fault.hpp):
+// KernelSession reports per-DPU faults through `note_fault`; after
+// `kStrikeLimit` strikes (immediately for a permanently-bad DPU) the DPU is
+// quarantined, the set's logical prefix is remapped onto the remaining
+// healthy DPUs and every resident record is dropped — the remapped DPUs
+// never saw those uploads. `healthy_capacity` tells sessions whether a
+// kernel still fits; when it does not, they degrade to the CPU baseline.
 #pragma once
 
 #include <functional>
@@ -55,9 +66,16 @@ public:
     Active,
   };
 
-  /// Ensures the pool's set holds at least `n_dpus` DPUs. Growing
-  /// re-allocates the set and resets the program cache (resident data is
-  /// lost); callers that know their peak width should reserve it up front.
+  /// Launch faults a DPU survives before quarantine (BadDpu quarantines
+  /// immediately).
+  static constexpr std::uint32_t kStrikeLimit = 3;
+
+  /// Ensures the pool's set holds at least `n_dpus` *healthy* DPUs —
+  /// over-allocating past known-quarantined capacity when needed (capped
+  /// at the system size). Growing re-allocates the set and resets the
+  /// program cache and health map (resident data is lost); callers that
+  /// know their peak width should reserve it up front. A failed allocation
+  /// leaves the pool exactly as it was.
   void reserve(std::uint32_t n_dpus);
 
   /// DPUs currently allocated (0 before the first reserve/activate).
@@ -71,15 +89,48 @@ public:
   Activation activate(const std::string& key, std::uint32_t n_dpus,
                       const std::function<sim::DpuProgram()>& builder);
 
-  /// True if resident datum `tag` at `version` is already uploaded for the
-  /// *active* program — the caller skips its transfer. Otherwise records
-  /// (tag, version) and returns false: the caller must upload it now.
-  /// Each cached program tracks exactly ONE resident datum: tagging a
-  /// different (tag, version) replaces the record, because the program's
-  /// MRAM region holds only the most recent upload (callers that want
-  /// per-dataset residency should fold the tag into the activation key so
-  /// each dataset gets its own region).
-  bool ensure_resident(const std::string& tag, std::uint64_t version);
+  /// True if resident datum `tag` at `version` is committed for the
+  /// *active* program — the caller may skip its transfer. Each cached
+  /// program tracks exactly ONE resident datum: beginning a different
+  /// (tag, version) replaces the record, because the program's MRAM region
+  /// holds only the most recent upload (callers that want per-dataset
+  /// residency should fold the tag into the activation key so each dataset
+  /// gets its own region).
+  bool resident_matches(const std::string& tag, std::uint64_t version) const;
+
+  /// Starts an upload of resident datum (tag, version) for the active
+  /// program: the record is written *invalid*, so a throwing upload leaves
+  /// "nothing resident" rather than a poisoned claim. Pair with
+  /// commit_resident after the transfer succeeds.
+  void begin_resident(const std::string& tag, std::uint64_t version);
+
+  /// Marks the begun (tag, version) upload as complete, optionally storing
+  /// one checksum per logical DPU so later hits can verify the payload
+  /// still matches (fault runs). Throws UsageError without a matching
+  /// begin_resident.
+  void commit_resident(const std::string& tag, std::uint64_t version,
+                       std::vector<std::uint64_t> checksums = {});
+
+  /// Per-DPU checksums stored by the active program's last commit (empty
+  /// when none were provided).
+  const std::vector<std::uint64_t>& resident_checksums() const;
+
+  /// Records a fault on *physical* DPU `phys`. Returns true when this
+  /// strike quarantined the DPU: the set's logical prefix was remapped
+  /// onto the healthy remainder and every resident record was dropped —
+  /// the caller must re-upload (or re-route) before launching again.
+  bool note_fault(std::uint32_t phys, sim::FaultKind kind);
+
+  /// DPUs not quarantined (0 before the first reserve/activate).
+  std::uint32_t healthy_capacity() const;
+
+  /// DPUs currently quarantined.
+  std::uint32_t quarantined() const { return n_quarantined_; }
+
+  /// Re-loads the cached program under `key` (onto the possibly remapped
+  /// set) and makes it active — the recovery step after a quarantine
+  /// remap. Returns false when `key` is not cached.
+  bool reactivate(const std::string& key);
 
   /// DPU span of the active program (what launches/transfers should use).
   std::uint32_t active_dpus() const;
@@ -107,11 +158,14 @@ private:
     MemSize mram_base = 0;     ///< start of this program's MRAM region
     MemSize mram_bytes = 0;    ///< MRAM footprint past the base
     std::uint32_t n_dpus = 0;  ///< widest DPU span activated so far
-    std::string resident_tag;  ///< identity of the last tagged upload
+    std::string resident_tag;  ///< identity of the last begun upload
     std::uint64_t resident_version = 0;
+    bool resident_valid = false; ///< true only after commit_resident
+    std::vector<std::uint64_t> resident_sums; ///< per-DPU payload checksums
   };
 
   void reset_cache();
+  void drop_residents();
   Entry build_entry(const std::function<sim::DpuProgram()>& builder,
                     std::uint32_t n_dpus);
   void load_program(const sim::DpuProgram& prog);
@@ -123,6 +177,9 @@ private:
   MemSize mram_cursor_ = 0;      ///< bump allocator over cached regions
   std::uint64_t resets_ = 0;
   sim::HostXferStats carried_;   ///< host stats of replaced sets
+  std::vector<std::uint32_t> strikes_;  ///< per-physical-DPU fault strikes
+  std::vector<char> quarantine_;        ///< per-physical-DPU quarantine flag
+  std::uint32_t n_quarantined_ = 0;
 };
 
 } // namespace pimdnn::runtime

@@ -6,6 +6,7 @@
 
 #include "common/bytes.hpp"
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/host_timer.hpp"
 
 namespace pimdnn::runtime {
@@ -13,6 +14,8 @@ namespace pimdnn::runtime {
 using pimdnn::AlignmentError;
 using pimdnn::CapacityError;
 using pimdnn::UsageError;
+using sim::DpuFault;
+using sim::FaultKind;
 
 DpuSet::DpuSet(std::uint32_t n_dpus, const UpmemConfig& cfg) : cfg_(cfg) {
   dpus_.reserve(n_dpus);
@@ -20,6 +23,7 @@ DpuSet::DpuSet(std::uint32_t n_dpus, const UpmemConfig& cfg) : cfg_(cfg) {
     dpus_.emplace_back(cfg);
   }
   prepared_.assign(n_dpus, nullptr);
+  bad_.assign(n_dpus, 0);
 }
 
 DpuSet DpuSet::allocate(std::uint32_t n_dpus, const UpmemConfig& cfg) {
@@ -31,7 +35,27 @@ DpuSet DpuSet::allocate(std::uint32_t n_dpus, const UpmemConfig& cfg) {
                         " DPUs but the system has " +
                         std::to_string(cfg.total_dpus));
   }
-  return DpuSet(n_dpus, cfg);
+  auto& plan = sim::fault_plan();
+  if (plan.enabled()) {
+    std::uint64_t salt = 0;
+    if (plan.draw(FaultKind::AllocFail, 0, salt)) {
+      throw DpuFault(0, FaultKind::AllocFail,
+                     "simulated allocation failure for a " +
+                         std::to_string(n_dpus) + "-DPU set");
+    }
+  }
+  DpuSet set(n_dpus, cfg);
+  if (plan.enabled()) {
+    auto& m = obs::Metrics::instance();
+    for (std::uint32_t i = 0; i < n_dpus; ++i) {
+      if (plan.bad_dpu(i)) {
+        set.bad_[i] = 1;
+        m.add("faults.injected");
+        m.add("faults.injected.bad_dpu");
+      }
+    }
+  }
+  return set;
 }
 
 Dpu& DpuSet::dpu(DpuId id) {
@@ -44,11 +68,34 @@ const Dpu& DpuSet::dpu(DpuId id) const {
   return dpus_[id];
 }
 
+void DpuSet::set_logical_map(std::vector<std::uint32_t> map) {
+  require(map.size() <= dpus_.size(),
+          "logical map is larger than the DpuSet");
+  for (const std::uint32_t phys : map) {
+    require(phys < dpus_.size(), "logical map entry out of range");
+  }
+  map_ = std::move(map);
+}
+
+std::uint32_t DpuSet::physical(DpuId id) const {
+  if (map_.empty()) {
+    require(id < dpus_.size(), "DPU id out of range");
+    return static_cast<std::uint32_t>(id);
+  }
+  require(id < map_.size(), "logical DPU id outside the installed map");
+  return map_[id];
+}
+
+bool DpuSet::allocated_bad(DpuId id) const {
+  require(id < bad_.size(), "DPU id out of range");
+  return bad_[id] != 0;
+}
+
 std::uint32_t DpuSet::resolve_active(std::uint32_t n_active) const {
   if (n_active == 0) {
-    return static_cast<std::uint32_t>(dpus_.size());
+    return logical_size();
   }
-  require(n_active <= dpus_.size(),
+  require(n_active <= logical_size(),
           "active DPU count exceeds the set size");
   return n_active;
 }
@@ -61,6 +108,22 @@ void DpuSet::load(const DpuProgram& program) {
   }
   host_.load_seconds += t.elapsed();
   host_.program_loads += 1;
+  auto& plan = sim::fault_plan();
+  if (plan.enabled()) {
+    // A program switch re-drives the memory interface: model it as a
+    // chance of one flipped bit somewhere in each DPU's occupied MRAM.
+    for (std::uint32_t i = 0; i < dpus_.size(); ++i) {
+      std::uint64_t salt = 0;
+      if (!plan.draw(FaultKind::MramCorrupt, i, salt)) continue;
+      const MemSize used = dpus_[i].mram_used();
+      if (used == 0) continue;
+      const MemSize byte = static_cast<MemSize>(salt % used);
+      std::uint8_t v = 0;
+      dpus_[i].mram().read(&v, byte, 1);
+      v ^= static_cast<std::uint8_t>(1u << ((salt >> 32) % 8));
+      dpus_[i].mram().write(byte, &v, 1);
+    }
+  }
 }
 
 void DpuSet::check_aligned(MemSize offset, MemSize size) {
@@ -75,6 +138,22 @@ void DpuSet::check_aligned(MemSize offset, MemSize size) {
   }
 }
 
+void DpuSet::maybe_corrupt_write(std::uint32_t phys, const std::string& symbol,
+                                 MemSize symbol_offset, MemSize size) {
+  auto& plan = sim::fault_plan();
+  if (!plan.enabled() || size == 0) return;
+  std::uint64_t salt = 0;
+  if (!plan.draw(FaultKind::TransferCorrupt, phys, salt)) return;
+  // One deterministic bit flip inside the bytes just written; repaired (or
+  // not) by the runtime's read-back verification, never silently fatal to
+  // the simulator itself.
+  const MemSize byte = symbol_offset + static_cast<MemSize>(salt % size);
+  std::uint8_t v = 0;
+  dpus_[phys].host_read(symbol, byte, &v, 1);
+  v ^= static_cast<std::uint8_t>(1u << ((salt >> 32) % 8));
+  dpus_[phys].host_write(symbol, byte, &v, 1);
+}
+
 void DpuSet::copy_to(const std::string& symbol, MemSize symbol_offset,
                      const void* src, MemSize size, std::uint32_t n_active) {
   check_aligned(symbol_offset, size);
@@ -82,25 +161,40 @@ void DpuSet::copy_to(const std::string& symbol, MemSize symbol_offset,
   HostTimer t;
   t.start();
   for (std::uint32_t i = 0; i < n; ++i) {
-    dpus_[i].host_write(symbol, symbol_offset, src, size);
+    const std::uint32_t phys = physical(i);
+    dpus_[phys].host_write(symbol, symbol_offset, src, size);
+    maybe_corrupt_write(phys, symbol, symbol_offset, size);
   }
   host_.to_dpu_seconds += t.elapsed();
   host_.bytes_to_dpu += size * n;
 }
 
+void DpuSet::copy_to_one(DpuId id, const std::string& symbol,
+                         MemSize symbol_offset, const void* src,
+                         MemSize size) {
+  check_aligned(symbol_offset, size);
+  const std::uint32_t phys = physical(id);
+  HostTimer t;
+  t.start();
+  dpus_[phys].host_write(symbol, symbol_offset, src, size);
+  maybe_corrupt_write(phys, symbol, symbol_offset, size);
+  host_.to_dpu_seconds += t.elapsed();
+  host_.bytes_to_dpu += size;
+}
+
 void DpuSet::copy_from(DpuId id, const std::string& symbol,
                        MemSize symbol_offset, void* dst, MemSize size) const {
   check_aligned(symbol_offset, size);
-  require(id < dpus_.size(), "DPU id out of range");
+  const std::uint32_t phys = physical(id);
   HostTimer t;
   t.start();
-  dpus_[id].host_read(symbol, symbol_offset, dst, size);
+  dpus_[phys].host_read(symbol, symbol_offset, dst, size);
   host_.from_dpu_seconds += t.elapsed();
   host_.bytes_from_dpu += size;
 }
 
 void DpuSet::prepare_xfer(DpuId id, void* buffer) {
-  require(id < dpus_.size(), "DPU id out of range");
+  require(id < prepared_.size(), "DPU id out of range");
   require(buffer != nullptr, "prepare_xfer with null buffer");
   prepared_[id] = buffer;
 }
@@ -119,10 +213,12 @@ void DpuSet::push_xfer(XferDir dir, const std::string& symbol,
   HostTimer t;
   t.start();
   for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint32_t phys = physical(i);
     if (dir == XferDir::ToDpu) {
-      dpus_[i].host_write(symbol, symbol_offset, prepared_[i], length);
+      dpus_[phys].host_write(symbol, symbol_offset, prepared_[i], length);
+      maybe_corrupt_write(phys, symbol, symbol_offset, length);
     } else {
-      dpus_[i].host_read(symbol, symbol_offset, prepared_[i], length);
+      dpus_[phys].host_read(symbol, symbol_offset, prepared_[i], length);
     }
     prepared_[i] = nullptr;
   }
@@ -141,27 +237,65 @@ LaunchStats DpuSet::launch(std::uint32_t n_tasklets, OptLevel opt,
   LaunchStats out;
   out.per_dpu.resize(n);
 
+  auto& plan = sim::fault_plan();
+  // FaultKind::AllocFail doubles as "no fault" in the per-DPU verdicts
+  // (a real AllocFail can only happen in allocate()).
+  std::vector<FaultKind> verdicts(n, FaultKind::AllocFail);
+  std::vector<char> faulted(n, 0);
+  const auto run_one = [&](std::uint32_t i) {
+    const std::uint32_t phys = physical(i);
+    if (plan.enabled()) {
+      std::uint64_t salt = 0;
+      if (bad_[phys] != 0) {
+        faulted[i] = 1;
+        verdicts[i] = FaultKind::BadDpu;
+        return;
+      }
+      if (plan.draw(FaultKind::LaunchFail, phys, salt)) {
+        faulted[i] = 1;
+        verdicts[i] = FaultKind::LaunchFail;
+        return;
+      }
+      if (plan.draw(FaultKind::LaunchHang, phys, salt)) {
+        faulted[i] = 1;
+        verdicts[i] = FaultKind::LaunchHang;
+        return;
+      }
+    }
+    out.per_dpu[i] = dpus_[phys].launch(n_tasklets, opt);
+  };
+
   const std::uint32_t hw = std::max(1u, std::thread::hardware_concurrency());
   const std::uint32_t n_threads = std::min<std::uint32_t>(hw, n);
   if (n_threads <= 1) {
-    for (std::size_t i = 0; i < n; ++i) {
-      out.per_dpu[i] = dpus_[i].launch(n_tasklets, opt);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      run_one(i);
     }
   } else {
     std::vector<std::thread> workers;
     workers.reserve(n_threads);
-    std::atomic<std::size_t> next{0};
+    std::atomic<std::uint32_t> next{0};
     for (std::uint32_t t = 0; t < n_threads; ++t) {
       workers.emplace_back([&] {
-        for (std::size_t i = next.fetch_add(1); i < n;
+        for (std::uint32_t i = next.fetch_add(1); i < n;
              i = next.fetch_add(1)) {
-          out.per_dpu[i] = dpus_[i].launch(n_tasklets, opt);
+          run_one(i);
         }
       });
     }
     for (auto& w : workers) {
       w.join();
     }
+  }
+
+  // Report the lowest faulted DPU (deterministic regardless of worker
+  // interleaving); the others' draws already advanced their ordinals.
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (faulted[i] == 0) continue;
+    const std::uint32_t phys = physical(i);
+    throw DpuFault(phys, verdicts[i],
+                   std::string("simulated ") + fault_kind_name(verdicts[i]) +
+                       " on DPU " + std::to_string(phys));
   }
 
   for (const DpuRunStats& s : out.per_dpu) {

@@ -24,6 +24,7 @@
 
 #include "common/types.hpp"
 #include "sim/dpu.hpp"
+#include "sim/fault.hpp"
 #include "sim/report.hpp"
 
 namespace pimdnn::runtime {
@@ -60,6 +61,17 @@ struct LaunchStats {
   /// paths (DpuPool / dpu_gemm / Offloader); zero when the caller drove
   /// the DpuSet by hand without snapshotting.
   sim::HostXferStats host;
+  /// Launch attempts the session repeated after an injected fault.
+  std::uint32_t retries = 0;
+  /// Faults the session absorbed (retried launches + repaired transfers).
+  std::uint32_t faults_absorbed = 0;
+  /// DPUs the pool quarantined during this offload.
+  std::uint32_t quarantined = 0;
+  /// Modeled cycles lost to failed attempts (backoff + hang deadlines) —
+  /// kept out of wall_cycles so fault runs stay comparable to clean ones.
+  Cycles retry_cycles = 0;
+  /// True when the offload degraded to the host/baseline CPU path.
+  bool cpu_fallback = false;
 };
 
 /// A set of simulated DPUs plus the host orchestration state.
@@ -87,6 +99,11 @@ public:
   /// the 8-byte rule; `symbol_offset` likewise.
   void copy_to(const std::string& symbol, MemSize symbol_offset,
                const void* src, MemSize size, std::uint32_t n_active = 0);
+
+  /// Writes to exactly one (logical) DPU — the runtime's targeted repair
+  /// path after a detected transfer corruption.
+  void copy_to_one(DpuId id, const std::string& symbol, MemSize symbol_offset,
+                   const void* src, MemSize size);
 
   /// Reads back from one DPU (dpu_copy_from).
   void copy_from(DpuId id, const std::string& symbol, MemSize symbol_offset,
@@ -127,14 +144,39 @@ public:
   /// Architecture configuration shared by all DPUs in the set.
   const UpmemConfig& config() const { return cfg_; }
 
+  /// Installs a logical->physical DPU remap: logical DPU i of every
+  /// subsequent transfer/launch addresses physical DPU `map[i]`. An empty
+  /// map restores the identity. The pool uses this to slide the active
+  /// prefix off quarantined DPUs without the sessions noticing.
+  void set_logical_map(std::vector<std::uint32_t> map);
+
+  /// Physical index behind logical DPU `id` (identity without a map).
+  std::uint32_t physical(DpuId id) const;
+
+  /// DPUs addressable through the current logical map (== size() when no
+  /// map is installed).
+  std::uint32_t logical_size() const {
+    return map_.empty() ? size() : static_cast<std::uint32_t>(map_.size());
+  }
+
+  /// True if the fault plan marked physical DPU `id` permanently faulty at
+  /// allocation time.
+  bool allocated_bad(DpuId id) const;
+
 private:
   DpuSet(std::uint32_t n_dpus, const UpmemConfig& cfg);
   static void check_aligned(MemSize offset, MemSize size);
   std::uint32_t resolve_active(std::uint32_t n_active) const;
+  /// Transfer-corruption hook: one deterministic bit flip inside the range
+  /// just written to (logical) DPU `id`, when the fault plan says so.
+  void maybe_corrupt_write(std::uint32_t phys, const std::string& symbol,
+                           MemSize symbol_offset, MemSize size);
 
   UpmemConfig cfg_;
   std::vector<Dpu> dpus_;
   std::vector<void*> prepared_;
+  std::vector<std::uint32_t> map_; ///< logical->physical (empty = identity)
+  std::vector<char> bad_;          ///< permanently faulty at allocation
   mutable sim::HostXferStats host_;
 };
 

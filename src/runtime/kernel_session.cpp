@@ -1,14 +1,28 @@
 #include "runtime/kernel_session.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <vector>
 
 #include "common/bytes.hpp"
 #include "common/error.hpp"
 #include "obs/metrics.hpp"
+#include "sim/fault.hpp"
 #include "sim/report.hpp"
 
 namespace pimdnn::runtime {
+
+namespace {
+
+/// Launch attempts before a session gives up and degrades to the CPU path.
+constexpr std::uint32_t kMaxLaunchAttempts = 4;
+/// Targeted rewrites of one DPU's payload before the corruption is deemed
+/// unrepairable (each rewrite can itself be corrupted again).
+constexpr std::uint32_t kRepairAttempts = 4;
+/// Base of the exponential backoff charged per failed launch attempt.
+constexpr Cycles kBackoffBaseCycles = 1024;
+
+} // namespace
 
 KernelSession::KernelSession(DpuPool& pool, const std::string& signature,
                              std::uint32_t n_dpus,
@@ -18,7 +32,18 @@ KernelSession::KernelSession(DpuPool& pool, const std::string& signature,
       signature_(signature),
       host_before_(pool.host_stats()),
       span_("offload", "session"),
-      activation_(pool.activate(signature, n_dpus, builder)) {
+      fault_tolerant_(sim::fault_plan().enabled()) {
+  try {
+    activation_ = pool_.activate(signature, n_dpus, builder);
+  } catch (const sim::DpuFault&) {
+    // Allocation itself faulted: the pool is untouched, the session routes
+    // this offload to the CPU path instead of dying.
+    ++absorbed_;
+    degrade("allocation fault");
+  }
+  if (!degraded_ && fault_tolerant_ && pool_.healthy_capacity() < n_dpus_) {
+    degrade("healthy capacity below kernel need");
+  }
   if (span_.active()) {
     span_.str("signature", signature_);
     span_.u64("n_dpus", n_dpus_);
@@ -33,6 +58,79 @@ std::uint32_t KernelSession::dpus_for(std::size_t n_items,
                                     items_per_dpu);
 }
 
+void KernelSession::degrade(const char* reason) {
+  if (degraded_) {
+    return;
+  }
+  degraded_ = true;
+  launched_ = false;
+  obs::Metrics::instance().add("offload.fallback");
+  obs::Span sp("offload.fallback", "session");
+  if (sp.active()) {
+    sp.str("signature", signature_);
+    sp.str("reason", reason);
+  }
+}
+
+void KernelSession::transfer(const Upload& u) {
+  if (u.scattered) {
+    // Fill-all-then-prepare-all: a throwing fill never leaves a dangling
+    // prepared pointer behind in the set.
+    for (std::uint32_t d = 0; d < n_dpus_; ++d) {
+      set().prepare_xfer(d, const_cast<std::uint8_t*>(u.staged[d].data()));
+    }
+    set().push_xfer(XferDir::ToDpu, u.symbol, 0, u.bytes, n_dpus_);
+  } else {
+    set().copy_to(u.symbol, 0, u.payload.data(), u.bytes, n_dpus_);
+  }
+  if (fault_tolerant_) {
+    verify_upload(u);
+  }
+}
+
+void KernelSession::verify_upload(const Upload& u) {
+  std::vector<std::uint8_t> back(u.bytes);
+  for (std::uint32_t d = 0; d < n_dpus_ && !degraded_; ++d) {
+    const std::uint8_t* want =
+        u.scattered ? u.staged[d].data() : u.payload.data();
+    bool ok = false;
+    for (std::uint32_t attempt = 0; attempt < kRepairAttempts; ++attempt) {
+      set().copy_from(d, u.symbol, 0, back.data(), u.bytes);
+      if (std::memcmp(back.data(), want, u.bytes) == 0) {
+        ok = true;
+        break;
+      }
+      // Corrupted in flight: absorb it with a targeted rewrite of just
+      // this DPU's slot (the rewrite may be corrupted again — bounded).
+      ++absorbed_;
+      obs::Metrics::instance().add("offload.xfer.repair");
+      set().copy_to_one(d, u.symbol, 0, want, u.bytes);
+    }
+    if (!ok) {
+      if (pool_.note_fault(set().physical(d),
+                           sim::FaultKind::TransferCorrupt)) {
+        ++quarantines_;
+      }
+      degrade("unrepairable transfer corruption");
+    }
+  }
+}
+
+void KernelSession::push_upload(Upload&& u) {
+  if (fault_tolerant_ && !degraded_) {
+    uploads_.push_back(std::move(u));
+  }
+}
+
+void KernelSession::replay_uploads() {
+  for (const Upload& u : uploads_) {
+    if (degraded_) {
+      break;
+    }
+    transfer(u);
+  }
+}
+
 void KernelSession::broadcast(const std::string& symbol, const void* data,
                               MemSize bytes) {
   obs::Span sp("broadcast", "session");
@@ -40,12 +138,30 @@ void KernelSession::broadcast(const std::string& symbol, const void* data,
     sp.str("symbol", symbol);
     sp.u64("bytes", static_cast<std::uint64_t>(bytes) * n_dpus_);
   }
-  if (is_xfer_aligned(bytes)) {
-    set().copy_to(symbol, 0, data, bytes, n_dpus_);
+  if (degraded_) {
+    sp.flag("skipped", true);
     return;
   }
-  const auto padded = pad_to_xfer(data, bytes);
-  set().copy_to(symbol, 0, padded.data(), padded.size(), n_dpus_);
+  if (!fault_tolerant_) {
+    if (is_xfer_aligned(bytes)) {
+      set().copy_to(symbol, 0, data, bytes, n_dpus_);
+      return;
+    }
+    const auto padded = pad_to_xfer(data, bytes);
+    set().copy_to(symbol, 0, padded.data(), padded.size(), n_dpus_);
+    return;
+  }
+  Upload u;
+  u.symbol = symbol;
+  if (is_xfer_aligned(bytes)) {
+    u.payload.assign(static_cast<const std::uint8_t*>(data),
+                     static_cast<const std::uint8_t*>(data) + bytes);
+  } else {
+    u.payload = pad_to_xfer(data, bytes);
+  }
+  u.bytes = static_cast<MemSize>(u.payload.size());
+  transfer(u);
+  push_upload(std::move(u));
 }
 
 bool KernelSession::broadcast_const(const std::string& symbol,
@@ -54,7 +170,7 @@ bool KernelSession::broadcast_const(const std::string& symbol,
   if (sp.active()) {
     sp.str("symbol", symbol);
   }
-  if (activation_ == DpuPool::Activation::Active) {
+  if (!degraded_ && activation_ == DpuPool::Activation::Active) {
     ++const_hits_;
     sp.flag("skipped", true);
     return false; // program never left the DPUs: WRAM upload still there
@@ -74,13 +190,50 @@ void KernelSession::scatter(const std::string& symbol, MemSize slot_bytes,
   }
   require(is_xfer_aligned(slot_bytes),
           "KernelSession::scatter: slot stride must obey the 8-byte rule");
-  std::vector<std::vector<std::uint8_t>> staged(n_dpus_);
-  for (std::uint32_t d = 0; d < n_dpus_; ++d) {
-    staged[d].assign(slot_bytes, 0);
-    fill(d, staged[d].data());
-    set().prepare_xfer(d, staged[d].data());
+  if (degraded_) {
+    sp.flag("skipped", true);
+    return;
   }
-  set().push_xfer(XferDir::ToDpu, symbol, 0, slot_bytes, n_dpus_);
+  Upload u;
+  u.symbol = symbol;
+  u.bytes = slot_bytes;
+  u.scattered = true;
+  u.staged.resize(n_dpus_);
+  for (std::uint32_t d = 0; d < n_dpus_; ++d) {
+    u.staged[d].assign(slot_bytes, 0);
+    fill(d, u.staged[d].data());
+  }
+  if (fault_tolerant_) {
+    last_scatter_sums_.assign(n_dpus_, 0);
+    for (std::uint32_t d = 0; d < n_dpus_; ++d) {
+      last_scatter_sums_[d] = sim::checksum64(u.staged[d].data(), slot_bytes);
+    }
+  }
+  transfer(u);
+  push_upload(std::move(u));
+}
+
+bool KernelSession::resident_still_valid(const std::string& symbol,
+                                         MemSize slot_bytes) {
+  if (!fault_tolerant_) {
+    return true;
+  }
+  const std::vector<std::uint64_t>& sums = pool_.resident_checksums();
+  if (sums.empty()) {
+    return true; // committed without checksums: nothing to verify against
+  }
+  if (sums.size() < n_dpus_) {
+    return false; // committed over a narrower span: re-upload
+  }
+  std::vector<std::uint8_t> back(slot_bytes);
+  for (std::uint32_t d = 0; d < n_dpus_; ++d) {
+    set().copy_from(d, symbol, 0, back.data(), slot_bytes);
+    if (sim::checksum64(back.data(), slot_bytes) != sums[d]) {
+      obs::Metrics::instance().add("offload.resident.reverify_miss");
+      return false; // e.g. MRAM disturbance on a program switch
+    }
+  }
+  return true;
 }
 
 bool KernelSession::scatter_resident(const std::string& tag,
@@ -92,14 +245,27 @@ bool KernelSession::scatter_resident(const std::string& tag,
     sp.str("tag", tag);
     sp.u64("version", version);
   }
-  if (pool_.ensure_resident(tag, version)) {
+  if (degraded_) {
+    sp.flag("skipped", true);
+    return false;
+  }
+  if (pool_.resident_matches(tag, version) &&
+      resident_still_valid(symbol, slot_bytes)) {
+    obs::Metrics::instance().add("pool.resident.hit");
     ++resident_hits_;
     sp.flag("skipped", true);
     return false; // still in the active program's MRAM region
   }
+  obs::Metrics::instance().add("pool.resident.miss");
   ++resident_misses_;
   sp.flag("skipped", false);
+  pool_.begin_resident(tag, version);
   scatter(symbol, slot_bytes, fill);
+  if (!degraded_) {
+    pool_.commit_resident(tag, version,
+                          fault_tolerant_ ? last_scatter_sums_
+                                          : std::vector<std::uint64_t>{});
+  }
   return true;
 }
 
@@ -119,6 +285,12 @@ void KernelSession::scatter_items(
           "KernelSession::scatter_items: item count does not match the "
           "session's DPU span");
   std::vector<std::uint64_t> counts(n_dpus_, 0);
+  for (std::uint32_t d = 0; d < n_dpus_; ++d) {
+    const std::size_t first = static_cast<std::size_t>(d) * items_per_dpu;
+    const std::size_t past = std::min<std::size_t>(first + items_per_dpu,
+                                                   n_items);
+    counts[d] = past > first ? past - first : 0;
+  }
   scatter(data_symbol, items_per_dpu * item_stride,
           [&](std::uint32_t d, std::uint8_t* slot) {
             for (std::uint32_t s = 0; s < items_per_dpu; ++s) {
@@ -126,25 +298,73 @@ void KernelSession::scatter_items(
                   static_cast<std::size_t>(d) * items_per_dpu + s;
               if (global >= n_items) break;
               std::memcpy(slot + s * item_stride, item(global), item_bytes);
-              ++counts[d];
             }
           });
   // True (unpadded) item count per DPU, §3.2.
-  for (std::uint32_t d = 0; d < n_dpus_; ++d) {
-    set().prepare_xfer(d, &counts[d]);
-  }
-  set().push_xfer(XferDir::ToDpu, meta_symbol, 0, sizeof(std::uint64_t),
-                  n_dpus_);
+  scatter(meta_symbol, sizeof(std::uint64_t),
+          [&](std::uint32_t d, std::uint8_t* slot) {
+            std::memcpy(slot, &counts[d], sizeof(std::uint64_t));
+          });
 }
 
-void KernelSession::launch(std::uint32_t n_tasklets, OptLevel opt) {
+bool KernelSession::launch(std::uint32_t n_tasklets, OptLevel opt) {
   obs::Span sp("launch", "session");
   if (sp.active()) {
     sp.str("signature", signature_);
     sp.u64("n_tasklets", n_tasklets);
   }
-  stats_ = set().launch(n_tasklets, opt, n_dpus_);
-  launched_ = true;
+  if (degraded_) {
+    sp.flag("fallback", true);
+    return false;
+  }
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    try {
+      stats_ = set().launch(n_tasklets, opt, n_dpus_);
+      launched_ = true;
+      break;
+    } catch (const sim::DpuFault& f) {
+      ++absorbed_;
+      if (f.kind() == sim::FaultKind::LaunchHang) {
+        // The hang was detected at the watchdog deadline: that wait is real
+        // lost time, charged to the retry-cycle account.
+        penalty_cycles_ += sim::fault_plan().config().hang_deadline_cycles;
+      }
+      if (pool_.note_fault(f.dpu_index(), f.kind())) {
+        ++quarantines_;
+        // The healthy prefix slid onto different physical DPUs: everything
+        // this session uploaded must be replayed onto them. Skipped warm
+        // uploads (const/resident hits) cannot be replayed — the session
+        // never saw those bytes — so those offloads degrade instead.
+        if (pool_.healthy_capacity() < n_dpus_ || const_hits_ > 0 ||
+            resident_hits_ > 0 || !pool_.reactivate(signature_)) {
+          degrade("quarantine during launch");
+          sp.flag("fallback", true);
+          return false;
+        }
+        replay_uploads();
+        if (degraded_) {
+          sp.flag("fallback", true);
+          return false;
+        }
+      }
+      if (attempt + 1 >= kMaxLaunchAttempts) {
+        degrade("launch retries exhausted");
+        sp.flag("fallback", true);
+        return false;
+      }
+      ++retries_;
+      penalty_cycles_ +=
+          kBackoffBaseCycles << std::min<std::uint32_t>(attempt, 16);
+      obs::Metrics::instance().add("offload.retry");
+      obs::Span retry("offload.retry", "session");
+      if (retry.active()) {
+        retry.str("signature", signature_);
+        retry.u64("attempt", attempt + 1);
+        retry.str("fault", sim::fault_kind_name(f.kind()));
+        retry.u64("dpu", f.dpu_index());
+      }
+    }
+  }
   if (sp.active()) {
     sp.u64("cycles", stats_.wall_cycles);
     // Bound classification of the slowest DPU — the one that set the wall.
@@ -157,6 +377,7 @@ void KernelSession::launch(std::uint32_t n_tasklets, OptLevel opt) {
              sim::cycle_bound_name(sim::dominant_bound(*slowest, config())));
     }
   }
+  return true;
 }
 
 void KernelSession::gather_items(const std::string& symbol,
@@ -176,6 +397,10 @@ void KernelSession::gather_items(const std::string& symbol,
   require(dpus_for(n_items, items_per_dpu) == n_dpus_,
           "KernelSession::gather_items: item count does not match the "
           "session's DPU span");
+  if (degraded_) {
+    sp.flag("skipped", true);
+    return; // the caller computes these results on the CPU path instead
+  }
   const MemSize block = items_per_dpu * slot_stride;
   std::vector<std::vector<std::uint8_t>> gathered(n_dpus_);
   for (std::uint32_t d = 0; d < n_dpus_; ++d) {
@@ -190,9 +415,16 @@ void KernelSession::gather_items(const std::string& symbol,
 }
 
 LaunchStats KernelSession::finish() {
-  require(launched_, "KernelSession::finish before launch");
+  require(!finished_, "KernelSession::finish called twice");
+  require(launched_ || degraded_, "KernelSession::finish before launch");
+  finished_ = true;
   stats_.host = sim::host_xfer_delta(pool_.host_stats(), host_before_);
   launched_ = false;
+  stats_.retries = retries_;
+  stats_.faults_absorbed = absorbed_;
+  stats_.quarantined = quarantines_;
+  stats_.retry_cycles = penalty_cycles_;
+  stats_.cpu_fallback = degraded_;
 
   obs::OffloadSample sample;
   sample.wall_cycles = stats_.wall_cycles;
@@ -205,6 +437,9 @@ LaunchStats KernelSession::finish() {
   sample.resident_misses = resident_misses_;
   sample.const_hits = const_hits_;
   sample.const_misses = const_misses_;
+  sample.retries = retries_;
+  sample.faults_absorbed = absorbed_;
+  sample.cpu_fallbacks = degraded_ ? 1 : 0;
   obs::Metrics::instance().record_offload(signature_, sample);
 
   if (span_.active()) {
@@ -212,6 +447,7 @@ LaunchStats KernelSession::finish() {
     span_.f64("host_ms", stats_.host.host_seconds() * 1e3);
     span_.u64("bytes_to_dpu", stats_.host.bytes_to_dpu);
     span_.u64("bytes_from_dpu", stats_.host.bytes_from_dpu);
+    span_.flag("fallback", degraded_);
   }
   span_.end();
   return std::move(stats_);

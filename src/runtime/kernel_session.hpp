@@ -26,12 +26,29 @@
 //    activation was `Active`.
 //  * MRAM payloads survive program switches (each cached program owns a
 //    disjoint MRAM region) but not pool resets/growth. `scatter_resident`
-//    encodes this via the pool's `ensure_resident` (tag, version) record.
+//    encodes this via the pool's two-phase `begin_resident`/
+//    `commit_resident` (tag, version) record — committed only after the
+//    upload succeeded, so a throwing transfer cannot poison the record.
+//
+// Fault tolerance (active only when sim::fault_plan() is enabled, so clean
+// runs pay nothing): every upload is logged for replay and verified by
+// read-back (repairing flipped bits through targeted rewrites); launches
+// retry with exponential cycle backoff, striking faulty DPUs into the
+// pool's quarantine and replaying the session's uploads onto the remapped
+// healthy prefix; and when the kernel no longer fits the healthy capacity
+// (or a warm session cannot replay uploads it skipped), the session
+// *degrades*: `launch` returns false, transfers become no-ops, and the
+// caller routes the work through its host/baseline CPU path — which is
+// bit-identical to the DPU kernel by construction (that agreement is each
+// pipeline's core integration test). The whole story lands in LaunchStats
+// (retries, faults_absorbed, quarantined, retry_cycles, cpu_fallback) and
+// the obs counters/spans (offload.retry, offload.fallback).
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "obs/trace.hpp"
 #include "runtime/dpu_pool.hpp"
@@ -106,8 +123,15 @@ public:
                      MemSize item_bytes,
                      const std::function<const void*(std::size_t)>& item);
 
-  /// Launches the active program on the session's DPUs.
-  void launch(std::uint32_t n_tasklets, OptLevel opt = OptLevel::O3);
+  /// Launches the active program on the session's DPUs. Returns true on a
+  /// successful DPU launch (possibly after fault retries); false when the
+  /// session degraded to the CPU-fallback path — the caller must then
+  /// compute the results through its host/baseline implementation instead
+  /// of gathering (gathers become no-ops).
+  bool launch(std::uint32_t n_tasklets, OptLevel opt = OptLevel::O3);
+
+  /// True once the session rerouted this offload to the CPU path.
+  bool degraded() const { return degraded_; }
 
   /// Batched gather: pulls `items_per_dpu * slot_stride` bytes of `symbol`
   /// from every session DPU in one transfer, then hands the `n_items` real
@@ -120,11 +144,35 @@ public:
   /// Stamps the host-transfer delta since construction (activation, every
   /// broadcast/scatter/gather, the launch's load walls) into the launch
   /// stats, closes the session's trace span, and records the offload under
-  /// its signature in obs::Metrics. Call once, after the last gather.
+  /// its signature in obs::Metrics. Call exactly once, after the last
+  /// gather (or after a degraded launch): calling twice, or before any
+  /// launch/degradation, throws UsageError and emits nothing — the sample
+  /// is never double-recorded.
   LaunchStats finish();
 
 private:
+  /// One logged upload, replayable after a quarantine remap.
+  struct Upload {
+    std::string symbol;
+    MemSize bytes = 0;     ///< per-DPU transfer length (padded)
+    bool scattered = false;
+    std::vector<std::uint8_t> payload;              ///< broadcast data
+    std::vector<std::vector<std::uint8_t>> staged;  ///< per-DPU scatter slots
+  };
+
   DpuSet& set() { return pool_.set(); }
+  void degrade(const char* reason);
+  /// Raw transfer of one upload (+ read-back verify/repair under faults).
+  void transfer(const Upload& u);
+  /// Read-back verification with bounded targeted rewrites; degrades on
+  /// unrepairable corruption.
+  void verify_upload(const Upload& u);
+  /// Logs an upload for later replay (fault runs only).
+  void push_upload(Upload&& u);
+  /// Re-sends every logged upload (after a quarantine remap + re-load).
+  void replay_uploads();
+  /// Checks a resident hit's payload against its committed checksums.
+  bool resident_still_valid(const std::string& symbol, MemSize slot_bytes);
 
   DpuPool& pool_;
   std::uint32_t n_dpus_;
@@ -133,9 +181,19 @@ private:
   /// Root trace span of the whole offload; declared before `activation_` so
   /// the pool's activate/build/load spans nest inside it.
   obs::Span span_;
-  DpuPool::Activation activation_;
+  DpuPool::Activation activation_ = DpuPool::Activation::Fresh;
   LaunchStats stats_;
   bool launched_ = false;
+  bool finished_ = false;
+  /// True when fault injection is enabled: uploads are logged + verified.
+  bool fault_tolerant_ = false;
+  bool degraded_ = false;
+  std::uint32_t retries_ = 0;        ///< launch attempts repeated
+  std::uint32_t absorbed_ = 0;       ///< faults absorbed (retry or repair)
+  std::uint32_t quarantines_ = 0;    ///< DPUs quarantined this session
+  Cycles penalty_cycles_ = 0;        ///< backoff + hang-deadline cycles
+  std::vector<Upload> uploads_;      ///< replay log (fault runs only)
+  std::vector<std::uint64_t> last_scatter_sums_; ///< per-DPU checksums
   std::uint64_t resident_hits_ = 0;   ///< scatter_resident skips
   std::uint64_t resident_misses_ = 0; ///< scatter_resident uploads
   std::uint64_t const_hits_ = 0;      ///< broadcast_const skips

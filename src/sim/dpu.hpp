@@ -115,6 +115,10 @@ public:
   Mram& mram() { return mram_; }
   Wram& wram() { return wram_; }
 
+  /// MRAM bytes occupied by the loaded program's symbols (the region a
+  /// program-switch disturbance can plausibly corrupt).
+  MemSize mram_used() const { return mram_top_; }
+
 private:
   friend class TaskletCtx;
 

@@ -6,6 +6,7 @@
 #include "common/bytes.hpp"
 #include "common/error.hpp"
 #include "common/fixed_point.hpp"
+#include "nn/gemm.hpp"
 #include "runtime/kernel_session.hpp"
 
 namespace pimdnn::yolo {
@@ -277,14 +278,21 @@ GemmResult dpu_gemm_pooled(runtime::DpuPool& pool, int m, int n, int k,
                              stage_a_bytes, fill_a);
   }
 
-  session.launch(n_tasklets, opt);
+  GemmResult out;
+  out.dpus_used = na;
+  out.c.resize(static_cast<std::size_t>(m) * n);
+
+  // A degraded session routes the GEMM through the fixed-point reference,
+  // which matches the DPU kernel bit for bit (the same Algorithm 2 math).
+  if (!session.launch(n_tasklets, opt)) {
+    nn::gemm_q16_reference(m, n, k, alpha, a, b, out.c);
+    out.stats = session.finish();
+    return out;
+  }
 
   // Gather: one batched transfer pulls every DPU's full C block; the
   // session unpacks the M real rows (dropping each row's alignment padding
   // and the padded tail rows of the last DPU).
-  GemmResult out;
-  out.dpus_used = na;
-  out.c.resize(static_cast<std::size_t>(m) * n);
   session.gather_items(
       "c_rows", static_cast<std::size_t>(m),
       static_cast<std::uint32_t>(rows_per_dpu), c_stride_bytes(n),

@@ -155,35 +155,62 @@ TEST(Pool, MramRegionsDisjointAcrossCachedPrograms) {
   EXPECT_EQ(back, pattern);
 }
 
-TEST(Pool, EnsureResidentTracksOneDatumPerProgram) {
+/// The old one-shot ensure_resident, rebuilt from the two-phase API:
+/// returns true on a hit, otherwise begins+commits the record (as a
+/// successful upload would) and returns false.
+bool touch_resident(DpuPool& pool, const std::string& tag,
+                    std::uint64_t version) {
+  if (pool.resident_matches(tag, version)) {
+    return true;
+  }
+  pool.begin_resident(tag, version);
+  pool.commit_resident(tag, version);
+  return false;
+}
+
+TEST(Pool, ResidentRecordTracksOneDatumPerProgram) {
   DpuPool pool;
   pool.activate("a", 1, [] { return tiny_program("a", "data_a"); });
-  EXPECT_FALSE(pool.ensure_resident("w", 1)); // first upload
-  EXPECT_TRUE(pool.ensure_resident("w", 1));  // still resident
-  EXPECT_FALSE(pool.ensure_resident("w", 2)); // version bump re-uploads
-  EXPECT_FALSE(pool.ensure_resident("x", 2)); // different datum aliases
-  EXPECT_FALSE(pool.ensure_resident("w", 2)); // ...and evicted the old one
-  EXPECT_TRUE(pool.ensure_resident("w", 2));
+  EXPECT_FALSE(touch_resident(pool, "w", 1)); // first upload
+  EXPECT_TRUE(touch_resident(pool, "w", 1));  // still resident
+  EXPECT_FALSE(touch_resident(pool, "w", 2)); // version bump re-uploads
+  EXPECT_FALSE(touch_resident(pool, "x", 2)); // different datum aliases
+  EXPECT_FALSE(touch_resident(pool, "w", 2)); // ...and evicted the old one
+  EXPECT_TRUE(touch_resident(pool, "w", 2));
 
   // Each cached program tracks its own resident datum.
   pool.activate("b", 1, [] { return tiny_program("b", "data_b"); });
-  EXPECT_FALSE(pool.ensure_resident("w", 2));
+  EXPECT_FALSE(touch_resident(pool, "w", 2));
   pool.activate("a", 1, [] { return tiny_program("a", "data_a"); });
-  EXPECT_TRUE(pool.ensure_resident("w", 2));
+  EXPECT_TRUE(touch_resident(pool, "w", 2));
+}
+
+TEST(Pool, BegunButUncommittedResidentIsNotAHit) {
+  DpuPool pool;
+  pool.activate("a", 1, [] { return tiny_program("a", "data_a"); });
+  // A begun upload that never commits (e.g. the transfer threw) must leave
+  // "nothing resident", not a poisoned claim.
+  pool.begin_resident("w", 1);
+  EXPECT_FALSE(pool.resident_matches("w", 1));
+  // Committing a different (tag, version) than was begun is a usage error.
+  EXPECT_THROW(pool.commit_resident("w", 2), UsageError);
+  EXPECT_THROW(pool.commit_resident("x", 1), UsageError);
+  pool.commit_resident("w", 1);
+  EXPECT_TRUE(pool.resident_matches("w", 1));
 }
 
 TEST(Pool, GrowingResetsCacheAndResidents) {
   DpuPool pool;
   pool.activate("a", 2, [] { return tiny_program("a", "data_a"); });
-  EXPECT_FALSE(pool.ensure_resident("w", 0));
-  EXPECT_TRUE(pool.ensure_resident("w", 0));
+  EXPECT_FALSE(touch_resident(pool, "w", 0));
+  EXPECT_TRUE(touch_resident(pool, "w", 0));
 
   // A wider activation re-allocates the set: everything must re-upload.
   EXPECT_EQ(pool.activate("a", 4, [] { return tiny_program("a", "data_a"); }),
             DpuPool::Activation::Fresh);
   EXPECT_EQ(pool.size(), 4u);
   EXPECT_EQ(pool.resets(), 1u);
-  EXPECT_FALSE(pool.ensure_resident("w", 0));
+  EXPECT_FALSE(touch_resident(pool, "w", 0));
 }
 
 TEST(Pool, MramBudgetOverflowResetsBumpAllocator) {
