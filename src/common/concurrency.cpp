@@ -1,0 +1,29 @@
+#include "common/concurrency.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <thread>
+
+namespace pimdnn {
+
+namespace {
+
+std::uint32_t detect() {
+  if (const char* env = std::getenv("PIMDNN_HOST_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && v >= 1) {
+      return static_cast<std::uint32_t>(std::min<long>(v, 1024));
+    }
+  }
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+} // namespace
+
+std::uint32_t hardware_threads() {
+  static const std::uint32_t cached = detect();
+  return cached;
+}
+
+} // namespace pimdnn

@@ -1,0 +1,21 @@
+// Host-thread topology, queried once per process.
+//
+// Every per-launch thread-count decision used to call
+// std::thread::hardware_concurrency() afresh (DpuSet::launch, the YOLOv3
+// bias+leaky post-pass, ...). The value cannot change while the process
+// runs, so it is detected once and cached here — and the cached value is
+// the single override point: setting PIMDNN_HOST_THREADS pins the host
+// worker budget for deterministic tests and benchmarks.
+#pragma once
+
+#include <cstdint>
+
+namespace pimdnn {
+
+/// Cached host hardware-thread count. Never returns 0 (platforms where
+/// std::thread::hardware_concurrency() is unknowable report 1). Honors the
+/// PIMDNN_HOST_THREADS environment variable (clamped to [1, 1024]) when it
+/// parses as a positive integer; the variable is read once, at first call.
+std::uint32_t hardware_threads();
+
+} // namespace pimdnn

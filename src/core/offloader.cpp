@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <cstring>
+#include <utility>
 
 #include "common/bytes.hpp"
 #include "common/error.hpp"
+#include "obs/trace.hpp"
+#include "runtime/host_timer.hpp"
 #include "runtime/kernel_session.hpp"
+#include "sim/report.hpp"
 
 namespace pimdnn::core {
 
@@ -130,9 +134,11 @@ sim::DpuProgram Offloader::build_program() const {
   return prog;
 }
 
-OffloadResult Offloader::run(
+Offloader::PendingBatch Offloader::start_batch(
+    runtime::DpuPool& pool,
     const std::vector<std::vector<std::uint8_t>>& items,
-    std::uint32_t n_tasklets, runtime::OptLevel opt) {
+    std::uint32_t n_tasklets, runtime::OptLevel opt,
+    runtime::PipelineModel* model, unsigned bank, std::size_t item) {
   require(!items.empty(), "Offloader::run: empty batch");
   require(n_tasklets >= 1 && n_tasklets <= spec_.items_per_dpu,
           "Offloader::run: tasklets must be in [1, items_per_dpu]");
@@ -144,40 +150,160 @@ OffloadResult Offloader::run(
   const std::uint32_t per_dpu = spec_.items_per_dpu;
   const auto n_dpus = KernelSession::dpus_for(items.size(), per_dpu);
 
+  const sim::HostXferStats before = pool.host_stats();
+  PendingBatch pb;
+  pb.pool = &pool;
+  pb.items = &items;
+  pb.n_tasklets = n_tasklets;
+  pb.opt = opt;
+  pb.n_dpus = n_dpus;
+  pb.bank = bank;
+  pb.item = item;
+
   // One cached program per engine: the first batch loads it (and any later
   // batch that outgrows the pool reloads it); otherwise activation is a
   // no-op and the broadcast constants are still in WRAM from last time.
-  KernelSession session(pool_, "offload/" + spec_.name, n_dpus,
-                        [this] { return build_program(); });
+  pb.session = std::make_unique<KernelSession>(
+      pool, "offload/" + spec_.name, n_dpus,
+      [this] { return build_program(); });
+  KernelSession& session = *pb.session;
   if (!spec_.consts.empty()) {
     session.broadcast_const("consts", spec_.consts.data(),
                             spec_.consts.size());
   }
 
-  // Scatter inputs + per-DPU true counts, launch, batched gather.
+  // Scatter inputs + per-DPU true counts, then launch asynchronously so
+  // the caller can stage the next batch on the other bank meanwhile.
   session.scatter_items("in_mram", "meta", items.size(), per_dpu, in_stride_,
                         spec_.item_in_bytes,
                         [&](std::size_t i) { return items[i].data(); });
 
+  if (model != nullptr) {
+    const sim::HostXferStats d =
+        sim::host_xfer_delta(pool.host_stats(), before);
+    model->xfer_stage(item, bank, d.to_dpu_seconds + d.load_seconds);
+  }
+
+  pb.handle = session.launch_async(n_tasklets, opt);
+  return pb;
+}
+
+OffloadResult Offloader::finish_batch(PendingBatch pending,
+                                      runtime::PipelineModel* model) {
+  KernelSession& session = *pending.session;
+  const std::vector<std::vector<std::uint8_t>>& items = *pending.items;
+  const std::uint32_t per_dpu = spec_.items_per_dpu;
+
   OffloadResult out;
-  out.dpus_used = n_dpus;
+  out.dpus_used = pending.n_dpus;
 
   // A degraded session routes the batch through one spare private DPU —
   // the same kernel closure, chunk by chunk, so results stay bit-identical.
-  if (!session.launch(n_tasklets, opt)) {
-    run_host_fallback(items, n_tasklets, opt, out);
+  if (!pending.handle.wait()) {
+    runtime::HostTimer ht;
+    ht.start();
+    run_host_fallback(items, pending.n_tasklets, pending.opt, out);
+    const Seconds fallback = ht.elapsed();
     out.launch = session.finish();
+    if (model != nullptr) {
+      model->host_stage(pending.item, fallback);
+    }
     return out;
   }
 
+  const sim::HostXferStats before = pending.pool->host_stats();
   out.outputs.resize(items.size());
   session.gather_items("out_mram", items.size(), per_dpu, out_stride_,
                        [&](std::size_t i, const std::uint8_t* slot) {
                          out.outputs[i].assign(
                              slot, slot + spec_.item_out_bytes);
                        });
+  const sim::HostXferStats gathered =
+      sim::host_xfer_delta(pending.pool->host_stats(), before);
 
   out.launch = session.finish();
+  if (model != nullptr) {
+    // Reported after the fact but in per-lane chronological order:
+    // kernel on the bank, then the gather transfer.
+    model->dpu_stage(pending.item, pending.bank, out.launch.wall_seconds);
+    model->xfer_stage(pending.item, pending.bank,
+                      gathered.from_dpu_seconds);
+  }
+  return out;
+}
+
+OffloadResult Offloader::run(
+    const std::vector<std::vector<std::uint8_t>>& items,
+    std::uint32_t n_tasklets, runtime::OptLevel opt) {
+  // Start + immediately finish: the waitable handle executes the launch
+  // inline when no worker picked it up, so this is the synchronous path.
+  return finish_batch(
+      start_batch(pool_, items, n_tasklets, opt, nullptr, 0, 0), nullptr);
+}
+
+OffloadPipelineResult Offloader::run_pipelined(
+    const std::vector<std::vector<std::vector<std::uint8_t>>>& batches,
+    std::uint32_t n_tasklets, runtime::OptLevel opt) {
+  OffloadPipelineResult out;
+  out.batches.resize(batches.size());
+  if (batches.empty()) {
+    return out;
+  }
+  obs::Span sp("offload.pipeline", "pipeline");
+  if (sp.active()) {
+    sp.u64("n_batches", batches.size());
+  }
+  if (!pool_alt_.has_value()) {
+    pool_alt_.emplace(sys_);
+  }
+  runtime::DpuPool* banks[2] = {&pool_, &*pool_alt_};
+  runtime::PipelineModel model(2);
+
+  // Double-buffered dispatch: batch i on bank i%2, finishing that bank's
+  // previous batch first — at most two in flight, each bank serialized.
+  std::optional<PendingBatch> pending[2];
+  try {
+    for (std::size_t i = 0; i < batches.size(); ++i) {
+      const unsigned bank = static_cast<unsigned>(i % 2);
+      if (pending[bank].has_value()) {
+        const std::size_t done = pending[bank]->item;
+        out.batches[done] =
+            finish_batch(std::move(*pending[bank]), &model);
+        pending[bank].reset();
+      }
+      pending[bank] = start_batch(*banks[bank], batches[i], n_tasklets,
+                                  opt, &model, bank, i);
+    }
+    // Drain in item order so the host-lane stages stay chronological.
+    for (unsigned b = 0; b < 2; ++b) {
+      const unsigned bank =
+          static_cast<unsigned>((batches.size() + b) % 2);
+      if (pending[bank].has_value()) {
+        const std::size_t done = pending[bank]->item;
+        out.batches[done] =
+            finish_batch(std::move(*pending[bank]), &model);
+        pending[bank].reset();
+      }
+    }
+  } catch (...) {
+    // In-flight launches reference sessions owned by `pending`: wait them
+    // out before unwinding.
+    for (auto& p : pending) {
+      if (p.has_value() && p->handle.valid()) {
+        try {
+          p->handle.wait();
+        } catch (...) {
+        }
+      }
+    }
+    throw;
+  }
+
+  out.pipeline = model.stats();
+  if (sp.active()) {
+    sp.f64("makespan_ms", out.pipeline.makespan_seconds * 1e3);
+    sp.f64("speedup", out.pipeline.speedup());
+  }
   return out;
 }
 

@@ -25,11 +25,15 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "runtime/dpu_pool.hpp"
 #include "runtime/dpu_set.hpp"
+#include "runtime/kernel_session.hpp"
+#include "runtime/pipeline.hpp"
 
 namespace pimdnn::core {
 
@@ -75,6 +79,14 @@ struct OffloadResult {
   std::uint32_t dpus_used = 0;
 };
 
+/// Result of a double-buffered multi-batch run.
+struct OffloadPipelineResult {
+  /// Per-batch results, bit-identical to serial `run` calls.
+  std::vector<OffloadResult> batches;
+  /// Modeled overlapped timeline vs. the serial equivalent.
+  runtime::PipelineStats pipeline;
+};
+
 /// The offload engine. Construct once per (spec, kernel) pair, run many
 /// batches: the engine owns a persistent DpuPool, so the program is loaded
 /// once and the broadcast constants are uploaded once — later batches pay
@@ -93,6 +105,17 @@ public:
                     std::uint32_t n_tasklets,
                     runtime::OptLevel opt = runtime::OptLevel::O3);
 
+  /// Processes `batches` double-buffered over two bank pools: batch i runs
+  /// on bank i%2 and its scatter overlaps the other bank's in-flight
+  /// kernel (KernelSession::launch_async). At most two batches are in
+  /// flight; results are bit-identical to serial `run` calls on the same
+  /// inputs. The returned PipelineStats hold the modeled overlapped
+  /// makespan vs. the serial equivalent.
+  OffloadPipelineResult run_pipelined(
+      const std::vector<std::vector<std::vector<std::uint8_t>>>& batches,
+      std::uint32_t n_tasklets,
+      runtime::OptLevel opt = runtime::OptLevel::O3);
+
   /// MRAM stride of one input slot (8-byte aligned item_in_bytes).
   MemSize in_stride() const { return in_stride_; }
 
@@ -100,15 +123,41 @@ public:
   MemSize out_stride() const { return out_stride_; }
 
   /// Cumulative host-side accounting across every batch run so far.
-  sim::HostXferStats host_stats() const { return pool_.host_stats(); }
+  sim::HostXferStats host_stats() const {
+    sim::HostXferStats out = pool_.host_stats();
+    if (pool_alt_.has_value()) {
+      out += pool_alt_->host_stats();
+    }
+    return out;
+  }
 
 private:
+  /// One in-flight batch of the double-buffered path.
+  struct PendingBatch {
+    std::unique_ptr<runtime::KernelSession> session;
+    runtime::KernelSession::LaunchHandle handle;
+    runtime::DpuPool* pool = nullptr;
+    const std::vector<std::vector<std::uint8_t>>* items = nullptr;
+    std::uint32_t n_tasklets = 0;
+    runtime::OptLevel opt = runtime::OptLevel::O3;
+    std::uint32_t n_dpus = 0;
+    unsigned bank = 0;
+    std::size_t item = 0;
+  };
+
   sim::DpuProgram build_program() const;
   /// CPU-path fallback for a degraded session: runs the same kernel on one
   /// spare private DPU, chunk by chunk — bit-identical to the pooled run.
   void run_host_fallback(const std::vector<std::vector<std::uint8_t>>& items,
                          std::uint32_t n_tasklets, runtime::OptLevel opt,
                          OffloadResult& out) const;
+  PendingBatch start_batch(runtime::DpuPool& pool,
+                           const std::vector<std::vector<std::uint8_t>>& items,
+                           std::uint32_t n_tasklets, runtime::OptLevel opt,
+                           runtime::PipelineModel* model, unsigned bank,
+                           std::size_t item);
+  OffloadResult finish_batch(PendingBatch pending,
+                             runtime::PipelineModel* model);
 
   WorkloadSpec spec_;
   ItemKernel kernel_;
@@ -116,6 +165,8 @@ private:
   MemSize in_stride_;
   MemSize out_stride_;
   runtime::DpuPool pool_;
+  /// Second bank for run_pipelined, created on first use.
+  std::optional<runtime::DpuPool> pool_alt_;
 };
 
 } // namespace pimdnn::core

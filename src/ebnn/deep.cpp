@@ -2,13 +2,16 @@
 
 #include <algorithm>
 #include <cstring>
+#include <utility>
 
 #include "common/bytes.hpp"
 #include "common/error.hpp"
 #include "nn/bitpack.hpp"
 #include "nn/layers.hpp"
 #include "obs/trace.hpp"
+#include "runtime/host_timer.hpp"
 #include "runtime/kernel_session.hpp"
+#include "sim/report.hpp"
 
 namespace pimdnn::ebnn {
 
@@ -444,9 +447,10 @@ DeepEbnnHost::DeepEbnnHost(const DeepEbnnConfig& cfg,
   images_per_dpu_ = make_params(cfg_, dims_, sys_).capacity;
 }
 
-DeepEbnnBatchResult DeepEbnnHost::run(const std::vector<Image>& images,
-                                      std::uint32_t n_tasklets,
-                                      runtime::OptLevel opt) {
+DeepEbnnHost::PendingBatch DeepEbnnHost::start_batch(
+    runtime::DpuPool& pool, const std::vector<Image>& images,
+    std::uint32_t n_tasklets, runtime::OptLevel opt,
+    runtime::PipelineModel* model, unsigned bank, std::size_t item) {
   require(!images.empty(), "DeepEbnnHost::run: empty batch");
   const std::size_t img_bytes =
       static_cast<std::size_t>(cfg_.img_h) * cfg_.img_w;
@@ -471,14 +475,18 @@ DeepEbnnBatchResult DeepEbnnHost::run(const std::vector<Image>& images,
 
   const std::uint32_t per_dpu = params.capacity;
   const auto n_dpus = KernelSession::dpus_for(images.size(), per_dpu);
-  obs::Span batch_sp("deep_ebnn.batch", "pipeline");
-  if (batch_sp.active()) {
-    batch_sp.u64("n_images", images.size());
-    batch_sp.u64("n_dpus", n_dpus);
-  }
-  KernelSession session(pool_, "ebnn_deep", n_dpus, [&] {
-    return make_deep_program(params, conv_size, lut_size);
-  });
+
+  const sim::HostXferStats before = pool.host_stats();
+  PendingBatch pb;
+  pb.pool = &pool;
+  pb.images = &images;
+  pb.n_dpus = n_dpus;
+  pb.bank = bank;
+  pb.item = item;
+  pb.session = std::make_unique<KernelSession>(
+      pool, "ebnn_deep", n_dpus,
+      [&] { return make_deep_program(params, conv_size, lut_size); });
+  KernelSession& session = *pb.session;
 
   // Per-block weights and LUTs are WRAM constants: re-broadcast only when
   // the activation rebuilt or reloaded the program.
@@ -501,55 +509,166 @@ DeepEbnnBatchResult DeepEbnnHost::run(const std::vector<Image>& images,
                         params.image_stride, img_bytes,
                         [&](std::size_t i) { return images[i].data(); });
 
+  if (model != nullptr) {
+    const sim::HostXferStats d =
+        sim::host_xfer_delta(pool.host_stats(), before);
+    model->xfer_stage(item, bank, d.to_dpu_seconds + d.load_seconds);
+  }
+  pb.handle = session.launch_async(n_tasklets, opt);
+  return pb;
+}
+
+DeepEbnnBatchResult DeepEbnnHost::finish_batch(
+    PendingBatch pending, runtime::PipelineModel* model) {
+  KernelSession& session = *pending.session;
+  const std::vector<Image>& images = *pending.images;
+  const DeepKernelParams params = make_params(cfg_, dims_, sys_);
+  const std::uint32_t per_dpu = params.capacity;
   const std::size_t feat_words =
       params.result_stride / sizeof(std::uint32_t);
   const std::size_t feat_bits =
       static_cast<std::size_t>(deep_feature_bits(cfg_));
+
   DeepEbnnBatchResult out;
-  out.dpus_used = n_dpus;
+  out.dpus_used = pending.n_dpus;
   out.images_per_dpu = per_dpu;
 
+  runtime::HostTimer ht;
   // A degraded session routes the batch through the reference model,
   // which is bit-identical to the DPU kernel.
-  if (!session.launch(n_tasklets, opt)) {
+  if (!pending.handle.wait()) {
+    ht.start();
     DeepEbnnReference ref(cfg_, weights_);
     for (const Image& im : images) {
       DeepEbnnActivations a = ref.infer(im.data());
       out.predicted.push_back(a.predicted);
       out.features.push_back(std::move(a.feature));
     }
+    out.host_tail_seconds = ht.elapsed();
     out.launch = session.finish();
+    if (model != nullptr) {
+      model->host_stage(pending.item, out.host_tail_seconds);
+    }
     return out;
   }
 
-  // Batched gather + host tail.
-  std::vector<std::uint32_t> words(feat_words);
+  // Batched gather of the raw feature words, then the host tail per image.
+  const sim::HostXferStats before = pending.pool->host_stats();
+  std::vector<std::uint32_t> words(images.size() * feat_words);
   session.gather_items(
       "results", images.size(), per_dpu, params.result_stride,
-      [&](std::size_t, const std::uint8_t* slot) {
-        std::memcpy(words.data(), slot, feat_words * sizeof(std::uint32_t));
-        std::vector<int> feature(feat_bits);
-        for (std::size_t bit = 0; bit < feat_bits; ++bit) {
-          feature[bit] =
-              static_cast<int>((words[bit / 32] >> (bit % 32)) & 1u);
-        }
-        // FC tail on the host using the reference weights.
-        std::vector<float> logits(static_cast<std::size_t>(cfg_.classes),
-                                  0.0f);
-        for (int c = 0; c < cfg_.classes; ++c) {
-          float acc = 0.0f;
-          for (std::size_t b = 0; b < feat_bits; ++b) {
-            acc += weights_.fc[static_cast<std::size_t>(c) * feat_bits + b] *
-                   (feature[b] != 0 ? 1.0f : -1.0f);
-          }
-          logits[static_cast<std::size_t>(c)] = acc;
-        }
-        std::vector<float> probs(logits.size());
-        nn::softmax(logits, probs);
-        out.predicted.push_back(static_cast<int>(nn::argmax(probs)));
-        out.features.push_back(std::move(feature));
+      [&](std::size_t i, const std::uint8_t* slot) {
+        std::memcpy(words.data() + i * feat_words, slot,
+                    feat_words * sizeof(std::uint32_t));
       });
+  const sim::HostXferStats gathered =
+      sim::host_xfer_delta(pending.pool->host_stats(), before);
+
+  ht.start();
+  for (std::size_t i = 0; i < images.size(); ++i) {
+    const std::uint32_t* w = words.data() + i * feat_words;
+    std::vector<int> feature(feat_bits);
+    for (std::size_t bit = 0; bit < feat_bits; ++bit) {
+      feature[bit] = static_cast<int>((w[bit / 32] >> (bit % 32)) & 1u);
+    }
+    // FC tail on the host using the reference weights.
+    std::vector<float> logits(static_cast<std::size_t>(cfg_.classes),
+                              0.0f);
+    for (int c = 0; c < cfg_.classes; ++c) {
+      float acc = 0.0f;
+      for (std::size_t b = 0; b < feat_bits; ++b) {
+        acc += weights_.fc[static_cast<std::size_t>(c) * feat_bits + b] *
+               (feature[b] != 0 ? 1.0f : -1.0f);
+      }
+      logits[static_cast<std::size_t>(c)] = acc;
+    }
+    std::vector<float> probs(logits.size());
+    nn::softmax(logits, probs);
+    out.predicted.push_back(static_cast<int>(nn::argmax(probs)));
+    out.features.push_back(std::move(feature));
+  }
+  out.host_tail_seconds = ht.elapsed();
   out.launch = session.finish();
+
+  if (model != nullptr) {
+    model->dpu_stage(pending.item, pending.bank, out.launch.wall_seconds);
+    model->xfer_stage(pending.item, pending.bank,
+                      gathered.from_dpu_seconds);
+    model->host_stage(pending.item, out.host_tail_seconds);
+  }
+  return out;
+}
+
+DeepEbnnBatchResult DeepEbnnHost::run(const std::vector<Image>& images,
+                                      std::uint32_t n_tasklets,
+                                      runtime::OptLevel opt) {
+  obs::Span batch_sp("deep_ebnn.batch", "pipeline");
+  if (batch_sp.active()) {
+    batch_sp.u64("n_images", images.size());
+  }
+  return finish_batch(
+      start_batch(pool_, images, n_tasklets, opt, nullptr, 0, 0), nullptr);
+}
+
+DeepEbnnPipelineResult DeepEbnnHost::run_pipelined(
+    const std::vector<std::vector<Image>>& batches,
+    std::uint32_t n_tasklets, runtime::OptLevel opt) {
+  DeepEbnnPipelineResult out;
+  out.batches.resize(batches.size());
+  if (batches.empty()) {
+    return out;
+  }
+  obs::Span sp("deep_ebnn.pipeline", "pipeline");
+  if (sp.active()) {
+    sp.u64("n_batches", batches.size());
+  }
+  if (!pool_alt_.has_value()) {
+    pool_alt_.emplace(sys_);
+  }
+  runtime::DpuPool* banks[2] = {&pool_, &*pool_alt_};
+  runtime::PipelineModel model(2);
+
+  std::optional<PendingBatch> pending[2];
+  try {
+    for (std::size_t i = 0; i < batches.size(); ++i) {
+      const unsigned bank = static_cast<unsigned>(i % 2);
+      if (pending[bank].has_value()) {
+        const std::size_t done = pending[bank]->item;
+        out.batches[done] =
+            finish_batch(std::move(*pending[bank]), &model);
+        pending[bank].reset();
+      }
+      pending[bank] = start_batch(*banks[bank], batches[i], n_tasklets,
+                                  opt, &model, bank, i);
+    }
+    // Drain in item order so the host-lane stages stay chronological.
+    for (unsigned b = 0; b < 2; ++b) {
+      const unsigned bank =
+          static_cast<unsigned>((batches.size() + b) % 2);
+      if (pending[bank].has_value()) {
+        const std::size_t done = pending[bank]->item;
+        out.batches[done] =
+            finish_batch(std::move(*pending[bank]), &model);
+        pending[bank].reset();
+      }
+    }
+  } catch (...) {
+    for (auto& p : pending) {
+      if (p.has_value() && p->handle.valid()) {
+        try {
+          p->handle.wait();
+        } catch (...) {
+        }
+      }
+    }
+    throw;
+  }
+
+  out.pipeline = model.stats();
+  if (sp.active()) {
+    sp.f64("makespan_ms", out.pipeline.makespan_seconds * 1e3);
+    sp.f64("speedup", out.pipeline.speedup());
+  }
   return out;
 }
 

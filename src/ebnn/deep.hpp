@@ -16,6 +16,8 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <optional>
 #include <vector>
 
 #include "ebnn/host.hpp"
@@ -23,6 +25,8 @@
 #include "ebnn/model.hpp"
 #include "runtime/dpu_pool.hpp"
 #include "runtime/dpu_set.hpp"
+#include "runtime/kernel_session.hpp"
+#include "runtime/pipeline.hpp"
 
 namespace pimdnn::ebnn {
 
@@ -102,6 +106,17 @@ struct DeepEbnnBatchResult {
   runtime::LaunchStats launch;
   std::uint32_t dpus_used = 0;
   std::uint32_t images_per_dpu = 0; ///< derived from the WRAM budget
+  /// Measured host tail of this batch (unpack + FC + softmax; the whole
+  /// reference inference on a degraded batch).
+  Seconds host_tail_seconds = 0.0;
+};
+
+/// Result of a double-buffered multi-batch deep-eBNN run.
+struct DeepEbnnPipelineResult {
+  /// Per-batch results, bit-identical to serial `run` calls.
+  std::vector<DeepEbnnBatchResult> batches;
+  /// Modeled overlapped timeline vs. the serial equivalent.
+  runtime::PipelineStats pipeline;
 };
 
 /// Host app mapping the deep network onto DPUs (LUT BN-BinAct only —
@@ -116,14 +131,49 @@ public:
                           std::uint32_t n_tasklets = 0,
                           runtime::OptLevel opt = runtime::OptLevel::O3);
 
+  /// Runs `batches` double-buffered over two bank pools, exactly like
+  /// EbnnHost::run_pipelined: batch i runs on bank i%2, its scatter
+  /// overlapping the other bank's in-flight kernel. Results are
+  /// bit-identical to serial `run` calls on the same inputs.
+  DeepEbnnPipelineResult run_pipelined(
+      const std::vector<std::vector<Image>>& batches,
+      std::uint32_t n_tasklets = 0,
+      runtime::OptLevel opt = runtime::OptLevel::O3);
+
   /// Images one DPU can hold given the WRAM budget (1..16).
   std::uint32_t images_per_dpu() const { return images_per_dpu_; }
 
-  /// Cumulative host-side accounting of the host's pool across every
+  /// Cumulative host-side accounting of the host's pools across every
   /// batch run so far.
-  sim::HostXferStats pool_host_stats() const { return pool_.host_stats(); }
+  sim::HostXferStats pool_host_stats() const {
+    sim::HostXferStats out = pool_.host_stats();
+    if (pool_alt_.has_value()) {
+      out += pool_alt_->host_stats();
+    }
+    return out;
+  }
 
 private:
+  /// One in-flight batch (mirrors EbnnHost::PendingBatch).
+  struct PendingBatch {
+    std::unique_ptr<runtime::KernelSession> session;
+    runtime::KernelSession::LaunchHandle handle;
+    runtime::DpuPool* pool = nullptr;
+    const std::vector<Image>* images = nullptr;
+    std::uint32_t n_dpus = 0;
+    unsigned bank = 0;
+    std::size_t item = 0;
+  };
+
+  PendingBatch start_batch(runtime::DpuPool& pool,
+                           const std::vector<Image>& images,
+                           std::uint32_t n_tasklets, runtime::OptLevel opt,
+                           runtime::PipelineModel* model, unsigned bank,
+                           std::size_t item);
+
+  DeepEbnnBatchResult finish_batch(PendingBatch pending,
+                                   runtime::PipelineModel* model);
+
   DeepEbnnConfig cfg_;
   DeepEbnnWeights weights_;
   runtime::UpmemConfig sys_;
@@ -131,6 +181,8 @@ private:
   std::vector<BnBinactLut> luts_;
   std::uint32_t images_per_dpu_;
   runtime::DpuPool pool_;
+  /// Second bank for run_pipelined, created on first use.
+  std::optional<runtime::DpuPool> pool_alt_;
 };
 
 } // namespace pimdnn::ebnn

@@ -1,12 +1,16 @@
 #include "ebnn/host.hpp"
 
 #include <cstring>
+#include <exception>
+#include <utility>
 
 #include "common/bytes.hpp"
 #include "common/error.hpp"
 #include "nn/bitpack.hpp"
 #include "obs/trace.hpp"
+#include "runtime/host_timer.hpp"
 #include "runtime/kernel_session.hpp"
+#include "sim/report.hpp"
 
 namespace pimdnn::ebnn {
 
@@ -25,9 +29,10 @@ EbnnHost::EbnnHost(const EbnnConfig& cfg, EbnnWeights weights, BnMode mode,
       reference_(cfg_, weights_),
       pool_(sys) {}
 
-EbnnBatchResult EbnnHost::run(const std::vector<Image>& images,
-                              std::uint32_t n_tasklets,
-                              runtime::OptLevel opt) {
+EbnnHost::PendingBatch EbnnHost::start_batch(
+    runtime::DpuPool& pool, const std::vector<Image>& images,
+    std::uint32_t n_tasklets, runtime::OptLevel opt,
+    runtime::PipelineModel* model, unsigned bank, std::size_t item) {
   require(!images.empty(), "EbnnHost::run: empty batch");
   require(n_tasklets >= 1 && n_tasklets <= layout_.max_images,
           "EbnnHost::run: tasklets must be in [1, 16]");
@@ -40,14 +45,17 @@ EbnnBatchResult EbnnHost::run(const std::vector<Image>& images,
   const std::uint32_t per_dpu = layout_.max_images;
   const auto n_dpus = KernelSession::dpus_for(images.size(), per_dpu);
 
-  obs::Span batch_sp("ebnn.batch", "pipeline");
-  if (batch_sp.active()) {
-    batch_sp.u64("n_images", images.size());
-    batch_sp.u64("n_dpus", n_dpus);
-  }
-
-  KernelSession session(pool_, "ebnn", n_dpus,
-                        [&] { return make_ebnn_program(cfg_, mode_, kernel_); });
+  const sim::HostXferStats before = pool.host_stats();
+  PendingBatch pb;
+  pb.pool = &pool;
+  pb.images = &images;
+  pb.n_dpus = n_dpus;
+  pb.bank = bank;
+  pb.item = item;
+  pb.session = std::make_unique<KernelSession>(
+      pool, "ebnn", n_dpus,
+      [&] { return make_ebnn_program(cfg_, mode_, kernel_); });
+  KernelSession& session = *pb.session;
 
   // Weights and the BN stage are WRAM constants: broadcast_const re-sends
   // them only when the activation rebuilt/reloaded the program, so warm
@@ -75,51 +83,174 @@ EbnnBatchResult EbnnHost::run(const std::vector<Image>& images,
                         per_dpu, layout_.image_stride, img_bytes,
                         [&](std::size_t i) { return images[i].data(); });
 
+  if (model != nullptr) {
+    const sim::HostXferStats d =
+        sim::host_xfer_delta(pool.host_stats(), before);
+    model->xfer_stage(item, bank, d.to_dpu_seconds + d.load_seconds);
+  }
+
+  // Launch on the HostPool: the caller's next batch scatters on the other
+  // bank while this one's kernel is in flight.
+  pb.handle = session.launch_async(n_tasklets, opt);
+  return pb;
+}
+
+EbnnBatchResult EbnnHost::finish_batch(PendingBatch pending,
+                                       runtime::PipelineModel* model) {
+  KernelSession& session = *pending.session;
+  const std::vector<Image>& images = *pending.images;
+  const std::uint32_t per_dpu = layout_.max_images;
   const std::size_t feat_words = static_cast<std::size_t>(cfg_.filters) *
                                  layout_.words_per_filter;
   const int ppf = cfg_.pool_h() * cfg_.pool_w();
+
   EbnnBatchResult out;
-  out.dpus_used = n_dpus;
+  out.dpus_used = pending.n_dpus;
   out.predicted.reserve(images.size());
   out.features.reserve(images.size());
 
-  // Launch all DPUs in parallel; a degraded session routes the batch
-  // through the reference model, which is bit-identical to the kernel.
-  if (!session.launch(n_tasklets, opt)) {
+  runtime::HostTimer ht;
+  // A degraded session routes the batch through the reference model,
+  // which is bit-identical to the kernel.
+  if (!pending.handle.wait()) {
+    ht.start();
     for (const Image& im : images) {
       EbnnActivations a = reference_.infer(im.data());
       out.predicted.push_back(a.predicted);
       out.features.push_back(std::move(a.feature));
     }
+    out.host_tail_seconds = ht.elapsed();
     out.launch = session.finish();
+    if (model != nullptr) {
+      model->host_stage(pending.item, out.host_tail_seconds);
+    }
     return out;
   }
 
-  // Batched gather, then post-process per image: unpack the feature bits
-  // and run the host tail (FC + softmax).
-  std::vector<std::uint32_t> words(feat_words);
+  // Batched gather of the raw feature words, then the host tail per image
+  // (unpack + FC + softmax) — separated so the transfer wall and the tail
+  // compute land in their own pipeline stages.
+  const sim::HostXferStats before = pending.pool->host_stats();
+  std::vector<std::uint32_t> words(images.size() * feat_words);
   session.gather_items(
       symbols::kResults, images.size(), per_dpu, layout_.result_stride,
-      [&](std::size_t, const std::uint8_t* slot) {
-        std::memcpy(words.data(), slot, feat_words * sizeof(std::uint32_t));
-        std::vector<int> feature(static_cast<std::size_t>(cfg_.feature_bits()));
-        for (int f = 0; f < cfg_.filters; ++f) {
-          for (int p = 0; p < ppf; ++p) {
-            const std::uint32_t word =
-                words[static_cast<std::size_t>(f) * layout_.words_per_filter +
-                      static_cast<std::size_t>(p) / 32];
-            feature[static_cast<std::size_t>(f) * ppf + p] =
-                static_cast<int>((word >> (p % 32)) & 1u);
-          }
-        }
-        std::vector<float> logits;
-        std::vector<float> probs;
-        int predicted = -1;
-        reference_.infer_tail(feature, logits, probs, predicted);
-        out.predicted.push_back(predicted);
-        out.features.push_back(std::move(feature));
+      [&](std::size_t i, const std::uint8_t* slot) {
+        std::memcpy(words.data() + i * feat_words, slot,
+                    feat_words * sizeof(std::uint32_t));
       });
+  const sim::HostXferStats gathered =
+      sim::host_xfer_delta(pending.pool->host_stats(), before);
+
+  ht.start();
+  for (std::size_t i = 0; i < images.size(); ++i) {
+    const std::uint32_t* w = words.data() + i * feat_words;
+    std::vector<int> feature(static_cast<std::size_t>(cfg_.feature_bits()));
+    for (int f = 0; f < cfg_.filters; ++f) {
+      for (int p = 0; p < ppf; ++p) {
+        const std::uint32_t word =
+            w[static_cast<std::size_t>(f) * layout_.words_per_filter +
+              static_cast<std::size_t>(p) / 32];
+        feature[static_cast<std::size_t>(f) * ppf + p] =
+            static_cast<int>((word >> (p % 32)) & 1u);
+      }
+    }
+    std::vector<float> logits;
+    std::vector<float> probs;
+    int predicted = -1;
+    reference_.infer_tail(feature, logits, probs, predicted);
+    out.predicted.push_back(predicted);
+    out.features.push_back(std::move(feature));
+  }
+  out.host_tail_seconds = ht.elapsed();
   out.launch = session.finish();
+
+  if (model != nullptr) {
+    // Reported here (after the fact) but in per-lane chronological order:
+    // kernel on the bank, gather on host+bank, tail on the host.
+    model->dpu_stage(pending.item, pending.bank, out.launch.wall_seconds);
+    model->xfer_stage(pending.item, pending.bank,
+                      gathered.from_dpu_seconds);
+    model->host_stage(pending.item, out.host_tail_seconds);
+  }
+  return out;
+}
+
+EbnnBatchResult EbnnHost::run(const std::vector<Image>& images,
+                              std::uint32_t n_tasklets,
+                              runtime::OptLevel opt) {
+  obs::Span batch_sp("ebnn.batch", "pipeline");
+  if (batch_sp.active()) {
+    batch_sp.u64("n_images", images.size());
+  }
+  // Start + immediately finish: the waitable handle executes the launch
+  // inline when no worker picked it up, so this is the synchronous path.
+  return finish_batch(
+      start_batch(pool_, images, n_tasklets, opt, nullptr, 0, 0), nullptr);
+}
+
+EbnnPipelineResult EbnnHost::run_pipelined(
+    const std::vector<std::vector<Image>>& batches,
+    std::uint32_t n_tasklets, runtime::OptLevel opt) {
+  EbnnPipelineResult out;
+  out.batches.resize(batches.size());
+  if (batches.empty()) {
+    return out;
+  }
+  obs::Span sp("ebnn.pipeline", "pipeline");
+  if (sp.active()) {
+    sp.u64("n_batches", batches.size());
+  }
+  if (!pool_alt_.has_value()) {
+    pool_alt_.emplace(sys_);
+  }
+  runtime::DpuPool* banks[2] = {&pool_, &*pool_alt_};
+  runtime::PipelineModel model(2);
+
+  // Double-buffered dispatch: batch i on bank i%2, finishing that bank's
+  // previous batch first — at most two in flight, each bank serialized.
+  std::optional<PendingBatch> pending[2];
+  try {
+    for (std::size_t i = 0; i < batches.size(); ++i) {
+      const unsigned bank = static_cast<unsigned>(i % 2);
+      if (pending[bank].has_value()) {
+        const std::size_t done = pending[bank]->item;
+        out.batches[done] =
+            finish_batch(std::move(*pending[bank]), &model);
+        pending[bank].reset();
+      }
+      pending[bank] = start_batch(*banks[bank], batches[i], n_tasklets,
+                                  opt, &model, bank, i);
+    }
+    // Drain in item order so the host-lane stages stay chronological.
+    for (unsigned b = 0; b < 2; ++b) {
+      const unsigned bank =
+          static_cast<unsigned>((batches.size() + b) % 2);
+      if (pending[bank].has_value()) {
+        const std::size_t done = pending[bank]->item;
+        out.batches[done] =
+            finish_batch(std::move(*pending[bank]), &model);
+        pending[bank].reset();
+      }
+    }
+  } catch (...) {
+    // In-flight launches reference sessions owned by `pending`: wait them
+    // out before unwinding.
+    for (auto& p : pending) {
+      if (p.has_value() && p->handle.valid()) {
+        try {
+          p->handle.wait();
+        } catch (...) {
+        }
+      }
+    }
+    throw;
+  }
+
+  out.pipeline = model.stats();
+  if (sp.active()) {
+    sp.f64("makespan_ms", out.pipeline.makespan_seconds * 1e3);
+    sp.f64("speedup", out.pipeline.speedup());
+  }
   return out;
 }
 

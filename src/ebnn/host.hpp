@@ -12,15 +12,26 @@
 // program (warm batches re-send only the images + counts), results are
 // gathered in one batched transfer, and every batch's host-side overhead
 // lands in LaunchStats::host.
+//
+// `run_pipelined` double-buffers batches across two bank pools: batch i+1
+// is scattered onto the idle bank while batch i's kernel occupies the
+// other bank's DPUs (`KernelSession::launch_async`), so consecutive
+// batches' DPU phases overlap in the modeled timeline
+// (runtime::PipelineModel). Each bank's batches serialize and banks share
+// no mutable state, so outputs are bit-identical to serial `run` calls.
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <optional>
 #include <vector>
 
 #include "ebnn/dpu_kernel.hpp"
 #include "ebnn/model.hpp"
 #include "runtime/dpu_pool.hpp"
 #include "runtime/dpu_set.hpp"
+#include "runtime/kernel_session.hpp"
+#include "runtime/pipeline.hpp"
 
 namespace pimdnn::ebnn {
 
@@ -38,6 +49,17 @@ struct EbnnBatchResult {
   runtime::LaunchStats launch;
   /// DPUs used for this batch.
   std::uint32_t dpus_used = 0;
+  /// Measured host tail of this batch (feature unpack + FC + softmax; the
+  /// whole reference inference on a degraded batch).
+  Seconds host_tail_seconds = 0.0;
+};
+
+/// Result of a double-buffered multi-batch run.
+struct EbnnPipelineResult {
+  /// Per-batch results, bit-identical to serial `run` calls.
+  std::vector<EbnnBatchResult> batches;
+  /// Modeled overlapped timeline vs. the serial equivalent.
+  runtime::PipelineStats pipeline;
 };
 
 /// Host application that owns the weights and drives DPU batches.
@@ -55,6 +77,16 @@ public:
                       std::uint32_t n_tasklets = 16,
                       runtime::OptLevel opt = runtime::OptLevel::O3);
 
+  /// Runs `batches` double-buffered over two bank pools (see file
+  /// comment): batch i runs on bank i%2, its scatter overlapping the
+  /// other bank's in-flight kernel. At most two batches are in flight;
+  /// results are bit-identical to serial `run` calls on the same inputs,
+  /// also under PIMDNN_FAULTS.
+  EbnnPipelineResult run_pipelined(
+      const std::vector<std::vector<Image>>& batches,
+      std::uint32_t n_tasklets = 16,
+      runtime::OptLevel opt = runtime::OptLevel::O3);
+
   /// The configuration in use.
   const EbnnConfig& config() const { return cfg_; }
 
@@ -67,11 +99,44 @@ public:
   /// The convolution kernel variant in use.
   ConvKernel kernel() const { return kernel_; }
 
-  /// Cumulative host-side accounting of the host's pool across every
+  /// Cumulative host-side accounting of the host's pools across every
   /// batch run so far.
-  sim::HostXferStats pool_host_stats() const { return pool_.host_stats(); }
+  sim::HostXferStats pool_host_stats() const {
+    sim::HostXferStats out = pool_.host_stats();
+    if (pool_alt_.has_value()) {
+      out += pool_alt_->host_stats();
+    }
+    return out;
+  }
 
 private:
+  /// One in-flight batch: its session, the waitable launch handle, and
+  /// what finish_batch needs to gather and post-process it.
+  struct PendingBatch {
+    std::unique_ptr<runtime::KernelSession> session;
+    runtime::KernelSession::LaunchHandle handle;
+    runtime::DpuPool* pool = nullptr;
+    const std::vector<Image>* images = nullptr;
+    std::uint32_t n_dpus = 0;
+    unsigned bank = 0;
+    std::size_t item = 0;
+  };
+
+  /// Broadcast + scatter + async launch of one batch on `pool`. When
+  /// `model` is non-null, the scatter's measured to-DPU + load walls are
+  /// reported as item `item`'s transfer stage on bank lane `bank`.
+  PendingBatch start_batch(runtime::DpuPool& pool,
+                           const std::vector<Image>& images,
+                           std::uint32_t n_tasklets, runtime::OptLevel opt,
+                           runtime::PipelineModel* model, unsigned bank,
+                           std::size_t item);
+
+  /// Waits for the launch, gathers, and runs the host tail. Reports the
+  /// kernel's simulated wall, the gather wall and the measured tail to
+  /// `model` when non-null.
+  EbnnBatchResult finish_batch(PendingBatch pending,
+                               runtime::PipelineModel* model);
+
   EbnnConfig cfg_;
   EbnnWeights weights_;
   BnMode mode_;
@@ -81,6 +146,8 @@ private:
   BnBinactLut lut_;
   EbnnReference reference_;
   runtime::DpuPool pool_;
+  /// Second bank for run_pipelined, created on first use.
+  std::optional<runtime::DpuPool> pool_alt_;
 };
 
 } // namespace pimdnn::ebnn

@@ -13,6 +13,32 @@ namespace pimdnn::runtime {
 using pimdnn::UsageError;
 using sim::MemKind;
 
+std::vector<std::uint8_t> StagingArena::acquire(std::size_t bytes) {
+  std::vector<std::uint8_t> buf;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!free_.empty()) {
+      buf = std::move(free_.back());
+      free_.pop_back();
+    }
+  }
+  obs::Metrics::instance().add(
+      buf.capacity() >= bytes ? "pool.arena.hit" : "pool.arena.miss");
+  buf.assign(bytes, 0); // reallocates only when capacity is short (a miss)
+  return buf;
+}
+
+void StagingArena::release(std::vector<std::uint8_t>&& buf) {
+  if (buf.capacity() == 0) {
+    return;
+  }
+  buf.clear();
+  std::lock_guard<std::mutex> lk(mu_);
+  if (free_.size() < kMaxFree) {
+    free_.push_back(std::move(buf));
+  }
+}
+
 namespace {
 
 /// Name of the reservation symbol prepended to every cached program so its

@@ -1,12 +1,11 @@
 #include "runtime/dpu_set.hpp"
 
 #include <algorithm>
-#include <atomic>
-#include <thread>
 
 #include "common/bytes.hpp"
 #include "common/error.hpp"
 #include "obs/metrics.hpp"
+#include "runtime/host_pool.hpp"
 #include "runtime/host_timer.hpp"
 
 namespace pimdnn::runtime {
@@ -265,28 +264,10 @@ LaunchStats DpuSet::launch(std::uint32_t n_tasklets, OptLevel opt,
     out.per_dpu[i] = dpus_[phys].launch(n_tasklets, opt);
   };
 
-  const std::uint32_t hw = std::max(1u, std::thread::hardware_concurrency());
-  const std::uint32_t n_threads = std::min<std::uint32_t>(hw, n);
-  if (n_threads <= 1) {
-    for (std::uint32_t i = 0; i < n; ++i) {
-      run_one(i);
-    }
-  } else {
-    std::vector<std::thread> workers;
-    workers.reserve(n_threads);
-    std::atomic<std::uint32_t> next{0};
-    for (std::uint32_t t = 0; t < n_threads; ++t) {
-      workers.emplace_back([&] {
-        for (std::uint32_t i = next.fetch_add(1); i < n;
-             i = next.fetch_add(1)) {
-          run_one(i);
-        }
-      });
-    }
-    for (auto& w : workers) {
-      w.join();
-    }
-  }
+  // Persistent worker pool instead of a per-launch thread crop: the same
+  // dynamic claim schedule, zero thread creations on warm launches (the
+  // serial single-core fallback lives inside parallel_for).
+  HostPool::global().parallel_for(n, run_one);
 
   // Report the lowest faulted DPU (deterministic regardless of worker
   // interleaving); the others' draws already advanced their ordinals.

@@ -147,8 +147,12 @@ void KernelSession::broadcast(const std::string& symbol, const void* data,
       set().copy_to(symbol, 0, data, bytes, n_dpus_);
       return;
     }
-    const auto padded = pad_to_xfer(data, bytes);
+    // Pad through a recycled arena buffer: warm frames allocate nothing.
+    std::vector<std::uint8_t> padded =
+        pool_.arena().acquire(align_up(bytes, kXferAlign));
+    std::memcpy(padded.data(), data, bytes);
     set().copy_to(symbol, 0, padded.data(), padded.size(), n_dpus_);
+    pool_.arena().release(std::move(padded));
     return;
   }
   Upload u;
@@ -200,7 +204,7 @@ void KernelSession::scatter(const std::string& symbol, MemSize slot_bytes,
   u.scattered = true;
   u.staged.resize(n_dpus_);
   for (std::uint32_t d = 0; d < n_dpus_; ++d) {
-    u.staged[d].assign(slot_bytes, 0);
+    u.staged[d] = pool_.arena().acquire(slot_bytes);
     fill(d, u.staged[d].data());
   }
   if (fault_tolerant_) {
@@ -210,7 +214,13 @@ void KernelSession::scatter(const std::string& symbol, MemSize slot_bytes,
     }
   }
   transfer(u);
-  push_upload(std::move(u));
+  if (fault_tolerant_ && !degraded_) {
+    push_upload(std::move(u)); // the replay log owns the buffers now
+  } else {
+    for (std::vector<std::uint8_t>& s : u.staged) {
+      pool_.arena().release(std::move(s));
+    }
+  }
 }
 
 bool KernelSession::resident_still_valid(const std::string& symbol,
@@ -380,6 +390,22 @@ bool KernelSession::launch(std::uint32_t n_tasklets, OptLevel opt) {
   return true;
 }
 
+bool KernelSession::LaunchHandle::wait() {
+  task_.wait();
+  return ok_ != nullptr && *ok_;
+}
+
+KernelSession::LaunchHandle KernelSession::launch_async(
+    std::uint32_t n_tasklets, OptLevel opt) {
+  LaunchHandle h;
+  h.ok_ = std::make_shared<bool>(false);
+  obs::Metrics::instance().add("offload.launch_async");
+  std::shared_ptr<bool> ok = h.ok_;
+  h.task_ = HostPool::global().submit(
+      [this, n_tasklets, opt, ok] { *ok = launch(n_tasklets, opt); });
+  return h;
+}
+
 void KernelSession::gather_items(const std::string& symbol,
                                  std::size_t n_items,
                                  std::uint32_t items_per_dpu,
@@ -404,13 +430,16 @@ void KernelSession::gather_items(const std::string& symbol,
   const MemSize block = items_per_dpu * slot_stride;
   std::vector<std::vector<std::uint8_t>> gathered(n_dpus_);
   for (std::uint32_t d = 0; d < n_dpus_; ++d) {
-    gathered[d].resize(block);
+    gathered[d] = pool_.arena().acquire(block);
     set().prepare_xfer(d, gathered[d].data());
   }
   set().push_xfer(XferDir::FromDpu, symbol, 0, block, n_dpus_);
   for (std::size_t i = 0; i < n_items; ++i) {
     sink(i, gathered[i / items_per_dpu].data() +
                 (i % items_per_dpu) * slot_stride);
+  }
+  for (std::vector<std::uint8_t>& g : gathered) {
+    pool_.arena().release(std::move(g));
   }
 }
 

@@ -53,6 +53,7 @@
 #include "obs/trace.hpp"
 #include "runtime/dpu_pool.hpp"
 #include "runtime/dpu_set.hpp"
+#include "runtime/host_pool.hpp"
 
 namespace pimdnn::runtime {
 
@@ -132,6 +133,38 @@ public:
 
   /// True once the session rerouted this offload to the CPU path.
   bool degraded() const { return degraded_; }
+
+  /// Waitable handle to an asynchronous launch (see launch_async).
+  class LaunchHandle {
+  public:
+    LaunchHandle() = default;
+
+    /// Blocks until the launch finished (executing other HostPool work
+    /// while waiting); returns what launch() returned — false means the
+    /// session degraded and the caller must run its CPU path. Safe to
+    /// call repeatedly.
+    bool wait();
+
+    /// True once the launch finished (never blocks).
+    bool ready() const { return task_.ready(); }
+
+    /// True when the handle refers to a launch.
+    bool valid() const { return ok_ != nullptr; }
+
+  private:
+    friend class KernelSession;
+    HostPool::TaskHandle task_;
+    std::shared_ptr<bool> ok_;
+  };
+
+  /// Launches asynchronously on the process HostPool and returns a
+  /// waitable handle — the double-buffered pipelines scatter the next
+  /// batch on their other bank while this one runs. The caller must not
+  /// touch the session (transfers, finish, another launch) until the
+  /// handle's wait() returned; the session is not internally synchronized
+  /// against its own in-flight launch.
+  LaunchHandle launch_async(std::uint32_t n_tasklets,
+                            OptLevel opt = OptLevel::O3);
 
   /// Batched gather: pulls `items_per_dpu * slot_stride` bytes of `symbol`
   /// from every session DPU in one transfer, then hands the `n_items` real

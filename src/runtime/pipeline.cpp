@@ -1,0 +1,126 @@
+#include "runtime/pipeline.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace pimdnn::runtime {
+
+PipelineModel::PipelineModel(unsigned n_banks)
+    : lanes_(1 + static_cast<std::size_t>(n_banks)) {
+  require(n_banks >= 1, "PipelineModel needs at least one bank");
+}
+
+Seconds& PipelineModel::item_ready(std::size_t item) {
+  if (item >= items_.size()) {
+    const std::size_t old = items_.size();
+    items_.resize(item + 1, 0.0);
+    // Two-in-flight floor: the executors start item i only after item i-2
+    // finished, and they report items in order, so items_[i - 2] is final
+    // by the time item i first appears.
+    for (std::size_t i = std::max<std::size_t>(old, 2); i <= item; ++i) {
+      items_[i] = items_[i - 2];
+    }
+  }
+  return items_[item];
+}
+
+Seconds PipelineModel::earliest_fit(const unsigned* lanes,
+                                    std::size_t n_lanes, Seconds earliest,
+                                    Seconds duration) const {
+  Seconds t = earliest;
+  // Slide the window right past every conflicting interval until a pass
+  // over all lanes moves nothing; terminates because each move lands on
+  // the end of one of finitely many intervals.
+  bool moved = true;
+  while (moved) {
+    moved = false;
+    for (std::size_t l = 0; l < n_lanes; ++l) {
+      for (const Busy& b : lanes_[lanes[l]]) {
+        if (b.start >= t + duration) {
+          break; // sorted: later intervals cannot conflict either
+        }
+        if (b.end > t) {
+          t = b.end;
+          moved = true;
+        }
+      }
+    }
+  }
+  return t;
+}
+
+void PipelineModel::occupy(unsigned lane, Seconds start, Seconds end) {
+  auto& v = lanes_[lane];
+  v.insert(std::upper_bound(v.begin(), v.end(), start,
+                            [](Seconds s, const Busy& b) {
+                              return s < b.start;
+                            }),
+           Busy{start, end});
+}
+
+void PipelineModel::host_stage(std::size_t item, Seconds duration) {
+  std::lock_guard<std::mutex> lk(mu_);
+  Seconds& ready = item_ready(item);
+  serial_ += duration;
+  host_busy_ += duration;
+  if (duration <= 0.0) {
+    return;
+  }
+  const unsigned lanes[] = {0};
+  const Seconds start = earliest_fit(lanes, 1, ready, duration);
+  const Seconds end = start + duration;
+  occupy(0, start, end);
+  ready = end;
+  makespan_ = std::max(makespan_, end);
+}
+
+void PipelineModel::xfer_stage(std::size_t item, unsigned bank,
+                               Seconds duration) {
+  require(1 + bank < lanes_.size(), "PipelineModel: bank out of range");
+  std::lock_guard<std::mutex> lk(mu_);
+  Seconds& ready = item_ready(item);
+  serial_ += duration;
+  host_busy_ += duration;
+  if (duration <= 0.0) {
+    return;
+  }
+  const unsigned lanes[] = {0, 1 + bank};
+  const Seconds start = earliest_fit(lanes, 2, ready, duration);
+  const Seconds end = start + duration;
+  occupy(0, start, end);
+  occupy(1 + bank, start, end);
+  ready = end;
+  makespan_ = std::max(makespan_, end);
+}
+
+void PipelineModel::dpu_stage(std::size_t item, unsigned bank,
+                              Seconds duration) {
+  require(1 + bank < lanes_.size(), "PipelineModel: bank out of range");
+  std::lock_guard<std::mutex> lk(mu_);
+  Seconds& ready = item_ready(item);
+  serial_ += duration;
+  dpu_busy_ += duration;
+  if (duration <= 0.0) {
+    return;
+  }
+  const unsigned lanes[] = {1 + bank};
+  const Seconds start = earliest_fit(lanes, 1, ready, duration);
+  const Seconds end = start + duration;
+  occupy(1 + bank, start, end);
+  ready = end;
+  makespan_ = std::max(makespan_, end);
+}
+
+PipelineStats PipelineModel::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  PipelineStats s;
+  s.items = items_.size();
+  s.makespan_seconds = makespan_;
+  s.serial_seconds = serial_;
+  s.host_seconds = host_busy_;
+  s.dpu_seconds = dpu_busy_;
+  return s;
+}
+
+} // namespace pimdnn::runtime

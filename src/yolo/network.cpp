@@ -1,8 +1,7 @@
 #include "yolo/network.hpp"
 
 #include <algorithm>
-#include <atomic>
-#include <thread>
+#include <exception>
 
 #include "common/error.hpp"
 #include "common/fixed_point.hpp"
@@ -11,6 +10,8 @@
 #include "nn/im2col.hpp"
 #include "nn/layers.hpp"
 #include "obs/trace.hpp"
+#include "runtime/host_pool.hpp"
+#include "runtime/host_timer.hpp"
 
 namespace pimdnn::yolo {
 
@@ -29,46 +30,24 @@ const char* layer_type_name(LayerType t) {
 }
 
 /// Bias add + optional leaky ReLU over the M x N conv output, parallelized
-/// across filter rows on host threads (mirrors the worker pool in
-/// DpuSet::launch). Each row is processed independently with the same
+/// across filter rows on the process-wide HostPool (no threads created on
+/// warm frames). Each row is processed independently with the same
 /// arithmetic as the serial loop, so the result is bit-identical.
 void postprocess_conv(std::span<std::int16_t> conv_out, int m, int n,
                       std::span<const std::int16_t> bias, bool leaky) {
-  auto do_row = [&](int f) {
-    const std::int32_t b = bias[static_cast<std::size_t>(f)];
-    std::int16_t* row = conv_out.data() + static_cast<std::size_t>(f) * n;
-    for (int j = 0; j < n; ++j) {
-      row[j] = static_cast<std::int16_t>(
-          std::clamp(static_cast<std::int32_t>(row[j]) + b, -32767, 32767));
-    }
-    if (leaky) {
-      nn::leaky_relu_q16(
-          std::span<std::int16_t>(row, static_cast<std::size_t>(n)));
-    }
-  };
-
-  const std::uint32_t hw = std::max(1u, std::thread::hardware_concurrency());
-  const std::uint32_t n_threads =
-      std::min<std::uint32_t>(hw, static_cast<std::uint32_t>(m));
-  if (n_threads <= 1) {
-    for (int f = 0; f < m; ++f) {
-      do_row(f);
-    }
-    return;
-  }
-  std::vector<std::thread> workers;
-  workers.reserve(n_threads);
-  std::atomic<int> next{0};
-  for (std::uint32_t t = 0; t < n_threads; ++t) {
-    workers.emplace_back([&] {
-      for (int f = next.fetch_add(1); f < m; f = next.fetch_add(1)) {
-        do_row(f);
-      }
-    });
-  }
-  for (auto& w : workers) {
-    w.join();
-  }
+  runtime::HostPool::global().parallel_for(
+      static_cast<std::uint32_t>(m), [&](std::uint32_t f) {
+        const std::int32_t b = bias[f];
+        std::int16_t* row = conv_out.data() + static_cast<std::size_t>(f) * n;
+        for (int j = 0; j < n; ++j) {
+          row[j] = static_cast<std::int16_t>(std::clamp(
+              static_cast<std::int32_t>(row[j]) + b, -32767, 32767));
+        }
+        if (leaky) {
+          nn::leaky_relu_q16(
+              std::span<std::int16_t>(row, static_cast<std::size_t>(n)));
+        }
+      });
 }
 
 } // namespace
@@ -149,7 +128,30 @@ YoloRunResult YoloRunner::run(std::span<const std::int16_t> input,
 }
 
 sim::HostXferStats YoloRunner::pool_host_stats() const {
-  return pool_.has_value() ? pool_->host_stats() : sim::HostXferStats{};
+  sim::HostXferStats out;
+  for (const auto& p : pools_) {
+    if (p.has_value()) {
+      out += p->host_stats();
+    }
+  }
+  return out;
+}
+
+runtime::DpuPool& YoloRunner::bank_pool(unsigned bank,
+                                        const RunOptions& opts) const {
+  std::uint32_t peak = 1;
+  for (const LayerDef& d : defs_) {
+    if (d.type == LayerType::Convolutional) {
+      peak = std::max(peak, static_cast<std::uint32_t>(
+                                (d.filters + opts.rows_per_dpu - 1) /
+                                opts.rows_per_dpu));
+    }
+  }
+  if (!pools_[bank].has_value()) {
+    pools_[bank].emplace(sys_);
+  }
+  pools_[bank]->reserve(peak);
+  return *pools_[bank];
 }
 
 YoloRunResult YoloRunner::run(std::span<const std::int16_t> input,
@@ -157,7 +159,96 @@ YoloRunResult YoloRunner::run(std::span<const std::int16_t> input,
   require(input.size() == static_cast<std::size_t>(in_c_) * in_h_ * in_w_,
           "YoloRunner::run: wrong input size");
   require(opts.rows_per_dpu >= 1, "rows_per_dpu must be positive");
+  runtime::DpuPool* pool =
+      opts.mode == ExecMode::Cpu ? nullptr : &bank_pool(0, opts);
+  return run_frame(input, opts, pool, bank_scratch_[0], nullptr, 0, 0);
+}
 
+YoloPipelineResult YoloRunner::run_pipelined(
+    const std::vector<std::vector<std::int16_t>>& frames,
+    const RunOptions& opts) const {
+  require(opts.mode != ExecMode::Cpu,
+          "YoloRunner::run_pipelined: CPU mode has no DPU phase to overlap "
+          "— use run()");
+  require(opts.rows_per_dpu >= 1, "rows_per_dpu must be positive");
+  const std::size_t frame_len =
+      static_cast<std::size_t>(in_c_) * in_h_ * in_w_;
+  for (const auto& f : frames) {
+    require(f.size() == frame_len, "YoloRunner::run_pipelined: wrong input "
+                                   "size");
+  }
+
+  YoloPipelineResult out;
+  out.frames.resize(frames.size());
+  if (frames.empty()) {
+    return out;
+  }
+
+  obs::Span sp("yolo.pipeline", "pipeline");
+  if (sp.active()) {
+    sp.u64("n_frames", frames.size());
+  }
+
+  // Both bank pools are created/sized on this thread before any frame
+  // task can touch them (a frame only ever uses its own bank's pool).
+  runtime::DpuPool* banks[2] = {&bank_pool(0, opts), &bank_pool(1, opts)};
+  runtime::PipelineModel model(2);
+
+  // Double-buffered dispatch: frame i runs on bank i%2, and a bank's next
+  // frame is submitted only after its previous frame completed — so at
+  // most two frames are in flight and each bank's frames serialize (the
+  // happens-before chain that keeps warm-pool state and results
+  // bit-identical to the serial path).
+  runtime::HostPool::TaskHandle pending[2];
+  std::exception_ptr err;
+  for (std::size_t i = 0; i < frames.size() && err == nullptr; ++i) {
+    const unsigned bank = static_cast<unsigned>(i % 2);
+    if (pending[bank].valid()) {
+      try {
+        pending[bank].wait();
+      } catch (...) {
+        err = std::current_exception();
+        break;
+      }
+    }
+    const std::vector<std::int16_t>* src = &frames[i];
+    YoloRunResult* dst = &out.frames[i];
+    pending[bank] = runtime::HostPool::global().submit(
+        [this, src, dst, &opts, banks, &model, bank, i] {
+          *dst = run_frame(*src, opts, banks[bank], bank_scratch_[bank],
+                           &model, bank, i);
+        });
+  }
+  // Always drain both banks before unwinding: in-flight tasks reference
+  // this stack frame.
+  for (auto& p : pending) {
+    if (!p.valid()) continue;
+    try {
+      p.wait();
+    } catch (...) {
+      if (err == nullptr) {
+        err = std::current_exception();
+      }
+    }
+  }
+  if (err != nullptr) {
+    std::rethrow_exception(err);
+  }
+
+  out.pipeline = model.stats();
+  if (sp.active()) {
+    sp.f64("makespan_ms", out.pipeline.makespan_seconds * 1e3);
+    sp.f64("serial_ms", out.pipeline.serial_seconds * 1e3);
+    sp.f64("speedup", out.pipeline.speedup());
+  }
+  return out;
+}
+
+YoloRunResult YoloRunner::run_frame(std::span<const std::int16_t> input,
+                                    const RunOptions& opts,
+                                    runtime::DpuPool* pool, Scratch& scratch,
+                                    runtime::PipelineModel* model,
+                                    unsigned bank, std::size_t item) const {
   // Activation lifetimes: last_use[i] is the last layer whose route /
   // shortcut consumes output i (i itself when nothing does); retain[i]
   // marks outputs that must survive the whole frame regardless.
@@ -194,23 +285,8 @@ YoloRunResult YoloRunner::run(std::span<const std::int16_t> input,
   out.outputs.reserve(defs_.size());
   out.layers.reserve(defs_.size());
 
-  // One pool for the whole runner lifetime, sized up front for the widest
-  // layer so no mid-frame growth resets the program/residency cache.
-  if (opts.mode != ExecMode::Cpu) {
-    std::uint32_t peak = 1;
-    for (const LayerDef& d : defs_) {
-      if (d.type == LayerType::Convolutional) {
-        peak = std::max(peak,
-                        static_cast<std::uint32_t>(
-                            (d.filters + opts.rows_per_dpu - 1) /
-                            opts.rows_per_dpu));
-      }
-    }
-    if (!pool_.has_value()) {
-      pool_.emplace(sys_);
-    }
-    pool_->reserve(peak);
-  }
+  require(opts.mode == ExecMode::Cpu || pool != nullptr,
+          "YoloRunner::run_frame: DPU mode needs a bank pool");
 
   struct Dim {
     int c, h, w;
@@ -233,89 +309,128 @@ YoloRunResult YoloRunner::run(std::span<const std::int16_t> input,
           idx < 0 ? static_cast<long>(i) + idx : static_cast<long>(idx));
     };
 
-    switch (d.type) {
-      case LayerType::Convolutional: {
-        const nn::ConvGeom g{cd.c, cd.h, cd.w, d.filters,
-                             d.size, d.stride, d.pad};
-        const int m = g.gemm_m();
-        const int k = g.gemm_k();
-        const int n = g.gemm_n();
-        ls.macs = g.macs();
+    runtime::HostTimer ht;
+    if (d.type == LayerType::Convolutional) {
+      const nn::ConvGeom g{cd.c, cd.h, cd.w, d.filters,
+                           d.size, d.stride, d.pad};
+      const int m = g.gemm_m();
+      const int k = g.gemm_k();
+      const int n = g.gemm_n();
+      ls.macs = g.macs();
 
-        std::vector<std::int16_t> cols(static_cast<std::size_t>(k) * n);
-        nn::im2col<std::int16_t>(g, cur, cols);
+      // im2col into the bank's persistent scratch: it writes every output
+      // element (pad regions included), so stale contents never leak and
+      // warm frames re-use the allocation layer after layer.
+      ht.start();
+      scratch.cols.resize(static_cast<std::size_t>(k) * n);
+      nn::im2col<std::int16_t>(g, cur, scratch.cols);
+      const Seconds im2col_s = ht.elapsed();
+      out.host_compute_seconds += im2col_s;
+      if (model != nullptr) {
+        model->host_stage(item, im2col_s);
+      }
 
-        std::vector<std::int16_t> conv_out(static_cast<std::size_t>(m) * n);
-        const auto& cw = weights_.conv[i];
-        if (opts.mode == ExecMode::Cpu) {
-          nn::gemm_q16_reference(m, n, k, cw.alpha, cw.w, cols, conv_out);
-        } else {
-          const GemmVariant variant = opts.mode == ExecMode::DpuWram
-                                          ? GemmVariant::WramTiled
-                                          : GemmVariant::MramResident;
-          // The weight tag pins this layer's A rows in MRAM: frames after
-          // the first skip the scatter (the weights are bound at
-          // construction, so the version never changes).
-          GemmResult r = dpu_gemm_pooled(
-              *pool_, m, n, k, cw.alpha, cw.w, cols, variant,
-              opts.n_tasklets, opts.opt, opts.rows_per_dpu,
-              "A/conv" + std::to_string(i));
-          conv_out = std::move(r.c);
-          ls.dpus = r.dpus_used;
-          ls.cycles = r.stats.wall_cycles;
-          out.profile.merge(r.stats.profile);
-          out.host += r.stats.host;
+      std::vector<std::int16_t> conv_out(static_cast<std::size_t>(m) * n);
+      const auto& cw = weights_.conv[i];
+      if (opts.mode == ExecMode::Cpu) {
+        ht.start();
+        nn::gemm_q16_reference(m, n, k, cw.alpha, cw.w, scratch.cols,
+                               conv_out);
+        out.host_compute_seconds += ht.elapsed();
+      } else {
+        const GemmVariant variant = opts.mode == ExecMode::DpuWram
+                                        ? GemmVariant::WramTiled
+                                        : GemmVariant::MramResident;
+        // The weight tag pins this layer's A rows in MRAM: frames after
+        // the first skip the scatter (the weights are bound at
+        // construction, so the version never changes).
+        GemmResult r = dpu_gemm_pooled(
+            *pool, m, n, k, cw.alpha, cw.w, scratch.cols, variant,
+            opts.n_tasklets, opts.opt, opts.rows_per_dpu,
+            "A/conv" + std::to_string(i));
+        conv_out = std::move(r.c);
+        ls.dpus = r.dpus_used;
+        ls.cycles = r.stats.wall_cycles;
+        out.profile.merge(r.stats.profile);
+        out.host += r.stats.host;
+        if (model != nullptr) {
+          // To-DPU transfers + program loads occupy host AND this bank;
+          // the launch occupies only the bank — that is the window the
+          // other bank's host stages overlap; the gather occupies both
+          // again. Degraded (CPU-fallback) layers report zero DPU time:
+          // approximate, but fault-run throughput is not a criterion.
+          model->xfer_stage(item, bank,
+                            r.stats.host.to_dpu_seconds +
+                                r.stats.host.load_seconds);
+          model->dpu_stage(item, bank,
+                           sys_.cycles_to_seconds(r.stats.wall_cycles));
+          model->xfer_stage(item, bank, r.stats.host.from_dpu_seconds);
         }
+      }
 
-        // Host post-processing: bias add + activation (§4.2.3: only the
-        // GEMM runs on the DPUs), parallelized across filter rows.
-        postprocess_conv(conv_out, m, n, cw.bias, d.leaky);
-        cur = std::move(conv_out);
-        cd = {d.filters, g.out_h(), g.out_w()};
-        break;
+      // Host post-processing: bias add + activation (§4.2.3: only the
+      // GEMM runs on the DPUs), parallelized across filter rows.
+      ht.start();
+      postprocess_conv(conv_out, m, n, cw.bias, d.leaky);
+      const Seconds post_s = ht.elapsed();
+      out.host_compute_seconds += post_s;
+      if (model != nullptr) {
+        model->host_stage(item, post_s);
       }
-      case LayerType::Shortcut: {
-        const auto& other = out.outputs[resolve(d.from)];
-        std::vector<std::int16_t> sum(cur.size());
-        nn::shortcut_q16(cur, other, sum);
-        cur = std::move(sum);
-        break;
-      }
-      case LayerType::Route: {
-        std::vector<std::int16_t> cat;
-        Dim nd{0, 0, 0};
-        for (int idx : d.layers) {
-          const auto li = resolve(idx);
-          cat.insert(cat.end(), out.outputs[li].begin(),
-                     out.outputs[li].end());
-          nd.c += dims[li].c;
-          nd.h = dims[li].h;
-          nd.w = dims[li].w;
+      cur = std::move(conv_out);
+      cd = {d.filters, g.out_h(), g.out_w()};
+    } else {
+      ht.start();
+      switch (d.type) {
+        case LayerType::Shortcut: {
+          const auto& other = out.outputs[resolve(d.from)];
+          std::vector<std::int16_t> sum(cur.size());
+          nn::shortcut_q16(cur, other, sum);
+          cur = std::move(sum);
+          break;
         }
-        cur = std::move(cat);
-        cd = nd;
-        break;
+        case LayerType::Route: {
+          std::vector<std::int16_t> cat;
+          Dim nd{0, 0, 0};
+          for (int idx : d.layers) {
+            const auto li = resolve(idx);
+            cat.insert(cat.end(), out.outputs[li].begin(),
+                       out.outputs[li].end());
+            nd.c += dims[li].c;
+            nd.h = dims[li].h;
+            nd.w = dims[li].w;
+          }
+          cur = std::move(cat);
+          cd = nd;
+          break;
+        }
+        case LayerType::Upsample: {
+          std::vector<std::int16_t> up(cur.size() * 4);
+          nn::upsample2x<std::int16_t>(cd.c, cd.h, cd.w, cur, up);
+          cur = std::move(up);
+          cd = {cd.c, cd.h * 2, cd.w * 2};
+          break;
+        }
+        case LayerType::Maxpool: {
+          const int oh = (cd.h + d.stride - 1) / d.stride;
+          const int ow = (cd.w + d.stride - 1) / d.stride;
+          std::vector<std::int16_t> pooled(
+              static_cast<std::size_t>(cd.c) * oh * ow);
+          nn::maxpool2d_darknet<std::int16_t>(cd.c, cd.h, cd.w, d.size,
+                                              d.stride, cur, pooled);
+          cur = std::move(pooled);
+          cd = {cd.c, oh, ow};
+          break;
+        }
+        case LayerType::Convolutional: // handled above
+        case LayerType::Yolo:
+          break; // raw predictions pass through; decoding is in detect.cpp
       }
-      case LayerType::Upsample: {
-        std::vector<std::int16_t> up(cur.size() * 4);
-        nn::upsample2x<std::int16_t>(cd.c, cd.h, cd.w, cur, up);
-        cur = std::move(up);
-        cd = {cd.c, cd.h * 2, cd.w * 2};
-        break;
+      const Seconds body_s = ht.elapsed();
+      out.host_compute_seconds += body_s;
+      if (model != nullptr) {
+        model->host_stage(item, body_s);
       }
-      case LayerType::Maxpool: {
-        const int oh = (cd.h + d.stride - 1) / d.stride;
-        const int ow = (cd.w + d.stride - 1) / d.stride;
-        std::vector<std::int16_t> pooled(
-            static_cast<std::size_t>(cd.c) * oh * ow);
-        nn::maxpool2d_darknet<std::int16_t>(cd.c, cd.h, cd.w, d.size,
-                                            d.stride, cur, pooled);
-        cur = std::move(pooled);
-        cd = {cd.c, oh, ow};
-        break;
-      }
-      case LayerType::Yolo:
-        break; // raw predictions pass through; decoding is in detect.cpp
     }
 
     ls.out_c = cd.c;

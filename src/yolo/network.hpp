@@ -8,10 +8,20 @@
 // its dimension signature, and the scattered weight rows stay
 // MRAM-resident between frames — so warm frames re-send only the im2col
 // input (and the network's DPU time is still the sum of per-layer wall
-// times, Figure 4.6). Host-side bias+activation post-processing runs on a
-// thread pool mirroring DpuSet::launch. The CPU mode runs the identical
+// times, Figure 4.6). Host-side bias+activation post-processing runs on
+// the process-wide runtime::HostPool. The CPU mode runs the identical
 // integer arithmetic on the host; DPU and CPU modes must agree
 // bit-for-bit.
+//
+// `run_pipelined` is the double-buffered multi-frame executor: the runner
+// keeps TWO bank pools (ping/pong), frames alternate banks, and while bank
+// A's frame occupies its DPUs, bank B's frame runs its host stages
+// (im2col, quantized GEMM scatter, bias+leaky) — so consecutive frames'
+// DPU phases overlap in the modeled timeline (runtime::PipelineModel)
+// exactly as two UPMEM rank groups would. Outputs are bit-identical to
+// running the frames back-to-back through `run`: each bank serializes its
+// own frames, banks share no mutable state, and the integer arithmetic is
+// untouched.
 #pragma once
 
 #include <cstdint>
@@ -21,6 +31,7 @@
 
 #include "runtime/dpu_pool.hpp"
 #include "runtime/dpu_set.hpp"
+#include "runtime/pipeline.hpp"
 #include "sim/profile.hpp"
 #include "yolo/config.hpp"
 #include "yolo/dpu_gemm.hpp"
@@ -93,6 +104,26 @@ struct YoloRunResult {
   /// broadcast and gather walls/bytes). Warm frames show smaller
   /// bytes_to_dpu (no A scatter) and cached activations.
   sim::HostXferStats host;
+  /// Measured host compute of this frame: im2col, bias+activation, CPU
+  /// GEMMs, and the non-conv layer bodies (shortcut/route/upsample/
+  /// maxpool). Excludes the simulator's own interpretation overhead.
+  Seconds host_compute_seconds = 0.0;
+
+  /// Modeled wall time of the frame run synchronously: measured host
+  /// transfer walls + measured host compute + simulated DPU seconds. The
+  /// pipelined executor's PipelineStats::makespan_seconds is directly
+  /// comparable to the sum of this over the same frames.
+  Seconds frame_wall_seconds() const {
+    return host.host_seconds() + host_compute_seconds + total_seconds;
+  }
+};
+
+/// Result of a double-buffered multi-frame run.
+struct YoloPipelineResult {
+  /// Per-frame results, bit-identical to serial `run` calls.
+  std::vector<YoloRunResult> frames;
+  /// Modeled overlapped timeline vs. the serial equivalent.
+  runtime::PipelineStats pipeline;
 };
 
 /// Network executor bound to a config and weights.
@@ -113,6 +144,17 @@ public:
   YoloRunResult run(std::span<const std::int16_t> input, ExecMode mode,
                     std::uint32_t n_tasklets = 11,
                     runtime::OptLevel opt = runtime::OptLevel::O3) const;
+
+  /// Runs `frames` through the double-buffered two-bank executor (see
+  /// file comment). Requires a DPU mode. Frame i runs on bank i%2; at most
+  /// two frames are in flight and each bank's frames serialize, so results
+  /// are bit-identical to serial `run` calls on the same inputs — also
+  /// under PIMDNN_FAULTS (each frame self-heals independently). The
+  /// returned PipelineStats hold the modeled overlapped makespan; its
+  /// serial_seconds equals the sum of the frames' stage durations.
+  YoloPipelineResult run_pipelined(
+      const std::vector<std::vector<std::int16_t>>& frames,
+      const RunOptions& opts) const;
 
   /// Cumulative host-side accounting of the runner's pool across all
   /// frames run so far (zero before the first DPU-mode frame).
@@ -139,14 +181,36 @@ public:
   int in_w() const { return in_w_; }
 
 private:
+  /// Per-bank im2col scratch, reused across layers and frames (im2col
+  /// writes every element, so no clearing is needed between uses).
+  struct Scratch {
+    std::vector<std::int16_t> cols;
+  };
+
+  /// Ensures bank `bank`'s pool exists and covers the widest layer of this
+  /// config (so no mid-frame growth resets its program/residency cache).
+  runtime::DpuPool& bank_pool(unsigned bank, const RunOptions& opts) const;
+
+  /// One frame through one bank. `pool` is null in CPU mode. When `model`
+  /// is non-null, each layer's stages are reported to it as item `item` on
+  /// bank lane `bank` (host: im2col/postprocess/non-conv bodies; xfer: the
+  /// GEMM's measured to-DPU + load and from-DPU walls; dpu: the launch's
+  /// simulated wall seconds).
+  YoloRunResult run_frame(std::span<const std::int16_t> input,
+                          const RunOptions& opts, runtime::DpuPool* pool,
+                          Scratch& scratch, runtime::PipelineModel* model,
+                          unsigned bank, std::size_t item) const;
+
   std::vector<LayerDef> defs_;
   YoloWeights weights_;
   int in_c_, in_h_, in_w_;
   runtime::UpmemConfig sys_;
-  /// Lazily created on the first DPU-mode frame; holds the cached GEMM
-  /// programs and the MRAM-resident weight rows between frames. Mutable:
-  /// running a frame is logically const but warms the pool.
-  mutable std::optional<runtime::DpuPool> pool_;
+  /// Ping/pong bank pools, lazily created. `run` uses bank 0 only (same
+  /// warm-frame behavior as before); `run_pipelined` alternates both. Each
+  /// holds its own cached GEMM programs and MRAM-resident weight rows.
+  /// Mutable: running a frame is logically const but warms the pool.
+  mutable std::optional<runtime::DpuPool> pools_[2];
+  mutable Scratch bank_scratch_[2];
 };
 
 } // namespace pimdnn::yolo
