@@ -1,0 +1,53 @@
+#include "common/sim_mode.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+namespace pimdnn {
+
+namespace {
+
+/// -1 = not yet resolved from the environment.
+std::atomic<int> g_default_mode{-1};
+
+int resolve_from_env() {
+  const char* env = std::getenv("PIMDNN_SIM_MODE");
+  if (env == nullptr || env[0] == '\0') {
+    return static_cast<int>(SimMode::Interp);
+  }
+  return static_cast<int>(parse_sim_mode(env));
+}
+
+} // namespace
+
+const char* sim_mode_name(SimMode m) {
+  return m == SimMode::Fast ? "fast" : "interp";
+}
+
+SimMode parse_sim_mode(const std::string& text) {
+  if (text == "interp") {
+    return SimMode::Interp;
+  }
+  if (text == "fast") {
+    return SimMode::Fast;
+  }
+  throw ConfigError("invalid sim mode '" + text +
+                    "' (PIMDNN_SIM_MODE accepts 'interp' or 'fast')");
+}
+
+SimMode default_sim_mode() {
+  int m = g_default_mode.load(std::memory_order_relaxed);
+  if (m < 0) {
+    m = resolve_from_env();
+    g_default_mode.store(m, std::memory_order_relaxed);
+  }
+  return static_cast<SimMode>(m);
+}
+
+void set_default_sim_mode(SimMode m) {
+  g_default_mode.store(static_cast<int>(m), std::memory_order_relaxed);
+}
+
+} // namespace pimdnn

@@ -1,6 +1,7 @@
 #include "ebnn/deep.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cstring>
 #include <utility>
 
@@ -356,6 +357,148 @@ void deep_tasklet(TaskletCtx& ctx, const DeepKernelParams& p) {
   }
 }
 
+/// Fast-path twin of `deep_tasklet` (SimMode::Fast): the same per-image
+/// block pipeline computed with native integer arithmetic, charging the
+/// interpreter's per-op costs in closed form. Derived op-for-op from
+/// `deep_tasklet`; the dual-run cross-check tests enforce equivalence.
+void deep_tasklet_fast(TaskletCtx& ctx, const DeepKernelParams& p) {
+  const DeepEbnnConfig& cfg = p.cfg;
+  const int K = cfg.ksize;
+  const std::uint64_t k2 = static_cast<std::uint64_t>(K) * K;
+  require(ctx.n_tasklets() <= p.capacity,
+          "deep eBNN: tasklets exceed image slots");
+
+  auto meta = ctx.wram_span<std::uint64_t>("meta");
+  ctx.charge_alu(1);
+  const std::uint64_t n_images = meta[0];
+
+  auto conv_w = ctx.wram_span<std::uint32_t>("conv_w");
+  auto luts = ctx.wram_span<std::uint8_t>("luts");
+  auto map_a_all = ctx.wram_span<std::uint8_t>("map_a");
+  auto map_b_all = ctx.wram_span<std::uint8_t>("map_b");
+  auto conv_all = ctx.wram_span<std::int16_t>("conv_buf");
+  auto feat_all = ctx.wram_span<std::uint32_t>("feat_buf");
+
+  std::uint8_t* map_a = map_a_all.data() + ctx.id() * p.map_bytes;
+  std::uint8_t* map_b = map_b_all.data() + ctx.id() * p.map_bytes;
+  std::int16_t* conv = conv_all.data() + ctx.id() * p.conv_elems;
+  const std::size_t feat_words = p.result_stride / sizeof(std::uint32_t);
+  std::uint32_t* feat = feat_all.data() + ctx.id() * feat_words;
+
+  const MemSize images_base = ctx.mram_addr("images");
+  const MemSize results_base = ctx.mram_addr("results");
+  const std::size_t img_bytes =
+      static_cast<std::size_t>(cfg.img_h) * cfg.img_w;
+  const DeepBlockDims& last = p.dims.back();
+  const std::size_t bits = static_cast<std::size_t>(
+      cfg.blocks.back().filters * last.out_h * last.out_w);
+
+  // Closed-form per-image charge, summed over the blocks (see deep_tasklet
+  // for the op-level breakdown).
+  std::uint64_t alu_per_image = 3 * img_bytes + feat_words + 2 * bits;
+  std::uint64_t loops_per_image = img_bytes + bits;
+  std::uint64_t popcounts_per_image = 0;
+  std::uint64_t muls_per_image = 0;
+  for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+    const DeepBlockDims& d = p.dims[b];
+    const std::uint64_t filters = cfg.blocks[b].filters;
+    const std::uint64_t cp =
+        static_cast<std::uint64_t>(d.conv_h) * d.conv_w;
+    const std::uint64_t op = static_cast<std::uint64_t>(d.out_h) * d.out_w;
+    const std::uint64_t chans = d.in_c;
+    alu_per_image += filters * (cp * (chans * (3 * k2 + 7) + 1) + op * 12);
+    loops_per_image +=
+        filters * (cp * chans * (k2 + 1) + cp + d.conv_h + op + d.out_h) +
+        filters;
+    popcounts_per_image += filters * cp * chans;
+    muls_per_image += filters * op;
+  }
+
+  for (std::uint64_t im = ctx.id(); im < n_images;
+       im += ctx.n_tasklets()) {
+    ctx.mram_read(map_a, images_base + im * p.image_stride, img_bytes);
+    for (std::size_t i = 0; i < img_bytes; ++i) {
+      map_a[i] = map_a[i] >= cfg.binarize_threshold ? 1 : 0;
+    }
+
+    std::uint8_t* in = map_a;
+    std::uint8_t* out = map_b;
+    for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+      const DeepBlockDims& d = p.dims[b];
+      const int filters = cfg.blocks[b].filters;
+      const std::uint32_t* wtaps = conv_w.data() + p.conv_w_offsets[b];
+      const std::uint8_t* lut = luts.data() + p.lut_offsets[b];
+      const int lut_min = p.lut_mins[b];
+      const std::uint32_t tap_mask = (std::uint32_t{1} << (K * K)) - 1;
+
+      for (int f = 0; f < filters; ++f) {
+        for (int y = 0; y < d.conv_h; ++y) {
+          for (int x = 0; x < d.conv_w; ++x) {
+            std::int32_t acc = 0;
+            for (int c = 0; c < d.in_c; ++c) {
+              std::uint32_t win = 0;
+              for (int ky = 0; ky < K; ++ky) {
+                for (int kx = 0; kx < K; ++kx) {
+                  const std::uint32_t bit =
+                      in[(static_cast<std::size_t>(c) * d.in_h + y + ky) *
+                             d.in_w +
+                         (x + kx)];
+                  win |= bit << (ky * K + kx);
+                }
+              }
+              const std::uint32_t xn =
+                  ~(win ^
+                    wtaps[static_cast<std::size_t>(f) * d.in_c + c]) &
+                  tap_mask;
+              acc += 2 * std::popcount(xn) - K * K;
+            }
+            conv[static_cast<std::size_t>(y) * d.conv_w + x] =
+                static_cast<std::int16_t>(acc);
+          }
+        }
+
+        for (int py = 0; py < d.out_h; ++py) {
+          for (int px = 0; px < d.out_w; ++px) {
+            int best =
+                conv[static_cast<std::size_t>(py * cfg.pool) * d.conv_w +
+                     px * cfg.pool];
+            for (int dy = 0; dy < cfg.pool; ++dy) {
+              for (int dx = 0; dx < cfg.pool; ++dx) {
+                best = std::max(
+                    best,
+                    static_cast<int>(
+                        conv[static_cast<std::size_t>(py * cfg.pool + dy) *
+                                 d.conv_w +
+                             px * cfg.pool + dx]));
+              }
+            }
+            const std::int32_t idx = (best - lut_min) * filters + f;
+            out[(static_cast<std::size_t>(f) * d.out_h + py) * d.out_w +
+                px] = lut[static_cast<std::size_t>(idx)];
+          }
+        }
+      }
+      std::swap(in, out);
+    }
+
+    for (std::size_t wdx = 0; wdx < feat_words; ++wdx) {
+      feat[wdx] = 0;
+    }
+    for (std::size_t i = 0; i < bits; ++i) {
+      if (in[i] != 0) {
+        feat[i / 32] |= std::uint32_t{1} << (i % 32);
+      }
+    }
+    ctx.mram_write(results_base + im * p.result_stride, feat,
+                   feat_words * sizeof(std::uint32_t));
+
+    ctx.charge_alu(alu_per_image);
+    ctx.charge_loop(loops_per_image);
+    ctx.charge_slots(12 * popcounts_per_image); // popcount trees
+    ctx.charge_mul(32, muls_per_image);         // LUT index __mulsi3
+  }
+}
+
 DeepKernelParams make_params(const DeepEbnnConfig& cfg,
                              const std::vector<DeepBlockDims>& dims,
                              const runtime::UpmemConfig& sys) {
@@ -427,6 +570,7 @@ sim::DpuProgram make_deep_program(const DeepKernelParams& p,
       {"feat_buf", MemKind::Wram, p.capacity * p.result_stride},
   };
   prog.entry = [p](TaskletCtx& ctx) { deep_tasklet(ctx, p); };
+  prog.fast_entry = [p](TaskletCtx& ctx) { deep_tasklet_fast(ctx, p); };
   return prog;
 }
 

@@ -1,8 +1,11 @@
 #include "ebnn/dpu_kernel.hpp"
 
+#include <bit>
+
 #include "common/bytes.hpp"
 #include "common/error.hpp"
 #include "nn/bitpack.hpp"
+#include "sim/softfloat.hpp"
 
 namespace pimdnn::ebnn {
 
@@ -234,6 +237,204 @@ void ebnn_tasklet(TaskletCtx& ctx, const KernelParams& p) {
   }
 }
 
+/// Fast-path twin of `ebnn_tasklet` (SimMode::Fast): identical memory
+/// effects computed with native integer ops — soft-float results stay in
+/// the soft-float bit domain, so the BN chain is bit-exact — and the
+/// interpreter's charges applied in closed form per image. Every charge
+/// below is derived op-for-op from the interpreted kernel; the dual-run
+/// cross-check tests enforce the equivalence.
+void ebnn_tasklet_fast(TaskletCtx& ctx, const KernelParams& p) {
+  namespace sf = sim::softfloat;
+  const EbnnConfig& cfg = p.cfg;
+  const int H = cfg.img_h;
+  const int W = cfg.img_w;
+  const int K = cfg.ksize;
+  const int CH = cfg.conv_h();
+  const int CW = cfg.conv_w();
+  const int PH = cfg.pool_h();
+  const int PW = cfg.pool_w();
+  const int F = cfg.filters;
+  const int taps = cfg.taps();
+  const std::uint32_t tap_mask = (std::uint32_t{1} << taps) - 1;
+  const bool packed = p.kernel == ConvKernel::PackedRows;
+  const bool softfloat_bn = p.mode == BnMode::SoftFloat;
+
+  require(ctx.n_tasklets() <= p.layout.max_images,
+          "eBNN program supports at most 16 tasklets (one per image slot)");
+
+  auto meta = ctx.wram_span<std::uint64_t>(symbols::kMeta);
+  ctx.charge_alu(1);
+  const std::uint64_t n_images = meta[0];
+
+  auto conv_w = ctx.wram_span<std::uint32_t>(symbols::kConvWeights);
+  auto img_all = ctx.wram_span<std::uint8_t>("img_buf");
+  auto conv_all = ctx.wram_span<std::int8_t>("conv_buf");
+  auto feat_all = ctx.wram_span<std::uint32_t>("feat_buf");
+  std::span<std::uint32_t> prow_all;
+  if (packed) {
+    prow_all = ctx.wram_span<std::uint32_t>("prow_buf");
+  }
+  std::span<float> bn;
+  std::span<std::uint8_t> lut;
+  if (softfloat_bn) {
+    bn = ctx.wram_span<float>(symbols::kBnParams);
+  } else {
+    lut = ctx.wram_span<std::uint8_t>(symbols::kBnLut);
+  }
+
+  const std::size_t img_bytes = static_cast<std::size_t>(H) * W;
+  const std::size_t conv_px = static_cast<std::size_t>(CH) * CW;
+  const std::size_t wpf = p.layout.words_per_filter;
+  const std::size_t feat_words = static_cast<std::size_t>(F) * wpf;
+
+  std::uint8_t* img = img_all.data() + ctx.id() * img_bytes;
+  std::int8_t* conv = conv_all.data() + ctx.id() * conv_px;
+  std::uint32_t* feat = feat_all.data() + ctx.id() * feat_words;
+
+  const MemSize images_base = ctx.mram_addr(symbols::kImages);
+  const MemSize results_base = ctx.mram_addr(symbols::kResults);
+
+  // Closed-form per-image charge, summed from the interpreted kernel's
+  // per-op costs (see ebnn_tasklet for the op-level breakdown).
+  const std::uint64_t conv_ops =
+      static_cast<std::uint64_t>(F) * conv_px;       // conv pixels per image
+  const std::uint64_t pool_ops = static_cast<std::uint64_t>(F) * PH * PW;
+  const std::uint64_t conv_pixel_alu =
+      packed ? 19 : 3 * static_cast<std::uint64_t>(taps) + 6;
+  const std::uint64_t pool_pixel_alu = 10 + (softfloat_bn ? 7 : 3);
+  const std::uint64_t alu_per_image =
+      (packed ? 4 : 3) * img_bytes + feat_words +
+      static_cast<std::uint64_t>(F) * (1 + (softfloat_bn ? 5 : 0)) +
+      conv_ops * conv_pixel_alu + pool_ops * pool_pixel_alu;
+  const std::uint64_t loops_per_image =
+      img_bytes +
+      static_cast<std::uint64_t>(F) *
+          ((packed ? 0 : conv_px * taps) + conv_px + CH +
+           static_cast<std::uint64_t>(PH) * PW + PH) +
+      F;
+
+  for (std::uint64_t im = ctx.id(); im < n_images; im += ctx.n_tasklets()) {
+    ctx.mram_read(img, images_base + im * p.layout.image_stride, img_bytes);
+
+    std::uint32_t* prow = nullptr;
+    if (packed) {
+      prow = prow_all.data() + ctx.id() * static_cast<std::size_t>(H);
+      for (int y = 0; y < H; ++y) {
+        std::uint32_t word = 0;
+        for (int x = 0; x < W; ++x) {
+          if (img[static_cast<std::size_t>(y) * W + x] >=
+              cfg.binarize_threshold) {
+            word |= std::uint32_t{1} << x;
+          }
+        }
+        prow[y] = word;
+      }
+    } else {
+      for (std::size_t i = 0; i < img_bytes; ++i) {
+        img[i] = img[i] >= cfg.binarize_threshold ? 1 : 0;
+      }
+    }
+
+    for (std::uint32_t w = 0; w < feat_words; ++w) {
+      feat[w] = 0;
+    }
+
+    for (int f = 0; f < F; ++f) {
+      const std::uint32_t wf = conv_w[static_cast<std::size_t>(f)];
+
+      for (int y = 0; y < CH; ++y) {
+        for (int x = 0; x < CW; ++x) {
+          std::uint32_t win = 0;
+          if (packed) {
+            win = ((prow[y] >> x) & 7u) | (((prow[y + 1] >> x) & 7u) << 3) |
+                  (((prow[y + 2] >> x) & 7u) << 6);
+          } else {
+            for (int ky = 0; ky < K; ++ky) {
+              for (int kx = 0; kx < K; ++kx) {
+                const std::uint32_t bit =
+                    img[static_cast<std::size_t>(y + ky) * W + (x + kx)];
+                win |= bit << (ky * K + kx);
+              }
+            }
+          }
+          const std::uint32_t xn = ~(win ^ wf) & tap_mask;
+          const std::int32_t dot = 2 * std::popcount(xn) - taps;
+          conv[static_cast<std::size_t>(y) * CW + x] =
+              static_cast<std::int8_t>(dot);
+        }
+      }
+
+      std::uint32_t bn0 = 0;
+      std::uint32_t bn1 = 0;
+      std::uint32_t bn2 = 0;
+      std::uint32_t bn3 = 0;
+      std::uint32_t bn4 = 0;
+      if (softfloat_bn) {
+        const std::size_t nf = static_cast<std::size_t>(F);
+        bn0 = sf::to_bits(bn[0 * nf + static_cast<std::size_t>(f)]);
+        bn1 = sf::to_bits(bn[1 * nf + static_cast<std::size_t>(f)]);
+        bn2 = sf::to_bits(bn[2 * nf + static_cast<std::size_t>(f)]);
+        bn3 = sf::to_bits(bn[3 * nf + static_cast<std::size_t>(f)]);
+        bn4 = sf::to_bits(bn[4 * nf + static_cast<std::size_t>(f)]);
+      }
+
+      for (int py = 0; py < PH; ++py) {
+        for (int px = 0; px < PW; ++px) {
+          int best = conv[static_cast<std::size_t>(py * cfg.pool) * CW +
+                          px * cfg.pool];
+          for (int dy = 0; dy < cfg.pool; ++dy) {
+            for (int dx = 0; dx < cfg.pool; ++dx) {
+              const int v =
+                  conv[static_cast<std::size_t>(py * cfg.pool + dy) * CW +
+                       px * cfg.pool + dx];
+              if (v > best) best = v;
+            }
+          }
+
+          int bit = 0;
+          if (softfloat_bn) {
+            // The interpreted BN-BinAct chain, kept in soft-float bits.
+            std::uint32_t t = sf::from_i32(best);
+            t = sf::add(t, bn0);
+            t = sf::sub(t, bn1);
+            t = sf::div(t, bn2);
+            t = sf::mul(t, bn3);
+            t = sf::add(t, bn4);
+            bit = sf::lt(t, sf::to_bits(0.0f)) ? 0 : 1;
+          } else {
+            const std::int32_t idx = (best - p.lut_min) * F + f;
+            bit = lut[static_cast<std::size_t>(idx)];
+          }
+
+          const int pos = py * PW + px;
+          if (bit != 0) {
+            feat[static_cast<std::size_t>(f) * wpf +
+                 static_cast<std::size_t>(pos) / 32] |=
+                std::uint32_t{1} << (pos % 32);
+          }
+        }
+      }
+    }
+
+    ctx.mram_write(results_base + im * p.layout.result_stride, feat,
+                   feat_words * sizeof(std::uint32_t));
+
+    ctx.charge_alu(alu_per_image);
+    ctx.charge_loop(loops_per_image);
+    ctx.charge_slots(12 * conv_ops); // popcount shift/mask trees
+    if (softfloat_bn) {
+      ctx.charge_subroutine(sim::Subroutine::FloatSISF, pool_ops);
+      ctx.charge_subroutine(sim::Subroutine::AddSF3, 2 * pool_ops);
+      ctx.charge_subroutine(sim::Subroutine::SubSF3, pool_ops);
+      ctx.charge_subroutine(sim::Subroutine::DivSF3, pool_ops);
+      ctx.charge_subroutine(sim::Subroutine::MulSF3, pool_ops);
+      ctx.charge_subroutine(sim::Subroutine::LtSF2, pool_ops);
+    } else {
+      ctx.charge_mul(32, pool_ops); // the LUT index __mulsi3
+    }
+  }
+}
+
 } // namespace
 
 sim::DpuProgram make_ebnn_program(const EbnnConfig& cfg, BnMode mode,
@@ -289,6 +490,9 @@ sim::DpuProgram make_ebnn_program(const EbnnConfig& cfg, BnMode mode,
 
   KernelParams params{cfg, mode, kernel, layout, cfg.conv_min()};
   prog.entry = [params](TaskletCtx& ctx) { ebnn_tasklet(ctx, params); };
+  prog.fast_entry = [params](TaskletCtx& ctx) {
+    ebnn_tasklet_fast(ctx, params);
+  };
   return prog;
 }
 

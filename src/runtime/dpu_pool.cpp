@@ -58,7 +58,15 @@ MemSize mram_footprint(const sim::DpuProgram& prog, MemSize base) {
 
 } // namespace
 
-DpuPool::DpuPool(const UpmemConfig& cfg) : cfg_(cfg) {}
+DpuPool::DpuPool(const UpmemConfig& cfg)
+    : cfg_(cfg), sim_mode_(default_sim_mode()) {}
+
+void DpuPool::set_sim_mode(SimMode mode) {
+  sim_mode_ = mode;
+  if (set_.has_value()) {
+    set_->set_sim_mode(mode);
+  }
+}
 
 std::uint32_t DpuPool::size() const {
   return set_.has_value() ? set_->size() : 0;
@@ -95,6 +103,7 @@ void DpuPool::reserve(std::uint32_t n_dpus) {
   }
   reset_cache();
   set_.emplace(std::move(fresh));
+  set_->set_sim_mode(sim_mode_);
   strikes_.assign(set_->size(), 0);
   quarantine_.assign(set_->size(), 0);
   n_quarantined_ = 0;

@@ -184,6 +184,15 @@ public:
   /// Architecture configuration.
   const UpmemConfig& config() const { return cfg_; }
 
+  /// Execution mode applied to the pooled set (see common/sim_mode.hpp).
+  /// Snapshot of default_sim_mode() at pool construction; persists across
+  /// reserve() re-allocation of the underlying set.
+  SimMode sim_mode() const { return sim_mode_; }
+
+  /// Overrides the launch mode for this pool (applied to the current set
+  /// and every future re-allocation).
+  void set_sim_mode(SimMode mode);
+
   /// Recycled staging buffers shared by every session on this pool.
   StagingArena& arena() { return arena_; }
 
@@ -206,6 +215,7 @@ private:
   void load_program(const sim::DpuProgram& prog);
 
   UpmemConfig cfg_;
+  SimMode sim_mode_ = SimMode::Interp; ///< set from default_sim_mode() in ctor
   std::optional<DpuSet> set_;
   std::map<std::string, Entry> entries_;
   std::string active_;           ///< empty = no active program

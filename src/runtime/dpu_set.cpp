@@ -16,7 +16,27 @@ using pimdnn::UsageError;
 using sim::DpuFault;
 using sim::FaultKind;
 
-DpuSet::DpuSet(std::uint32_t n_dpus, const UpmemConfig& cfg) : cfg_(cfg) {
+namespace {
+
+/// Routes the concurrent tasklet bodies of barrier launches onto the
+/// global HostPool's persistent lanes instead of the simulator's default
+/// thread-per-tasklet fallback. Installed once, the first time the runtime
+/// allocates a set (sim cannot depend on runtime, hence the hook).
+void install_barrier_runner() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    sim::set_concurrent_runner(
+        [](std::uint32_t n, const std::function<void(std::uint32_t)>& body) {
+          HostPool::global().run_exclusive(n, body);
+        });
+  });
+}
+
+} // namespace
+
+DpuSet::DpuSet(std::uint32_t n_dpus, const UpmemConfig& cfg)
+    : cfg_(cfg), sim_mode_(default_sim_mode()) {
+  install_barrier_runner();
   dpus_.reserve(n_dpus);
   for (std::uint32_t i = 0; i < n_dpus; ++i) {
     dpus_.emplace_back(cfg);
@@ -261,7 +281,8 @@ LaunchStats DpuSet::launch(std::uint32_t n_tasklets, OptLevel opt,
         return;
       }
     }
-    out.per_dpu[i] = dpus_[phys].launch(n_tasklets, opt);
+    out.per_dpu[i] = dpus_[phys].launch(
+        n_tasklets, opt, sim::TaskletSchedule::InOrder, sim_mode_);
   };
 
   // Persistent worker pool instead of a per-launch thread crop: the same

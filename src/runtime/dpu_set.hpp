@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "common/sim_mode.hpp"
 #include "common/types.hpp"
 #include "sim/dpu.hpp"
 #include "sim/fault.hpp"
@@ -144,6 +145,15 @@ public:
   /// Architecture configuration shared by all DPUs in the set.
   const UpmemConfig& config() const { return cfg_; }
 
+  /// Execution mode every launch on this set passes to Dpu::launch
+  /// (fast-path vs interpreted; see common/sim_mode.hpp). Snapshot of
+  /// default_sim_mode() at allocation; fault injection, quarantine and
+  /// logical remapping behave identically in both modes.
+  SimMode sim_mode() const { return sim_mode_; }
+
+  /// Overrides the launch mode for this set.
+  void set_sim_mode(SimMode mode) { sim_mode_ = mode; }
+
   /// Installs a logical->physical DPU remap: logical DPU i of every
   /// subsequent transfer/launch addresses physical DPU `map[i]`. An empty
   /// map restores the identity. The pool uses this to slide the active
@@ -177,6 +187,7 @@ private:
   std::vector<void*> prepared_;
   std::vector<std::uint32_t> map_; ///< logical->physical (empty = identity)
   std::vector<char> bad_;          ///< permanently faulty at allocation
+  SimMode sim_mode_ = SimMode::Interp; ///< set from default_sim_mode() in ctor
   mutable sim::HostXferStats host_;
 };
 

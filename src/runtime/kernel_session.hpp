@@ -85,6 +85,9 @@ public:
   /// Architecture configuration of the underlying pool.
   const UpmemConfig& config() const { return pool_.config(); }
 
+  /// Execution mode the pool applies to this session's launches.
+  SimMode sim_mode() const { return pool_.sim_mode(); }
+
   /// DPUs needed to hold `n_items` at `items_per_dpu` each.
   static std::uint32_t dpus_for(std::size_t n_items,
                                 std::uint32_t items_per_dpu);

@@ -8,10 +8,55 @@
 #include <thread>
 
 #include "common/bytes.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sim/report.hpp"
 
 namespace pimdnn::sim {
+
+namespace {
+
+/// Fallback ConcurrentRunner: a fresh thread per tasklet. Correct anywhere
+/// (including the standalone simulator with no runtime layer loaded), just
+/// wasteful on warm frames — which is why runtime::DpuSet installs the
+/// HostPool lane runner on first use.
+void run_on_fresh_threads(std::uint32_t n,
+                          const std::function<void(std::uint32_t)>& body) {
+  std::vector<std::thread> threads;
+  threads.reserve(n);
+  for (std::uint32_t t = 0; t < n; ++t) {
+    threads.emplace_back([&body, t] { body(t); });
+  }
+  for (std::thread& th : threads) {
+    th.join();
+  }
+}
+
+std::mutex& runner_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+ConcurrentRunner& runner_slot() {
+  static ConcurrentRunner r;
+  return r;
+}
+
+ConcurrentRunner current_runner() {
+  std::lock_guard<std::mutex> lk(runner_mutex());
+  ConcurrentRunner r = runner_slot();
+  if (!r) {
+    r = run_on_fresh_threads;
+  }
+  return r;
+}
+
+} // namespace
+
+void set_concurrent_runner(ConcurrentRunner runner) {
+  std::lock_guard<std::mutex> lk(runner_mutex());
+  runner_slot() = std::move(runner);
+}
 
 /// Generation-counting barrier (usable across multiple kernel phases).
 /// std::barrier would do, but a hand-rolled condition-variable barrier keeps
@@ -60,8 +105,10 @@ Dpu::Dpu(const UpmemConfig& cfg)
 void Dpu::load(const DpuProgram& program) {
   require(static_cast<bool>(program.entry),
           "DpuProgram '" + program.name + "' has no entry point");
-  iram_.load_program(program.iram_bytes, program.name);
 
+  // Validate everything before mutating anything: a failed load (symbol
+  // placement or IRAM overflow) must leave the previous program — IRAM,
+  // symbol table and entry point consistent with each other — launchable.
   std::map<std::string, SymbolInfo> placed;
   MemSize mram_top = 0;
   MemSize wram_top = 0;
@@ -74,7 +121,7 @@ void Dpu::load(const DpuProgram& program) {
     const MemSize cap =
         d.kind == MemKind::Mram ? cfg_.mram_bytes : cfg_.wram_bytes;
     const MemSize offset = align_up(top, kXferAlign);
-    if (offset + d.size > cap) {
+    if (d.size > cap || offset > cap - d.size) {
       throw CapacityError("symbol '" + d.name + "' (" +
                           std::to_string(d.size) + " B) overflows " +
                           std::string(mem_kind_name(d.kind)) + " (used " +
@@ -84,6 +131,7 @@ void Dpu::load(const DpuProgram& program) {
     placed[d.name] = SymbolInfo{d.kind, offset, d.size};
     top = offset + d.size;
   }
+  iram_.load_program(program.iram_bytes, program.name);
 
   program_ = program;
   symbols_ = std::move(placed);
@@ -107,7 +155,9 @@ bool Dpu::has_symbol(const std::string& name) const {
 void Dpu::host_write(const std::string& name, MemSize offset, const void* src,
                      MemSize size) {
   const SymbolInfo& s = symbol(name);
-  if (offset + size > s.size) {
+  // Guard the sum against wrap-around like Wram::check/Mram::check do: a
+  // huge `offset` must throw, not wrap and land inside another symbol.
+  if (size > s.size || offset > s.size - size) {
     throw OutOfBoundsError("host_write past end of symbol '" + name + "'");
   }
   if (s.kind == MemKind::Mram) {
@@ -120,7 +170,7 @@ void Dpu::host_write(const std::string& name, MemSize offset, const void* src,
 void Dpu::host_read(const std::string& name, MemSize offset, void* dst,
                     MemSize size) const {
   const SymbolInfo& s = symbol(name);
-  if (offset + size > s.size) {
+  if (size > s.size || offset > s.size - size) {
     throw OutOfBoundsError("host_read past end of symbol '" + name + "'");
   }
   if (s.kind == MemKind::Mram) {
@@ -144,7 +194,7 @@ void Dpu::tasklet_barrier_wait() {
 }
 
 DpuRunStats Dpu::launch(std::uint32_t n_tasklets, OptLevel opt,
-                        TaskletSchedule schedule) {
+                        TaskletSchedule schedule, SimMode mode) {
   require(static_cast<bool>(program_.entry),
           "launch without a loaded program");
   require(n_tasklets >= 1 && n_tasklets <= cfg_.max_tasklets,
@@ -162,40 +212,36 @@ DpuRunStats Dpu::launch(std::uint32_t n_tasklets, OptLevel opt,
   out.tasklets.resize(n_tasklets);
 
   if (program_.uses_barrier && n_tasklets > 1) {
-    // Barrier programs run every tasklet on its own host thread so
+    // Barrier programs run every tasklet on a concurrent host thread so
     // barrier_wait() provides real happens-before ordering and the kernel's
     // correctness cannot lean on any particular tasklet schedule. Each
     // tasklet charges into its own stats/profile; charges are
     // interleaving-independent, so cycle accounting stays deterministic.
+    // The threads come from the installed ConcurrentRunner (persistent
+    // HostPool lanes under the runtime; fresh std::threads standalone).
     LaunchBarrier barrier(n_tasklets);
     barrier_ = &barrier;
     std::vector<SubroutineProfile> profiles(n_tasklets);
     std::vector<std::exception_ptr> errors(n_tasklets);
-    std::vector<std::thread> threads;
-    threads.reserve(n_tasklets);
-    for (TaskletId t = 0; t < n_tasklets; ++t) {
-      threads.emplace_back([&, t] {
-        try {
-          if (schedule == TaskletSchedule::StaggeredReverse) {
-            // Adversarial start order: tasklet 0 enters the kernel last, so
-            // any kernel relying on "tasklet 0 runs first" breaks here.
-            std::this_thread::sleep_for(
-                std::chrono::microseconds(200) * (n_tasklets - 1 - t));
-          }
-          TaskletCtx ctx(*this, t, n_tasklets, cost, out.tasklets[t],
-                         profiles[t]);
-          program_.entry(ctx);
-        } catch (...) {
-          errors[t] = std::current_exception();
-          // Keep peers from deadlocking on a barrier this tasklet will
-          // never reach; the launch rethrows the error after the join.
-          barrier.arrive_and_drop();
+    const auto tasklet_body = [&](std::uint32_t t) {
+      try {
+        if (schedule == TaskletSchedule::StaggeredReverse) {
+          // Adversarial start order: tasklet 0 enters the kernel last, so
+          // any kernel relying on "tasklet 0 runs first" breaks here.
+          std::this_thread::sleep_for(std::chrono::microseconds(200) *
+                                      (n_tasklets - 1 - t));
         }
-      });
-    }
-    for (auto& th : threads) {
-      th.join();
-    }
+        TaskletCtx ctx(*this, t, n_tasklets, cost, out.tasklets[t],
+                       profiles[t]);
+        program_.entry(ctx);
+      } catch (...) {
+        errors[t] = std::current_exception();
+        // Keep peers from deadlocking on a barrier this tasklet will
+        // never reach; the launch rethrows the error after the run.
+        barrier.arrive_and_drop();
+      }
+    };
+    current_runner()(n_tasklets, tasklet_body);
     barrier_ = nullptr;
     for (const auto& e : errors) {
       if (e) std::rethrow_exception(e);
@@ -204,10 +250,19 @@ DpuRunStats Dpu::launch(std::uint32_t n_tasklets, OptLevel opt,
       out.profile.merge(p);
     }
   } else {
+    const bool fast =
+        mode == SimMode::Fast && static_cast<bool>(program_.fast_entry) &&
+        !program_.uses_barrier;
+    const std::function<void(TaskletCtx&)>& body =
+        fast ? program_.fast_entry : program_.entry;
     for (TaskletId t = 0; t < n_tasklets; ++t) {
       TaskletCtx ctx(*this, t, n_tasklets, cost, out.tasklets[t],
                      out.profile);
-      program_.entry(ctx);
+      body(ctx);
+    }
+    out.fast_path = fast;
+    if (fast) {
+      obs::Metrics::instance().add("sim.fast_launches");
     }
   }
 
@@ -230,6 +285,7 @@ DpuRunStats Dpu::launch(std::uint32_t n_tasklets, OptLevel opt,
     sp.u64("dma_bytes", out.total_dma_bytes);
     sp.str("bound", cycle_bound_name(dominant_bound(out, cfg_)));
     sp.f64("imbalance", tasklet_imbalance(out, cfg_));
+    sp.str("mode", out.fast_path ? "fast" : "interp");
   }
   return out;
 }

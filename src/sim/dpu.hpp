@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "common/sim_mode.hpp"
 #include "common/types.hpp"
 #include "sim/config.hpp"
 #include "sim/cost_model.hpp"
@@ -35,6 +36,14 @@ struct DpuProgram {
   std::vector<SymbolDecl> symbols;      ///< buffers to place in memory
   MemSize iram_bytes = 4096;            ///< code footprint checked vs 24 KB
   std::function<void(TaskletCtx&)> entry; ///< run once per tasklet
+  /// Optional batched twin of `entry` used when a launch runs in
+  /// SimMode::Fast: it must produce the identical memory effects
+  /// (bit-exact, soft-float results included) and apply the identical
+  /// charges (cycle-exact stats and subroutine profile), computing with
+  /// native host arithmetic and bulk `charge_*` calls instead of per-op
+  /// interpretation. Programs without one always interpret; the dual-run
+  /// cross-check tests enforce the equivalence contract.
+  std::function<void(TaskletCtx&)> fast_entry;
   /// True if `entry` synchronizes through TaskletCtx::barrier_wait().
   /// Barrier programs execute their tasklets on concurrent host threads so
   /// the barrier provides real happens-before ordering (any scheduling
@@ -74,7 +83,25 @@ struct DpuRunStats {
   std::vector<TaskletStats> tasklets;
   /// Runtime-subroutine occurrence profile (Figure 3.2).
   SubroutineProfile profile;
+  /// Executor metadata (not part of the modeled machine state, hence not
+  /// part of the fast/interp equivalence contract): true when this launch
+  /// ran the program's `fast_entry` instead of interpreting `entry`.
+  bool fast_path = false;
 };
+
+/// Hook that runs the `n` concurrently-blocking tasklet bodies of a
+/// barrier-program launch, each on its own thread (body `t` may block on a
+/// barrier until every other body arrives, so the indices must make
+/// progress concurrently — a shared work queue is not a valid
+/// implementation). Installed by higher layers (runtime::HostPool routes it
+/// onto persistent lane threads so warm launches create zero threads); the
+/// default spawns one std::thread per tasklet, keeping the standalone
+/// simulator dependency-free.
+using ConcurrentRunner =
+    std::function<void(std::uint32_t, const std::function<void(std::uint32_t)>&)>;
+
+/// Replaces the barrier-launch runner (empty restores the default).
+void set_concurrent_runner(ConcurrentRunner runner);
 
 /// One simulated DPU.
 class Dpu {
@@ -103,10 +130,13 @@ public:
 
   /// Runs the loaded program on `n_tasklets` tasklets under the given
   /// optimization level and returns the cycle accounting. `schedule`
-  /// selects the tasklet start order for barrier programs.
+  /// selects the tasklet start order for barrier programs. `mode` selects
+  /// the executor for non-barrier programs that provide a `fast_entry`;
+  /// everything else interprets regardless.
   DpuRunStats launch(std::uint32_t n_tasklets,
                      OptLevel opt = OptLevel::O3,
-                     TaskletSchedule schedule = TaskletSchedule::InOrder);
+                     TaskletSchedule schedule = TaskletSchedule::InOrder,
+                     SimMode mode = default_sim_mode());
 
   /// Architecture configuration.
   const UpmemConfig& config() const { return cfg_; }

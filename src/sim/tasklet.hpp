@@ -145,6 +145,11 @@ public:
   /// Charges `n` plain ALU statements.
   void charge_alu(std::uint64_t n);
 
+  /// Charges `n` raw issue slots — the bulk form for charges that are not
+  /// plain ALU statements (e.g. the flat 12-slot popcount shift/mask tree),
+  /// used by fast-path kernel twins to replicate per-op charging exactly.
+  void charge_slots(std::uint64_t n) { stats_.slots += n; }
+
   /// Charges `iters` loop-iteration overheads.
   void charge_loop(std::uint64_t iters);
 

@@ -1,0 +1,575 @@
+// Fast-path execution mode tests: SimMode parsing/plumbing, the dual-run
+// fast/interp equivalence contract (bit-exact memory, cycle-exact stats,
+// identical subroutine profiles) on the eBNN kernels, end-to-end parity
+// through EbnnHost / DeepEbnnHost including fixed-seed fault injection and
+// the double-buffered pipeline, plus regression tests for the three
+// interpreter fixes: per-launch thread crops in the barrier path (warm
+// launches must create zero threads), integer-wrap bounds bypass in
+// host_write/host_read, and non-atomic Dpu::load (a failed load must leave
+// the prior program launchable).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/sim_mode.hpp"
+#include "ebnn/deep.hpp"
+#include "ebnn/dpu_kernel.hpp"
+#include "ebnn/host.hpp"
+#include "ebnn/lut.hpp"
+#include "ebnn/mnist_synth.hpp"
+#include "ebnn/model.hpp"
+#include "obs/metrics.hpp"
+#include "runtime/dpu_pool.hpp"
+#include "runtime/dpu_set.hpp"
+#include "runtime/kernel_session.hpp"
+#include "sim/dpu.hpp"
+#include "sim/fault.hpp"
+
+namespace pimdnn {
+namespace {
+
+using ebnn::BnMode;
+using ebnn::ConvKernel;
+using ebnn::EbnnConfig;
+using ebnn::EbnnWeights;
+using ebnn::Image;
+using runtime::DpuPool;
+using runtime::DpuSet;
+using runtime::KernelSession;
+using runtime::LaunchStats;
+using runtime::OptLevel;
+using sim::Dpu;
+using sim::DpuRunStats;
+using sim::FaultConfig;
+using sim::MemKind;
+using sim::Subroutine;
+using sim::TaskletCtx;
+
+/// The default mode and the fault plan are process-global: pin both to a
+/// known state around every test so order does not matter.
+class FastModeTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    set_default_sim_mode(SimMode::Interp);
+    sim::set_fault_config(FaultConfig{});
+  }
+  void TearDown() override {
+    set_default_sim_mode(SimMode::Interp);
+    sim::set_fault_config(FaultConfig{});
+  }
+};
+
+/// Minimal non-barrier program used by the plumbing/regression tests:
+/// every tasklet stamps a recognizable value into its MRAM slot. The fast
+/// twin is intentionally identical so both executors agree.
+sim::DpuProgram probe_program(const std::string& name = "probe") {
+  sim::DpuProgram p;
+  p.name = name;
+  p.symbols = {{"out", MemKind::Mram, 256},
+               {"buf", MemKind::Wram, 256},
+               {"data", MemKind::Mram, 64}};
+  const auto body = [](TaskletCtx& ctx) {
+    auto buf = ctx.wram_span<std::uint64_t>("buf");
+    buf[ctx.id()] = 100 + ctx.id();
+    ctx.charge_alu(1);
+    ctx.mram_write(ctx.mram_addr("out") + ctx.id() * 8, &buf[ctx.id()], 8);
+  };
+  p.entry = body;
+  p.fast_entry = body;
+  return p;
+}
+
+/// Barrier program: each tasklet publishes id+1 into shared WRAM, waits,
+/// then writes its neighbour's value to MRAM — only correct when the
+/// barrier is a real happens-before edge across concurrent tasklets.
+sim::DpuProgram barrier_program() {
+  sim::DpuProgram p;
+  p.name = "barrier_probe";
+  p.symbols = {{"out", MemKind::Mram, 256},
+               {"slots", MemKind::Wram, 128},
+               {"stage", MemKind::Wram, 256}};
+  p.uses_barrier = true;
+  p.entry = [](TaskletCtx& ctx) {
+    auto slots = ctx.wram_span<std::uint32_t>("slots");
+    slots[ctx.id()] = ctx.id() + 1;
+    ctx.charge_alu(1);
+    ctx.barrier_wait();
+    auto stage = ctx.wram_span<std::uint64_t>("stage");
+    stage[ctx.id()] = slots[(ctx.id() + 1) % ctx.n_tasklets()];
+    ctx.charge_alu(1);
+    ctx.mram_write(ctx.mram_addr("out") + ctx.id() * 8, &stage[ctx.id()], 8);
+  };
+  return p;
+}
+
+// ---- SimMode parsing ------------------------------------------------------
+
+TEST_F(FastModeTest, ParseGrammar) {
+  EXPECT_EQ(parse_sim_mode("interp"), SimMode::Interp);
+  EXPECT_EQ(parse_sim_mode("fast"), SimMode::Fast);
+  EXPECT_THROW(parse_sim_mode(""), ConfigError);
+  EXPECT_THROW(parse_sim_mode("FAST"), ConfigError);
+  EXPECT_THROW(parse_sim_mode("turbo"), ConfigError);
+  EXPECT_STREQ(sim_mode_name(SimMode::Interp), "interp");
+  EXPECT_STREQ(sim_mode_name(SimMode::Fast), "fast");
+}
+
+TEST_F(FastModeTest, DefaultModeFeedsLaunchDefaultArgument) {
+  Dpu dpu;
+  dpu.load(probe_program());
+  EXPECT_FALSE(dpu.launch(2).fast_path);
+  set_default_sim_mode(SimMode::Fast);
+  EXPECT_TRUE(dpu.launch(2).fast_path);
+  set_default_sim_mode(SimMode::Interp);
+  EXPECT_FALSE(dpu.launch(2).fast_path);
+}
+
+// ---- regression: integer-wrap bounds bypass in host_write/host_read ------
+
+TEST_F(FastModeTest, HostAccessWrapOffsetThrows) {
+  Dpu dpu;
+  dpu.load(probe_program());
+  std::uint64_t payload[2] = {0x1122334455667788ull, 0x99aabbccddeeff00ull};
+  dpu.host_write("data", 0, payload, 16); // in bounds: fine
+
+  constexpr MemSize kWrap = std::numeric_limits<MemSize>::max() - 7;
+  // offset + size wraps to 8, which the pre-fix `offset + size > s.size`
+  // check accepted — it must throw, not write out of bounds.
+  EXPECT_THROW(dpu.host_write("data", kWrap, payload, 16), OutOfBoundsError);
+  EXPECT_THROW(dpu.host_write("data", 60, payload, 8), OutOfBoundsError);
+  EXPECT_THROW(dpu.host_write("data", 0, payload, 72), OutOfBoundsError);
+
+  std::uint64_t back[2] = {0, 0};
+  EXPECT_THROW(dpu.host_read("data", kWrap, back, 16), OutOfBoundsError);
+  EXPECT_THROW(dpu.host_read("data", 64, back, 8), OutOfBoundsError);
+  dpu.host_read("data", 0, back, 16);
+  EXPECT_EQ(back[0], payload[0]);
+  EXPECT_EQ(back[1], payload[1]);
+}
+
+// ---- regression: a failed load must leave the prior program launchable ---
+
+TEST_F(FastModeTest, FailedLoadLeavesPriorProgramLaunchable) {
+  Dpu dpu;
+  dpu.load(probe_program());
+  const std::uint64_t marker = 0xdeadbeefcafef00dull;
+  dpu.host_write("data", 0, &marker, 8);
+
+  const auto check_intact = [&] {
+    ASSERT_TRUE(dpu.has_symbol("data"));
+    ASSERT_TRUE(dpu.has_symbol("out"));
+    std::uint64_t back = 0;
+    dpu.host_read("data", 0, &back, 8);
+    EXPECT_EQ(back, marker);
+    DpuRunStats st = dpu.launch(3);
+    EXPECT_GT(st.total_slots, 0u);
+    std::uint64_t v = 0;
+    dpu.host_read("out", 16, &v, 8);
+    EXPECT_EQ(v, 102u);
+  };
+
+  // Direction 1: symbol placement overflows MRAM.
+  sim::DpuProgram big;
+  big.name = "mram_overflow";
+  big.symbols = {{"huge", MemKind::Mram, dpu.config().mram_bytes + 8}};
+  big.entry = [](TaskletCtx&) {};
+  EXPECT_THROW(dpu.load(big), CapacityError);
+  check_intact();
+
+  // Direction 1b: a size so large that offset + size wraps.
+  sim::DpuProgram wrap;
+  wrap.name = "wrap_overflow";
+  wrap.symbols = {{"a", MemKind::Mram, 64},
+                  {"b", MemKind::Mram,
+                   std::numeric_limits<MemSize>::max() - 32}};
+  wrap.entry = [](TaskletCtx&) {};
+  EXPECT_THROW(dpu.load(wrap), CapacityError);
+  check_intact();
+
+  // Direction 2: symbols place fine but the code footprint overflows IRAM
+  // (pre-fix, IRAM was loaded before symbol bookkeeping committed; either
+  // order must leave the old program fully intact on failure).
+  sim::DpuProgram fat = probe_program("iram_overflow");
+  fat.iram_bytes = dpu.config().iram_bytes + 8;
+  EXPECT_THROW(dpu.load(fat), CapacityError);
+  check_intact();
+
+  // Direction 3: WRAM overflow.
+  sim::DpuProgram wbig;
+  wbig.name = "wram_overflow";
+  wbig.symbols = {{"w", MemKind::Wram, dpu.config().wram_bytes + 8}};
+  wbig.entry = [](TaskletCtx&) {};
+  EXPECT_THROW(dpu.load(wbig), CapacityError);
+  check_intact();
+}
+
+// ---- regression: barrier launches must not crop threads per launch -------
+
+TEST_F(FastModeTest, WarmBarrierLaunchesCreateZeroThreads) {
+  constexpr std::uint32_t kTasklets = 8;
+  DpuSet set = DpuSet::allocate(1);
+  set.load(barrier_program());
+
+  const auto check_result = [&] {
+    for (std::uint32_t t = 0; t < kTasklets; ++t) {
+      std::uint64_t v = 0;
+      set.dpu(0).host_read("out", t * 8, &v, 8);
+      EXPECT_EQ(v, (t + 1) % kTasklets + 1) << "tasklet " << t;
+    }
+  };
+
+  // Warm-up: the HostPool grows its persistent lane set on first demand.
+  set.launch(kTasklets);
+  set.launch(kTasklets);
+  check_result();
+
+  const std::uint64_t before =
+      obs::Metrics::instance().counter("hostpool.threads_created");
+  for (int i = 0; i < 4; ++i) {
+    set.launch(kTasklets);
+  }
+  check_result();
+  EXPECT_EQ(obs::Metrics::instance().counter("hostpool.threads_created"),
+            before)
+      << "warm barrier launches must reuse the persistent lanes";
+}
+
+TEST_F(FastModeTest, BarrierScheduleVariantsStayCorrect) {
+  DpuSet set = DpuSet::allocate(1);
+  set.load(barrier_program());
+  Dpu& dpu = set.dpu(0);
+  DpuRunStats st = dpu.launch(6, OptLevel::O3,
+                              sim::TaskletSchedule::StaggeredReverse);
+  EXPECT_FALSE(st.fast_path);
+  for (std::uint32_t t = 0; t < 6; ++t) {
+    std::uint64_t v = 0;
+    dpu.host_read("out", t * 8, &v, 8);
+    EXPECT_EQ(v, (t + 1) % 6 + 1);
+  }
+}
+
+// ---- executor selection rules --------------------------------------------
+
+TEST_F(FastModeTest, ProgramWithoutFastEntryInterpretsUnderFastMode) {
+  sim::DpuProgram p = probe_program("no_twin");
+  p.fast_entry = nullptr;
+  Dpu dpu;
+  dpu.load(p);
+  DpuRunStats st = dpu.launch(4, OptLevel::O3,
+                              sim::TaskletSchedule::InOrder, SimMode::Fast);
+  EXPECT_FALSE(st.fast_path);
+  std::uint64_t v = 0;
+  dpu.host_read("out", 24, &v, 8);
+  EXPECT_EQ(v, 103u);
+}
+
+TEST_F(FastModeTest, BarrierProgramIgnoresFastMode) {
+  sim::DpuProgram p = barrier_program();
+  // Even with a (nonsensical) fast twin attached, barrier programs must
+  // keep the threaded interpreter: the twin would break happens-before.
+  p.fast_entry = [](TaskletCtx&) { FAIL() << "fast twin ran on a barrier"; };
+  DpuSet set = DpuSet::allocate(1);
+  set.dpu(0).load(p);
+  DpuRunStats st = set.dpu(0).launch(
+      4, OptLevel::O3, sim::TaskletSchedule::InOrder, SimMode::Fast);
+  EXPECT_FALSE(st.fast_path);
+}
+
+// ---- mode plumbing through DpuSet / DpuPool / KernelSession --------------
+
+TEST_F(FastModeTest, PoolAndSessionInheritAndOverrideMode) {
+  set_default_sim_mode(SimMode::Fast);
+  DpuPool pool;
+  set_default_sim_mode(SimMode::Interp);
+  EXPECT_EQ(pool.sim_mode(), SimMode::Fast); // snapshot at construction
+
+  KernelSession session(pool, "probe", 1, [] { return probe_program(); });
+  EXPECT_EQ(session.sim_mode(), SimMode::Fast);
+  ASSERT_TRUE(session.launch(2));
+  LaunchStats ls = session.finish();
+  ASSERT_EQ(ls.per_dpu.size(), 1u);
+  EXPECT_TRUE(ls.per_dpu[0].fast_path);
+
+  // Mode survives reserve() growth (set re-allocation)...
+  pool.reserve(8);
+  EXPECT_EQ(pool.set().sim_mode(), SimMode::Fast);
+
+  // ...and an override applies to the live set.
+  pool.set_sim_mode(SimMode::Interp);
+  KernelSession s2(pool, "probe", 1, [] { return probe_program(); });
+  ASSERT_TRUE(s2.launch(2));
+  LaunchStats ls2 = s2.finish();
+  ASSERT_EQ(ls2.per_dpu.size(), 1u);
+  EXPECT_FALSE(ls2.per_dpu[0].fast_path);
+}
+
+// ---- the dual-run equivalence contract on the eBNN kernel ----------------
+
+void expect_stats_equal(const DpuRunStats& a, const DpuRunStats& b) {
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.total_slots, b.total_slots);
+  EXPECT_EQ(a.total_dma_cycles, b.total_dma_cycles);
+  EXPECT_EQ(a.total_dma_bytes, b.total_dma_bytes);
+  ASSERT_EQ(a.tasklets.size(), b.tasklets.size());
+  for (std::size_t t = 0; t < a.tasklets.size(); ++t) {
+    EXPECT_EQ(a.tasklets[t].slots, b.tasklets[t].slots) << "tasklet " << t;
+    EXPECT_EQ(a.tasklets[t].dma_cycles, b.tasklets[t].dma_cycles)
+        << "tasklet " << t;
+    EXPECT_EQ(a.tasklets[t].dma_transfers, b.tasklets[t].dma_transfers)
+        << "tasklet " << t;
+    EXPECT_EQ(a.tasklets[t].dma_bytes, b.tasklets[t].dma_bytes)
+        << "tasklet " << t;
+  }
+  for (std::size_t s = 0; s < static_cast<std::size_t>(Subroutine::kCount);
+       ++s) {
+    const auto sub = static_cast<Subroutine>(s);
+    EXPECT_EQ(a.profile.occurrences(sub), b.profile.occurrences(sub))
+        << sim::subroutine_name(sub);
+  }
+}
+
+/// One raw-DPU eBNN run: loads the program, uploads weights + images the
+/// way EbnnHost does, launches under `mode`, and captures every symbol's
+/// bytes afterwards.
+struct RunCapture {
+  DpuRunStats stats;
+  std::map<std::string, std::vector<std::uint8_t>> mem;
+};
+
+RunCapture run_ebnn_once(const EbnnConfig& cfg, const EbnnWeights& w,
+                         BnMode bn, ConvKernel kernel,
+                         const std::vector<Image>& images,
+                         std::uint32_t n_tasklets, OptLevel opt,
+                         SimMode mode) {
+  const ebnn::EbnnLayout layout = ebnn::ebnn_layout(cfg);
+  Dpu dpu;
+  dpu.load(ebnn::make_ebnn_program(cfg, bn, kernel));
+
+  dpu.host_write(ebnn::symbols::kConvWeights, 0, w.conv_bits.data(),
+                 w.conv_bits.size() * sizeof(std::uint32_t));
+  if (bn == BnMode::HostLut) {
+    const ebnn::BnBinactLut lut = ebnn::build_bn_binact_lut(cfg, w.bn);
+    dpu.host_write(ebnn::symbols::kBnLut, 0, lut.table.data(),
+                   lut.table.size());
+  } else {
+    std::vector<float> bn_vec;
+    bn_vec.reserve(5 * static_cast<std::size_t>(cfg.filters));
+    for (const auto* v : {&w.bn.w0, &w.bn.w1, &w.bn.w2, &w.bn.w3, &w.bn.w4}) {
+      bn_vec.insert(bn_vec.end(), v->begin(), v->end());
+    }
+    dpu.host_write(ebnn::symbols::kBnParams, 0, bn_vec.data(),
+                   bn_vec.size() * sizeof(float));
+  }
+  const std::uint64_t n_images = images.size();
+  dpu.host_write(ebnn::symbols::kMeta, 0, &n_images, sizeof(n_images));
+  for (std::size_t i = 0; i < images.size(); ++i) {
+    dpu.host_write(ebnn::symbols::kImages, i * layout.image_stride,
+                   images[i].data(), images[i].size());
+  }
+
+  RunCapture out;
+  out.stats =
+      dpu.launch(n_tasklets, opt, sim::TaskletSchedule::InOrder, mode);
+  for (const char* name :
+       {ebnn::symbols::kImages, ebnn::symbols::kResults,
+        ebnn::symbols::kMeta, ebnn::symbols::kConvWeights,
+        ebnn::symbols::kBnLut, ebnn::symbols::kBnParams}) {
+    if (!dpu.has_symbol(name)) {
+      continue;
+    }
+    const sim::SymbolInfo& info = dpu.symbol(name);
+    std::vector<std::uint8_t> bytes(info.size);
+    dpu.host_read(name, 0, bytes.data(), bytes.size());
+    out.mem.emplace(name, std::move(bytes));
+  }
+  return out;
+}
+
+void cross_check_ebnn(BnMode bn, ConvKernel kernel, std::size_t n_images,
+                      std::uint32_t n_tasklets, OptLevel opt) {
+  SCOPED_TRACE(std::string("bn=") +
+               (bn == BnMode::HostLut ? "lut" : "softfloat") + " kernel=" +
+               (kernel == ConvKernel::PackedRows ? "packed" : "scalar") +
+               " images=" + std::to_string(n_images) +
+               " tasklets=" + std::to_string(n_tasklets));
+  EbnnConfig cfg;
+  const EbnnWeights w = EbnnWeights::random(cfg, 7u + n_images);
+  const std::vector<Image> images =
+      ebnn::images_only(ebnn::make_synthetic_mnist(n_images, 99));
+
+  RunCapture interp =
+      run_ebnn_once(cfg, w, bn, kernel, images, n_tasklets, opt,
+                    SimMode::Interp);
+  RunCapture fast = run_ebnn_once(cfg, w, bn, kernel, images, n_tasklets,
+                                  opt, SimMode::Fast);
+
+  EXPECT_FALSE(interp.stats.fast_path);
+  EXPECT_TRUE(fast.stats.fast_path);
+  expect_stats_equal(interp.stats, fast.stats);
+  ASSERT_EQ(interp.mem.size(), fast.mem.size());
+  for (const auto& [name, bytes] : interp.mem) {
+    ASSERT_TRUE(fast.mem.count(name)) << name;
+    EXPECT_EQ(bytes, fast.mem.at(name)) << "symbol " << name;
+  }
+}
+
+TEST_F(FastModeTest, EbnnDualRunBitAndCycleExact) {
+  // One tasklet per image, idle tasklets, and the strided multi-image-per-
+  // tasklet case, across every BnMode x ConvKernel combination.
+  cross_check_ebnn(BnMode::SoftFloat, ConvKernel::Scalar, 3, 5,
+                   OptLevel::O3);
+  cross_check_ebnn(BnMode::SoftFloat, ConvKernel::PackedRows, 5, 3,
+                   OptLevel::O3);
+  cross_check_ebnn(BnMode::HostLut, ConvKernel::Scalar, 4, 4, OptLevel::O3);
+  cross_check_ebnn(BnMode::HostLut, ConvKernel::PackedRows, 16, 16,
+                   OptLevel::O3);
+}
+
+TEST_F(FastModeTest, EbnnDualRunBitAndCycleExactAtO0) {
+  // The cost model changes per OptLevel; the twin charges through the same
+  // model, so equivalence must hold at O0 too.
+  cross_check_ebnn(BnMode::SoftFloat, ConvKernel::Scalar, 2, 2,
+                   OptLevel::O0);
+  cross_check_ebnn(BnMode::HostLut, ConvKernel::PackedRows, 3, 2,
+                   OptLevel::O0);
+}
+
+// ---- end-to-end parity through the host applications ---------------------
+
+TEST_F(FastModeTest, EbnnHostEndToEndParity) {
+  EbnnConfig cfg;
+  EbnnWeights w = EbnnWeights::random(cfg, 42);
+  const std::vector<Image> images =
+      ebnn::images_only(ebnn::make_synthetic_mnist(24, 5));
+
+  set_default_sim_mode(SimMode::Interp);
+  ebnn::EbnnHost interp_host(cfg, w, BnMode::HostLut, sim::default_config(),
+                             ConvKernel::PackedRows);
+  ebnn::EbnnBatchResult ri = interp_host.run(images, 16);
+
+  set_default_sim_mode(SimMode::Fast);
+  ebnn::EbnnHost fast_host(cfg, w, BnMode::HostLut, sim::default_config(),
+                           ConvKernel::PackedRows);
+  ebnn::EbnnBatchResult rf = fast_host.run(images, 16);
+
+  EXPECT_EQ(ri.predicted, rf.predicted);
+  ASSERT_EQ(ri.features.size(), rf.features.size());
+  for (std::size_t i = 0; i < ri.features.size(); ++i) {
+    EXPECT_EQ(ri.features[i], rf.features[i]) << "image " << i;
+  }
+  EXPECT_EQ(ri.launch.wall_cycles, rf.launch.wall_cycles);
+  EXPECT_EQ(ri.launch.total_cycles, rf.launch.total_cycles);
+  ASSERT_EQ(ri.launch.per_dpu.size(), rf.launch.per_dpu.size());
+  for (std::size_t d = 0; d < ri.launch.per_dpu.size(); ++d) {
+    EXPECT_FALSE(ri.launch.per_dpu[d].fast_path);
+    EXPECT_TRUE(rf.launch.per_dpu[d].fast_path);
+    expect_stats_equal(ri.launch.per_dpu[d], rf.launch.per_dpu[d]);
+  }
+}
+
+TEST_F(FastModeTest, DeepEbnnEndToEndParity) {
+  ebnn::DeepEbnnConfig cfg;
+  cfg.blocks = {{8}, {8}};
+  ebnn::DeepEbnnWeights w = ebnn::DeepEbnnWeights::random(cfg, 11);
+  const std::vector<Image> images =
+      ebnn::images_only(ebnn::make_synthetic_mnist(10, 3));
+
+  set_default_sim_mode(SimMode::Interp);
+  ebnn::DeepEbnnHost interp_host(cfg, w);
+  ebnn::DeepEbnnBatchResult ri = interp_host.run(images);
+
+  set_default_sim_mode(SimMode::Fast);
+  ebnn::DeepEbnnHost fast_host(cfg, w);
+  ebnn::DeepEbnnBatchResult rf = fast_host.run(images);
+
+  EXPECT_EQ(ri.predicted, rf.predicted);
+  ASSERT_EQ(ri.features.size(), rf.features.size());
+  for (std::size_t i = 0; i < ri.features.size(); ++i) {
+    EXPECT_EQ(ri.features[i], rf.features[i]) << "image " << i;
+  }
+  EXPECT_EQ(ri.launch.wall_cycles, rf.launch.wall_cycles);
+  EXPECT_EQ(ri.launch.total_cycles, rf.launch.total_cycles);
+  ASSERT_EQ(ri.launch.per_dpu.size(), rf.launch.per_dpu.size());
+  for (std::size_t d = 0; d < ri.launch.per_dpu.size(); ++d) {
+    EXPECT_FALSE(ri.launch.per_dpu[d].fast_path);
+    EXPECT_TRUE(rf.launch.per_dpu[d].fast_path);
+    expect_stats_equal(ri.launch.per_dpu[d], rf.launch.per_dpu[d]);
+  }
+}
+
+// ---- fixed-seed fault injection must behave identically in both modes ----
+
+TEST_F(FastModeTest, FixedSeedFaultParity) {
+  EbnnConfig cfg;
+  EbnnWeights w = EbnnWeights::random(cfg, 21);
+  const std::vector<Image> images =
+      ebnn::images_only(ebnn::make_synthetic_mnist(8, 17));
+  const char* spec = "seed=42,launch=0.3,xfer=0.05";
+
+  const auto run_mode = [&](SimMode mode) {
+    // Re-applying the config resets every per-(DPU, kind) draw ordinal, so
+    // both runs see the identical fault sequence.
+    sim::set_fault_config(sim::parse_fault_config(spec));
+    set_default_sim_mode(mode);
+    ebnn::EbnnHost host(cfg, w, BnMode::HostLut, sim::default_config(),
+                        ConvKernel::PackedRows);
+    return host.run(images, 8);
+  };
+
+  ebnn::EbnnBatchResult ri = run_mode(SimMode::Interp);
+  ebnn::EbnnBatchResult rf = run_mode(SimMode::Fast);
+  sim::set_fault_config(FaultConfig{});
+
+  EXPECT_EQ(ri.predicted, rf.predicted);
+  ASSERT_EQ(ri.features.size(), rf.features.size());
+  for (std::size_t i = 0; i < ri.features.size(); ++i) {
+    EXPECT_EQ(ri.features[i], rf.features[i]) << "image " << i;
+  }
+  EXPECT_EQ(ri.launch.retries, rf.launch.retries);
+  EXPECT_EQ(ri.launch.faults_absorbed, rf.launch.faults_absorbed);
+  EXPECT_EQ(ri.launch.quarantined, rf.launch.quarantined);
+  EXPECT_EQ(ri.launch.retry_cycles, rf.launch.retry_cycles);
+  EXPECT_EQ(ri.launch.cpu_fallback, rf.launch.cpu_fallback);
+}
+
+// ---- the double-buffered pipeline in fast mode ---------------------------
+
+TEST_F(FastModeTest, PipelinedExecutionParityInFastMode) {
+  EbnnConfig cfg;
+  EbnnWeights w = EbnnWeights::random(cfg, 33);
+  std::vector<std::vector<Image>> batches;
+  for (int b = 0; b < 3; ++b) {
+    batches.push_back(
+        ebnn::images_only(ebnn::make_synthetic_mnist(10, 100 + b)));
+  }
+
+  set_default_sim_mode(SimMode::Fast);
+  ebnn::EbnnHost piped(cfg, w, BnMode::HostLut, sim::default_config(),
+                       ConvKernel::PackedRows);
+  ebnn::EbnnPipelineResult pr = piped.run_pipelined(batches, 10);
+
+  ebnn::EbnnHost serial(cfg, w, BnMode::HostLut, sim::default_config(),
+                        ConvKernel::PackedRows);
+  ASSERT_EQ(pr.batches.size(), batches.size());
+  for (std::size_t b = 0; b < batches.size(); ++b) {
+    ebnn::EbnnBatchResult rs = serial.run(batches[b], 10);
+    EXPECT_EQ(pr.batches[b].predicted, rs.predicted) << "batch " << b;
+    ASSERT_EQ(pr.batches[b].features.size(), rs.features.size());
+    for (std::size_t i = 0; i < rs.features.size(); ++i) {
+      EXPECT_EQ(pr.batches[b].features[i], rs.features[i])
+          << "batch " << b << " image " << i;
+    }
+    for (const DpuRunStats& st : pr.batches[b].launch.per_dpu) {
+      EXPECT_TRUE(st.fast_path);
+    }
+  }
+}
+
+} // namespace
+} // namespace pimdnn
