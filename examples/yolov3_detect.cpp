@@ -12,6 +12,7 @@
 
 #include "common/table.hpp"
 #include "obs/metrics.hpp"
+#include "map/plan.hpp"
 #include "sim/fault.hpp"
 #include "yolo/detect.hpp"
 #include "yolo/network.hpp"
@@ -34,15 +35,18 @@ int main(int argc, char** argv) {
   const auto image = make_synthetic_image(3, size, size, kFracBits, 3);
 
   std::cout << "yolov3-lite " << size << "x" << size
-            << ", GEMM offloaded row-per-DPU, 11 tasklets, -O3\n";
+            << ", GEMM offloaded, mapping: "
+            << map::mapping_override().to_string() << ", -O3\n";
   if (sim::fault_plan().enabled()) {
     std::cout << "fault injection: " << sim::fault_plan().config().describe()
               << "\n";
   }
   std::cout << "\n";
+  // Mapping left at the auto sentinels: rows/tasklets per layer come from
+  // map::Mapper (or PIMDNN_MAPPING — "paper" reproduces the thesis'
+  // row-per-DPU + 11 tasklets).
   RunOptions opts;
   opts.mode = ExecMode::DpuWram;
-  opts.n_tasklets = 11;
   const auto run = runner.run(image, opts);
 
   Table t("per-layer execution");

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "map/mapper.hpp"
 #include "sim/cost_model.hpp"
 
 namespace pimdnn::core {
@@ -45,14 +46,17 @@ std::vector<Finding> advise(const runtime::LaunchStats& stats,
     out.push_back({Severity::Suggestion, "mulsi3-heavy", msg.str()});
   }
 
-  // 3. Pipeline under-threading (Figure 4.7a).
-  if (n_tasklets < sys.pipeline_stages) {
+  // 3. Pipeline under-threading (Figure 4.7a). The saturation threshold
+  // comes from the mapper's pipeline model — the same fact its auto
+  // search prices tasklet candidates against.
+  const std::uint32_t saturating = map::Mapper::saturating_tasklets(sys);
+  if (n_tasklets < saturating) {
     std::ostringstream msg;
     msg << "Launch used " << n_tasklets << " tasklet(s); the "
         << sys.pipeline_stages
-        << "-stage pipeline only saturates at >= " << sys.pipeline_stages
+        << "-stage pipeline only saturates at >= " << saturating
         << " tasklets (Figure 4.7a). Expect up to "
-        << sys.pipeline_stages / std::max(1u, n_tasklets)
+        << saturating / std::max(1u, n_tasklets)
         << "x headroom from threading.";
     out.push_back({Severity::Suggestion, "under-threaded", msg.str()});
   }

@@ -140,14 +140,31 @@ Offloader::PendingBatch Offloader::start_batch(
     std::uint32_t n_tasklets, runtime::OptLevel opt,
     runtime::PipelineModel* model, unsigned bank, std::size_t item) {
   require(!items.empty(), "Offloader::run: empty batch");
-  require(n_tasklets >= 1 && n_tasklets <= spec_.items_per_dpu,
-          "Offloader::run: tasklets must be in [1, items_per_dpu]");
+  if (n_tasklets != map::kAutoTasklets) {
+    require(n_tasklets >= 1 && n_tasklets <= spec_.items_per_dpu,
+            "Offloader::run: tasklets must be in [1, items_per_dpu]");
+  }
   for (const auto& it : items) {
     require(it.size() == spec_.item_in_bytes,
             "Offloader::run: item size mismatch");
   }
 
-  const std::uint32_t per_dpu = spec_.items_per_dpu;
+  // Resolve (items_per_dpu, tasklets) through map::Mapper: auto-sentinel
+  // callers get the cost-model argmin when the spec priced its kernel
+  // (the paper capacity-filling mapping otherwise); an explicit tasklet
+  // count pins the spec's mapping.
+  map::BatchRequest mreq;
+  mreq.n_items = items.size();
+  mreq.capacity = spec_.items_per_dpu;
+  mreq.kernel_cycles = spec_.kernel_cost;
+  mreq.item_in_bytes = in_stride_;
+  mreq.item_out_bytes = out_stride_;
+  mreq.const_bytes_per_dpu = spec_.consts.size();
+  mreq.pinned_tasklets = n_tasklets;
+  const map::MappingPlan plan = map::Mapper().plan_batch(mreq);
+  n_tasklets = plan.n_tasklets;
+
+  const std::uint32_t per_dpu = plan.items_per_dpu;
   const auto n_dpus = KernelSession::dpus_for(items.size(), per_dpu);
 
   const sim::HostXferStats before = pool.host_stats();
@@ -157,6 +174,7 @@ Offloader::PendingBatch Offloader::start_batch(
   pb.n_tasklets = n_tasklets;
   pb.opt = opt;
   pb.n_dpus = n_dpus;
+  pb.per_dpu = per_dpu;
   pb.bank = bank;
   pb.item = item;
 
@@ -167,6 +185,7 @@ Offloader::PendingBatch Offloader::start_batch(
       pool, "offload/" + spec_.name, n_dpus,
       [this] { return build_program(); });
   KernelSession& session = *pb.session;
+  session.annotate(plan.obs_suffix());
   if (!spec_.consts.empty()) {
     session.broadcast_const("consts", spec_.consts.data(),
                             spec_.consts.size());
@@ -192,7 +211,7 @@ OffloadResult Offloader::finish_batch(PendingBatch pending,
                                       runtime::PipelineModel* model) {
   KernelSession& session = *pending.session;
   const std::vector<std::vector<std::uint8_t>>& items = *pending.items;
-  const std::uint32_t per_dpu = spec_.items_per_dpu;
+  const std::uint32_t per_dpu = pending.per_dpu;
 
   OffloadResult out;
   out.dpus_used = pending.n_dpus;
@@ -202,7 +221,8 @@ OffloadResult Offloader::finish_batch(PendingBatch pending,
   if (!pending.handle.wait()) {
     runtime::HostTimer ht;
     ht.start();
-    run_host_fallback(items, pending.n_tasklets, pending.opt, out);
+    run_host_fallback(items, per_dpu, pending.n_tasklets, pending.opt,
+                      out);
     const Seconds fallback = ht.elapsed();
     out.launch = session.finish();
     if (model != nullptr) {
@@ -309,7 +329,7 @@ OffloadPipelineResult Offloader::run_pipelined(
 
 void Offloader::run_host_fallback(
     const std::vector<std::vector<std::uint8_t>>& items,
-    std::uint32_t n_tasklets, runtime::OptLevel opt,
+    std::uint32_t per_dpu, std::uint32_t n_tasklets, runtime::OptLevel opt,
     OffloadResult& out) const {
   sim::Dpu spare(sys_);
   spare.load(build_program());
@@ -318,7 +338,6 @@ void Offloader::run_host_fallback(
     spare.host_write("consts", 0, padded.data(), padded.size());
   }
   out.outputs.resize(items.size());
-  const std::uint32_t per_dpu = spec_.items_per_dpu;
   std::vector<std::uint8_t> slot(in_stride_);
   std::vector<std::uint8_t> result(out_stride_);
   for (std::size_t first = 0; first < items.size(); first += per_dpu) {

@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "map/mapper.hpp"
 #include "runtime/dpu_pool.hpp"
 #include "runtime/dpu_set.hpp"
 #include "runtime/kernel_session.hpp"
@@ -53,6 +54,11 @@ struct WorkloadSpec {
   std::vector<std::uint8_t> consts;
   /// Estimated code footprint checked against the 24 KB IRAM.
   MemSize iram_bytes = 4096;
+  /// Optional kernel-cost hook for `map::Mapper`'s auto search: prices the
+  /// fullest DPU's kernel wall under (items, tasklets). Null means no
+  /// estimator — auto-sentinel runs then keep the paper mapping (fill
+  /// items_per_dpu, one tasklet per item slot) instead of searching.
+  map::BatchKernelCost kernel_cost;
 };
 
 /// Context handed to the per-item kernel.
@@ -99,10 +105,13 @@ public:
   Offloader(WorkloadSpec spec, ItemKernel kernel,
             const runtime::UpmemConfig& sys = sim::default_config());
 
-  /// Processes a batch of items (each exactly item_in_bytes long) across
-  /// ceil(items / items_per_dpu) DPUs with `n_tasklets` tasklets per DPU.
+  /// Processes a batch of items (each exactly item_in_bytes long).
+  /// `n_tasklets` defaults to the `map::Mapper` sentinel: items-per-DPU
+  /// and tasklets come from the cost-model search when the spec has a
+  /// kernel_cost hook (the paper mapping otherwise); an explicit count
+  /// pins the spec's items_per_dpu with that many tasklets.
   OffloadResult run(const std::vector<std::vector<std::uint8_t>>& items,
-                    std::uint32_t n_tasklets,
+                    std::uint32_t n_tasklets = map::kAutoTasklets,
                     runtime::OptLevel opt = runtime::OptLevel::O3);
 
   /// Processes `batches` double-buffered over two bank pools: batch i runs
@@ -113,7 +122,7 @@ public:
   /// makespan vs. the serial equivalent.
   OffloadPipelineResult run_pipelined(
       const std::vector<std::vector<std::vector<std::uint8_t>>>& batches,
-      std::uint32_t n_tasklets,
+      std::uint32_t n_tasklets = map::kAutoTasklets,
       runtime::OptLevel opt = runtime::OptLevel::O3);
 
   /// MRAM stride of one input slot (8-byte aligned item_in_bytes).
@@ -141,6 +150,9 @@ private:
     std::uint32_t n_tasklets = 0;
     runtime::OptLevel opt = runtime::OptLevel::O3;
     std::uint32_t n_dpus = 0;
+    /// Items per DPU the resolved mapping chose (the gather and the
+    /// degraded fallback must group items exactly like the scatter did).
+    std::uint32_t per_dpu = 0;
     unsigned bank = 0;
     std::size_t item = 0;
   };
@@ -149,8 +161,8 @@ private:
   /// CPU-path fallback for a degraded session: runs the same kernel on one
   /// spare private DPU, chunk by chunk — bit-identical to the pooled run.
   void run_host_fallback(const std::vector<std::vector<std::uint8_t>>& items,
-                         std::uint32_t n_tasklets, runtime::OptLevel opt,
-                         OffloadResult& out) const;
+                         std::uint32_t per_dpu, std::uint32_t n_tasklets,
+                         runtime::OptLevel opt, OffloadResult& out) const;
   PendingBatch start_batch(runtime::DpuPool& pool,
                            const std::vector<std::vector<std::uint8_t>>& items,
                            std::uint32_t n_tasklets, runtime::OptLevel opt,

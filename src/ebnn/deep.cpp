@@ -7,11 +7,13 @@
 
 #include "common/bytes.hpp"
 #include "common/error.hpp"
+#include "map/mapper.hpp"
 #include "nn/bitpack.hpp"
 #include "nn/layers.hpp"
 #include "obs/trace.hpp"
 #include "runtime/host_timer.hpp"
 #include "runtime/kernel_session.hpp"
+#include "sim/cost_model.hpp"
 #include "sim/report.hpp"
 
 namespace pimdnn::ebnn {
@@ -576,6 +578,68 @@ sim::DpuProgram make_deep_program(const DeepKernelParams& p,
 
 } // namespace
 
+Cycles estimate_deep_ebnn_wall_cycles(const DeepEbnnConfig& cfg,
+                                      std::uint32_t n_images,
+                                      std::uint32_t n_tasklets,
+                                      runtime::OptLevel opt) {
+  require(n_tasklets >= 1,
+          "estimate_deep_ebnn_wall_cycles: tasklets must be >= 1");
+  const auto dims = deep_dims(cfg);
+  const sim::CostModel cost(opt);
+  const std::uint64_t k2 =
+      static_cast<std::uint64_t>(cfg.ksize) * cfg.ksize;
+  const auto img_bytes =
+      static_cast<std::uint64_t>(cfg.img_h) * cfg.img_w;
+  const auto& last = dims.back();
+  const auto bits = static_cast<std::uint64_t>(cfg.blocks.back().filters) *
+                    last.out_h * last.out_w;
+  const std::uint64_t feat_words =
+      align_up(nn::words_for_bits(static_cast<std::size_t>(bits)) *
+                   sizeof(std::uint32_t),
+               kXferAlign) /
+      sizeof(std::uint32_t);
+
+  // The same closed-form per-image charge the kernel applies (see
+  // deep_tasklet_fast; the interpreted kernel charges identically).
+  std::uint64_t alu_per_image = 3 * img_bytes + feat_words + 2 * bits;
+  std::uint64_t loops_per_image = img_bytes + bits;
+  std::uint64_t popcounts_per_image = 0;
+  std::uint64_t muls_per_image = 0;
+  for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+    const DeepBlockDims& d = dims[b];
+    const auto filters = static_cast<std::uint64_t>(cfg.blocks[b].filters);
+    const auto cp = static_cast<std::uint64_t>(d.conv_h) * d.conv_w;
+    const auto op = static_cast<std::uint64_t>(d.out_h) * d.out_w;
+    const auto chans = static_cast<std::uint64_t>(d.in_c);
+    alu_per_image += filters * (cp * (chans * (3 * k2 + 7) + 1) + op * 12);
+    loops_per_image +=
+        filters * (cp * chans * (k2 + 1) + cp + d.conv_h + op + d.out_h) +
+        filters;
+    popcounts_per_image += filters * cp * chans;
+    muls_per_image += filters * op;
+  }
+  const std::uint64_t slots_per_image =
+      alu_per_image * cost.alu_stmt() + loops_per_image * cost.loop_iter() +
+      12 * popcounts_per_image + muls_per_image * cost.mul_stmt(32);
+  const Cycles dma_per_image =
+      sim::CostModel::dma_cycles(img_bytes) +
+      sim::CostModel::dma_cycles(feat_words * sizeof(std::uint32_t));
+
+  std::uint64_t sum_slots = 0;
+  Cycles sum_dma = 0;
+  Cycles latency = 0;
+  for (std::uint32_t t = 0; t < n_tasklets; ++t) {
+    const std::uint64_t images =
+        n_images > t ? (n_images - 1 - t) / n_tasklets + 1 : 0;
+    const std::uint64_t slots = cost.alu_stmt() + images * slots_per_image;
+    const Cycles dma = static_cast<Cycles>(images) * dma_per_image;
+    sum_slots += slots;
+    sum_dma += dma;
+    latency = std::max(latency, static_cast<Cycles>(slots) * 11 + dma);
+  }
+  return std::max({static_cast<Cycles>(sum_slots), sum_dma, latency});
+}
+
 DeepEbnnHost::DeepEbnnHost(const DeepEbnnConfig& cfg,
                            DeepEbnnWeights weights,
                            const runtime::UpmemConfig& sys)
@@ -602,11 +666,10 @@ DeepEbnnHost::PendingBatch DeepEbnnHost::start_batch(
     require(im.size() == img_bytes, "DeepEbnnHost::run: wrong image size");
   }
   const DeepKernelParams params = make_params(cfg_, dims_, sys_);
-  if (n_tasklets == 0) {
-    n_tasklets = params.capacity;
+  if (n_tasklets != 0) {
+    require(n_tasklets >= 1 && n_tasklets <= params.capacity,
+            "DeepEbnnHost::run: tasklets must be in [1, images_per_dpu]");
   }
-  require(n_tasklets >= 1 && n_tasklets <= params.capacity,
-          "DeepEbnnHost::run: tasklets must be in [1, images_per_dpu]");
 
   // Symbol sizes are needed to build the program even when the flattened
   // payloads are not (the warm-batch path skips the uploads).
@@ -617,7 +680,24 @@ DeepEbnnHost::PendingBatch DeepEbnnHost::start_batch(
     lut_size += luts_[b].table.size();
   }
 
-  const std::uint32_t per_dpu = params.capacity;
+  // Resolve the (images_per_dpu, tasklets) mapping through map::Mapper.
+  // `n_tasklets == 0` (the historical "fill the capacity" default) is the
+  // auto sentinel; an explicit count pins the capacity-filling mapping.
+  map::BatchRequest mreq;
+  mreq.n_items = images.size();
+  mreq.capacity = params.capacity;
+  mreq.kernel_cycles = [this, opt](std::uint32_t items, std::uint32_t t) {
+    return estimate_deep_ebnn_wall_cycles(cfg_, items, t, opt);
+  };
+  mreq.item_in_bytes = params.image_stride;
+  mreq.item_out_bytes = params.result_stride;
+  mreq.const_bytes_per_dpu =
+      conv_size * sizeof(std::uint32_t) + lut_size;
+  mreq.pinned_tasklets = n_tasklets == 0 ? map::kAutoTasklets : n_tasklets;
+  const map::MappingPlan plan = map::Mapper().plan_batch(mreq);
+  n_tasklets = plan.n_tasklets;
+
+  const std::uint32_t per_dpu = plan.items_per_dpu;
   const auto n_dpus = KernelSession::dpus_for(images.size(), per_dpu);
 
   const sim::HostXferStats before = pool.host_stats();
@@ -625,12 +705,14 @@ DeepEbnnHost::PendingBatch DeepEbnnHost::start_batch(
   pb.pool = &pool;
   pb.images = &images;
   pb.n_dpus = n_dpus;
+  pb.per_dpu = per_dpu;
   pb.bank = bank;
   pb.item = item;
   pb.session = std::make_unique<KernelSession>(
       pool, "ebnn_deep", n_dpus,
       [&] { return make_deep_program(params, conv_size, lut_size); });
   KernelSession& session = *pb.session;
+  session.annotate(plan.obs_suffix());
 
   // Per-block weights and LUTs are WRAM constants: re-broadcast only when
   // the activation rebuilt or reloaded the program.
@@ -667,7 +749,7 @@ DeepEbnnBatchResult DeepEbnnHost::finish_batch(
   KernelSession& session = *pending.session;
   const std::vector<Image>& images = *pending.images;
   const DeepKernelParams params = make_params(cfg_, dims_, sys_);
-  const std::uint32_t per_dpu = params.capacity;
+  const std::uint32_t per_dpu = pending.per_dpu;
   const std::size_t feat_words =
       params.result_stride / sizeof(std::uint32_t);
   const std::size_t feat_bits =

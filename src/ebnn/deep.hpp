@@ -61,6 +61,16 @@ std::vector<DeepBlockDims> deep_dims(const DeepEbnnConfig& cfg);
 /// Feature bits leaving the last block.
 int deep_feature_bits(const DeepEbnnConfig& cfg);
 
+/// Exact analytic kernel wall of one DPU holding `n_images` images run
+/// with `n_tasklets` tasklets — mirrors the deep kernel's charges
+/// one-for-one (the calibration tests assert equality with the simulated
+/// DpuRunStats in both sim modes). This is the kernel-cost callback
+/// `map::Mapper` searches with.
+Cycles estimate_deep_ebnn_wall_cycles(const DeepEbnnConfig& cfg,
+                                      std::uint32_t n_images,
+                                      std::uint32_t n_tasklets,
+                                      runtime::OptLevel opt);
+
 /// Weights: per block, per filter, per input channel packed tap bits;
 /// per block BN parameters; float FC tail.
 struct DeepEbnnWeights {
@@ -126,7 +136,11 @@ public:
   DeepEbnnHost(const DeepEbnnConfig& cfg, DeepEbnnWeights weights,
                const runtime::UpmemConfig& sys = sim::default_config());
 
-  /// Runs a batch; tasklets default to the images-per-DPU capacity.
+  /// Runs a batch. `n_tasklets = 0` (the historical default) asks
+  /// `map::Mapper` for the whole mapping — images per DPU and tasklets
+  /// from the cost-model search, PIMDNN_MAPPING honored; the paper mapping
+  /// fills the WRAM capacity with one tasklet per image slot. An explicit
+  /// count pins capacity-filling images with that many tasklets.
   DeepEbnnBatchResult run(const std::vector<Image>& images,
                           std::uint32_t n_tasklets = 0,
                           runtime::OptLevel opt = runtime::OptLevel::O3);
@@ -161,6 +175,9 @@ private:
     runtime::DpuPool* pool = nullptr;
     const std::vector<Image>* images = nullptr;
     std::uint32_t n_dpus = 0;
+    /// Images per DPU the resolved mapping chose (the gather must use the
+    /// same slot count the scatter did).
+    std::uint32_t per_dpu = 0;
     unsigned bank = 0;
     std::size_t item = 0;
   };

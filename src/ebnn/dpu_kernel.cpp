@@ -1,10 +1,12 @@
 #include "ebnn/dpu_kernel.hpp"
 
+#include <algorithm>
 #include <bit>
 
 #include "common/bytes.hpp"
 #include "common/error.hpp"
 #include "nn/bitpack.hpp"
+#include "sim/cost_model.hpp"
 #include "sim/softfloat.hpp"
 
 namespace pimdnn::ebnn {
@@ -494,6 +496,80 @@ sim::DpuProgram make_ebnn_program(const EbnnConfig& cfg, BnMode mode,
     ebnn_tasklet_fast(ctx, params);
   };
   return prog;
+}
+
+Cycles estimate_ebnn_wall_cycles(const EbnnConfig& cfg, BnMode mode,
+                                 ConvKernel kernel, std::uint32_t n_images,
+                                 std::uint32_t n_tasklets,
+                                 sim::OptLevel opt) {
+  require(n_tasklets >= 1, "estimate_ebnn_wall_cycles: tasklets must be >= 1");
+  const EbnnLayout layout = ebnn_layout(cfg);
+  const sim::CostModel cost(opt);
+  const bool packed = kernel == ConvKernel::PackedRows;
+  const bool softfloat_bn = mode == BnMode::SoftFloat;
+
+  // The same closed-form per-image charge the kernel applies (see
+  // ebnn_tasklet_fast; the interpreted kernel charges identically op by
+  // op).
+  const auto img_bytes =
+      static_cast<std::uint64_t>(cfg.img_h) * cfg.img_w;
+  const auto conv_px =
+      static_cast<std::uint64_t>(cfg.conv_h()) * cfg.conv_w();
+  const auto F = static_cast<std::uint64_t>(cfg.filters);
+  const std::uint64_t feat_words = F * layout.words_per_filter;
+  const std::uint64_t conv_ops = F * conv_px;
+  const std::uint64_t pool_ops =
+      F * static_cast<std::uint64_t>(cfg.pool_h()) * cfg.pool_w();
+  const auto taps = static_cast<std::uint64_t>(cfg.taps());
+  const std::uint64_t conv_pixel_alu = packed ? 19 : 3 * taps + 6;
+  const std::uint64_t pool_pixel_alu = 10 + (softfloat_bn ? 7 : 3);
+  const std::uint64_t alu_per_image =
+      (packed ? 4 : 3) * img_bytes + feat_words +
+      F * (1 + (softfloat_bn ? 5 : 0)) + conv_ops * conv_pixel_alu +
+      pool_ops * pool_pixel_alu;
+  const std::uint64_t loops_per_image =
+      img_bytes +
+      F * ((packed ? 0 : conv_px * taps) + conv_px +
+           static_cast<std::uint64_t>(cfg.conv_h()) +
+           static_cast<std::uint64_t>(cfg.pool_h()) * cfg.pool_w() +
+           static_cast<std::uint64_t>(cfg.pool_h())) +
+      F;
+
+  std::uint64_t slots_per_image =
+      alu_per_image * cost.alu_stmt() + loops_per_image * cost.loop_iter() +
+      12 * conv_ops; // popcount shift/mask trees
+  if (softfloat_bn) {
+    slots_per_image +=
+        pool_ops * (sim::CostModel::subroutine_slots(
+                        sim::Subroutine::FloatSISF) +
+                    2 * sim::CostModel::subroutine_slots(
+                            sim::Subroutine::AddSF3) +
+                    sim::CostModel::subroutine_slots(sim::Subroutine::SubSF3) +
+                    sim::CostModel::subroutine_slots(sim::Subroutine::DivSF3) +
+                    sim::CostModel::subroutine_slots(sim::Subroutine::MulSF3) +
+                    sim::CostModel::subroutine_slots(sim::Subroutine::LtSF2));
+  } else {
+    slots_per_image += pool_ops * cost.mul_stmt(32); // the LUT index mul
+  }
+  const Cycles dma_per_image =
+      sim::CostModel::dma_cycles(img_bytes) +
+      sim::CostModel::dma_cycles(feat_words * sizeof(std::uint32_t));
+
+  // Tasklet t runs images {t, t+T, ...}; every tasklet reads the metadata.
+  std::uint64_t sum_slots = 0;
+  Cycles sum_dma = 0;
+  Cycles latency = 0;
+  for (std::uint32_t t = 0; t < n_tasklets; ++t) {
+    const std::uint64_t images =
+        n_images > t ? (n_images - 1 - t) / n_tasklets + 1 : 0;
+    const std::uint64_t slots =
+        cost.alu_stmt() + images * slots_per_image;
+    const Cycles dma = static_cast<Cycles>(images) * dma_per_image;
+    sum_slots += slots;
+    sum_dma += dma;
+    latency = std::max(latency, static_cast<Cycles>(slots) * 11 + dma);
+  }
+  return std::max({static_cast<Cycles>(sum_slots), sum_dma, latency});
 }
 
 } // namespace pimdnn::ebnn

@@ -71,4 +71,14 @@ EbnnLayout ebnn_layout(const EbnnConfig& cfg);
 sim::DpuProgram make_ebnn_program(const EbnnConfig& cfg, BnMode mode,
                                   ConvKernel kernel = ConvKernel::Scalar);
 
+/// Exact analytic kernel wall of one DPU holding `n_images` images run
+/// with `n_tasklets` tasklets: replicates the kernel's cost charges
+/// one-for-one (the calibration tests assert equality with the simulated
+/// DpuRunStats in both sim modes). This is the kernel-cost callback
+/// `map::Mapper` searches with.
+Cycles estimate_ebnn_wall_cycles(const EbnnConfig& cfg, BnMode mode,
+                                 ConvKernel kernel, std::uint32_t n_images,
+                                 std::uint32_t n_tasklets,
+                                 sim::OptLevel opt);
+
 } // namespace pimdnn::ebnn

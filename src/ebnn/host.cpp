@@ -6,6 +6,7 @@
 
 #include "common/bytes.hpp"
 #include "common/error.hpp"
+#include "map/mapper.hpp"
 #include "nn/bitpack.hpp"
 #include "obs/trace.hpp"
 #include "runtime/host_timer.hpp"
@@ -34,15 +35,37 @@ EbnnHost::PendingBatch EbnnHost::start_batch(
     std::uint32_t n_tasklets, runtime::OptLevel opt,
     runtime::PipelineModel* model, unsigned bank, std::size_t item) {
   require(!images.empty(), "EbnnHost::run: empty batch");
-  require(n_tasklets >= 1 && n_tasklets <= layout_.max_images,
-          "EbnnHost::run: tasklets must be in [1, 16]");
+  if (n_tasklets != map::kAutoTasklets) {
+    require(n_tasklets >= 1 && n_tasklets <= layout_.max_images,
+            "EbnnHost::run: tasklets must be in [1, 16]");
+  }
   const std::size_t img_bytes =
       static_cast<std::size_t>(cfg_.img_h) * cfg_.img_w;
   for (const Image& im : images) {
     require(im.size() == img_bytes, "EbnnHost::run: wrong image size");
   }
 
-  const std::uint32_t per_dpu = layout_.max_images;
+  // Resolve the (images_per_dpu, tasklets) mapping through map::Mapper:
+  // auto-sentinel callers get the cost-model argmin (or PIMDNN_MAPPING);
+  // an explicit tasklet count pins the thesis' 16-images mapping.
+  map::BatchRequest mreq;
+  mreq.n_items = images.size();
+  mreq.capacity = layout_.max_images;
+  mreq.kernel_cycles = [this, opt](std::uint32_t items, std::uint32_t t) {
+    return estimate_ebnn_wall_cycles(cfg_, mode_, kernel_, items, t, opt);
+  };
+  mreq.item_in_bytes = layout_.image_stride;
+  mreq.item_out_bytes = layout_.result_stride;
+  mreq.const_bytes_per_dpu =
+      weights_.conv_bits.size() * sizeof(std::uint32_t) +
+      (mode_ == BnMode::HostLut
+           ? lut_.table.size()
+           : 5 * static_cast<std::size_t>(cfg_.filters) * sizeof(float));
+  mreq.pinned_tasklets = n_tasklets;
+  const map::MappingPlan plan = map::Mapper().plan_batch(mreq);
+  n_tasklets = plan.n_tasklets;
+
+  const std::uint32_t per_dpu = plan.items_per_dpu;
   const auto n_dpus = KernelSession::dpus_for(images.size(), per_dpu);
 
   const sim::HostXferStats before = pool.host_stats();
@@ -50,12 +73,14 @@ EbnnHost::PendingBatch EbnnHost::start_batch(
   pb.pool = &pool;
   pb.images = &images;
   pb.n_dpus = n_dpus;
+  pb.per_dpu = per_dpu;
   pb.bank = bank;
   pb.item = item;
   pb.session = std::make_unique<KernelSession>(
       pool, "ebnn", n_dpus,
       [&] { return make_ebnn_program(cfg_, mode_, kernel_); });
   KernelSession& session = *pb.session;
+  session.annotate(plan.obs_suffix());
 
   // Weights and the BN stage are WRAM constants: broadcast_const re-sends
   // them only when the activation rebuilt/reloaded the program, so warm
@@ -99,7 +124,7 @@ EbnnBatchResult EbnnHost::finish_batch(PendingBatch pending,
                                        runtime::PipelineModel* model) {
   KernelSession& session = *pending.session;
   const std::vector<Image>& images = *pending.images;
-  const std::uint32_t per_dpu = layout_.max_images;
+  const std::uint32_t per_dpu = pending.per_dpu;
   const std::size_t feat_words = static_cast<std::size_t>(cfg_.filters) *
                                  layout_.words_per_filter;
   const int ppf = cfg_.pool_h() * cfg_.pool_w();

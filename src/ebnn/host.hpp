@@ -28,6 +28,7 @@
 
 #include "ebnn/dpu_kernel.hpp"
 #include "ebnn/model.hpp"
+#include "map/plan.hpp"
 #include "runtime/dpu_pool.hpp"
 #include "runtime/dpu_set.hpp"
 #include "runtime/kernel_session.hpp"
@@ -71,10 +72,13 @@ public:
            const runtime::UpmemConfig& sys = sim::default_config(),
            ConvKernel kernel = ConvKernel::Scalar);
 
-  /// Runs a batch of images. `n_tasklets` tasklets per DPU (<= 16),
-  /// `opt` the simulated compiler optimization level.
+  /// Runs a batch of images. `n_tasklets` defaults to the `map::Mapper`
+  /// sentinel: images-per-DPU and tasklets come from the cost-model search
+  /// (or PIMDNN_MAPPING). An explicit count (<= 16) pins the thesis'
+  /// mapping: 16 images per DPU, the given tasklets. `opt` is the
+  /// simulated compiler optimization level.
   EbnnBatchResult run(const std::vector<Image>& images,
-                      std::uint32_t n_tasklets = 16,
+                      std::uint32_t n_tasklets = map::kAutoTasklets,
                       runtime::OptLevel opt = runtime::OptLevel::O3);
 
   /// Runs `batches` double-buffered over two bank pools (see file
@@ -84,7 +88,7 @@ public:
   /// also under PIMDNN_FAULTS.
   EbnnPipelineResult run_pipelined(
       const std::vector<std::vector<Image>>& batches,
-      std::uint32_t n_tasklets = 16,
+      std::uint32_t n_tasklets = map::kAutoTasklets,
       runtime::OptLevel opt = runtime::OptLevel::O3);
 
   /// The configuration in use.
@@ -118,6 +122,9 @@ private:
     runtime::DpuPool* pool = nullptr;
     const std::vector<Image>* images = nullptr;
     std::uint32_t n_dpus = 0;
+    /// Images per DPU the resolved mapping chose (finish_batch's gather
+    /// must use the same slot count the scatter did).
+    std::uint32_t per_dpu = 0;
     unsigned bank = 0;
     std::size_t item = 0;
   };

@@ -1,0 +1,43 @@
+#include "map/constraints.hpp"
+
+#include "common/bytes.hpp"
+#include "common/error.hpp"
+
+namespace pimdnn::map {
+
+MemSize gemm_a_stride_bytes(int k) {
+  return align_up(static_cast<MemSize>(k) * 2, kXferAlign);
+}
+
+MemSize gemm_a_stage_bytes(int k, int rows_per_dpu) {
+  return static_cast<MemSize>(rows_per_dpu) * gemm_a_stride_bytes(k);
+}
+
+bool gemm_rows_fit(int k, int rows_per_dpu) {
+  return gemm_a_stage_bytes(k, rows_per_dpu) <= kGemmAStageBytes;
+}
+
+int max_gemm_rows_per_dpu(int k) {
+  return static_cast<int>(kGemmAStageBytes / gemm_a_stride_bytes(k));
+}
+
+void require_gemm_shape(int n, int k) {
+  require(n >= 1 && k >= 1, "GEMM dimensions must be positive");
+}
+
+void require_positive_rows(int rows_per_dpu) {
+  require(rows_per_dpu >= 1, "rows_per_dpu must be positive");
+}
+
+void require_gemm_rows(int k, int rows_per_dpu) {
+  require_positive_rows(rows_per_dpu);
+  require(gemm_rows_fit(k, rows_per_dpu),
+          "A rows too large to stage in WRAM (rows_per_dpu * k > 10240)");
+}
+
+void require_gemm_tasklets(std::uint32_t n_tasklets) {
+  require(n_tasklets >= 1 && n_tasklets <= kMaxGemmTasklets,
+          "GEMM tasklets must be in [1, 16]");
+}
+
+} // namespace pimdnn::map

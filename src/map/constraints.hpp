@@ -1,0 +1,54 @@
+// Shared DPU-mapping constraint checks (single source of truth).
+//
+// Before this module, the `rows_per_dpu >= 1` and WRAM A-stage fit checks
+// lived as four near-identical copies across `yolo::dpu_gemm` and
+// `yolo::network`, each with its own literal of the 20 KB (10240 int16
+// element) A-stage budget. Every mapping decision — hand-written or
+// produced by `map::Mapper` — funnels through these helpers now, so the
+// bound exists in exactly one place and the error strings stay stable for
+// the tests that assert them.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace pimdnn::map {
+
+/// WRAM budget for the staged GEMM A rows: 10240 int16 elements (20 KB).
+/// This is the bound `yolo::make_gemm_program` sizes the `a_wram` symbol
+/// against; 16 strip-buffer tasklets plus this stage fill the 64 KB WRAM.
+inline constexpr MemSize kGemmAStageBytes = 20 * 1024;
+
+/// Maximum tasklets the GEMM program allocates strip buffers for.
+inline constexpr std::uint32_t kMaxGemmTasklets = 16;
+
+/// Bytes one A row of `k` int16 occupies in the stage (8-byte aligned).
+MemSize gemm_a_stride_bytes(int k);
+
+/// Bytes `rows_per_dpu` staged A rows occupy.
+MemSize gemm_a_stage_bytes(int k, int rows_per_dpu);
+
+/// True if `rows_per_dpu` rows of `k` int16 fit the WRAM A-stage budget.
+bool gemm_rows_fit(int k, int rows_per_dpu);
+
+/// Largest `rows_per_dpu` that fits the A-stage budget for width `k`
+/// (at least 1 only when one row fits; 0 when even a single row is too
+/// large — no feasible WramTiled mapping exists for that k).
+int max_gemm_rows_per_dpu(int k);
+
+/// Throws UsageError("GEMM dimensions must be positive") unless n,k >= 1.
+void require_gemm_shape(int n, int k);
+
+/// Throws UsageError("rows_per_dpu must be positive") unless rows >= 1.
+void require_positive_rows(int rows_per_dpu);
+
+/// Positivity plus the WRAM fit: throws
+/// UsageError("A rows too large to stage in WRAM (rows_per_dpu * k >
+/// 10240)") when the staged rows exceed the budget.
+void require_gemm_rows(int k, int rows_per_dpu);
+
+/// Throws UsageError("GEMM tasklets must be in [1, 16]") otherwise.
+void require_gemm_tasklets(std::uint32_t n_tasklets);
+
+} // namespace pimdnn::map

@@ -1,0 +1,39 @@
+#include "map/cost.hpp"
+
+#include "pimmodel/model.hpp"
+#include "runtime/pipeline.hpp"
+
+namespace pimdnn::map {
+
+CostParams CostParams::upmem() {
+  const pimmodel::UpmemModel m;
+  CostParams p;
+  p.frequency_hz = m.frequency_hz();
+  // sizebuf bits moved per t_transfer seconds (Table 5.3).
+  p.host_link_bytes_per_second =
+      (static_cast<double>(m.sizebuf_bits()) / 8.0) / m.t_transfer_s();
+  return p;
+}
+
+PredictedBreakdown predict(const CostParams& params,
+                           const CandidateTraffic& traffic) {
+  PredictedBreakdown out;
+  out.kernel_cycles = traffic.kernel_cycles;
+  out.to_dpu_seconds = static_cast<double>(traffic.bytes_to_dpu) /
+                       params.host_link_bytes_per_second;
+  out.kernel_seconds =
+      static_cast<double>(traffic.kernel_cycles) / params.frequency_hz;
+  out.from_dpu_seconds = static_cast<double>(traffic.bytes_from_dpu) /
+                         params.host_link_bytes_per_second;
+
+  // Compose on the same timeline the pipelined executors report against:
+  // one item through xfer -> kernel -> xfer on a single bank.
+  runtime::PipelineModel model(1);
+  model.xfer_stage(0, 0, out.to_dpu_seconds);
+  model.dpu_stage(0, 0, out.kernel_seconds);
+  model.xfer_stage(0, 0, out.from_dpu_seconds);
+  out.makespan_seconds = model.stats().makespan_seconds;
+  return out;
+}
+
+} // namespace pimdnn::map

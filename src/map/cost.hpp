@@ -1,0 +1,42 @@
+// Cost adaptor: prices one mapping candidate on the Chapter-5 analytical
+// machine model, composed through runtime::PipelineModel's timeline.
+//
+// A candidate is reduced to three numbers — bytes pushed to the DPUs,
+// kernel wall cycles of the slowest DPU, bytes pulled back — and priced
+// as a host->transfer->kernel->transfer chain on the PipelineModel, the
+// same timeline object the pipelined executors report against. Transfer
+// durations come from the pimmodel host-link parameters (sizebuf /
+// t_transfer, Chapter 5's Table 5.3 memory model); kernel duration is the
+// cycle estimate at the DPU clock.
+#pragma once
+
+#include "common/types.hpp"
+#include "map/plan.hpp"
+
+namespace pimdnn::map {
+
+/// Machine parameters of the price function.
+struct CostParams {
+  /// DPU clock (Hz).
+  double frequency_hz = 350e6;
+  /// Host<->DPU link bandwidth (bytes/second).
+  double host_link_bytes_per_second = 666.7e6;
+
+  /// Parameters derived from pimmodel::UpmemModel (the validated
+  /// Chapter-5 calibration: 350 MHz, 512 kbit buffer per 96 us transfer).
+  static CostParams upmem();
+};
+
+/// What one candidate moves and computes.
+struct CandidateTraffic {
+  MemSize bytes_to_dpu = 0;   ///< broadcast + scatter total
+  MemSize bytes_from_dpu = 0; ///< gather total
+  Cycles kernel_cycles = 0;   ///< slowest DPU's kernel wall
+};
+
+/// Prices the candidate: per-stage seconds plus the PipelineModel-composed
+/// makespan of the to->kernel->from chain.
+PredictedBreakdown predict(const CostParams& params,
+                           const CandidateTraffic& traffic);
+
+} // namespace pimdnn::map

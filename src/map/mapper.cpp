@@ -1,0 +1,191 @@
+#include "map/mapper.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/error.hpp"
+#include "obs/metrics.hpp"
+
+namespace pimdnn::map {
+
+namespace {
+
+/// Counts the plan in obs and dumps it in explain mode.
+void note_plan(const char* kind, const MappingPlan& plan) {
+  auto& m = obs::Metrics::instance();
+  m.add(std::string("map.plan.") + kind);
+  m.add(std::string("map.plan.source.") +
+        mapping_source_name(plan.source));
+  if (mapping_explain()) {
+    std::fprintf(stderr, "[map] %s %s\n", kind, plan.to_string().c_str());
+  }
+}
+
+bool cheaper(const MappingPlan& a, const MappingPlan& b) {
+  return a.predicted.makespan_seconds < b.predicted.makespan_seconds;
+}
+
+} // namespace
+
+Mapper::Mapper(CostParams params) : params_(params) {}
+
+std::uint32_t Mapper::saturating_tasklets(const sim::UpmemConfig& sys) {
+  return sys.pipeline_stages;
+}
+
+MappingPlan Mapper::price_gemm(const GemmRequest& req, int rows,
+                               std::uint32_t n_tasklets,
+                               MappingSource source) const {
+  require_gemm_rows(req.k, rows);
+  require_gemm_tasklets(n_tasklets);
+
+  MappingPlan plan;
+  plan.rows_per_dpu = rows;
+  plan.items_per_dpu = 1;
+  plan.n_tasklets = n_tasklets;
+  plan.n_dpus = static_cast<std::uint32_t>(
+      (static_cast<std::uint64_t>(req.m) + rows - 1) /
+      static_cast<std::uint64_t>(rows));
+  plan.source = source;
+
+  CandidateTraffic traffic;
+  traffic.bytes_to_dpu =
+      static_cast<MemSize>(plan.n_dpus) *
+      (req.bcast_bytes_per_dpu +
+       static_cast<MemSize>(rows) * req.a_bytes_per_row);
+  traffic.bytes_from_dpu = static_cast<MemSize>(plan.n_dpus) *
+                           static_cast<MemSize>(rows) * req.c_bytes_per_row;
+  traffic.kernel_cycles = req.kernel_cycles(rows, n_tasklets);
+  plan.predicted = predict(params_, traffic);
+  return plan;
+}
+
+MappingPlan Mapper::plan_gemm(const GemmRequest& req) const {
+  require_gemm_shape(req.n, req.k);
+  require(req.m >= 1, "GEMM needs at least one row");
+  require(static_cast<bool>(req.kernel_cycles),
+          "GemmRequest needs a kernel_cycles estimator");
+
+  const bool rows_pinned = req.pinned_rows != kAutoRows;
+  const bool tasklets_pinned = req.pinned_tasklets != kAutoTasklets;
+
+  MappingPlan plan;
+  if (rows_pinned || tasklets_pinned) {
+    // A caller pin freezes the whole plan: unpinned dimensions take the
+    // paper values so the historical APIs behave exactly as before.
+    plan = price_gemm(req, rows_pinned ? req.pinned_rows : req.paper_rows,
+                      tasklets_pinned ? req.pinned_tasklets
+                                      : req.paper_tasklets,
+                      MappingSource::Pinned);
+  } else {
+    const MappingOverride o = mapping_override();
+    if (o.kind == MappingOverride::Kind::Paper) {
+      plan = price_gemm(req, req.paper_rows, req.paper_tasklets,
+                        MappingSource::Paper);
+    } else if (o.kind == MappingOverride::Kind::Pinned) {
+      plan = price_gemm(req, o.rows_per_dpu.value_or(req.paper_rows),
+                        o.n_tasklets.value_or(req.paper_tasklets),
+                        MappingSource::Pinned);
+    } else {
+      // Auto: price the paper mapping first, replace only on a strictly
+      // cheaper candidate — the argmin is never worse than the paper's.
+      plan = price_gemm(req, req.paper_rows, req.paper_tasklets,
+                        MappingSource::Auto);
+      const auto tasklets = tasklet_candidates(
+          std::min(req.limits.max_tasklets, kMaxGemmTasklets));
+      for (int rows : gemm_rows_candidates(req.m, req.k, req.limits)) {
+        for (std::uint32_t t : tasklets) {
+          const MappingPlan cand =
+              price_gemm(req, rows, t, MappingSource::Auto);
+          if (cheaper(cand, plan)) {
+            plan = cand;
+          }
+        }
+      }
+    }
+  }
+  note_plan("gemm", plan);
+  return plan;
+}
+
+MappingPlan Mapper::price_batch(const BatchRequest& req, std::uint32_t items,
+                                std::uint32_t n_tasklets,
+                                MappingSource source) const {
+  require(items >= 1 && items <= req.capacity,
+          "mapping: images per DPU exceed the WRAM capacity");
+  require(n_tasklets >= 1 && n_tasklets <= req.capacity,
+          "mapping: tasklets exceed the per-DPU item slots");
+
+  MappingPlan plan;
+  plan.rows_per_dpu = 1;
+  plan.items_per_dpu = items;
+  plan.n_tasklets = n_tasklets;
+  plan.n_dpus =
+      static_cast<std::uint32_t>((req.n_items + items - 1) / items);
+  plan.source = source;
+
+  CandidateTraffic traffic;
+  traffic.bytes_to_dpu =
+      static_cast<MemSize>(plan.n_dpus) * req.const_bytes_per_dpu +
+      static_cast<MemSize>(req.n_items) * req.item_in_bytes;
+  traffic.bytes_from_dpu =
+      static_cast<MemSize>(req.n_items) * req.item_out_bytes;
+  if (req.kernel_cycles) {
+    // The wall is set by the fullest DPU.
+    const auto fullest = static_cast<std::uint32_t>(
+        std::min<std::size_t>(items, req.n_items));
+    traffic.kernel_cycles = req.kernel_cycles(fullest, n_tasklets);
+  }
+  plan.predicted = predict(params_, traffic);
+  return plan;
+}
+
+MappingPlan Mapper::plan_batch(const BatchRequest& req) const {
+  require(req.n_items >= 1, "BatchRequest needs at least one item");
+  require(req.capacity >= 1, "BatchRequest needs a per-DPU capacity");
+
+  const std::uint32_t paper_items =
+      req.paper_items != 0 ? req.paper_items : req.capacity;
+  const std::uint32_t paper_tasklets =
+      req.paper_tasklets != 0 ? req.paper_tasklets : paper_items;
+
+  MappingPlan plan;
+  if (req.pinned_tasklets != kAutoTasklets) {
+    plan = price_batch(req, paper_items, req.pinned_tasklets,
+                       MappingSource::Pinned);
+  } else {
+    const MappingOverride o = mapping_override();
+    if (o.kind == MappingOverride::Kind::Paper) {
+      plan = price_batch(req, paper_items, paper_tasklets,
+                         MappingSource::Paper);
+    } else if (o.kind == MappingOverride::Kind::Pinned) {
+      plan = price_batch(req, o.items_per_dpu.value_or(paper_items),
+                         o.n_tasklets.value_or(paper_tasklets),
+                         MappingSource::Pinned);
+    } else if (!req.kernel_cycles) {
+      // No estimator to search with: keep the paper mapping.
+      plan = price_batch(req, paper_items, paper_tasklets,
+                         MappingSource::Paper);
+    } else {
+      plan = price_batch(req, paper_items, paper_tasklets,
+                         MappingSource::Auto);
+      for (std::uint32_t items :
+           batch_items_candidates(req.capacity, req.n_items, req.limits)) {
+        for (std::uint32_t t : tasklet_candidates(
+                 std::min(items, req.limits.max_tasklets == 0
+                                     ? items
+                                     : req.limits.max_tasklets))) {
+          const MappingPlan cand =
+              price_batch(req, items, t, MappingSource::Auto);
+          if (cheaper(cand, plan)) {
+            plan = cand;
+          }
+        }
+      }
+    }
+  }
+  note_plan("batch", plan);
+  return plan;
+}
+
+} // namespace pimdnn::map

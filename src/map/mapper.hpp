@@ -1,0 +1,108 @@
+// Mapper: the argmin search over the mapping space.
+//
+// Pipelines describe a workload as a request — its shape, the per-DPU
+// byte traffic of one candidate, the WRAM-derived feasibility limits, the
+// paper's fixed mapping, and a kernel-cost callback that prices one
+// candidate's kernel wall (the pipelines own their exact analytical
+// estimators; the mapper never links against them) — and get back the
+// cheapest feasible `MappingPlan` under the composed transfer+kernel
+// timeline.
+//
+// Resolution precedence, highest first:
+//   1. caller pins (explicit historical API arguments) — the plan is
+//      exactly what the caller asked for (unpinned dimensions take the
+//      paper values), whatever PIMDNN_MAPPING says;
+//   2. PIMDNN_MAPPING=paper / rows=..,images=..,tasklets=..;
+//   3. auto search. The paper candidate is priced first and replaced only
+//      by a strictly cheaper one, so the auto plan is never predicted
+//      worse than the thesis' mapping.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "map/cost.hpp"
+#include "map/plan.hpp"
+#include "map/space.hpp"
+#include "sim/config.hpp"
+
+namespace pimdnn::map {
+
+/// Prices one GEMM candidate's kernel wall (exact analytical estimate).
+using GemmKernelCost =
+    std::function<Cycles(int rows_per_dpu, std::uint32_t n_tasklets)>;
+
+/// Prices one batched-kernel candidate's kernel wall for the fullest DPU
+/// (`items` images resident, `n_tasklets` threads).
+using BatchKernelCost =
+    std::function<Cycles(std::uint32_t items, std::uint32_t n_tasklets)>;
+
+/// A GEMM workload (C[MxN] = A[MxK] * B[KxN], rows of A/C per DPU).
+struct GemmRequest {
+  int m = 1;
+  int n = 1;
+  int k = 1;
+  Limits limits;
+  /// Exact kernel wall of one DPU under (rows_per_dpu, tasklets). Required.
+  GemmKernelCost kernel_cycles;
+  /// Bytes broadcast to every DPU (B matrix + metadata).
+  MemSize bcast_bytes_per_dpu = 0;
+  /// Bytes scattered per A row / gathered per C row.
+  MemSize a_bytes_per_row = 0;
+  MemSize c_bytes_per_row = 0;
+  /// The thesis' mapping (Figure 4.6: one row per DPU, 11 tasklets).
+  int paper_rows = 1;
+  std::uint32_t paper_tasklets = 11;
+  /// Caller pins (historical explicit arguments); sentinels mean "auto".
+  int pinned_rows = kAutoRows;
+  std::uint32_t pinned_tasklets = kAutoTasklets;
+};
+
+/// A batched many-items-per-DPU workload (eBNN, deep eBNN, Offloader).
+struct BatchRequest {
+  std::size_t n_items = 0;
+  /// Items one DPU can hold (WRAM-derived; 16 for single-block eBNN).
+  std::uint32_t capacity = 1;
+  Limits limits;
+  /// Exact kernel wall of the fullest DPU. Null = no estimator: the plan
+  /// falls back to the paper mapping instead of searching.
+  BatchKernelCost kernel_cycles;
+  MemSize item_in_bytes = 0;
+  MemSize item_out_bytes = 0;
+  /// Bytes broadcast to every DPU (weights, LUTs, metadata).
+  MemSize const_bytes_per_dpu = 0;
+  /// The paper mapping; 0 means "fill the capacity" / "one tasklet per
+  /// item slot" (§4.1.3's 16 images, 16 tasklets).
+  std::uint32_t paper_items = 0;
+  std::uint32_t paper_tasklets = 0;
+  /// Caller pin (historical explicit tasklet argument).
+  std::uint32_t pinned_tasklets = kAutoTasklets;
+};
+
+class Mapper {
+public:
+  explicit Mapper(CostParams params = CostParams::upmem());
+
+  /// Resolves a GEMM mapping (rows_per_dpu, tasklets, DPU count).
+  MappingPlan plan_gemm(const GemmRequest& req) const;
+
+  /// Resolves a batched-kernel mapping (items_per_dpu, tasklets).
+  MappingPlan plan_batch(const BatchRequest& req) const;
+
+  /// Tasklets needed to saturate the instruction pipeline (Figure 4.7a) —
+  /// the advisor's under-threading threshold.
+  static std::uint32_t saturating_tasklets(
+      const sim::UpmemConfig& sys = sim::default_config());
+
+private:
+  MappingPlan price_gemm(const GemmRequest& req, int rows,
+                         std::uint32_t n_tasklets,
+                         MappingSource source) const;
+  MappingPlan price_batch(const BatchRequest& req, std::uint32_t items,
+                          std::uint32_t n_tasklets,
+                          MappingSource source) const;
+
+  CostParams params_;
+};
+
+} // namespace pimdnn::map

@@ -1,0 +1,202 @@
+#include "map/plan.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace pimdnn::map {
+
+namespace {
+
+std::mutex g_override_mutex;
+std::optional<MappingOverride> g_override;   // set_default_mapping_override
+std::optional<MappingOverride> g_env_cache;  // parsed PIMDNN_MAPPING
+
+MappingOverride resolve_env_locked() {
+  if (!g_env_cache.has_value()) {
+    const char* env = std::getenv("PIMDNN_MAPPING");
+    if (env == nullptr || *env == '\0') {
+      g_env_cache = MappingOverride{};
+    } else {
+      g_env_cache = MappingOverride::parse(env);
+    }
+  }
+  return *g_env_cache;
+}
+
+/// Parses a non-negative integer; throws ConfigError on junk.
+std::uint64_t parse_u64(const std::string& text, const std::string& what) {
+  if (text.empty()) {
+    throw ConfigError("PIMDNN_MAPPING: empty value for " + what);
+  }
+  std::uint64_t v = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') {
+      throw ConfigError("PIMDNN_MAPPING: bad number '" + text + "' for " +
+                        what);
+    }
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return v;
+}
+
+} // namespace
+
+const char* mapping_source_name(MappingSource s) {
+  switch (s) {
+  case MappingSource::Auto:
+    return "auto";
+  case MappingSource::Paper:
+    return "paper";
+  case MappingSource::Pinned:
+    return "pinned";
+  }
+  return "?";
+}
+
+std::string MappingPlan::to_string() const {
+  std::ostringstream os;
+  os << "map{" << mapping_source_name(source) << " rows=" << rows_per_dpu
+     << " items=" << items_per_dpu << " tasklets=" << n_tasklets
+     << " dpus=" << n_dpus << " kernel=" << predicted.kernel_cycles
+     << "cy makespan=" << predicted.makespan_seconds * 1e3 << "ms}";
+  return os.str();
+}
+
+std::string MappingPlan::obs_suffix() const {
+  std::ostringstream os;
+  os << "/map=" << mapping_source_name(source) << "/r=" << rows_per_dpu
+     << "/i=" << items_per_dpu << "/t=" << n_tasklets;
+  return os.str();
+}
+
+MappingOverride MappingOverride::parse(const std::string& text) {
+  MappingOverride o;
+  if (text == "auto") {
+    o.kind = Kind::Auto;
+    return o;
+  }
+  if (text == "paper") {
+    o.kind = Kind::Paper;
+    return o;
+  }
+  o.kind = Kind::Pinned;
+  std::size_t pos = 0;
+  bool any = false;
+  while (pos <= text.size()) {
+    const std::size_t comma = text.find(',', pos);
+    const std::string part = text.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    pos = comma == std::string::npos ? text.size() + 1 : comma + 1;
+    if (part.empty()) {
+      throw ConfigError("PIMDNN_MAPPING: empty term in '" + text + "'");
+    }
+    const std::size_t eq = part.find('=');
+    if (eq == std::string::npos) {
+      throw ConfigError("PIMDNN_MAPPING: expected key=value, got '" + part +
+                        "'");
+    }
+    const std::string key = part.substr(0, eq);
+    const std::string val = part.substr(eq + 1);
+    if (key == "rows") {
+      const std::uint64_t v = parse_u64(val, "rows");
+      if (v < 1) {
+        throw ConfigError("PIMDNN_MAPPING: rows must be >= 1");
+      }
+      o.rows_per_dpu = static_cast<int>(v);
+    } else if (key == "images") {
+      const std::uint64_t v = parse_u64(val, "images");
+      if (v < 1) {
+        throw ConfigError("PIMDNN_MAPPING: images must be >= 1");
+      }
+      o.items_per_dpu = static_cast<std::uint32_t>(v);
+    } else if (key == "tasklets") {
+      const std::uint64_t v = parse_u64(val, "tasklets");
+      if (v < 1) {
+        throw ConfigError("PIMDNN_MAPPING: tasklets must be >= 1");
+      }
+      o.n_tasklets = static_cast<std::uint32_t>(v);
+    } else {
+      throw ConfigError("PIMDNN_MAPPING: unknown key '" + key +
+                        "' (want rows/images/tasklets, or auto/paper)");
+    }
+    any = true;
+  }
+  if (!any) {
+    throw ConfigError("PIMDNN_MAPPING: empty override");
+  }
+  return o;
+}
+
+std::string MappingOverride::to_string() const {
+  if (kind == Kind::Auto) {
+    return "auto";
+  }
+  if (kind == Kind::Paper) {
+    return "paper";
+  }
+  std::ostringstream os;
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) os << ",";
+    first = false;
+  };
+  if (rows_per_dpu.has_value()) {
+    sep();
+    os << "rows=" << *rows_per_dpu;
+  }
+  if (items_per_dpu.has_value()) {
+    sep();
+    os << "images=" << *items_per_dpu;
+  }
+  if (n_tasklets.has_value()) {
+    sep();
+    os << "tasklets=" << *n_tasklets;
+  }
+  return os.str();
+}
+
+MappingOverride mapping_override() {
+  std::lock_guard<std::mutex> lk(g_override_mutex);
+  if (g_override.has_value()) {
+    return *g_override;
+  }
+  return resolve_env_locked();
+}
+
+void set_default_mapping_override(const MappingOverride& o) {
+  std::lock_guard<std::mutex> lk(g_override_mutex);
+  g_override = o;
+}
+
+void clear_default_mapping_override() {
+  std::lock_guard<std::mutex> lk(g_override_mutex);
+  g_override.reset();
+}
+
+ScopedMappingOverride::ScopedMappingOverride(const MappingOverride& o) {
+  std::lock_guard<std::mutex> lk(g_override_mutex);
+  prev_ = g_override;
+  g_override = o;
+}
+
+ScopedMappingOverride::ScopedMappingOverride(const std::string& text)
+    : ScopedMappingOverride(MappingOverride::parse(text)) {}
+
+ScopedMappingOverride::~ScopedMappingOverride() {
+  std::lock_guard<std::mutex> lk(g_override_mutex);
+  g_override = prev_;
+}
+
+bool mapping_explain() {
+  static const bool on = [] {
+    const char* env = std::getenv("PIMDNN_MAPPING_EXPLAIN");
+    return env != nullptr && *env != '\0';
+  }();
+  return on;
+}
+
+} // namespace pimdnn::map

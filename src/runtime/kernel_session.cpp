@@ -469,7 +469,7 @@ LaunchStats KernelSession::finish() {
   sample.retries = retries_;
   sample.faults_absorbed = absorbed_;
   sample.cpu_fallbacks = degraded_ ? 1 : 0;
-  obs::Metrics::instance().record_offload(signature_, sample);
+  obs::Metrics::instance().record_offload(signature_ + annotation_, sample);
 
   if (span_.active()) {
     span_.u64("cycles", stats_.wall_cycles);

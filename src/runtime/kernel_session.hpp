@@ -177,13 +177,20 @@ public:
                     std::uint32_t items_per_dpu, MemSize slot_stride,
                     const Sink& sink);
 
+  /// Appends `text` to the signature used for the obs per-signature
+  /// offload summary (not the pool's program-cache key — annotations never
+  /// force a reload). Pipelines annotate the resolved mapping
+  /// (`MappingPlan::obs_suffix()`) here so sweeps over different mappings
+  /// never aggregate into one histogram bucket.
+  void annotate(const std::string& text) { annotation_ += text; }
+
   /// Stamps the host-transfer delta since construction (activation, every
   /// broadcast/scatter/gather, the launch's load walls) into the launch
   /// stats, closes the session's trace span, and records the offload under
-  /// its signature in obs::Metrics. Call exactly once, after the last
-  /// gather (or after a degraded launch): calling twice, or before any
-  /// launch/degradation, throws UsageError and emits nothing — the sample
-  /// is never double-recorded.
+  /// its signature (plus any annotation) in obs::Metrics. Call exactly
+  /// once, after the last gather (or after a degraded launch): calling
+  /// twice, or before any launch/degradation, throws UsageError and emits
+  /// nothing — the sample is never double-recorded.
   LaunchStats finish();
 
 private:
@@ -213,6 +220,8 @@ private:
   DpuPool& pool_;
   std::uint32_t n_dpus_;
   std::string signature_;
+  /// obs-only signature suffix (annotate()); not part of the cache key.
+  std::string annotation_;
   sim::HostXferStats host_before_;
   /// Root trace span of the whole offload; declared before `activation_` so
   /// the pool's activate/build/load spans nest inside it.

@@ -6,6 +6,7 @@
 #include "common/bytes.hpp"
 #include "common/error.hpp"
 #include "common/fixed_point.hpp"
+#include "map/constraints.hpp"
 #include "nn/gemm.hpp"
 #include "runtime/kernel_session.hpp"
 
@@ -22,12 +23,6 @@ namespace {
 /// caps eBNN at 16 images, §4.1.3).
 constexpr MemSize kDmaMax = 2048;
 
-/// Maximum tasklets the program allocates strip buffers for.
-constexpr std::uint32_t kMaxGemmTasklets = 16;
-
-/// WRAM budget for the staged A rows.
-constexpr MemSize kMaxAStageBytes = 20 * 1024;
-
 struct Meta {
   std::uint64_t n;
   std::uint64_t k;
@@ -36,9 +31,7 @@ struct Meta {
   std::uint64_t rows;
 };
 
-MemSize a_stride_bytes(int k) {
-  return align_up(static_cast<MemSize>(k) * 2, kXferAlign);
-}
+MemSize a_stride_bytes(int k) { return map::gemm_a_stride_bytes(k); }
 
 MemSize c_stride_bytes(int n) {
   return align_up(static_cast<MemSize>(n) * 2, kXferAlign);
@@ -54,7 +47,7 @@ void gemm_tasklet(TaskletCtx& ctx) {
   const auto variant = static_cast<GemmVariant>(meta[3]);
   const int rows = static_cast<int>(meta[4]);
 
-  require(ctx.n_tasklets() <= kMaxGemmTasklets,
+  require(ctx.n_tasklets() <= map::kMaxGemmTasklets,
           "GEMM program supports at most 16 tasklets");
 
   auto a_wram = ctx.wram_span<std::int16_t>("a_wram");
@@ -179,12 +172,9 @@ void gemm_tasklet(TaskletCtx& ctx) {
 
 sim::DpuProgram make_gemm_program(int n, int k, GemmVariant variant,
                                   int rows_per_dpu) {
-  require(n >= 1 && k >= 1, "GEMM dimensions must be positive");
-  require(rows_per_dpu >= 1, "rows_per_dpu must be positive");
-  const MemSize a_bytes =
-      static_cast<MemSize>(rows_per_dpu) * a_stride_bytes(k);
-  require(a_bytes <= kMaxAStageBytes,
-          "A rows too large to stage in WRAM (rows_per_dpu * k > 10240)");
+  map::require_gemm_shape(n, k);
+  map::require_gemm_rows(k, rows_per_dpu);
+  const MemSize a_bytes = map::gemm_a_stage_bytes(k, rows_per_dpu);
 
   sim::DpuProgram prog;
   prog.name = "yolo_gemm";
@@ -194,9 +184,9 @@ sim::DpuProgram make_gemm_program(int n, int k, GemmVariant variant,
   prog.symbols = {
       {"meta", MemKind::Wram, sizeof(Meta)},
       {"a_wram", MemKind::Wram, a_bytes},
-      {"bchunk", MemKind::Wram, kMaxGemmTasklets * kGemmStrip * 2},
-      {"ctmpw", MemKind::Wram, kMaxGemmTasklets * kGemmStrip * 4},
-      {"coutw", MemKind::Wram, kMaxGemmTasklets * kGemmStrip * 2},
+      {"bchunk", MemKind::Wram, map::kMaxGemmTasklets * kGemmStrip * 2},
+      {"ctmpw", MemKind::Wram, map::kMaxGemmTasklets * kGemmStrip * 4},
+      {"coutw", MemKind::Wram, map::kMaxGemmTasklets * kGemmStrip * 2},
       {"a_rows", MemKind::Mram, a_bytes},
       {"b_mat", MemKind::Mram,
        align_up(static_cast<MemSize>(k) * n * 2, kXferAlign)},
@@ -209,6 +199,36 @@ sim::DpuProgram make_gemm_program(int n, int k, GemmVariant variant,
   return prog;
 }
 
+map::MappingPlan plan_gemm_mapping(int m, int n, int k, GemmVariant variant,
+                                   runtime::OptLevel opt,
+                                   std::uint32_t n_tasklets, int rows_per_dpu,
+                                   const map::Limits& limits) {
+  require(m >= 1, "GEMM needs at least one row");
+  map::require_gemm_shape(n, k);
+  if (rows_per_dpu != map::kAutoRows) {
+    map::require_gemm_rows(k, rows_per_dpu);
+  }
+  if (n_tasklets != map::kAutoTasklets) {
+    map::require_gemm_tasklets(n_tasklets);
+  }
+
+  map::GemmRequest req;
+  req.m = m;
+  req.n = n;
+  req.k = k;
+  req.limits = limits;
+  req.kernel_cycles = [n, k, variant, opt](int rows, std::uint32_t t) {
+    return estimate_gemm_row_cycles(n, k, variant, t, opt, rows);
+  };
+  req.bcast_bytes_per_dpu =
+      sizeof(Meta) + align_up(static_cast<MemSize>(k) * n * 2, kXferAlign);
+  req.a_bytes_per_row = a_stride_bytes(k);
+  req.c_bytes_per_row = c_stride_bytes(n);
+  req.pinned_rows = rows_per_dpu;
+  req.pinned_tasklets = n_tasklets;
+  return map::Mapper().plan_gemm(req);
+}
+
 GemmResult dpu_gemm_pooled(runtime::DpuPool& pool, int m, int n, int k,
                            std::int16_t alpha,
                            std::span<const std::int16_t> a,
@@ -217,12 +237,12 @@ GemmResult dpu_gemm_pooled(runtime::DpuPool& pool, int m, int n, int k,
                            runtime::OptLevel opt, int rows_per_dpu,
                            const std::string& weights_tag,
                            std::uint64_t weights_version) {
-  require(m >= 1, "GEMM needs at least one row");
-  require(rows_per_dpu >= 1, "rows_per_dpu must be positive");
+  const map::MappingPlan plan =
+      plan_gemm_mapping(m, n, k, variant, opt, n_tasklets, rows_per_dpu);
+  n_tasklets = plan.n_tasklets;
+  rows_per_dpu = plan.rows_per_dpu;
   require(a.size() >= static_cast<std::size_t>(m) * k, "A too small");
   require(b.size() >= static_cast<std::size_t>(k) * n, "B too small");
-  require(n_tasklets >= 1 && n_tasklets <= kMaxGemmTasklets,
-          "GEMM tasklets must be in [1, 16]");
 
   const auto na = KernelSession::dpus_for(static_cast<std::size_t>(m),
                                           static_cast<std::uint32_t>(rows_per_dpu));
@@ -243,6 +263,9 @@ GemmResult dpu_gemm_pooled(runtime::DpuPool& pool, int m, int n, int k,
   KernelSession session(pool, sig, na, [&] {
     return make_gemm_program(n, k, variant, rows_per_dpu);
   });
+  // The resolved mapping tags the obs offload summary (not the program
+  // cache key above — identical programs still share one load).
+  session.annotate(plan.obs_suffix());
 
   // Broadcast the kernel metadata every call — alpha is not part of the
   // program signature, so two layers sharing (n, k) may disagree on it.
@@ -318,10 +341,9 @@ GemmResult dpu_gemm(int m, int n, int k, std::int16_t alpha,
 Cycles estimate_gemm_row_cycles(int n, int k, GemmVariant variant,
                                 std::uint32_t n_tasklets,
                                 runtime::OptLevel opt, int rows_per_dpu) {
-  require(n >= 1 && k >= 1, "GEMM dimensions must be positive");
-  require(rows_per_dpu >= 1, "rows_per_dpu must be positive");
-  require(n_tasklets >= 1 && n_tasklets <= kMaxGemmTasklets,
-          "GEMM tasklets must be in [1, 16]");
+  map::require_gemm_shape(n, k);
+  map::require_positive_rows(rows_per_dpu);
+  map::require_gemm_tasklets(n_tasklets);
   const CostModel cost(opt);
 
   struct T {

@@ -36,6 +36,7 @@
 #include <string>
 #include <vector>
 
+#include "map/mapper.hpp"
 #include "runtime/dpu_pool.hpp"
 #include "runtime/dpu_set.hpp"
 
@@ -82,15 +83,30 @@ sim::DpuProgram make_gemm_program(int n, int k, GemmVariant variant,
 /// C per DPU, all of B on every DPU); larger values implement the §6.1
 /// future-work mapping that packs more work per DPU to free DPUs for other
 /// frames.
+/// Sentinel-aware: `n_tasklets = map::kAutoTasklets` and/or
+/// `rows_per_dpu = map::kAutoRows` ask `map::Mapper` for the dimension
+/// (subject to PIMDNN_MAPPING); explicit values pin the plan.
 GemmResult dpu_gemm_pooled(runtime::DpuPool& pool, int m, int n, int k,
                            std::int16_t alpha,
                            std::span<const std::int16_t> a,
                            std::span<const std::int16_t> b,
                            GemmVariant variant, std::uint32_t n_tasklets,
                            runtime::OptLevel opt = runtime::OptLevel::O3,
-                           int rows_per_dpu = 1,
+                           int rows_per_dpu = map::kAutoRows,
                            const std::string& weights_tag = {},
                            std::uint64_t weights_version = 0);
+
+/// Resolves the (rows_per_dpu, n_tasklets) mapping for an M x N x K GEMM
+/// through `map::Mapper` — the single path every GEMM call site takes
+/// (dpu_gemm_pooled resolves with it; YoloRunner pre-resolves per layer to
+/// size its bank pools). Sentinel arguments engage the auto search /
+/// PIMDNN_MAPPING; explicit values pin the plan (unpinned dimensions take
+/// the thesis' values: one row per DPU, 11 tasklets).
+map::MappingPlan plan_gemm_mapping(int m, int n, int k, GemmVariant variant,
+                                   runtime::OptLevel opt,
+                                   std::uint32_t n_tasklets = map::kAutoTasklets,
+                                   int rows_per_dpu = map::kAutoRows,
+                                   const map::Limits& limits = {});
 
 /// One-shot convenience wrapper: runs dpu_gemm_pooled on a transient
 /// single-use pool (allocate + load + scatter every call — the cold path
@@ -101,7 +117,7 @@ GemmResult dpu_gemm(int m, int n, int k, std::int16_t alpha,
                     std::uint32_t n_tasklets,
                     runtime::OptLevel opt = runtime::OptLevel::O3,
                     const runtime::UpmemConfig& sys = sim::default_config(),
-                    int rows_per_dpu = 1);
+                    int rows_per_dpu = map::kAutoRows);
 
 /// Exact analytic cycle count for one DPU computing `rows_per_dpu`
 /// N-column rows with the given variant/tasklets/opt — mirrors the

@@ -137,15 +137,65 @@ sim::HostXferStats YoloRunner::pool_host_stats() const {
   return out;
 }
 
-runtime::DpuPool& YoloRunner::bank_pool(unsigned bank,
-                                        const RunOptions& opts) const {
-  std::uint32_t peak = 1;
-  for (const LayerDef& d : defs_) {
-    if (d.type == LayerType::Convolutional) {
-      peak = std::max(peak, static_cast<std::uint32_t>(
-                                (d.filters + opts.rows_per_dpu - 1) /
-                                opts.rows_per_dpu));
+std::vector<map::MappingPlan> YoloRunner::resolve_layer_plans(
+    const RunOptions& opts) const {
+  std::vector<map::MappingPlan> plans(defs_.size());
+  const GemmVariant variant = opts.mode == ExecMode::DpuMram
+                                  ? GemmVariant::MramResident
+                                  : GemmVariant::WramTiled;
+  struct Dim {
+    int c, h, w;
+  };
+  std::vector<Dim> dims;
+  Dim cd{in_c_, in_h_, in_w_};
+  for (std::size_t i = 0; i < defs_.size(); ++i) {
+    const LayerDef& d = defs_[i];
+    auto resolve = [&](int idx) {
+      return static_cast<std::size_t>(
+          idx < 0 ? static_cast<long>(i) + idx : static_cast<long>(idx));
+    };
+    switch (d.type) {
+      case LayerType::Convolutional: {
+        const nn::ConvGeom g{cd.c, cd.h, cd.w, d.filters,
+                             d.size, d.stride, d.pad};
+        plans[i] = plan_gemm_mapping(g.gemm_m(), g.gemm_n(), g.gemm_k(),
+                                     variant, opts.opt, opts.n_tasklets,
+                                     opts.rows_per_dpu);
+        cd = {d.filters, g.out_h(), g.out_w()};
+        break;
+      }
+      case LayerType::Route: {
+        Dim nd{0, 0, 0};
+        for (int idx : d.layers) {
+          nd.c += dims[resolve(idx)].c;
+          nd.h = dims[resolve(idx)].h;
+          nd.w = dims[resolve(idx)].w;
+        }
+        cd = nd;
+        break;
+      }
+      case LayerType::Upsample:
+        cd.h *= 2;
+        cd.w *= 2;
+        break;
+      case LayerType::Maxpool:
+        cd.h = (cd.h + d.stride - 1) / d.stride;
+        cd.w = (cd.w + d.stride - 1) / d.stride;
+        break;
+      case LayerType::Shortcut:
+      case LayerType::Yolo:
+        break;
     }
+    dims.push_back(cd);
+  }
+  return plans;
+}
+
+runtime::DpuPool& YoloRunner::bank_pool(
+    unsigned bank, const std::vector<map::MappingPlan>& plans) const {
+  std::uint32_t peak = 1;
+  for (const map::MappingPlan& p : plans) {
+    peak = std::max(peak, p.n_dpus);
   }
   if (!pools_[bank].has_value()) {
     pools_[bank].emplace(sys_);
@@ -158,9 +208,13 @@ YoloRunResult YoloRunner::run(std::span<const std::int16_t> input,
                               const RunOptions& opts) const {
   require(input.size() == static_cast<std::size_t>(in_c_) * in_h_ * in_w_,
           "YoloRunner::run: wrong input size");
-  require(opts.rows_per_dpu >= 1, "rows_per_dpu must be positive");
-  runtime::DpuPool* pool =
-      opts.mode == ExecMode::Cpu ? nullptr : &bank_pool(0, opts);
+  if (opts.rows_per_dpu != map::kAutoRows) {
+    map::require_positive_rows(opts.rows_per_dpu);
+  }
+  runtime::DpuPool* pool = nullptr;
+  if (opts.mode != ExecMode::Cpu) {
+    pool = &bank_pool(0, resolve_layer_plans(opts));
+  }
   return run_frame(input, opts, pool, bank_scratch_[0], nullptr, 0, 0);
 }
 
@@ -170,7 +224,9 @@ YoloPipelineResult YoloRunner::run_pipelined(
   require(opts.mode != ExecMode::Cpu,
           "YoloRunner::run_pipelined: CPU mode has no DPU phase to overlap "
           "— use run()");
-  require(opts.rows_per_dpu >= 1, "rows_per_dpu must be positive");
+  if (opts.rows_per_dpu != map::kAutoRows) {
+    map::require_positive_rows(opts.rows_per_dpu);
+  }
   const std::size_t frame_len =
       static_cast<std::size_t>(in_c_) * in_h_ * in_w_;
   for (const auto& f : frames) {
@@ -191,7 +247,8 @@ YoloPipelineResult YoloRunner::run_pipelined(
 
   // Both bank pools are created/sized on this thread before any frame
   // task can touch them (a frame only ever uses its own bank's pool).
-  runtime::DpuPool* banks[2] = {&bank_pool(0, opts), &bank_pool(1, opts)};
+  const std::vector<map::MappingPlan> plans = resolve_layer_plans(opts);
+  runtime::DpuPool* banks[2] = {&bank_pool(0, plans), &bank_pool(1, plans)};
   runtime::PipelineModel model(2);
 
   // Double-buffered dispatch: frame i runs on bank i%2, and a bank's next
@@ -466,7 +523,7 @@ std::vector<LayerStats> YoloRunner::estimate(
     GemmVariant variant, std::uint32_t n_tasklets, runtime::OptLevel opt,
     int rows_per_dpu) {
   summarize(defs, in_c, in_h, in_w); // validate
-  require(rows_per_dpu >= 1, "rows_per_dpu must be positive");
+  map::require_positive_rows(rows_per_dpu);
   std::vector<LayerStats> out;
   out.reserve(defs.size());
   const runtime::UpmemConfig& sys = sim::default_config();

@@ -72,13 +72,16 @@ struct LayerStats {
   Seconds seconds = 0.0;       ///< cycles at 350 MHz
 };
 
-/// Options for one inference.
+/// Options for one inference. The mapping fields default to the
+/// `map::Mapper` sentinels: per-layer rows/tasklets come from the
+/// cost-model search (or PIMDNN_MAPPING). Explicit values pin the plan;
+/// unpinned dimensions then take the thesis' values (rows=1, 11 tasklets).
 struct RunOptions {
   ExecMode mode = ExecMode::DpuWram;
-  std::uint32_t n_tasklets = 11;
+  std::uint32_t n_tasklets = map::kAutoTasklets;
   runtime::OptLevel opt = runtime::OptLevel::O3;
   /// Rows of A/C packed per DPU (1 = the thesis' row-per-DPU mapping).
-  int rows_per_dpu = 1;
+  int rows_per_dpu = map::kAutoRows;
   /// Keep every layer's output tensor in YoloRunResult::outputs. When
   /// false, an output is freed as soon as the last route/shortcut layer
   /// that references it has consumed it (its slot is left empty); outputs
@@ -187,9 +190,18 @@ private:
     std::vector<std::int16_t> cols;
   };
 
+  /// Resolves each conv layer's mapping plan through `map::Mapper` (index-
+  /// aligned with defs_; non-conv layers keep a default plan). Resolved
+  /// once per run so bank pools are sized for the chosen DPU counts and
+  /// every frame of a pipelined run uses identical plans.
+  std::vector<map::MappingPlan> resolve_layer_plans(
+      const RunOptions& opts) const;
+
   /// Ensures bank `bank`'s pool exists and covers the widest layer of this
   /// config (so no mid-frame growth resets its program/residency cache).
-  runtime::DpuPool& bank_pool(unsigned bank, const RunOptions& opts) const;
+  runtime::DpuPool& bank_pool(unsigned bank,
+                              const std::vector<map::MappingPlan>& plans)
+      const;
 
   /// One frame through one bank. `pool` is null in CPU mode. When `model`
   /// is non-null, each layer's stages are reported to it as item `item` on
