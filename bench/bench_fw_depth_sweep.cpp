@@ -12,10 +12,11 @@
 #include "ebnn/deep.hpp"
 #include "ebnn/mnist_synth.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pimdnn;
   using namespace pimdnn::ebnn;
 
+  bench::JsonReport report("fw_depth_sweep", argc, argv);
   bench::banner("Future work (§6.1) - eBNN depth sweep on UPMEM");
 
   Table t("blocks x filters sweep (28x28 input, LUT BN-BinAct, -O3)");
@@ -39,6 +40,11 @@ int main() {
                Table::num(std::uint64_t(filters)),
                Table::num(std::uint64_t{host.images_per_dpu()}),
                Table::num(us_img, 1), Table::num(1e6 / us_img, 0), "ok"});
+        const std::string key = "b" + std::to_string(blocks) + "_f" +
+                                std::to_string(filters);
+        report.metric(key + "_us_img", us_img, "us");
+        report.metric(key + "_images_per_dpu",
+                      static_cast<double>(host.images_per_dpu()), "images");
       } catch (const Error&) {
         t.row({Table::num(std::uint64_t(blocks)),
                Table::num(std::uint64_t(filters)), "-", "-", "-",

@@ -26,11 +26,12 @@ pimdnn::ebnn::Image resized_blank(int side) {
 
 } // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pimdnn;
   using namespace pimdnn::ebnn;
   namespace yolo = pimdnn::yolo;
 
+  bench::JsonReport report("fw_size_sweep", argc, argv);
   bench::banner("Future work (§6.1) - CNN size sweeps on UPMEM");
 
   // (1) image-size sweep.
@@ -47,6 +48,8 @@ int main() {
       t1.row({Table::num(std::uint64_t(side)),
               Table::num(std::uint64_t(side) * side),
               Table::num(r.launch.wall_seconds / 16 * 1e6, 1), "ok"});
+      report.metric("side" + std::to_string(side) + "_us_img",
+                    r.launch.wall_seconds / 16 * 1e6, "us");
     } catch (const CapacityError&) {
       t1.row({Table::num(std::uint64_t(side)),
               Table::num(std::uint64_t(side) * side), "-",
@@ -71,6 +74,8 @@ int main() {
       const auto r = host.run(images, 16);
       t2.row({Table::num(std::uint64_t(filters)),
               Table::num(r.launch.wall_seconds / 16 * 1e6, 1), "ok"});
+      report.metric("filters" + std::to_string(filters) + "_us_img",
+                    r.launch.wall_seconds / 16 * 1e6, "us");
     } catch (const Error&) {
       t2.row({Table::num(std::uint64_t(filters)), "-",
               "rejected: WRAM capacity"});
@@ -96,6 +101,9 @@ int main() {
     t3.row({std::to_string(size) + "x" + std::to_string(size),
             Table::num(static_cast<double>(summary.total_macs)),
             Table::num(total, 2), Table::num(std::uint64_t{max_dpus})});
+    report.metric("yolo" + std::to_string(size) + "_frame_s", total, "s");
+    report.metric("yolo" + std::to_string(size) + "_max_dpus",
+                  static_cast<double>(max_dpus), "dpus");
   }
   t3.print(std::cout);
 

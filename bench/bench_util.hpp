@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/table.hpp"
+#include "obs/export.hpp"
 #include "obs/trace.hpp"
 
 namespace pimdnn::bench {
@@ -67,7 +68,8 @@ public:
     if (path_.empty()) return false;
     std::ofstream os(path_, std::ios::trunc);
     if (!os) return false;
-    os << "{\"bench\":\"" << obs::json_escape(bench_) << "\",\"metrics\":[";
+    os << "{\"schema_version\":" << obs::kSchemaVersion << ",\"bench\":\""
+       << obs::json_escape(bench_) << "\",\"metrics\":[";
     for (std::size_t i = 0; i < metrics_.size(); ++i) {
       char num[48];
       std::snprintf(num, sizeof(num), "%.9g", metrics_[i].value);

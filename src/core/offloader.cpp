@@ -6,6 +6,7 @@
 
 #include "common/bytes.hpp"
 #include "common/error.hpp"
+#include "obs/slo.hpp"
 #include "obs/trace.hpp"
 #include "runtime/host_timer.hpp"
 #include "runtime/kernel_session.hpp"
@@ -186,6 +187,9 @@ Offloader::PendingBatch Offloader::start_batch(
       [this] { return build_program(); });
   KernelSession& session = *pb.session;
   session.annotate(plan.obs_suffix());
+  session.set_predicted(plan.predicted.kernel_cycles,
+                        plan.predicted.to_dpu_seconds +
+                            plan.predicted.from_dpu_seconds);
   if (!spec_.consts.empty()) {
     session.broadcast_const("consts", spec_.consts.data(),
                             spec_.consts.size());
@@ -277,7 +281,12 @@ OffloadPipelineResult Offloader::run_pipelined(
     pool_alt_.emplace(sys_);
   }
   runtime::DpuPool* banks[2] = {&pool_, &*pool_alt_};
+  banks[0]->set_obs_bank(0);
+  banks[1]->set_obs_bank(1);
   runtime::PipelineModel model(2);
+  const bool tracing = obs::Tracer::enabled();
+  const double trace_since_us =
+      tracing ? obs::Tracer::instance().now_us() : 0.0;
 
   // Double-buffered dispatch: batch i on bank i%2, finishing that bank's
   // previous batch first — at most two in flight, each bank serialized.
@@ -323,6 +332,23 @@ OffloadPipelineResult Offloader::run_pipelined(
   if (sp.active()) {
     sp.f64("makespan_ms", out.pipeline.makespan_seconds * 1e3);
     sp.f64("speedup", out.pipeline.speedup());
+  }
+  if (tracing) {
+    const obs::Timeline tl = obs::Timeline::from_events(
+        obs::Tracer::instance().snapshot(), trace_since_us);
+    if (tl.stages() > 0) {
+      out.timeline = tl.report();
+      obs::record_drift("offload", *out.timeline,
+                        out.pipeline.makespan_seconds,
+                        out.pipeline.overlap_efficiency());
+    }
+  }
+  if (obs::SloTracker::enabled()) {
+    for (const OffloadResult& b : out.batches) {
+      obs::SloTracker::instance().record(
+          "offload.batch",
+          (b.launch.host.host_seconds() + b.launch.wall_seconds) * 1e3);
+    }
   }
   return out;
 }

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "map/mapper.hpp"
+#include "obs/timeline.hpp"
 #include "runtime/dpu_pool.hpp"
 #include "runtime/dpu_set.hpp"
 #include "runtime/kernel_session.hpp"
@@ -91,6 +92,9 @@ struct OffloadPipelineResult {
   std::vector<OffloadResult> batches;
   /// Modeled overlapped timeline vs. the serial equivalent.
   runtime::PipelineStats pipeline;
+  /// Independent reconstruction from the emitted `pipe.stage` spans;
+  /// present only when tracing was enabled for the run.
+  std::optional<obs::TimelineReport> timeline;
 };
 
 /// The offload engine. Construct once per (spec, kernel) pair, run many

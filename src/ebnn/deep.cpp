@@ -10,6 +10,7 @@
 #include "map/mapper.hpp"
 #include "nn/bitpack.hpp"
 #include "nn/layers.hpp"
+#include "obs/slo.hpp"
 #include "obs/trace.hpp"
 #include "runtime/host_timer.hpp"
 #include "runtime/kernel_session.hpp"
@@ -713,6 +714,9 @@ DeepEbnnHost::PendingBatch DeepEbnnHost::start_batch(
       [&] { return make_deep_program(params, conv_size, lut_size); });
   KernelSession& session = *pb.session;
   session.annotate(plan.obs_suffix());
+  session.set_predicted(plan.predicted.kernel_cycles,
+                        plan.predicted.to_dpu_seconds +
+                            plan.predicted.from_dpu_seconds);
 
   // Per-block weights and LUTs are WRAM constants: re-broadcast only when
   // the activation rebuilt or reloaded the program.
@@ -852,7 +856,12 @@ DeepEbnnPipelineResult DeepEbnnHost::run_pipelined(
     pool_alt_.emplace(sys_);
   }
   runtime::DpuPool* banks[2] = {&pool_, &*pool_alt_};
+  banks[0]->set_obs_bank(0);
+  banks[1]->set_obs_bank(1);
   runtime::PipelineModel model(2);
+  const bool tracing = obs::Tracer::enabled();
+  const double trace_since_us =
+      tracing ? obs::Tracer::instance().now_us() : 0.0;
 
   std::optional<PendingBatch> pending[2];
   try {
@@ -894,6 +903,24 @@ DeepEbnnPipelineResult DeepEbnnHost::run_pipelined(
   if (sp.active()) {
     sp.f64("makespan_ms", out.pipeline.makespan_seconds * 1e3);
     sp.f64("speedup", out.pipeline.speedup());
+  }
+  if (tracing) {
+    const obs::Timeline tl = obs::Timeline::from_events(
+        obs::Tracer::instance().snapshot(), trace_since_us);
+    if (tl.stages() > 0) {
+      out.timeline = tl.report();
+      obs::record_drift("deep_ebnn", *out.timeline,
+                        out.pipeline.makespan_seconds,
+                        out.pipeline.overlap_efficiency());
+    }
+  }
+  if (obs::SloTracker::enabled()) {
+    for (const DeepEbnnBatchResult& b : out.batches) {
+      obs::SloTracker::instance().record(
+          "deep_ebnn.batch", (b.launch.host.host_seconds() +
+                              b.launch.wall_seconds + b.host_tail_seconds) *
+                                 1e3);
+    }
   }
   return out;
 }

@@ -127,6 +127,9 @@ struct DeepEbnnPipelineResult {
   std::vector<DeepEbnnBatchResult> batches;
   /// Modeled overlapped timeline vs. the serial equivalent.
   runtime::PipelineStats pipeline;
+  /// Independent reconstruction from the emitted `pipe.stage` spans;
+  /// present only when tracing was enabled for the run.
+  std::optional<obs::TimelineReport> timeline;
 };
 
 /// Host app mapping the deep network onto DPUs (LUT BN-BinAct only —

@@ -8,6 +8,7 @@
 #include "common/error.hpp"
 #include "map/mapper.hpp"
 #include "nn/bitpack.hpp"
+#include "obs/slo.hpp"
 #include "obs/trace.hpp"
 #include "runtime/host_timer.hpp"
 #include "runtime/kernel_session.hpp"
@@ -81,6 +82,9 @@ EbnnHost::PendingBatch EbnnHost::start_batch(
       [&] { return make_ebnn_program(cfg_, mode_, kernel_); });
   KernelSession& session = *pb.session;
   session.annotate(plan.obs_suffix());
+  session.set_predicted(plan.predicted.kernel_cycles,
+                        plan.predicted.to_dpu_seconds +
+                            plan.predicted.from_dpu_seconds);
 
   // Weights and the BN stage are WRAM constants: broadcast_const re-sends
   // them only when the activation rebuilt/reloaded the program, so warm
@@ -229,7 +233,12 @@ EbnnPipelineResult EbnnHost::run_pipelined(
     pool_alt_.emplace(sys_);
   }
   runtime::DpuPool* banks[2] = {&pool_, &*pool_alt_};
+  banks[0]->set_obs_bank(0);
+  banks[1]->set_obs_bank(1);
   runtime::PipelineModel model(2);
+  const bool tracing = obs::Tracer::enabled();
+  const double trace_since_us =
+      tracing ? obs::Tracer::instance().now_us() : 0.0;
 
   // Double-buffered dispatch: batch i on bank i%2, finishing that bank's
   // previous batch first — at most two in flight, each bank serialized.
@@ -275,6 +284,24 @@ EbnnPipelineResult EbnnHost::run_pipelined(
   if (sp.active()) {
     sp.f64("makespan_ms", out.pipeline.makespan_seconds * 1e3);
     sp.f64("speedup", out.pipeline.speedup());
+  }
+  if (tracing) {
+    const obs::Timeline tl = obs::Timeline::from_events(
+        obs::Tracer::instance().snapshot(), trace_since_us);
+    if (tl.stages() > 0) {
+      out.timeline = tl.report();
+      obs::record_drift("ebnn", *out.timeline,
+                        out.pipeline.makespan_seconds,
+                        out.pipeline.overlap_efficiency());
+    }
+  }
+  if (obs::SloTracker::enabled()) {
+    for (const EbnnBatchResult& b : out.batches) {
+      obs::SloTracker::instance().record(
+          "ebnn.batch", (b.launch.host.host_seconds() +
+                         b.launch.wall_seconds + b.host_tail_seconds) *
+                            1e3);
+    }
   }
   return out;
 }

@@ -29,6 +29,7 @@
 #include "ebnn/dpu_kernel.hpp"
 #include "ebnn/model.hpp"
 #include "map/plan.hpp"
+#include "obs/timeline.hpp"
 #include "runtime/dpu_pool.hpp"
 #include "runtime/dpu_set.hpp"
 #include "runtime/kernel_session.hpp"
@@ -61,6 +62,9 @@ struct EbnnPipelineResult {
   std::vector<EbnnBatchResult> batches;
   /// Modeled overlapped timeline vs. the serial equivalent.
   runtime::PipelineStats pipeline;
+  /// Independent reconstruction from the emitted `pipe.stage` spans;
+  /// present only when tracing was enabled for the run.
+  std::optional<obs::TimelineReport> timeline;
 };
 
 /// Host application that owns the weights and drives DPU batches.

@@ -27,8 +27,9 @@ PredictedBreakdown predict(const CostParams& params,
                          params.host_link_bytes_per_second;
 
   // Compose on the same timeline the pipelined executors report against:
-  // one item through xfer -> kernel -> xfer on a single bank.
-  runtime::PipelineModel model(1);
+  // one item through xfer -> kernel -> xfer on a single bank. This is a
+  // what-if model, so it must not emit pipe.stage telemetry spans.
+  runtime::PipelineModel model(1, /*trace=*/false);
   model.xfer_stage(0, 0, out.to_dpu_seconds);
   model.dpu_stage(0, 0, out.kernel_seconds);
   model.xfer_stage(0, 0, out.from_dpu_seconds);

@@ -1,0 +1,361 @@
+#include "obs/export.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <thread>
+
+#include "obs/trace.hpp"
+
+namespace pimdnn::obs {
+
+namespace {
+
+std::string num(double v) {
+  if (std::isnan(v) || std::isinf(v)) return "0";
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+std::string json_num(double v) {
+  if (std::isnan(v) || std::isinf(v)) return "null";
+  return num(v);
+}
+
+/// Maps a dotted registry name onto the Prometheus name charset
+/// ([a-zA-Z0-9_]); every metric gets the `pimdnn_` prefix.
+std::string prom_name(const std::string& name) {
+  std::string out = "pimdnn_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string prom_label(const std::string& value) {
+  std::string out;
+  for (char c : value) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+void prom_summary(std::ostream& os, const std::string& family,
+                  const std::string& labels, const RunningStats& h) {
+  const std::string sep = labels.empty() ? "" : ",";
+  os << family << "{" << labels << sep << "quantile=\"0.5\"} "
+     << num(h.p50()) << "\n";
+  os << family << "{" << labels << sep << "quantile=\"0.95\"} "
+     << num(h.p95()) << "\n";
+  os << family << "{" << labels << sep << "quantile=\"0.99\"} "
+     << num(h.p99()) << "\n";
+  os << family << "_sum" << (labels.empty() ? "" : "{" + labels + "}")
+     << " " << num(h.sum()) << "\n";
+  os << family << "_count" << (labels.empty() ? "" : "{" + labels + "}")
+     << " " << h.count() << "\n";
+}
+
+} // namespace
+
+Snapshot snapshot() {
+  Snapshot snap;
+  auto& m = Metrics::instance();
+  snap.counters = m.counters();
+  snap.histograms = m.histograms();
+  snap.signatures = m.signatures();
+  if (SloTracker::enabled()) {
+    snap.slos = SloTracker::instance().status();
+  }
+  return snap;
+}
+
+void write_snapshot_json(std::ostream& os, const Snapshot& snap) {
+  os << "{\"schema_version\":" << snap.schema_version;
+  os << ",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : snap.counters) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << json_escape(name) << "\":" << value;
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : snap.histograms) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << json_escape(name) << "\":{\"count\":" << h.count()
+       << ",\"mean\":" << json_num(h.mean())
+       << ",\"p50\":" << json_num(h.p50())
+       << ",\"p95\":" << json_num(h.p95())
+       << ",\"p99\":" << json_num(h.p99())
+       << ",\"min\":" << json_num(h.min())
+       << ",\"max\":" << json_num(h.max()) << "}";
+  }
+  os << "},\"signatures\":[";
+  first = true;
+  for (const auto& [sig, s] : snap.signatures) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"signature\":\"" << json_escape(sig) << "\""
+       << ",\"launches\":" << s.launches
+       << ",\"cycles_p50\":" << json_num(s.cycles.p50())
+       << ",\"cycles_p95\":" << json_num(s.cycles.p95())
+       << ",\"host_seconds\":" << json_num(s.host_seconds)
+       << ",\"bytes_to_dpu\":" << s.bytes_to_dpu
+       << ",\"bytes_from_dpu\":" << s.bytes_from_dpu
+       << ",\"retries\":" << s.retries
+       << ",\"cpu_fallbacks\":" << s.cpu_fallbacks << "}";
+  }
+  os << "],\"slos\":[";
+  first = true;
+  for (const SloStatus& s : snap.slos) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"signature\":\"" << json_escape(s.signature) << "\""
+       << ",\"target\":\"" << json_escape(s.target.to_string()) << "\""
+       << ",\"quantile\":" << json_num(s.target.quantile)
+       << ",\"threshold_ms\":" << json_num(s.target.threshold_ms)
+       << ",\"samples\":" << s.samples
+       << ",\"breaches\":" << s.breaches
+       << ",\"current_ms\":" << json_num(s.current_ms)
+       << ",\"violated\":" << (s.violated ? "true" : "false") << "}";
+  }
+  os << "]}\n";
+}
+
+void write_snapshot_prometheus(std::ostream& os, const Snapshot& snap) {
+  os << "# TYPE pimdnn_schema_version gauge\n";
+  os << "pimdnn_schema_version " << snap.schema_version << "\n";
+
+  for (const auto& [name, value] : snap.counters) {
+    const std::string family = prom_name(name) + "_total";
+    os << "# TYPE " << family << " counter\n";
+    os << family << " " << value << "\n";
+  }
+
+  for (const auto& [name, h] : snap.histograms) {
+    const std::string family = prom_name(name);
+    os << "# TYPE " << family << " summary\n";
+    prom_summary(os, family, "", h);
+  }
+
+  if (!snap.signatures.empty()) {
+    os << "# TYPE pimdnn_offload_launches_total counter\n";
+    for (const auto& [sig, s] : snap.signatures) {
+      os << "pimdnn_offload_launches_total{signature=\"" << prom_label(sig)
+         << "\"} " << s.launches << "\n";
+    }
+    os << "# TYPE pimdnn_offload_cycles summary\n";
+    for (const auto& [sig, s] : snap.signatures) {
+      prom_summary(os, "pimdnn_offload_cycles",
+                   "signature=\"" + prom_label(sig) + "\"", s.cycles);
+    }
+    os << "# TYPE pimdnn_offload_host_seconds_total counter\n";
+    for (const auto& [sig, s] : snap.signatures) {
+      os << "pimdnn_offload_host_seconds_total{signature=\""
+         << prom_label(sig) << "\"} " << num(s.host_seconds) << "\n";
+    }
+    os << "# TYPE pimdnn_offload_bytes_to_dpu_total counter\n";
+    for (const auto& [sig, s] : snap.signatures) {
+      os << "pimdnn_offload_bytes_to_dpu_total{signature=\""
+         << prom_label(sig) << "\"} " << s.bytes_to_dpu << "\n";
+    }
+    os << "# TYPE pimdnn_offload_bytes_from_dpu_total counter\n";
+    for (const auto& [sig, s] : snap.signatures) {
+      os << "pimdnn_offload_bytes_from_dpu_total{signature=\""
+         << prom_label(sig) << "\"} " << s.bytes_from_dpu << "\n";
+    }
+  }
+
+  if (!snap.slos.empty()) {
+    const auto labels = [](const SloStatus& s) {
+      return "signature=\"" + prom_label(s.signature) + "\",target=\"" +
+             prom_label(s.target.to_string()) + "\"";
+    };
+    os << "# TYPE pimdnn_slo_current_ms gauge\n";
+    for (const SloStatus& s : snap.slos) {
+      os << "pimdnn_slo_current_ms{" << labels(s) << "} "
+         << num(s.current_ms) << "\n";
+    }
+    os << "# TYPE pimdnn_slo_window_samples gauge\n";
+    for (const SloStatus& s : snap.slos) {
+      os << "pimdnn_slo_window_samples{" << labels(s) << "} " << s.samples
+         << "\n";
+    }
+    os << "# TYPE pimdnn_slo_breaches_total counter\n";
+    for (const SloStatus& s : snap.slos) {
+      os << "pimdnn_slo_breaches_total{" << labels(s) << "} " << s.breaches
+         << "\n";
+    }
+    os << "# TYPE pimdnn_slo_violated gauge\n";
+    for (const SloStatus& s : snap.slos) {
+      os << "pimdnn_slo_violated{" << labels(s) << "} "
+         << (s.violated ? 1 : 0) << "\n";
+    }
+  }
+}
+
+bool write_metrics_file(const std::string& path) {
+  const bool json = path.size() > 5 &&
+                    path.compare(path.size() - 5, 5, ".json") == 0;
+  // Write-then-rename so a concurrent reader (scraper, CI check) never
+  // sees a half-written exposition.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::trunc);
+    if (!os) {
+      return false;
+    }
+    const Snapshot snap = snapshot();
+    if (json) {
+      write_snapshot_json(os, snap);
+    } else {
+      write_snapshot_prometheus(os, snap);
+    }
+    if (!os) {
+      return false;
+    }
+  }
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+struct Exporter::Impl {
+  mutable std::mutex mu;
+  std::condition_variable cv;
+  std::string path;
+  std::uint64_t interval_ms = 0;
+  bool stopping = false;
+  std::thread worker;
+  std::atomic<std::uint64_t> writes{0};
+};
+
+Exporter::Exporter() : impl_(new Impl) {
+  // Pin construction (and therefore destruction) order: the final flush in
+  // our destructor reads the SLO tracker, so it must outlive us. Metrics
+  // already does — it bootstraps this singleton after its own
+  // construction completes.
+  SloTracker::instance();
+  const char* out = std::getenv("PIMDNN_METRICS_OUT");
+  if (out != nullptr && out[0] != '\0') {
+    std::uint64_t interval = 0;
+    const char* iv = std::getenv("PIMDNN_METRICS_INTERVAL_MS");
+    if (iv != nullptr && iv[0] != '\0') {
+      const long long v = std::atoll(iv);
+      if (v > 0) {
+        interval = static_cast<std::uint64_t>(v);
+      }
+    }
+    start(out, interval);
+  }
+}
+
+Exporter::~Exporter() {
+  stop();
+  delete impl_;
+}
+
+Exporter& Exporter::instance() {
+  static Exporter exporter;
+  return exporter;
+}
+
+void Exporter::start(const std::string& path, std::uint64_t interval_ms) {
+  stop();
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->path = path;
+    impl_->interval_ms = interval_ms;
+    impl_->stopping = false;
+  }
+  if (interval_ms == 0) {
+    return;
+  }
+  impl_->worker = std::thread([impl = impl_] {
+    std::unique_lock<std::mutex> lock(impl->mu);
+    while (!impl->stopping) {
+      impl->cv.wait_for(lock, std::chrono::milliseconds(impl->interval_ms),
+                        [impl] { return impl->stopping; });
+      if (impl->stopping) {
+        break;
+      }
+      const std::string path = impl->path;
+      lock.unlock();
+      if (write_metrics_file(path)) {
+        impl->writes.fetch_add(1, std::memory_order_relaxed);
+      }
+      lock.lock();
+    }
+  });
+}
+
+void Exporter::stop() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->stopping = true;
+  }
+  impl_->cv.notify_all();
+  if (impl_->worker.joinable()) {
+    impl_->worker.join();
+  }
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    path = impl_->path;
+    impl_->path.clear();
+    impl_->interval_ms = 0;
+  }
+  if (!path.empty() && write_metrics_file(path)) {
+    impl_->writes.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+bool Exporter::flush() {
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    path = impl_->path;
+  }
+  if (path.empty()) {
+    return false;
+  }
+  const bool ok = write_metrics_file(path);
+  if (ok) {
+    impl_->writes.fetch_add(1, std::memory_order_relaxed);
+  }
+  return ok;
+}
+
+std::string Exporter::path() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->path;
+}
+
+std::uint64_t Exporter::writes() const {
+  return impl_->writes.load(std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void bootstrap_exporter() {
+  Exporter::instance();
+}
+
+} // namespace detail
+
+} // namespace pimdnn::obs

@@ -1,0 +1,105 @@
+// pimdnn::obs machine-readable export — a consistent point-in-time
+// snapshot of the whole registry, serialized as JSON or Prometheus text
+// exposition, on demand or from a background flusher.
+//
+// PIMSIM-NN treats machine-readable performance output as a simulator
+// feature, not an afterthought; the serving-oriented ROADMAP items need
+// the same thing in scrapeable form. Environment wiring:
+//
+//   PIMDNN_METRICS_OUT=<path>       — write a snapshot at process exit
+//                                     (.json => JSON, else Prometheus)
+//   PIMDNN_METRICS_INTERVAL_MS=500  — additionally rewrite the file every
+//                                     500 ms from a background thread
+//
+// The exporter thread shuts down cleanly (condition-variable wakeup, no
+// polling sleeps to interrupt) and always leaves one final snapshot
+// behind. Everything here is also callable directly: `snapshot()` is
+// safe under concurrent writers, and the writers take plain ostreams.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/slo.hpp"
+
+namespace pimdnn::obs {
+
+/// Version stamped into every machine-readable emission (snapshot JSON,
+/// Prometheus exposition, bench --json reports). Bump when the shape of
+/// any of those changes incompatibly; tools/bench_compare refuses to
+/// diff across versions.
+inline constexpr int kSchemaVersion = 1;
+
+/// A consistent copy of the registry: counters, histograms, per-signature
+/// offload summaries, and the current SLO evaluations.
+struct Snapshot {
+  int schema_version = kSchemaVersion;
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, RunningStats> histograms;
+  std::map<std::string, SignatureSummary> signatures;
+  std::vector<SloStatus> slos;
+};
+
+/// Captures the registry under its locks. Safe to call from any thread
+/// while spans/counters/SLO records are being written concurrently.
+Snapshot snapshot();
+
+/// Serializes a snapshot as one JSON object (schema_version, counters,
+/// histograms with quantiles, signatures, slos).
+void write_snapshot_json(std::ostream& os, const Snapshot& snap);
+
+/// Serializes a snapshot in Prometheus text exposition format (# TYPE
+/// comments, `pimdnn_` prefix, dots mapped to underscores, signatures and
+/// SLO targets as labels, histograms as summaries with quantile labels).
+void write_snapshot_prometheus(std::ostream& os, const Snapshot& snap);
+
+/// Snapshots and writes to `path` — JSON when it ends in ".json",
+/// Prometheus otherwise. Returns false when the file cannot be opened.
+bool write_metrics_file(const std::string& path);
+
+/// Background metrics flusher (see file comment for the env wiring).
+class Exporter {
+public:
+  /// The singleton. First access reads PIMDNN_METRICS_OUT and
+  /// PIMDNN_METRICS_INTERVAL_MS and, when both are set, starts the
+  /// flusher thread.
+  static Exporter& instance();
+
+  /// (Re)configures programmatically — tests use this. `interval_ms` == 0
+  /// means "no background thread, write only on flush()/shutdown".
+  void start(const std::string& path, std::uint64_t interval_ms);
+
+  /// Stops the background thread (if any) and writes one final snapshot.
+  void stop();
+
+  /// Writes one snapshot to the configured path immediately.
+  bool flush();
+
+  /// The configured output path ("" when disabled).
+  std::string path() const;
+
+  /// Number of snapshot writes performed so far (tests poll this).
+  std::uint64_t writes() const;
+
+  Exporter(const Exporter&) = delete;
+  Exporter& operator=(const Exporter&) = delete;
+  ~Exporter();
+
+private:
+  Exporter();
+  struct Impl;
+  Impl* impl_;
+};
+
+namespace detail {
+/// Touches Exporter::instance(). Called by Metrics::instance() after its
+/// own singleton is built so the exporter (whose shutdown flush reads the
+/// registry) is always constructed after — and destructed before — the
+/// registry it reads.
+void bootstrap_exporter();
+} // namespace detail
+
+} // namespace pimdnn::obs

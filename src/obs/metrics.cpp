@@ -9,6 +9,8 @@
 #include <ostream>
 
 #include "common/table.hpp"
+#include "obs/export.hpp"
+#include "obs/slo.hpp"
 #include "obs/trace.hpp"
 
 namespace pimdnn::obs {
@@ -88,6 +90,10 @@ Metrics::~Metrics() {
 
 Metrics& Metrics::instance() {
   static Metrics metrics;
+  // After (not during) our own construction, so the exporter's shutdown
+  // flush — which reads this registry — runs before our destructor.
+  static const bool exporter_ready = (detail::bootstrap_exporter(), true);
+  (void)exporter_ready;
   return metrics;
 }
 
@@ -183,6 +189,21 @@ void print_summary(std::ostream& os) {
     t.print(os);
   }
 
+  if (SloTracker::enabled()) {
+    const auto slos = SloTracker::instance().status();
+    if (!slos.empty()) {
+      Table t("pimdnn SLOs (rolling window)");
+      t.header({"signature", "target", "window n", "current ms", "breaches",
+                "status"});
+      for (const auto& s : slos) {
+        t.row({s.signature, s.target.to_string(), Table::num(s.samples),
+               fmt(s.current_ms, 3), Table::num(s.breaches),
+               s.violated ? "VIOLATED" : "ok"});
+      }
+      t.print(os);
+    }
+  }
+
   if (sigs.empty() && counters.empty() && hists.empty()) {
     os << "pimdnn obs: no metrics recorded\n";
   }
@@ -194,7 +215,7 @@ void write_summary_json(std::ostream& os) {
   const auto counters = m.counters();
   const auto hists = m.histograms();
 
-  os << "{\"signatures\":[";
+  os << "{\"schema_version\":" << kSchemaVersion << ",\"signatures\":[";
   bool first = true;
   for (const auto& [sig, s] : sigs) {
     if (!first) os << ",";

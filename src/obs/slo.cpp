@@ -1,0 +1,285 @@
+#include "obs/slo.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+#include "common/error.hpp"
+#include "obs/metrics.hpp"
+
+namespace pimdnn::obs {
+
+namespace {
+
+std::atomic<bool> g_slo_enabled{false};
+
+std::uint64_t steady_now_ms() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point epoch = Clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                            epoch)
+          .count());
+}
+
+std::string fmt_g(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+/// One target parsed off the comma-separated list.
+SloTarget parse_target(const std::string& item) {
+  const auto bad = [&](const char* why) {
+    throw ConfigError("PIMDNN_SLO: bad target \"" + item + "\": " + why +
+                      " (expected e.g. \"p99<8ms\")");
+  };
+  if (item.empty() || (item[0] != 'p' && item[0] != 'P')) {
+    bad("must start with 'p'");
+  }
+  const std::size_t lt = item.find('<');
+  if (lt == std::string::npos) {
+    bad("missing '<'");
+  }
+  char* end = nullptr;
+  const std::string qtext = item.substr(1, lt - 1);
+  const double pct = std::strtod(qtext.c_str(), &end);
+  if (qtext.empty() || end == nullptr || *end != '\0') {
+    bad("unparsable quantile");
+  }
+  if (!(pct > 0.0 && pct < 100.0)) {
+    bad("quantile must be in (0, 100)");
+  }
+  std::string vtext = item.substr(lt + 1);
+  double scale = 1.0; // default: milliseconds
+  if (vtext.size() >= 2 && vtext.compare(vtext.size() - 2, 2, "ms") == 0) {
+    vtext.resize(vtext.size() - 2);
+  } else if (vtext.size() >= 2 &&
+             vtext.compare(vtext.size() - 2, 2, "us") == 0) {
+    scale = 1e-3;
+    vtext.resize(vtext.size() - 2);
+  } else if (!vtext.empty() && vtext.back() == 's') {
+    scale = 1e3;
+    vtext.resize(vtext.size() - 1);
+  }
+  const double value = std::strtod(vtext.c_str(), &end);
+  if (vtext.empty() || end == nullptr || *end != '\0') {
+    bad("unparsable threshold");
+  }
+  if (!(value > 0.0)) {
+    bad("threshold must be positive");
+  }
+  SloTarget t;
+  t.quantile = pct / 100.0;
+  t.threshold_ms = value * scale;
+  return t;
+}
+
+/// Rolling window: `buckets` sub-window DDSketch accumulators that expire
+/// one at a time as the clock advances one bucket width.
+struct Window {
+  std::vector<RunningStats> ring;
+  std::vector<std::uint64_t> epoch; ///< global bucket index held per slot
+  std::vector<std::uint64_t> breaches; ///< per target, never expire
+
+  void ensure(std::size_t buckets, std::size_t targets) {
+    if (ring.size() != buckets) {
+      ring.assign(buckets, RunningStats{});
+      epoch.assign(buckets, 0);
+    }
+    if (breaches.size() != targets) {
+      breaches.assign(targets, 0);
+    }
+  }
+
+  RunningStats& bucket_at(std::uint64_t idx) {
+    const std::size_t slot = static_cast<std::size_t>(idx % ring.size());
+    if (epoch[slot] != idx) {
+      ring[slot] = RunningStats{};
+      epoch[slot] = idx;
+    }
+    return ring[slot];
+  }
+
+  RunningStats merged(std::uint64_t idx) const {
+    RunningStats out;
+    const std::uint64_t n = ring.size();
+    const std::uint64_t oldest = idx >= n - 1 ? idx - (n - 1) : 0;
+    for (std::size_t s = 0; s < ring.size(); ++s) {
+      if (epoch[s] >= oldest && epoch[s] <= idx) {
+        out.merge(ring[s]);
+      }
+    }
+    return out;
+  }
+};
+
+} // namespace
+
+std::string SloTarget::to_string() const {
+  return "p" + fmt_g(quantile * 100.0) + "<" + fmt_g(threshold_ms) + "ms";
+}
+
+SloSpec SloSpec::parse(const std::string& text) {
+  SloSpec spec;
+  std::size_t pos = 0;
+  if (text.empty()) {
+    throw ConfigError("PIMDNN_SLO: empty specification");
+  }
+  while (pos <= text.size()) {
+    const std::size_t comma = text.find(',', pos);
+    const std::string item =
+        text.substr(pos, comma == std::string::npos ? std::string::npos
+                                                    : comma - pos);
+    spec.targets.push_back(parse_target(item));
+    if (comma == std::string::npos) {
+      break;
+    }
+    pos = comma + 1;
+  }
+  return spec;
+}
+
+std::string SloSpec::to_string() const {
+  std::string out;
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    if (i > 0) out += ",";
+    out += targets[i].to_string();
+  }
+  return out;
+}
+
+struct SloTracker::Impl {
+  mutable std::mutex mu;
+  SloSpec spec;
+  std::uint64_t window_ms = 10000;
+  std::uint32_t buckets = 8;
+  std::map<std::string, Window, std::less<>> windows;
+
+  std::uint64_t bucket_width_ms() const {
+    return std::max<std::uint64_t>(1, window_ms / buckets);
+  }
+};
+
+SloTracker::SloTracker() : impl_(new Impl) {
+  const char* env = std::getenv("PIMDNN_SLO");
+  if (env != nullptr && env[0] != '\0') {
+    std::uint64_t window_ms = 10000;
+    const char* w = std::getenv("PIMDNN_SLO_WINDOW_MS");
+    if (w != nullptr && w[0] != '\0') {
+      const long long v = std::atoll(w);
+      if (v > 0) {
+        window_ms = static_cast<std::uint64_t>(v);
+      }
+    }
+    // A malformed PIMDNN_SLO must not kill the process at static-init
+    // time: report it once and run untracked.
+    try {
+      configure(SloSpec::parse(env), window_ms);
+    } catch (const ConfigError& e) {
+      std::fprintf(stderr, "pimdnn: ignoring %s\n", e.what());
+    }
+  }
+}
+
+SloTracker::~SloTracker() {
+  delete impl_;
+}
+
+SloTracker& SloTracker::instance() {
+  static SloTracker tracker;
+  return tracker;
+}
+
+bool SloTracker::enabled() {
+  return g_slo_enabled.load(std::memory_order_relaxed);
+}
+
+void SloTracker::configure(const SloSpec& spec, std::uint64_t window_ms,
+                           std::uint32_t buckets) {
+  require(!spec.targets.empty(), "SloTracker: spec needs >= 1 target");
+  require(window_ms >= 1 && buckets >= 1,
+          "SloTracker: window and bucket count must be positive");
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->spec = spec;
+  impl_->window_ms = window_ms;
+  impl_->buckets = buckets;
+  impl_->windows.clear();
+  g_slo_enabled.store(true, std::memory_order_relaxed);
+}
+
+void SloTracker::clear() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->spec = SloSpec{};
+  impl_->windows.clear();
+  g_slo_enabled.store(false, std::memory_order_relaxed);
+}
+
+SloSpec SloTracker::spec() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->spec;
+}
+
+void SloTracker::record(std::string_view signature, double latency_ms) {
+  if (!enabled()) {
+    return;
+  }
+  record_at(signature, latency_ms, steady_now_ms());
+}
+
+void SloTracker::record_at(std::string_view signature, double latency_ms,
+                           std::uint64_t now_ms) {
+  if (!enabled()) {
+    return;
+  }
+  std::uint64_t new_breaches = 0;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    auto it = impl_->windows.find(signature);
+    if (it == impl_->windows.end()) {
+      it = impl_->windows.emplace(std::string(signature), Window{}).first;
+    }
+    Window& w = it->second;
+    w.ensure(impl_->buckets, impl_->spec.targets.size());
+    w.bucket_at(now_ms / impl_->bucket_width_ms()).add(latency_ms);
+    for (std::size_t t = 0; t < impl_->spec.targets.size(); ++t) {
+      if (latency_ms > impl_->spec.targets[t].threshold_ms) {
+        ++w.breaches[t];
+        ++new_breaches;
+      }
+    }
+  }
+  if (new_breaches > 0) {
+    Metrics::instance().add("slo.breaches", new_breaches);
+  }
+}
+
+std::vector<SloStatus> SloTracker::status() const {
+  return status_at(steady_now_ms());
+}
+
+std::vector<SloStatus> SloTracker::status_at(std::uint64_t now_ms) const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  std::vector<SloStatus> out;
+  const std::uint64_t idx = now_ms / impl_->bucket_width_ms();
+  for (const auto& [sig, w] : impl_->windows) {
+    const RunningStats live = w.merged(idx);
+    for (std::size_t t = 0; t < impl_->spec.targets.size(); ++t) {
+      SloStatus s;
+      s.signature = sig;
+      s.target = impl_->spec.targets[t];
+      s.samples = live.count();
+      s.breaches = t < w.breaches.size() ? w.breaches[t] : 0;
+      s.current_ms = live.count() > 0
+                         ? live.percentile(s.target.quantile)
+                         : 0.0;
+      s.violated = live.count() > 0 && s.current_ms > s.target.threshold_ms;
+      out.push_back(std::move(s));
+    }
+  }
+  return out;
+}
+
+} // namespace pimdnn::obs

@@ -1,0 +1,114 @@
+// pimdnn::obs SLO tracking — rolling-window latency histograms and
+// violation counting per pipeline signature.
+//
+// The ROADMAP's multi-tenant serving layer needs per-tenant p50/p95/p99
+// latency SLOs surfaced through obs; this file is the surface it will
+// hang them on. The `PIMDNN_SLO` environment variable declares targets
+// with a tiny grammar:
+//
+//   PIMDNN_SLO="p99<8ms,p50<2ms"         — windowed p99 must stay under
+//                                          8 ms, windowed p50 under 2 ms
+//   PIMDNN_SLO_WINDOW_MS=10000           — rolling window (default 10 s)
+//
+// Units: `ms` (default), `us`, or `s`. Every instrumented latency site
+// (pipeline frames/batches, KernelSession offloads) calls
+// `SloTracker::record(signature, latency_ms)`; the tracker keeps one
+// rolling-window DDSketch histogram (the RunningStats machinery) per
+// signature, counts per-target threshold breaches, and reports the
+// current windowed quantiles through `status()` — which obs::snapshot()
+// folds into the JSON / Prometheus exports and the at-exit summary.
+//
+// Disabled-path cost: when no PIMDNN_SLO is configured, `enabled()` is a
+// single relaxed atomic load and `record` returns immediately.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace pimdnn::obs {
+
+/// One latency objective: "quantile of the rolling window stays under
+/// threshold_ms".
+struct SloTarget {
+  double quantile = 0.99;    ///< in (0, 1)
+  double threshold_ms = 0.0; ///< in milliseconds
+
+  /// Round-trips to the grammar, e.g. "p99<8ms" / "p99.9<250us".
+  std::string to_string() const;
+};
+
+/// A parsed PIMDNN_SLO value (one or more targets).
+struct SloSpec {
+  std::vector<SloTarget> targets;
+
+  /// Parses "p99<8ms,p50<2ms" (quantile as p50 / p99 / p99.9; threshold
+  /// with unit us/ms/s, ms when omitted). Throws ConfigError on malformed
+  /// text, out-of-range quantiles, or non-positive thresholds.
+  static SloSpec parse(const std::string& text);
+
+  /// Round-trips back to the grammar (targets joined with commas).
+  std::string to_string() const;
+};
+
+/// Point-in-time evaluation of one (signature, target) pair.
+struct SloStatus {
+  std::string signature;
+  SloTarget target;
+  std::uint64_t samples = 0;       ///< observations in the live window
+  std::uint64_t breaches = 0;      ///< individual latencies over threshold
+  double current_ms = 0.0;         ///< windowed quantile estimate
+  bool violated = false;           ///< current_ms > threshold_ms
+};
+
+/// Process-wide SLO tracker (thread-safe; see file comment).
+class SloTracker {
+public:
+  /// The singleton. First access reads PIMDNN_SLO / PIMDNN_SLO_WINDOW_MS.
+  static SloTracker& instance();
+
+  /// True when any targets are configured — the record() fast-path gate.
+  static bool enabled();
+
+  /// Installs targets programmatically (tests, the future serving layer).
+  /// `window_ms` is the rolling-window width, split into `buckets`
+  /// sub-windows that expire one at a time.
+  void configure(const SloSpec& spec, std::uint64_t window_ms = 10000,
+                 std::uint32_t buckets = 8);
+
+  /// Removes all targets and recorded state; enabled() becomes false.
+  void clear();
+
+  /// The active spec (empty when disabled).
+  SloSpec spec() const;
+
+  /// Records one latency observation under `signature`. No-op (after one
+  /// relaxed atomic load) when no targets are configured.
+  void record(std::string_view signature, double latency_ms);
+
+  /// record() with an injected wall-clock (milliseconds on an arbitrary
+  /// epoch) — tests drive window expiry deterministically through this.
+  void record_at(std::string_view signature, double latency_ms,
+                 std::uint64_t now_ms);
+
+  /// Evaluates every (signature, target) pair against the live window.
+  std::vector<SloStatus> status() const;
+
+  /// status() at an injected wall-clock (tests).
+  std::vector<SloStatus> status_at(std::uint64_t now_ms) const;
+
+  SloTracker(const SloTracker&) = delete;
+  SloTracker& operator=(const SloTracker&) = delete;
+  ~SloTracker();
+
+private:
+  SloTracker();
+  struct Impl;
+  Impl* impl_;
+};
+
+} // namespace pimdnn::obs

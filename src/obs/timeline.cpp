@@ -1,0 +1,275 @@
+#include "obs/timeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "obs/metrics.hpp"
+
+namespace pimdnn::obs {
+
+namespace {
+
+/// Busy interval on one reconstructed lane.
+struct Busy {
+  double start, end;
+};
+
+/// Earliest start >= `earliest` at which [start, start+duration) is free
+/// on every given lane — the same greedy fit runtime::PipelineModel uses,
+/// reimplemented here so the reconstruction is computed independently
+/// from the telemetry stream rather than borrowed from the prediction.
+double earliest_fit(const std::vector<std::vector<Busy>>& lanes,
+                    const unsigned* which, std::size_t n, double earliest,
+                    double duration) {
+  double t = earliest;
+  bool moved = true;
+  while (moved) {
+    moved = false;
+    for (std::size_t l = 0; l < n; ++l) {
+      for (const Busy& b : lanes[which[l]]) {
+        if (b.start >= t + duration) {
+          break; // sorted: later intervals cannot conflict either
+        }
+        if (b.end > t) {
+          t = b.end;
+          moved = true;
+        }
+      }
+    }
+  }
+  return t;
+}
+
+void occupy(std::vector<Busy>& lane, double start, double end) {
+  lane.insert(std::upper_bound(lane.begin(), lane.end(), start,
+                               [](double s, const Busy& b) {
+                                 return s < b.start;
+                               }),
+              Busy{start, end});
+}
+
+/// Reads one pre-rendered JSON argument value off a trace event ("" when
+/// the key is absent). String values keep their surrounding quotes.
+const std::string* find_arg(const TraceEvent& ev, const char* key) {
+  for (const auto& [k, v] : ev.args) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+double num_arg(const TraceEvent& ev, const char* key, double fallback) {
+  const std::string* v = find_arg(ev, key);
+  return v == nullptr ? fallback : std::strtod(v->c_str(), nullptr);
+}
+
+} // namespace
+
+const char* lane_name(Lane lane) {
+  switch (lane) {
+    case Lane::Host: return "host";
+    case Lane::Xfer: return "xfer";
+    case Lane::Dpu: return "dpu";
+  }
+  return "?";
+}
+
+void Timeline::add(const Stage& stage) {
+  stages_.push_back(stage);
+  if (stage.lane != Lane::Host) {
+    max_bank_ = std::max(max_bank_, stage.bank);
+  }
+}
+
+Timeline Timeline::from_events(const std::vector<TraceEvent>& events,
+                               double since_us) {
+  Timeline tl;
+  for (const TraceEvent& ev : events) {
+    if (ev.name != "pipe.stage" || ev.ts_us < since_us) {
+      continue;
+    }
+    Stage s;
+    const std::string* lane = find_arg(ev, "lane");
+    if (lane == nullptr) {
+      continue;
+    }
+    if (*lane == "\"host\"") {
+      s.lane = Lane::Host;
+    } else if (*lane == "\"xfer\"") {
+      s.lane = Lane::Xfer;
+    } else if (*lane == "\"dpu\"") {
+      s.lane = Lane::Dpu;
+    } else {
+      continue;
+    }
+    s.bank = static_cast<unsigned>(num_arg(ev, "bank", 0.0));
+    s.item = static_cast<std::size_t>(num_arg(ev, "item", 0.0));
+    s.seconds = num_arg(ev, "seconds", 0.0);
+    tl.add(s);
+  }
+  return tl;
+}
+
+TimelineReport Timeline::report() const {
+  TimelineReport rep;
+  const std::size_t n_banks = static_cast<std::size_t>(max_bank_) + 1;
+  // lanes[0] = host, lanes[1 + b] = bank b (the schedule's resources; the
+  // transfer link is reported separately but occupies host + bank, like
+  // the model).
+  std::vector<std::vector<Busy>> lanes(1 + n_banks);
+
+  struct Item {
+    double ready = 0;      ///< completion time of the item's last stage
+    double first_start = -1;
+    double host = 0, xfer = 0, dpu = 0;
+    bool seen = false;
+  };
+  std::vector<Item> items;
+  double link_busy = 0;
+  std::vector<double> bank_busy(n_banks, 0.0);
+  double host_lane_busy = 0; // host compute + transfers (shares the lane)
+  double host_compute_busy = 0;
+
+  std::size_t max_item = 0;
+  for (const Stage& s : stages_) {
+    max_item = std::max(max_item, s.item);
+  }
+  items.resize(max_item + 1);
+
+  for (const Stage& s : stages_) {
+    Item& it = items[s.item];
+    if (!it.seen) {
+      it.seen = true;
+      // Two-in-flight floor (the double-buffered executors start item i
+      // only after item i-2 finished).
+      if (s.item >= 2) {
+        it.ready = std::max(it.ready, items[s.item - 2].ready);
+      }
+    }
+    rep.serial_seconds += s.seconds;
+    double start = it.ready;
+    if (s.seconds > 0) {
+      if (s.lane == Lane::Host) {
+        const unsigned which[] = {0};
+        start = earliest_fit(lanes, which, 1, it.ready, s.seconds);
+        occupy(lanes[0], start, start + s.seconds);
+      } else if (s.lane == Lane::Xfer) {
+        const unsigned which[] = {0, 1 + s.bank};
+        start = earliest_fit(lanes, which, 2, it.ready, s.seconds);
+        occupy(lanes[0], start, start + s.seconds);
+        occupy(lanes[1 + s.bank], start, start + s.seconds);
+      } else {
+        const unsigned which[] = {1 + s.bank};
+        start = earliest_fit(lanes, which, 1, it.ready, s.seconds);
+        occupy(lanes[1 + s.bank], start, start + s.seconds);
+      }
+      it.ready = start + s.seconds;
+      rep.makespan_seconds = std::max(rep.makespan_seconds, it.ready);
+    }
+    if (it.first_start < 0) {
+      it.first_start = start;
+    }
+    switch (s.lane) {
+      case Lane::Host:
+        it.host += s.seconds;
+        host_compute_busy += s.seconds;
+        host_lane_busy += s.seconds;
+        break;
+      case Lane::Xfer:
+        it.xfer += s.seconds;
+        link_busy += s.seconds;
+        host_lane_busy += s.seconds;
+        bank_busy[s.bank] += s.seconds;
+        break;
+      case Lane::Dpu:
+        it.dpu += s.seconds;
+        bank_busy[s.bank] += s.seconds;
+        break;
+    }
+  }
+
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const Item& it = items[i];
+    if (!it.seen) {
+      continue;
+    }
+    FrameUsage f;
+    f.item = i;
+    f.host_seconds = it.host;
+    f.xfer_seconds = it.xfer;
+    f.dpu_seconds = it.dpu;
+    f.latency_seconds = it.first_start >= 0 ? it.ready - it.first_start : 0;
+    rep.per_frame.push_back(f);
+  }
+  rep.frames = rep.per_frame.size();
+
+  const double span = rep.makespan_seconds;
+  auto lane_usage = [span](std::string name, double busy) {
+    LaneUsage u;
+    u.name = std::move(name);
+    u.busy_seconds = busy;
+    u.utilization = span > 0 ? busy / span : 0;
+    return u;
+  };
+  rep.lanes.push_back(lane_usage("host", host_lane_busy));
+  rep.lanes.push_back(lane_usage("link", link_busy));
+  for (std::size_t b = 0; b < n_banks; ++b) {
+    rep.lanes.push_back(lane_usage("bank" + std::to_string(b),
+                                   bank_busy[b]));
+  }
+
+  // Critical-path attribution over the schedule's real resources: the
+  // host lane (compute + transfers) vs each bank (kernels + transfers).
+  // The link is a sub-account of both, so it never competes on its own.
+  double best = host_lane_busy, second = 0;
+  rep.critical_lane = "host";
+  for (std::size_t b = 0; b < n_banks; ++b) {
+    if (bank_busy[b] > best) {
+      second = best;
+      best = bank_busy[b];
+      rep.critical_lane = "bank" + std::to_string(b);
+    } else {
+      second = std::max(second, bank_busy[b]);
+    }
+  }
+  // When the host lane's busy time is mostly transfers, attribute the
+  // bound to the link — the PrIM conclusion made visible.
+  if (rep.critical_lane == "host" && link_busy > host_compute_busy) {
+    rep.critical_lane = "link";
+  }
+  rep.critical_utilization = span > 0 ? best / span : 0;
+  rep.critical_margin_seconds = best - second;
+  return rep;
+}
+
+double record_drift(const char* pipeline, const TimelineReport& measured,
+                    double predicted_makespan_seconds,
+                    double predicted_overlap_efficiency) {
+  const double overlap_pp =
+      std::abs(measured.overlap_efficiency() -
+               predicted_overlap_efficiency) * 100.0;
+  auto& m = Metrics::instance();
+  const std::string prefix = std::string("timeline.") + pipeline;
+  for (const LaneUsage& lane : measured.lanes) {
+    m.record(prefix + ".util." + lane.name, lane.utilization);
+  }
+  m.record(prefix + ".overlap", measured.overlap_efficiency());
+  m.record("obs.drift.overlap_pp", overlap_pp);
+  if (predicted_makespan_seconds > 0) {
+    m.record("obs.drift.makespan_pct",
+             std::abs(measured.makespan_seconds -
+                      predicted_makespan_seconds) /
+                 predicted_makespan_seconds * 100.0);
+  }
+  m.add("obs.drift.samples");
+  Span sp("obs.drift", "obs");
+  if (sp.active()) {
+    sp.str("pipeline", pipeline);
+    sp.f64("overlap_pp", overlap_pp);
+    sp.f64("measured_overlap", measured.overlap_efficiency());
+    sp.f64("predicted_overlap", predicted_overlap_efficiency);
+  }
+  return overlap_pp;
+}
+
+} // namespace pimdnn::obs

@@ -1,0 +1,130 @@
+// pimdnn::obs timeline attribution — per-resource busy/idle reconstruction
+// from completed spans, and the model-vs-measured drift gauge.
+//
+// The PrIM studies (Gómez-Luna et al., arXiv:2105.03814) show that on real
+// UPMEM hardware the host↔DPU transfer path dominates end-to-end time, so
+// the question the runtime must answer at a glance is "which lane bounded
+// this run, and how much overlap did I actually get?". The pipelined
+// executors already report every stage to runtime::PipelineModel *and*
+// (when tracing is on) emit one `pipe.stage` span per stage carrying the
+// lane kind, bank id, item index and the stage duration. A Timeline
+// replays those spans — in the order they were actually recorded —
+// through the same greedy earliest-fit schedule the model uses, and
+// reports per-lane busy time, utilization, overlap efficiency and a
+// critical-path attribution (which lane bounded the run, and by how much).
+//
+// Because the reconstruction is computed from the telemetry stream while
+// the PipelineModel prediction is computed from the executor's direct
+// reports, the two agree only while instrumentation, stage accounting and
+// the scheduler stay calibrated — the same model-vs-execution
+// cross-checking discipline PIMSIM-NN applies to its analytical fast
+// path. `record_drift` turns any disagreement into `obs.drift.*` metrics
+// so calibration regressions become visible at runtime, not just in
+// tests.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace pimdnn::obs {
+
+/// Resource a pipeline stage occupies (mirrors runtime::PipelineModel:
+/// host compute holds the host lane, a transfer holds the host lane and
+/// its bank, a kernel holds only its bank).
+enum class Lane : std::uint8_t { Host, Xfer, Dpu };
+
+/// Printable lane name ("host" / "xfer" / "dpu").
+const char* lane_name(Lane lane);
+
+/// Busy/utilization summary of one reconstructed resource lane.
+struct LaneUsage {
+  std::string name;        ///< "host", "link", or "bank0"/"bank1"/...
+  double busy_seconds = 0; ///< total stage time occupying the lane
+  double utilization = 0;  ///< busy_seconds / makespan (0 when empty)
+};
+
+/// Per-item (frame/batch) breakdown of the reconstructed schedule.
+struct FrameUsage {
+  std::size_t item = 0;
+  double host_seconds = 0;    ///< host-compute stage time
+  double xfer_seconds = 0;    ///< transfer-link stage time
+  double dpu_seconds = 0;     ///< kernel stage time
+  double latency_seconds = 0; ///< first-stage start to last-stage end
+};
+
+/// What the reconstruction found (see Timeline::report).
+struct TimelineReport {
+  std::size_t frames = 0;
+  double makespan_seconds = 0; ///< reconstructed overlapped wall
+  double serial_seconds = 0;   ///< the same stages laid end to end
+  /// Lane 0 is the host lane (compute + transfers), lane 1 the transfer
+  /// link alone, lanes 2.. the DPU banks.
+  std::vector<LaneUsage> lanes;
+  std::vector<FrameUsage> per_frame;
+  /// Lane that bounded the run (largest busy share of the makespan).
+  std::string critical_lane;
+  /// busy(critical) / makespan — 1.0 means that lane never idled.
+  double critical_utilization = 0;
+  /// busy(critical) - busy(runner up): how much the bottleneck lane
+  /// out-occupies the next busiest resource.
+  double critical_margin_seconds = 0;
+
+  /// 1 - makespan/serial: fraction of serial time hidden by overlap.
+  double overlap_efficiency() const {
+    return serial_seconds > 0 ? 1.0 - makespan_seconds / serial_seconds : 0;
+  }
+};
+
+/// Rebuilds a resource timeline from pipeline stage records (see file
+/// comment). Stages must be added in the order they were recorded; stages
+/// of one item must be in that item's program order (the tracer's buffer
+/// order guarantees both for `pipe.stage` spans).
+class Timeline {
+public:
+  /// One pipeline stage, as stamped into a `pipe.stage` span.
+  struct Stage {
+    Lane lane = Lane::Host;
+    unsigned bank = 0;
+    std::size_t item = 0;
+    double seconds = 0;
+  };
+
+  /// Appends one stage to the reconstruction.
+  void add(const Stage& stage);
+
+  /// Number of stages added.
+  std::size_t stages() const { return stages_.size(); }
+
+  /// Extracts every `pipe.stage` span with `ts_us >= since_us` from a
+  /// tracer snapshot (in buffer order, which is record order).
+  static Timeline from_events(const std::vector<TraceEvent>& events,
+                              double since_us = 0.0);
+
+  /// Replays the stages through the greedy earliest-fit schedule and
+  /// summarizes lane usage, overlap and critical-path attribution.
+  TimelineReport report() const;
+
+private:
+  std::vector<Stage> stages_;
+  unsigned max_bank_ = 0;
+};
+
+/// Compares a reconstructed timeline against the PipelineModel prediction
+/// the executor computed for the same run, recording the drift gauge:
+///  * histogram `obs.drift.overlap_pp`  — |measured - predicted| overlap
+///    efficiency, in percentage points,
+///  * histogram `obs.drift.makespan_pct` — makespan disagreement relative
+///    to the prediction, in percent,
+///  * counter   `obs.drift.samples`,
+/// plus the measured lane utilizations and overlap as
+/// `timeline.<pipeline>.util.<lane>` / `timeline.<pipeline>.overlap`
+/// histograms, so obs::snapshot() carries the timeline state.
+/// Returns the overlap drift in percentage points.
+double record_drift(const char* pipeline, const TimelineReport& measured,
+                    double predicted_makespan_seconds,
+                    double predicted_overlap_efficiency);
+
+} // namespace pimdnn::obs

@@ -6,6 +6,8 @@
 #include <fstream>
 #include <mutex>
 
+#include "obs/metrics.hpp"
+
 namespace pimdnn::obs {
 
 namespace detail {
@@ -139,18 +141,34 @@ void Tracer::disable() {
 }
 
 void Tracer::record(TraceEvent&& ev) {
-  std::lock_guard<std::mutex> lock(impl_->mu);
-  if (!impl_->recording) {
-    return;
+  bool dropped = false;
+  std::uint64_t dropped_so_far = 0;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    if (!impl_->recording) {
+      return;
+    }
+    if (impl_->jsonl.is_open()) {
+      impl_->jsonl << render_event(ev) << "\n";
+    }
+    if (impl_->events.size() >= kMaxEvents) {
+      dropped_so_far = ++impl_->dropped;
+      dropped = true;
+    } else {
+      impl_->events.push_back(std::move(ev));
+    }
   }
-  if (impl_->jsonl.is_open()) {
-    impl_->jsonl << render_event(ev) << "\n";
+  if (dropped) {
+    // Outside the tracer lock: the registry takes its own mutex, and a
+    // silent cap would otherwise make long traces quietly lossy.
+    Metrics::instance().add("trace.dropped");
+    if (dropped_so_far == 1) {
+      std::fprintf(stderr,
+                   "pimdnn: trace buffer full (%zu events); further events "
+                   "are dropped and counted in trace.dropped\n",
+                   kMaxEvents);
+    }
   }
-  if (impl_->events.size() >= kMaxEvents) {
-    ++impl_->dropped;
-    return;
-  }
-  impl_->events.push_back(std::move(ev));
 }
 
 void Tracer::flush() {

@@ -196,6 +196,12 @@ public:
   /// Recycled staging buffers shared by every session on this pool.
   StagingArena& arena() { return arena_; }
 
+  /// Pipeline bank this pool plays in obs telemetry (purely a label: the
+  /// double-buffered executors tag their two pools 0 and 1 so sessions can
+  /// stamp the bank id into their spans).
+  void set_obs_bank(unsigned bank) { obs_bank_ = bank; }
+  unsigned obs_bank() const { return obs_bank_; }
+
 private:
   struct Entry {
     sim::DpuProgram prog;      ///< builder's program + MRAM base reservation
@@ -226,6 +232,7 @@ private:
   std::vector<char> quarantine_;        ///< per-physical-DPU quarantine flag
   std::uint32_t n_quarantined_ = 0;
   StagingArena arena_;
+  unsigned obs_bank_ = 0;
 };
 
 } // namespace pimdnn::runtime

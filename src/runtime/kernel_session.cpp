@@ -1,12 +1,14 @@
 #include "runtime/kernel_session.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <vector>
 
 #include "common/bytes.hpp"
 #include "common/error.hpp"
 #include "obs/metrics.hpp"
+#include "obs/slo.hpp"
 #include "sim/fault.hpp"
 #include "sim/report.hpp"
 
@@ -47,6 +49,7 @@ KernelSession::KernelSession(DpuPool& pool, const std::string& signature,
   if (span_.active()) {
     span_.str("signature", signature_);
     span_.u64("n_dpus", n_dpus_);
+    span_.u64("bank", pool_.obs_bank());
   }
 }
 
@@ -137,6 +140,8 @@ void KernelSession::broadcast(const std::string& symbol, const void* data,
   if (sp.active()) {
     sp.str("symbol", symbol);
     sp.u64("bytes", static_cast<std::uint64_t>(bytes) * n_dpus_);
+    sp.str("lane", "xfer");
+    sp.u64("bank", pool_.obs_bank());
   }
   if (degraded_) {
     sp.flag("skipped", true);
@@ -191,6 +196,8 @@ void KernelSession::scatter(const std::string& symbol, MemSize slot_bytes,
   if (sp.active()) {
     sp.str("symbol", symbol);
     sp.u64("bytes", static_cast<std::uint64_t>(slot_bytes) * n_dpus_);
+    sp.str("lane", "xfer");
+    sp.u64("bank", pool_.obs_bank());
   }
   require(is_xfer_aligned(slot_bytes),
           "KernelSession::scatter: slot stride must obey the 8-byte rule");
@@ -322,6 +329,11 @@ bool KernelSession::launch(std::uint32_t n_tasklets, OptLevel opt) {
   if (sp.active()) {
     sp.str("signature", signature_);
     sp.u64("n_tasklets", n_tasklets);
+    sp.str("lane", "dpu");
+    sp.u64("bank", pool_.obs_bank());
+    if (pred_kernel_cycles_ > 0) {
+      sp.u64("pred_cycles", pred_kernel_cycles_);
+    }
   }
   if (degraded_) {
     sp.flag("fallback", true);
@@ -416,6 +428,8 @@ void KernelSession::gather_items(const std::string& symbol,
     sp.u64("n_items", n_items);
     sp.u64("bytes", static_cast<std::uint64_t>(items_per_dpu) * slot_stride *
                         n_dpus_);
+    sp.str("lane", "xfer");
+    sp.u64("bank", pool_.obs_bank());
   }
   require(is_xfer_aligned(slot_stride),
           "KernelSession::gather_items: slot stride must obey the 8-byte "
@@ -470,6 +484,30 @@ LaunchStats KernelSession::finish() {
   sample.faults_absorbed = absorbed_;
   sample.cpu_fallbacks = degraded_ ? 1 : 0;
   obs::Metrics::instance().record_offload(signature_ + annotation_, sample);
+
+  // Cost-model drift gauge: how far the mapper's prediction was from what
+  // actually ran. Only meaningful when the pipeline declared a prediction
+  // and the offload really went to the DPUs.
+  if (pred_kernel_cycles_ > 0 && !degraded_) {
+    obs::Metrics::instance().record(
+        "obs.drift.kernel_pct",
+        std::abs(static_cast<double>(stats_.wall_cycles) -
+                 static_cast<double>(pred_kernel_cycles_)) /
+            static_cast<double>(pred_kernel_cycles_) * 100.0);
+    if (pred_xfer_seconds_ > 0) {
+      obs::Metrics::instance().record(
+          "obs.drift.xfer_pct",
+          std::abs(stats_.host.host_seconds() - pred_xfer_seconds_) /
+              pred_xfer_seconds_ * 100.0);
+    }
+  }
+  if (obs::SloTracker::enabled()) {
+    const double latency_ms =
+        (stats_.host.host_seconds() +
+         config().cycles_to_seconds(stats_.wall_cycles)) *
+        1e3;
+    obs::SloTracker::instance().record("offload", latency_ms);
+  }
 
   if (span_.active()) {
     span_.u64("cycles", stats_.wall_cycles);

@@ -184,6 +184,17 @@ public:
   /// never aggregate into one histogram bucket.
   void annotate(const std::string& text) { annotation_ += text; }
 
+  /// Declares what the mapping cost model predicted for this offload
+  /// (`PredictedBreakdown`: kernel cycles and total host-transfer
+  /// seconds). The prediction is stamped into the launch span, and
+  /// `finish()` records the measured disagreement as the
+  /// `obs.drift.kernel_pct` / `obs.drift.xfer_pct` histograms — the
+  /// runtime half of the calibration tests, always on.
+  void set_predicted(std::uint64_t kernel_cycles, double xfer_seconds) {
+    pred_kernel_cycles_ = kernel_cycles;
+    pred_xfer_seconds_ = xfer_seconds;
+  }
+
   /// Stamps the host-transfer delta since construction (activation, every
   /// broadcast/scatter/gather, the launch's load walls) into the launch
   /// stats, closes the session's trace span, and records the offload under
@@ -243,6 +254,8 @@ private:
   std::uint64_t resident_misses_ = 0; ///< scatter_resident uploads
   std::uint64_t const_hits_ = 0;      ///< broadcast_const skips
   std::uint64_t const_misses_ = 0;    ///< broadcast_const uploads
+  std::uint64_t pred_kernel_cycles_ = 0; ///< set_predicted (0 = not set)
+  double pred_xfer_seconds_ = 0.0;
 };
 
 } // namespace pimdnn::runtime

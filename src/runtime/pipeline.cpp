@@ -3,11 +3,33 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "obs/trace.hpp"
 
 namespace pimdnn::runtime {
 
-PipelineModel::PipelineModel(unsigned n_banks)
-    : lanes_(1 + static_cast<std::size_t>(n_banks)) {
+namespace {
+
+/// Every reported stage also goes to the tracer as a `pipe.stage` span so
+/// obs::Timeline can rebuild the schedule from the telemetry stream alone
+/// and cross-check it against this model (the obs.drift gauge). Emitted
+/// outside the model lock; buffer order still matches report order per
+/// item because each item's stages are reported sequentially by one
+/// executor thread.
+void stage_span(const char* lane, std::size_t item, unsigned bank,
+                Seconds duration) {
+  obs::Span sp("pipe.stage", "pipeline");
+  if (sp.active()) {
+    sp.str("lane", lane);
+    sp.u64("bank", bank);
+    sp.u64("item", item);
+    sp.f64("seconds", duration);
+  }
+}
+
+} // namespace
+
+PipelineModel::PipelineModel(unsigned n_banks, bool trace)
+    : trace_(trace), lanes_(1 + static_cast<std::size_t>(n_banks)) {
   require(n_banks >= 1, "PipelineModel needs at least one bank");
 }
 
@@ -60,6 +82,9 @@ void PipelineModel::occupy(unsigned lane, Seconds start, Seconds end) {
 }
 
 void PipelineModel::host_stage(std::size_t item, Seconds duration) {
+  if (trace_) {
+    stage_span("host", item, 0, duration);
+  }
   std::lock_guard<std::mutex> lk(mu_);
   Seconds& ready = item_ready(item);
   serial_ += duration;
@@ -78,6 +103,9 @@ void PipelineModel::host_stage(std::size_t item, Seconds duration) {
 void PipelineModel::xfer_stage(std::size_t item, unsigned bank,
                                Seconds duration) {
   require(1 + bank < lanes_.size(), "PipelineModel: bank out of range");
+  if (trace_) {
+    stage_span("xfer", item, bank, duration);
+  }
   std::lock_guard<std::mutex> lk(mu_);
   Seconds& ready = item_ready(item);
   serial_ += duration;
@@ -97,6 +125,9 @@ void PipelineModel::xfer_stage(std::size_t item, unsigned bank,
 void PipelineModel::dpu_stage(std::size_t item, unsigned bank,
                               Seconds duration) {
   require(1 + bank < lanes_.size(), "PipelineModel: bank out of range");
+  if (trace_) {
+    stage_span("dpu", item, bank, duration);
+  }
   std::lock_guard<std::mutex> lk(mu_);
   Seconds& ready = item_ready(item);
   serial_ += duration;

@@ -73,7 +73,11 @@ struct PipelineStats {
 class PipelineModel {
 public:
   /// `n_banks` independent DPU lanes (2 for the double-buffered pipelines).
-  explicit PipelineModel(unsigned n_banks);
+  /// `trace` controls the `pipe.stage` telemetry spans: executors keep it
+  /// on so obs::Timeline can rebuild their schedule; what-if models (the
+  /// mapper's cost predictions) turn it off so hypothetical stages never
+  /// pollute the reconstruction.
+  explicit PipelineModel(unsigned n_banks, bool trace = true);
 
   /// Host-only stage (im2col, bias+leaky, FC tail, result unpack).
   void host_stage(std::size_t item, Seconds duration);
@@ -102,6 +106,7 @@ private:
   void occupy(unsigned lane, Seconds start, Seconds end);
 
   mutable std::mutex mu_;
+  const bool trace_; ///< emit pipe.stage spans (off for what-if models)
   /// lanes_[0] is the host lane; lanes_[1 + b] is bank b.
   std::vector<std::vector<Busy>> lanes_;
   std::vector<Seconds> items_;     ///< per-item last-stage completion time

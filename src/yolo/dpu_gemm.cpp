@@ -266,6 +266,9 @@ GemmResult dpu_gemm_pooled(runtime::DpuPool& pool, int m, int n, int k,
   // The resolved mapping tags the obs offload summary (not the program
   // cache key above — identical programs still share one load).
   session.annotate(plan.obs_suffix());
+  session.set_predicted(plan.predicted.kernel_cycles,
+                        plan.predicted.to_dpu_seconds +
+                            plan.predicted.from_dpu_seconds);
 
   // Broadcast the kernel metadata every call — alpha is not part of the
   // program signature, so two layers sharing (n, k) may disagree on it.

@@ -9,6 +9,7 @@
 #include "nn/gemm.hpp"
 #include "nn/im2col.hpp"
 #include "nn/layers.hpp"
+#include "obs/slo.hpp"
 #include "obs/trace.hpp"
 #include "runtime/host_pool.hpp"
 #include "runtime/host_timer.hpp"
@@ -249,7 +250,12 @@ YoloPipelineResult YoloRunner::run_pipelined(
   // task can touch them (a frame only ever uses its own bank's pool).
   const std::vector<map::MappingPlan> plans = resolve_layer_plans(opts);
   runtime::DpuPool* banks[2] = {&bank_pool(0, plans), &bank_pool(1, plans)};
+  banks[0]->set_obs_bank(0);
+  banks[1]->set_obs_bank(1);
   runtime::PipelineModel model(2);
+  const bool tracing = obs::Tracer::enabled();
+  const double trace_since_us =
+      tracing ? obs::Tracer::instance().now_us() : 0.0;
 
   // Double-buffered dispatch: frame i runs on bank i%2, and a bank's next
   // frame is submitted only after its previous frame completed — so at
@@ -297,6 +303,22 @@ YoloPipelineResult YoloRunner::run_pipelined(
     sp.f64("makespan_ms", out.pipeline.makespan_seconds * 1e3);
     sp.f64("serial_ms", out.pipeline.serial_seconds * 1e3);
     sp.f64("speedup", out.pipeline.speedup());
+  }
+  if (tracing) {
+    const obs::Timeline tl = obs::Timeline::from_events(
+        obs::Tracer::instance().snapshot(), trace_since_us);
+    if (tl.stages() > 0) {
+      out.timeline = tl.report();
+      obs::record_drift("yolo", *out.timeline,
+                        out.pipeline.makespan_seconds,
+                        out.pipeline.overlap_efficiency());
+    }
+  }
+  if (obs::SloTracker::enabled()) {
+    for (const YoloRunResult& f : out.frames) {
+      obs::SloTracker::instance().record("yolo.frame",
+                                         f.frame_wall_seconds() * 1e3);
+    }
   }
   return out;
 }

@@ -29,6 +29,7 @@
 #include <span>
 #include <vector>
 
+#include "obs/timeline.hpp"
 #include "runtime/dpu_pool.hpp"
 #include "runtime/dpu_set.hpp"
 #include "runtime/pipeline.hpp"
@@ -127,6 +128,10 @@ struct YoloPipelineResult {
   std::vector<YoloRunResult> frames;
   /// Modeled overlapped timeline vs. the serial equivalent.
   runtime::PipelineStats pipeline;
+  /// Independent reconstruction of the same schedule from the emitted
+  /// `pipe.stage` spans — present only when tracing was enabled for the
+  /// run. Disagreement with `pipeline` is recorded as obs.drift.*.
+  std::optional<obs::TimelineReport> timeline;
 };
 
 /// Network executor bound to a config and weights.

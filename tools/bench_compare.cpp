@@ -1,0 +1,53 @@
+// CLI: bench_compare <baseline.json> <fresh.json>
+//
+// Exit 0 when every gated metric is within tolerance, 1 on a regression
+// or structural mismatch, 2 on usage / unreadable / unparseable input.
+// CI runs this against bench/baselines/ after regenerating the fresh
+// reports with each bench's --json flag.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "bench_compare.hpp"
+
+namespace {
+
+bool slurp(const char* path, std::string& out) {
+  std::ifstream is(path);
+  if (!is) return false;
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  using namespace pimdnn::tools;
+  if (argc != 3) {
+    std::cerr << "usage: bench_compare <baseline.json> <fresh.json>\n";
+    return 2;
+  }
+  std::string baseline_text;
+  std::string fresh_text;
+  if (!slurp(argv[1], baseline_text)) {
+    std::cerr << "bench_compare: cannot read baseline " << argv[1] << "\n";
+    return 2;
+  }
+  if (!slurp(argv[2], fresh_text)) {
+    std::cerr << "bench_compare: cannot read fresh report " << argv[2]
+              << "\n";
+    return 2;
+  }
+  try {
+    const Json baseline = parse_json(baseline_text);
+    const Json fresh = parse_json(fresh_text);
+    const CompareResult r = compare_reports(baseline, fresh);
+    print_compare(std::cout, r);
+    return r.ok ? 0 : 1;
+  } catch (const JsonError& e) {
+    std::cerr << "bench_compare: " << e.what() << "\n";
+    return 2;
+  }
+}

@@ -1,0 +1,175 @@
+// Perf-regression comparison: a fresh bench --json report against a
+// checked-in baseline, with per-metric tolerance policy.
+//
+// A baseline file is the bench's own JSON shape plus optional constraint
+// fields on each metric:
+//
+//   {"schema_version":1,"bench":"fw_pool_reuse","metrics":[
+//     {"name":"yolo_pipeline_bit_identical","value":1},            exact
+//     {"name":"yolo_pipeline_speedup","value":1.5,"min":1.2},      bound
+//     {"name":"yolo_sync_warm_frame_ms","value":38,"tol_rel":0.5}, banded
+//     {"name":"warm_threads_created","value":0,"max":0},           bound
+//     {"name":"ebnn_pipe_warm_batch_ms","value":2.1,"skip":true}   info
+//   ]}
+//
+// Policy per metric: `skip` reports but never gates (machine-dependent
+// wall times); `min`/`max` gate one- or two-sided; `tol_rel`/`tol_abs`
+// gate |fresh - value| <= max(tol_abs, tol_rel*|value|); with no
+// constraint fields the metric must match exactly (the right default
+// here, where bit_identical / counts / DPU totals are deterministic).
+// A baseline metric missing from the fresh run always fails; extra fresh
+// metrics are reported as informational. Reports across different
+// schema_versions refuse to compare.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "json_min.hpp"
+
+namespace pimdnn::tools {
+
+/// Outcome of one metric's check.
+struct MetricResult {
+  std::string name;
+  double baseline = 0.0;
+  double fresh = 0.0;
+  bool present = false;  ///< fresh run had the metric
+  bool gated = true;     ///< false for skip-marked (informational) metrics
+  bool passed = false;
+  std::string rule;      ///< human-readable constraint that applied
+};
+
+/// Outcome of one baseline-vs-fresh comparison.
+struct CompareResult {
+  bool ok = false;
+  std::string error;     ///< non-empty on a structural failure
+  std::string bench;
+  std::vector<MetricResult> metrics;
+  std::vector<std::string> extra; ///< fresh metrics absent from baseline
+
+  std::size_t failures() const {
+    std::size_t n = 0;
+    for (const MetricResult& m : metrics) {
+      if (m.gated && !m.passed) ++n;
+    }
+    return n;
+  }
+};
+
+/// Compares parsed baseline and fresh reports (see file comment).
+inline CompareResult compare_reports(const Json& baseline,
+                                     const Json& fresh) {
+  CompareResult out;
+  const auto structural = [&out](const std::string& why) {
+    out.error = why;
+    out.ok = false;
+    return out;
+  };
+  if (!baseline.is_object() || baseline.get("metrics") == nullptr) {
+    return structural("baseline is not a bench report (no \"metrics\")");
+  }
+  if (!fresh.is_object() || fresh.get("metrics") == nullptr) {
+    return structural("fresh report is not a bench report (no \"metrics\")");
+  }
+  const double bv = baseline.num_or("schema_version", 0);
+  const double fv = fresh.num_or("schema_version", 0);
+  if (bv != fv) {
+    return structural("schema_version mismatch: baseline v" +
+                      std::to_string(static_cast<int>(bv)) + " vs fresh v" +
+                      std::to_string(static_cast<int>(fv)) +
+                      " — regenerate the baseline");
+  }
+  out.bench = baseline.str_or("bench", "?");
+  if (fresh.str_or("bench", "?") != out.bench) {
+    return structural("bench name mismatch: baseline \"" + out.bench +
+                      "\" vs fresh \"" + fresh.str_or("bench", "?") + "\"");
+  }
+
+  std::map<std::string, double> fresh_values;
+  for (const Json& m : fresh.get("metrics")->items) {
+    fresh_values[m.str_or("name", "")] = m.num_or("value", 0);
+  }
+  std::map<std::string, bool> baseline_names;
+
+  for (const Json& m : baseline.get("metrics")->items) {
+    MetricResult r;
+    r.name = m.str_or("name", "");
+    r.baseline = m.num_or("value", 0);
+    baseline_names[r.name] = true;
+    const auto it = fresh_values.find(r.name);
+    r.present = it != fresh_values.end();
+    r.fresh = r.present ? it->second : 0.0;
+    r.gated = !m.bool_or("skip", false);
+    if (!r.gated) {
+      r.rule = "skip (informational)";
+      r.passed = true;
+    } else if (!r.present) {
+      r.rule = "must be present";
+      r.passed = false;
+    } else if (m.get("min") != nullptr || m.get("max") != nullptr) {
+      const double lo = m.num_or("min", -HUGE_VAL);
+      const double hi = m.num_or("max", HUGE_VAL);
+      r.rule = "bounds";
+      if (m.get("min") != nullptr) {
+        r.rule += " >= " + std::to_string(lo);
+      }
+      if (m.get("max") != nullptr) {
+        r.rule += " <= " + std::to_string(hi);
+      }
+      r.passed = r.fresh >= lo && r.fresh <= hi;
+    } else if (m.get("tol_rel") != nullptr || m.get("tol_abs") != nullptr) {
+      const double band = std::max(m.num_or("tol_abs", 0.0),
+                                   m.num_or("tol_rel", 0.0) *
+                                       std::abs(r.baseline));
+      r.rule = "within " + std::to_string(band) + " of baseline";
+      r.passed = std::abs(r.fresh - r.baseline) <= band;
+    } else {
+      r.rule = "exact";
+      r.passed = r.fresh == r.baseline;
+    }
+    out.metrics.push_back(std::move(r));
+  }
+
+  for (const auto& [name, value] : fresh_values) {
+    if (baseline_names.find(name) == baseline_names.end()) {
+      out.extra.push_back(name);
+    }
+  }
+  out.ok = out.failures() == 0;
+  return out;
+}
+
+/// Renders the per-metric pass/fail report.
+inline void print_compare(std::ostream& os, const CompareResult& r) {
+  if (!r.error.empty()) {
+    os << "bench_compare: ERROR: " << r.error << "\n";
+    return;
+  }
+  os << "bench_compare: " << r.bench << "\n";
+  for (const MetricResult& m : r.metrics) {
+    const char* tag = !m.gated ? "info" : (m.passed ? "ok  " : "FAIL");
+    os << "  [" << tag << "] " << m.name << ": ";
+    if (m.present) {
+      os << "fresh=" << m.fresh << " baseline=" << m.baseline;
+    } else {
+      os << "missing from fresh run (baseline=" << m.baseline << ")";
+    }
+    os << "  (" << m.rule << ")\n";
+  }
+  for (const std::string& name : r.extra) {
+    os << "  [new ] " << name << ": not in baseline (add it or ignore)\n";
+  }
+  if (r.ok) {
+    os << "bench_compare: PASS (" << r.metrics.size() << " metrics)\n";
+  } else {
+    os << "bench_compare: FAIL (" << r.failures() << " of "
+       << r.metrics.size() << " metrics out of tolerance)\n";
+  }
+}
+
+} // namespace pimdnn::tools

@@ -1,0 +1,230 @@
+// Minimal recursive-descent JSON reader for the repo's own tooling
+// (bench_compare, tests). Parses the subset the bench emitters and
+// baseline files produce — objects, arrays, strings, numbers, bools,
+// null — with no external dependencies. Not a general-purpose validator:
+// it accepts exactly what std JSON allows, but error messages are geared
+// at hand-edited baseline files (line numbers, not byte offsets).
+#pragma once
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace pimdnn::tools {
+
+/// One parsed JSON value (tree-owning).
+class Json {
+public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string text;
+  std::vector<Json> items;                 ///< Array
+  std::map<std::string, Json> fields;      ///< Object (sorted; fine here)
+
+  bool is_object() const { return kind == Kind::Object; }
+  bool is_array() const { return kind == Kind::Array; }
+
+  /// Object field access; returns nullptr when absent or not an object.
+  const Json* get(const std::string& key) const {
+    if (kind != Kind::Object) return nullptr;
+    const auto it = fields.find(key);
+    return it == fields.end() ? nullptr : &it->second;
+  }
+
+  /// Field as number with fallback.
+  double num_or(const std::string& key, double fallback) const {
+    const Json* v = get(key);
+    return v != nullptr && v->kind == Kind::Number ? v->number : fallback;
+  }
+
+  /// Field as string with fallback.
+  std::string str_or(const std::string& key,
+                     const std::string& fallback) const {
+    const Json* v = get(key);
+    return v != nullptr && v->kind == Kind::String ? v->text : fallback;
+  }
+
+  /// Field as bool with fallback.
+  bool bool_or(const std::string& key, bool fallback) const {
+    const Json* v = get(key);
+    return v != nullptr && v->kind == Kind::Bool ? v->boolean : fallback;
+  }
+};
+
+/// Thrown on malformed input, with a 1-based line number in the message.
+class JsonError : public std::runtime_error {
+public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+
+class Parser {
+public:
+  explicit Parser(const std::string& in) : in_(in) {}
+
+  Json parse() {
+    Json v = value();
+    skip_ws();
+    if (pos_ != in_.size()) {
+      fail("trailing characters after the top-level value");
+    }
+    return v;
+  }
+
+private:
+  [[noreturn]] void fail(const std::string& why) const {
+    std::size_t line = 1;
+    for (std::size_t i = 0; i < pos_ && i < in_.size(); ++i) {
+      if (in_[i] == '\n') ++line;
+    }
+    throw JsonError("json: line " + std::to_string(line) + ": " + why);
+  }
+
+  void skip_ws() {
+    while (pos_ < in_.size() &&
+           (in_[pos_] == ' ' || in_[pos_] == '\t' || in_[pos_] == '\n' ||
+            in_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= in_.size()) fail("unexpected end of input");
+    return in_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      fail(std::string("expected '") + c + "', got '" + in_[pos_] + "'");
+    }
+    ++pos_;
+  }
+
+  bool consume(char c) {
+    if (pos_ < in_.size() && peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(const char* word) {
+    const std::size_t n = std::char_traits<char>::length(word);
+    if (in_.compare(pos_, n, word) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  std::string string_body() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= in_.size()) fail("unterminated string");
+      const char c = in_[pos_++];
+      if (c == '"') break;
+      if (c == '\\') {
+        if (pos_ >= in_.size()) fail("unterminated escape");
+        const char e = in_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > in_.size()) fail("truncated \\u escape");
+            // Baselines are ASCII; keep non-ASCII escapes as '?' rather
+            // than implementing UTF-16 surrogates nobody emits.
+            const std::string hex = in_.substr(pos_, 4);
+            pos_ += 4;
+            const long cp = std::strtol(hex.c_str(), nullptr, 16);
+            out += cp < 128 ? static_cast<char>(cp) : '?';
+            break;
+          }
+          default: fail("bad escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    return out;
+  }
+
+  Json value() {
+    const char c = peek();
+    Json v;
+    if (c == '{') {
+      ++pos_;
+      v.kind = Json::Kind::Object;
+      if (!consume('}')) {
+        while (true) {
+          skip_ws();
+          std::string key = string_body();
+          expect(':');
+          v.fields[std::move(key)] = value();
+          if (consume('}')) break;
+          expect(',');
+        }
+      }
+    } else if (c == '[') {
+      ++pos_;
+      v.kind = Json::Kind::Array;
+      if (!consume(']')) {
+        while (true) {
+          v.items.push_back(value());
+          if (consume(']')) break;
+          expect(',');
+        }
+      }
+    } else if (c == '"') {
+      v.kind = Json::Kind::String;
+      v.text = string_body();
+    } else if (c == 't' || c == 'f') {
+      v.kind = Json::Kind::Bool;
+      if (literal("true")) {
+        v.boolean = true;
+      } else if (literal("false")) {
+        v.boolean = false;
+      } else {
+        fail("bad literal");
+      }
+    } else if (c == 'n') {
+      if (!literal("null")) fail("bad literal");
+      v.kind = Json::Kind::Null;
+    } else {
+      v.kind = Json::Kind::Number;
+      char* end = nullptr;
+      v.number = std::strtod(in_.c_str() + pos_, &end);
+      if (end == in_.c_str() + pos_) fail("bad number");
+      pos_ = static_cast<std::size_t>(end - in_.c_str());
+    }
+    return v;
+  }
+
+  const std::string& in_;
+  std::size_t pos_ = 0;
+};
+
+} // namespace detail
+
+/// Parses one JSON document; throws JsonError on malformed input.
+inline Json parse_json(const std::string& text) {
+  return detail::Parser(text).parse();
+}
+
+} // namespace pimdnn::tools

@@ -1,0 +1,33 @@
+// CLI: prom_check <metrics.prom>
+//
+// Exit 0 when the file is valid Prometheus text exposition (as emitted by
+// obs::write_snapshot_prometheus), 1 when malformed, 2 on usage errors.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "prom_check.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pimdnn::tools;
+  if (argc != 2) {
+    std::cerr << "usage: prom_check <metrics.prom>\n";
+    return 2;
+  }
+  std::ifstream is(argv[1]);
+  if (!is) {
+    std::cerr << "prom_check: cannot read " << argv[1] << "\n";
+    return 2;
+  }
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  const PromCheckResult r = prom_check(ss.str());
+  for (const std::string& e : r.errors) {
+    std::cerr << "prom_check: " << argv[1] << ": " << e << "\n";
+  }
+  if (r.ok) {
+    std::cout << "prom_check: " << argv[1] << ": OK (" << r.samples
+              << " samples)\n";
+  }
+  return r.ok ? 0 : 1;
+}

@@ -1,0 +1,175 @@
+// Validator for the Prometheus text exposition format that
+// obs::write_snapshot_prometheus emits. CI runs it over the
+// PIMDNN_METRICS_OUT file so a malformed family or label escape fails the
+// build instead of a scrape. Checks the subset of the format the exporter
+// uses: `# HELP` / `# TYPE` comments, `name{labels} value` samples with
+// valid metric-name charset, properly quoted/escaped label values, and
+// finite numeric sample values. Also requires the pimdnn_schema_version
+// gauge so an empty or truncated file cannot pass.
+#pragma once
+
+#include <cctype>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace pimdnn::tools {
+
+/// Outcome of validating one exposition document.
+struct PromCheckResult {
+  bool ok = true;
+  std::size_t samples = 0;               ///< sample lines seen
+  std::vector<std::string> errors;       ///< "line N: why" entries
+};
+
+namespace promdetail {
+
+inline bool valid_metric_name(const std::string& s) {
+  if (s.empty()) return false;
+  if (!(std::isalpha(static_cast<unsigned char>(s[0])) || s[0] == '_' ||
+        s[0] == ':')) {
+    return false;
+  }
+  for (const char c : s) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+          c == ':')) {
+      return false;
+    }
+  }
+  return true;
+}
+
+inline bool valid_label_name(const std::string& s) {
+  if (s.empty()) return false;
+  if (!(std::isalpha(static_cast<unsigned char>(s[0])) || s[0] == '_')) {
+    return false;
+  }
+  for (const char c : s) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_')) {
+      return false;
+    }
+  }
+  return true;
+}
+
+} // namespace promdetail
+
+/// Validates one exposition document (full file contents).
+inline PromCheckResult prom_check(const std::string& text) {
+  PromCheckResult out;
+  const auto bad = [&out](std::size_t line, const std::string& why) {
+    out.ok = false;
+    out.errors.push_back("line " + std::to_string(line) + ": " + why);
+  };
+
+  bool saw_schema_version = false;
+  std::size_t lineno = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    const std::string line = text.substr(
+        pos, eol == std::string::npos ? std::string::npos : eol - pos);
+    pos = eol == std::string::npos ? text.size() + 1 : eol + 1;
+    ++lineno;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      // Comment: only HELP/TYPE are meaningful; anything else is ignored
+      // by scrapers, so ignore it here too.
+      continue;
+    }
+
+    // Sample line: name[{labels}] value
+    std::size_t i = 0;
+    while (i < line.size() && line[i] != '{' && line[i] != ' ') ++i;
+    const std::string name = line.substr(0, i);
+    if (!promdetail::valid_metric_name(name)) {
+      bad(lineno, "invalid metric name \"" + name + "\"");
+      continue;
+    }
+    if (i < line.size() && line[i] == '{') {
+      ++i; // past '{'
+      bool first = true;
+      while (i < line.size() && line[i] != '}') {
+        if (!first) {
+          if (line[i] != ',') {
+            bad(lineno, "expected ',' between labels");
+            break;
+          }
+          ++i;
+        }
+        first = false;
+        std::size_t j = i;
+        while (j < line.size() && line[j] != '=') ++j;
+        const std::string label = line.substr(i, j - i);
+        if (!promdetail::valid_label_name(label)) {
+          bad(lineno, "invalid label name \"" + label + "\"");
+          break;
+        }
+        i = j + 1;
+        if (i >= line.size() || line[i] != '"') {
+          bad(lineno, "label value for \"" + label + "\" is not quoted");
+          break;
+        }
+        ++i; // past opening quote
+        bool closed = false;
+        while (i < line.size()) {
+          if (line[i] == '\\') {
+            if (i + 1 >= line.size() ||
+                (line[i + 1] != '\\' && line[i + 1] != '"' &&
+                 line[i + 1] != 'n')) {
+              bad(lineno, "bad escape in label value of \"" + label + "\"");
+              break;
+            }
+            i += 2;
+          } else if (line[i] == '"') {
+            ++i;
+            closed = true;
+            break;
+          } else {
+            ++i;
+          }
+        }
+        if (!closed) {
+          if (out.errors.empty() ||
+              out.errors.back().find("line " + std::to_string(lineno)) ==
+                  std::string::npos) {
+            bad(lineno, "unterminated label value for \"" + label + "\"");
+          }
+          break;
+        }
+      }
+      if (i >= line.size() || line[i] != '}') {
+        bad(lineno, "unterminated label set");
+        continue;
+      }
+      ++i; // past '}'
+    }
+    if (i >= line.size() || line[i] != ' ') {
+      bad(lineno, "missing space before sample value");
+      continue;
+    }
+    ++i;
+    const std::string value = line.substr(i);
+    char* end = nullptr;
+    std::strtod(value.c_str(), &end);
+    const bool numeric =
+        end != value.c_str() && *end == '\0' && !value.empty();
+    const bool special =
+        value == "NaN" || value == "+Inf" || value == "-Inf";
+    if (!numeric && !special) {
+      bad(lineno, "sample value \"" + value + "\" is not a number");
+      continue;
+    }
+    ++out.samples;
+    if (name == "pimdnn_schema_version") saw_schema_version = true;
+  }
+
+  if (out.samples == 0) {
+    bad(lineno, "no samples in exposition");
+  } else if (!saw_schema_version) {
+    bad(lineno, "missing pimdnn_schema_version gauge");
+  }
+  return out;
+}
+
+} // namespace pimdnn::tools
