@@ -162,6 +162,11 @@ Offloader::PendingBatch Offloader::start_batch(
   mreq.item_out_bytes = out_stride_;
   mreq.const_bytes_per_dpu = spec_.consts.size();
   mreq.pinned_tasklets = n_tasklets;
+  // Plan against the pool's health picture: quarantines shrink the usable
+  // capacity, reintegrations restore it (clean pools plan the full system).
+  if (pool.plan_capacity() < pool.config().total_dpus) {
+    mreq.limits.max_dpus = pool.plan_capacity();
+  }
   const map::MappingPlan plan = map::Mapper().plan_batch(mreq);
   n_tasklets = plan.n_tasklets;
 

@@ -695,6 +695,11 @@ DeepEbnnHost::PendingBatch DeepEbnnHost::start_batch(
   mreq.const_bytes_per_dpu =
       conv_size * sizeof(std::uint32_t) + lut_size;
   mreq.pinned_tasklets = n_tasklets == 0 ? map::kAutoTasklets : n_tasklets;
+  // Plan against the pool's health picture: quarantines shrink the usable
+  // capacity, reintegrations restore it (clean pools plan the full system).
+  if (pool.plan_capacity() < pool.config().total_dpus) {
+    mreq.limits.max_dpus = pool.plan_capacity();
+  }
   const map::MappingPlan plan = map::Mapper().plan_batch(mreq);
   n_tasklets = plan.n_tasklets;
 

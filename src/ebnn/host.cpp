@@ -63,6 +63,11 @@ EbnnHost::PendingBatch EbnnHost::start_batch(
            ? lut_.table.size()
            : 5 * static_cast<std::size_t>(cfg_.filters) * sizeof(float));
   mreq.pinned_tasklets = n_tasklets;
+  // Plan against the pool's health picture: quarantines shrink the usable
+  // capacity, reintegrations restore it (clean pools plan the full system).
+  if (pool.plan_capacity() < pool.config().total_dpus) {
+    mreq.limits.max_dpus = pool.plan_capacity();
+  }
   const map::MappingPlan plan = map::Mapper().plan_batch(mreq);
   n_tasklets = plan.n_tasklets;
 

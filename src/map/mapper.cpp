@@ -25,6 +25,11 @@ bool cheaper(const MappingPlan& a, const MappingPlan& b) {
   return a.predicted.makespan_seconds < b.predicted.makespan_seconds;
 }
 
+/// True when `plan` respects the request's DPU-capacity limit.
+bool fits(const Limits& limits, const MappingPlan& plan) {
+  return limits.max_dpus == 0 || plan.n_dpus <= limits.max_dpus;
+}
+
 } // namespace
 
 Mapper::Mapper(CostParams params) : params_(params) {}
@@ -89,16 +94,23 @@ MappingPlan Mapper::plan_gemm(const GemmRequest& req) const {
     } else {
       // Auto: price the paper mapping first, replace only on a strictly
       // cheaper candidate — the argmin is never worse than the paper's.
+      // A capacity limit can leave the paper seed infeasible (more DPUs
+      // than max_dpus): any feasible candidate then replaces it outright,
+      // cheaper or not — the candidate space is already bounded to the
+      // limit. With no feasible candidate at all the seed survives and
+      // the session degrades at launch.
       plan = price_gemm(req, req.paper_rows, req.paper_tasklets,
                         MappingSource::Auto);
+      bool feasible = fits(req.limits, plan);
       const auto tasklets = tasklet_candidates(
           std::min(req.limits.max_tasklets, kMaxGemmTasklets));
       for (int rows : gemm_rows_candidates(req.m, req.k, req.limits)) {
         for (std::uint32_t t : tasklets) {
           const MappingPlan cand =
               price_gemm(req, rows, t, MappingSource::Auto);
-          if (cheaper(cand, plan)) {
+          if (!feasible || cheaper(cand, plan)) {
             plan = cand;
+            feasible = true;
           }
         }
       }
@@ -169,6 +181,9 @@ MappingPlan Mapper::plan_batch(const BatchRequest& req) const {
     } else {
       plan = price_batch(req, paper_items, paper_tasklets,
                          MappingSource::Auto);
+      // Same seed-feasibility rule as plan_gemm: an over-capacity paper
+      // seed yields to the first feasible candidate.
+      bool feasible = fits(req.limits, plan);
       for (std::uint32_t items :
            batch_items_candidates(req.capacity, req.n_items, req.limits)) {
         for (std::uint32_t t : tasklet_candidates(
@@ -177,8 +192,9 @@ MappingPlan Mapper::plan_batch(const BatchRequest& req) const {
                                      : req.limits.max_tasklets))) {
           const MappingPlan cand =
               price_batch(req, items, t, MappingSource::Auto);
-          if (cheaper(cand, plan)) {
+          if (!feasible || cheaper(cand, plan)) {
             plan = cand;
+            feasible = true;
           }
         }
       }

@@ -77,6 +77,7 @@ Snapshot snapshot() {
   Snapshot snap;
   auto& m = Metrics::instance();
   snap.counters = m.counters();
+  snap.gauges = m.gauges();
   snap.histograms = m.histograms();
   snap.signatures = m.signatures();
   if (SloTracker::enabled()) {
@@ -93,6 +94,13 @@ void write_snapshot_json(std::ostream& os, const Snapshot& snap) {
     if (!first) os << ",";
     first = false;
     os << "\"" << json_escape(name) << "\":" << value;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : snap.gauges) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << json_escape(name) << "\":" << json_num(value);
   }
   os << "},\"histograms\":{";
   first = true;
@@ -147,6 +155,12 @@ void write_snapshot_prometheus(std::ostream& os, const Snapshot& snap) {
     const std::string family = prom_name(name) + "_total";
     os << "# TYPE " << family << " counter\n";
     os << family << " " << value << "\n";
+  }
+
+  for (const auto& [name, value] : snap.gauges) {
+    const std::string family = prom_name(name);
+    os << "# TYPE " << family << " gauge\n";
+    os << family << " " << num(value) << "\n";
   }
 
   for (const auto& [name, h] : snap.histograms) {

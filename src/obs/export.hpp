@@ -38,6 +38,7 @@ inline constexpr int kSchemaVersion = 1;
 struct Snapshot {
   int schema_version = kSchemaVersion;
   std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
   std::map<std::string, RunningStats> histograms;
   std::map<std::string, SignatureSummary> signatures;
   std::vector<SloStatus> slos;

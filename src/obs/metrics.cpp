@@ -59,6 +59,7 @@ void SignatureSummary::add(const OffloadSample& s) {
 struct Metrics::Impl {
   mutable std::mutex mu;
   std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
   std::map<std::string, RunningStats> histograms;
   std::map<std::string, SignatureSummary> signatures;
   std::string summary_path; ///< PIMDNN_SUMMARY destination ("" = off)
@@ -108,6 +109,17 @@ std::uint64_t Metrics::counter(std::string_view name) const {
   return it == impl_->counters.end() ? 0 : it->second;
 }
 
+void Metrics::set_gauge(std::string_view gauge, double value) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->gauges[std::string(gauge)] = value;
+}
+
+double Metrics::gauge(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  const auto it = impl_->gauges.find(std::string(name));
+  return it == impl_->gauges.end() ? 0.0 : it->second;
+}
+
 void Metrics::record(std::string_view histogram, double value) {
   std::lock_guard<std::mutex> lock(impl_->mu);
   impl_->histograms[std::string(histogram)].add(value);
@@ -135,6 +147,11 @@ std::map<std::string, std::uint64_t> Metrics::counters() const {
   return impl_->counters;
 }
 
+std::map<std::string, double> Metrics::gauges() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->gauges;
+}
+
 std::map<std::string, RunningStats> Metrics::histograms() const {
   std::lock_guard<std::mutex> lock(impl_->mu);
   return impl_->histograms;
@@ -143,6 +160,7 @@ std::map<std::string, RunningStats> Metrics::histograms() const {
 void Metrics::reset() {
   std::lock_guard<std::mutex> lock(impl_->mu);
   impl_->counters.clear();
+  impl_->gauges.clear();
   impl_->histograms.clear();
   impl_->signatures.clear();
 }
@@ -175,6 +193,16 @@ void print_summary(std::ostream& os) {
     t.header({"counter", "value"});
     for (const auto& [name, value] : counters) {
       t.row({name, Table::num(value)});
+    }
+    t.print(os);
+  }
+
+  const auto gauges = m.gauges();
+  if (!gauges.empty()) {
+    Table t("pimdnn gauges");
+    t.header({"gauge", "value"});
+    for (const auto& [name, value] : gauges) {
+      t.row({name, fmt(value, 2)});
     }
     t.print(os);
   }
@@ -245,6 +273,13 @@ void write_summary_json(std::ostream& os) {
     if (!first) os << ",";
     first = false;
     os << "\"" << json_escape(name) << "\":" << value;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : m.gauges()) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << json_escape(name) << "\":" << json_num(value);
   }
   os << "},\"histograms\":{";
   first = true;

@@ -75,6 +75,13 @@ public:
   /// Current value of a counter (0 if never incremented).
   std::uint64_t counter(std::string_view name) const;
 
+  /// Sets the named gauge to an instantaneous value (last write wins; the
+  /// health lifecycle uses these for its per-state DPU counts).
+  void set_gauge(std::string_view gauge, double value);
+
+  /// Current value of a gauge (0 if never set).
+  double gauge(std::string_view name) const;
+
   /// Records one observation into the named histogram.
   void record(std::string_view histogram, double value);
 
@@ -84,9 +91,11 @@ public:
   /// Folds one finished offload into its signature's summary.
   void record_offload(const std::string& signature, const OffloadSample& s);
 
-  /// Copies of the per-signature summaries / counters / histograms.
+  /// Copies of the per-signature summaries / counters / gauges /
+  /// histograms.
   std::map<std::string, SignatureSummary> signatures() const;
   std::map<std::string, std::uint64_t> counters() const;
+  std::map<std::string, double> gauges() const;
   std::map<std::string, RunningStats> histograms() const;
 
   /// Clears everything (tests).

@@ -83,7 +83,7 @@ void DpuPool::reserve(std::uint32_t n_dpus) {
   std::uint64_t target = n_dpus;
   if (set_.has_value()) {
     target = std::max<std::uint64_t>(
-        target, static_cast<std::uint64_t>(n_dpus) + n_quarantined_);
+        target, static_cast<std::uint64_t>(n_dpus) + quarantined());
     target = std::max<std::uint64_t>(target, set_->size());
   }
   // Clamp only the quarantine over-allocation to the system size: a request
@@ -104,9 +104,9 @@ void DpuPool::reserve(std::uint32_t n_dpus) {
   reset_cache();
   set_.emplace(std::move(fresh));
   set_->set_sim_mode(sim_mode_);
-  strikes_.assign(set_->size(), 0);
-  quarantine_.assign(set_->size(), 0);
-  n_quarantined_ = 0;
+  health_.resize(set_->size());
+  ++health_epoch_;
+  update_health_gauges();
 }
 
 void DpuPool::reset_cache() {
@@ -121,6 +121,10 @@ void DpuPool::drop_residents() {
     e.resident_tag.clear();
     e.resident_version = 0;
     e.resident_sums.clear();
+    e.resident_symbol.clear();
+    e.resident_slot_bytes = 0;
+    e.resident_payload.clear();
+    e.scrub_cursor = 0;
   }
 }
 
@@ -231,13 +235,19 @@ void DpuPool::begin_resident(const std::string& tag, std::uint64_t version) {
 }
 
 void DpuPool::commit_resident(const std::string& tag, std::uint64_t version,
-                              std::vector<std::uint64_t> checksums) {
+                              std::vector<std::uint64_t> checksums,
+                              const std::string& symbol, MemSize slot_bytes,
+                              std::vector<std::vector<std::uint8_t>> payload) {
   require(!active_.empty(),
           "DpuPool::commit_resident with no active program");
   Entry& e = entries_.at(active_);
   require(e.resident_tag == tag && e.resident_version == version,
           "DpuPool::commit_resident without a matching begin_resident");
   e.resident_sums = std::move(checksums);
+  e.resident_symbol = symbol;
+  e.resident_slot_bytes = slot_bytes;
+  e.resident_payload = std::move(payload);
+  e.scrub_cursor = 0;
   e.resident_valid = true;
 }
 
@@ -250,38 +260,168 @@ const std::vector<std::uint64_t>& DpuPool::resident_checksums() const {
 bool DpuPool::note_fault(std::uint32_t phys, sim::FaultKind kind) {
   require(set_.has_value(), "DpuPool::note_fault before any reserve");
   require(phys < set_->size(), "DpuPool::note_fault: DPU out of range");
-  if (quarantine_[phys] != 0) {
+  if (!health_.in_service(phys)) {
     return false;
   }
   obs::Metrics::instance().add("pool.fault.strike");
-  strikes_[phys] +=
-      kind == sim::FaultKind::BadDpu ? kStrikeLimit : 1;
-  if (strikes_[phys] < kStrikeLimit) {
+  if (!health_.note_fault(phys, kind)) {
+    update_health_gauges();
     return false;
   }
-  quarantine_[phys] = 1;
-  ++n_quarantined_;
   obs::Metrics::instance().add("pool.quarantined");
-  // Slide the logical prefix onto the healthy DPUs. The remapped DPUs hold
-  // none of the previously scattered payloads, so every resident record is
-  // dropped — the next session re-uploads through the normal miss path.
+  remap_in_service();
+  return true;
+}
+
+void DpuPool::remap_in_service() {
+  // Slide the logical prefix onto the in-service DPUs. The remapped DPUs
+  // hold none of the previously scattered payloads, so every resident
+  // record is dropped — the next session re-uploads through the normal
+  // miss path. Bump the epoch so plan caches re-fit the new capacity.
   std::vector<std::uint32_t> map;
-  map.reserve(set_->size() - n_quarantined_);
+  map.reserve(set_->size());
   for (std::uint32_t i = 0; i < set_->size(); ++i) {
-    if (quarantine_[i] == 0) {
+    if (health_.in_service(i)) {
       map.push_back(i);
     }
   }
   set_->set_logical_map(std::move(map));
   drop_residents();
-  return true;
+  ++health_epoch_;
+  update_health_gauges();
+}
+
+void DpuPool::update_health_gauges() const {
+  auto& m = obs::Metrics::instance();
+  m.set_gauge("health.healthy",
+              static_cast<double>(health_.count(DpuHealth::Healthy)));
+  m.set_gauge("health.suspect",
+              static_cast<double>(health_.count(DpuHealth::Suspect)));
+  m.set_gauge("health.quarantined",
+              static_cast<double>(health_.count(DpuHealth::Quarantined)));
+  m.set_gauge("health.probation",
+              static_cast<double>(health_.count(DpuHealth::Probation)));
+}
+
+void DpuPool::maintain() {
+  if (!set_.has_value()) {
+    return;
+  }
+  health_.tick();
+  const std::uint32_t phys = health_.next_probe_due();
+  if (phys != HealthManager::kNone) {
+    obs::Span sp("health.probe", "pool");
+    if (sp.active()) {
+      sp.u64("dpu", phys);
+    }
+    const bool ok = set_->probe(phys);
+    if (sp.active()) {
+      sp.str("result", ok ? "pass" : "fail");
+    }
+    if (health_.on_probe(phys, ok)) {
+      obs::Metrics::instance().add("health.reintegrated");
+      remap_in_service();
+      // The returning DPU missed every WRAM broadcast since it left; force
+      // the next activation through the Switched path so metadata is
+      // re-sent to the whole (remapped) prefix.
+      active_.clear();
+      return; // remap_in_service already refreshed the gauges
+    }
+  }
+  update_health_gauges();
+}
+
+void DpuPool::scrub_step() {
+  if (!set_.has_value() || active_.empty()) {
+    return;
+  }
+  Entry& e = entries_.at(active_);
+  if (!e.resident_valid || e.resident_symbol.empty() ||
+      e.resident_slot_bytes == 0 || e.resident_sums.empty()) {
+    return;
+  }
+  const std::uint32_t n_slots =
+      std::min(static_cast<std::uint32_t>(e.resident_sums.size()),
+               set_->logical_size());
+  if (n_slots == 0) {
+    return;
+  }
+  obs::Span sp("scrub", "pool");
+  auto& m = obs::Metrics::instance();
+  std::vector<std::uint8_t> buf = arena_.acquire(e.resident_slot_bytes);
+  MemSize budget = kScrubBudgetBytes;
+  std::uint32_t scanned = 0;
+  while (budget >= e.resident_slot_bytes && scanned < n_slots) {
+    const std::uint32_t d = e.scrub_cursor % n_slots;
+    e.scrub_cursor = (d + 1) % n_slots;
+    budget -= e.resident_slot_bytes;
+    ++scanned;
+    set_->copy_from(d, e.resident_symbol, 0, buf.data(),
+                    e.resident_slot_bytes);
+    m.add("scrub.scanned");
+    if (sim::checksum64(buf.data(), e.resident_slot_bytes) ==
+        e.resident_sums[d]) {
+      continue;
+    }
+    // Silent corruption: repair from the payload copy retained at commit,
+    // re-verifying (the repair write itself can be corrupted by the fault
+    // plan, so retry a bounded number of times).
+    bool repaired = false;
+    if (d < e.resident_payload.size() &&
+        e.resident_payload[d].size() >= e.resident_slot_bytes) {
+      for (int attempt = 0; attempt < 4 && !repaired; ++attempt) {
+        set_->copy_to_one(d, e.resident_symbol, 0,
+                          e.resident_payload[d].data(), e.resident_slot_bytes);
+        set_->copy_from(d, e.resident_symbol, 0, buf.data(),
+                        e.resident_slot_bytes);
+        repaired = sim::checksum64(buf.data(), e.resident_slot_bytes) ==
+                   e.resident_sums[d];
+      }
+    }
+    if (repaired) {
+      m.add("scrub.repaired");
+    } else {
+      m.add("scrub.unrepairable");
+      e.resident_valid = false;
+      break;
+    }
+  }
+  arena_.release(std::move(buf));
+  if (sp.active()) {
+    sp.u64("scanned", scanned);
+  }
+}
+
+std::uint32_t DpuPool::plan_capacity() const {
+  if (!set_.has_value()) {
+    return cfg_.total_dpus;
+  }
+  // The pool can still grow a fresh set past the out-of-service DPUs (they
+  // are re-discovered there), so plan against the better of the current
+  // healthy prefix and the system's room beyond the known-bad count.
+  const std::uint32_t oos = health_.out_of_service();
+  const std::uint32_t grow_room =
+      cfg_.total_dpus > oos ? cfg_.total_dpus - oos : 0;
+  return std::max(healthy_capacity(), grow_room);
+}
+
+bool DpuPool::breaker_allow() {
+  return health_.breaker().allow(health_.now());
+}
+
+void DpuPool::breaker_result(bool ok) {
+  if (ok) {
+    health_.breaker().on_success(health_.now());
+  } else {
+    health_.breaker().on_failure(health_.now());
+  }
 }
 
 std::uint32_t DpuPool::healthy_capacity() const {
   if (!set_.has_value()) {
     return 0;
   }
-  return set_->size() - n_quarantined_;
+  return set_->size() - health_.out_of_service();
 }
 
 bool DpuPool::reactivate(const std::string& key) {

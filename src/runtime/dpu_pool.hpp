@@ -29,13 +29,25 @@
 // and signatures re-populate on demand — a simple policy that is exact for
 // the workloads here, whose per-layer footprints sum well below 64 MB.
 //
-// The pool is also the substrate's health authority (see sim/fault.hpp):
-// KernelSession reports per-DPU faults through `note_fault`; after
-// `kStrikeLimit` strikes (immediately for a permanently-bad DPU) the DPU is
-// quarantined, the set's logical prefix is remapped onto the remaining
-// healthy DPUs and every resident record is dropped — the remapped DPUs
-// never saw those uploads. `healthy_capacity` tells sessions whether a
-// kernel still fits; when it does not, they degrade to the CPU baseline.
+// The pool is also the substrate's health authority, delegating policy to
+// runtime::HealthManager (see runtime/health.hpp): KernelSession reports
+// per-DPU faults through `note_fault`; when the decaying strike window
+// trips (immediately for a permanently-bad DPU) the DPU is quarantined,
+// the set's logical prefix is remapped onto the remaining in-service DPUs
+// and every resident record is dropped — the remapped DPUs never saw
+// those uploads. Unlike PR 4's one-way quarantine, capacity comes *back*:
+// `maintain()` (called by every KernelSession::finish) ticks the health
+// clock, canary-probes one due quarantined DPU per step and, after
+// `probation_passes` clean probes, reintegrates it — remapping again,
+// bumping `health_epoch()` so mapping-plan caches re-plan, and clearing
+// the active program so the next session re-uploads WRAM constants the
+// returning DPU never saw. `scrub_step()` (called by fault-tolerant
+// sessions between activation and their resident-hit check) re-verifies a
+// budgeted slice of the active program's checksummed MRAM-resident slots
+// and repairs silent corruption from the payload copy retained at commit
+// — before it can poison a launch or evict a warm resident record.
+// `healthy_capacity` tells sessions whether a kernel still fits; when it
+// does not, they degrade to the CPU baseline.
 #pragma once
 
 #include <cstdint>
@@ -47,6 +59,7 @@
 #include <vector>
 
 #include "runtime/dpu_set.hpp"
+#include "runtime/health.hpp"
 
 namespace pimdnn::runtime {
 
@@ -99,8 +112,14 @@ public:
   };
 
   /// Launch faults a DPU survives before quarantine (BadDpu quarantines
-  /// immediately).
+  /// immediately). Strikes decay — see StrikeWindow in runtime/health.hpp.
   static constexpr std::uint32_t kStrikeLimit = 3;
+
+  /// Consecutive clean canary probes before a quarantined DPU rejoins.
+  static constexpr std::uint32_t kProbationPasses = 3;
+
+  /// MRAM bytes one scrub_step re-verifies (the per-frame patrol budget).
+  static constexpr MemSize kScrubBudgetBytes = 64 * 1024;
 
   /// Ensures the pool's set holds at least `n_dpus` *healthy* DPUs —
   /// over-allocating past known-quarantined capacity when needed (capped
@@ -138,10 +157,14 @@ public:
 
   /// Marks the begun (tag, version) upload as complete, optionally storing
   /// one checksum per logical DPU so later hits can verify the payload
-  /// still matches (fault runs). Throws UsageError without a matching
-  /// begin_resident.
+  /// still matches (fault runs). When `symbol`/`slot_bytes`/`payload` are
+  /// provided (fault runs), the scrub patrol can re-verify — and repair —
+  /// the record between launches; see scrub_step. Throws UsageError
+  /// without a matching begin_resident.
   void commit_resident(const std::string& tag, std::uint64_t version,
-                       std::vector<std::uint64_t> checksums = {});
+                       std::vector<std::uint64_t> checksums = {},
+                       const std::string& symbol = "", MemSize slot_bytes = 0,
+                       std::vector<std::vector<std::uint8_t>> payload = {});
 
   /// Per-DPU checksums stored by the active program's last commit (empty
   /// when none were provided).
@@ -156,8 +179,51 @@ public:
   /// DPUs not quarantined (0 before the first reserve/activate).
   std::uint32_t healthy_capacity() const;
 
-  /// DPUs currently quarantined.
-  std::uint32_t quarantined() const { return n_quarantined_; }
+  /// DPUs currently out of service (quarantined or on probation).
+  std::uint32_t quarantined() const { return health_.out_of_service(); }
+
+  /// Capacity the mapper should plan against: the full system before the
+  /// first allocation, otherwise what the current health picture suggests
+  /// will actually be available (healthy DPUs, or the system size minus
+  /// the out-of-service count when the pool could still grow past them).
+  std::uint32_t plan_capacity() const;
+
+  /// Monotone counter bumped on every capacity change — quarantine *and*
+  /// reintegration. Pipelines key their mapping-plan caches on it so plans
+  /// re-fit the true healthy capacity after either transition.
+  std::uint64_t health_epoch() const { return health_epoch_; }
+
+  /// One maintenance step, piggybacked on warm frames: ticks the health
+  /// clock and canary-probes at most one due quarantined DPU (see
+  /// runtime/health.hpp). A passing probe streak reintegrates the DPU:
+  /// the logical prefix is remapped back over it, residents drop, the
+  /// health epoch bumps and the active program is cleared so the next
+  /// activation re-loads and re-broadcasts onto the returning DPU.
+  /// KernelSession::finish calls this once per offload.
+  void maintain();
+
+  /// One budgeted scrub-patrol step over the *active* program's
+  /// checksummed resident record (kScrubBudgetBytes per call, cursor
+  /// round-robin across DPU slots): re-reads each slot, and on a checksum
+  /// mismatch repairs it from the payload copy retained at commit
+  /// (obs: scrub.scanned / scrub.repaired). An unrepairable slot
+  /// invalidates the record so the session's miss path re-uploads.
+  /// Fault-tolerant sessions call this right after activation — before
+  /// their resident-hit check, so a repaired record still counts as warm.
+  void scrub_step();
+
+  /// The health authority (state machine, strike window, breaker).
+  HealthManager& health() { return health_; }
+  const HealthManager& health() const { return health_; }
+
+  /// Circuit-breaker gate for launch ladders: false while the breaker is
+  /// open (sessions then short-circuit to the CPU path). See
+  /// runtime/health.hpp.
+  bool breaker_allow();
+
+  /// Reports a launch-ladder outcome to the breaker (true = the ladder
+  /// completed on the DPUs, false = it exhausted/cancelled into fallback).
+  void breaker_result(bool ok);
 
   /// Re-loads the cached program under `key` (onto the possibly remapped
   /// set) and makes it active — the recovery step after a quarantine
@@ -212,6 +278,11 @@ private:
     std::uint64_t resident_version = 0;
     bool resident_valid = false; ///< true only after commit_resident
     std::vector<std::uint64_t> resident_sums; ///< per-DPU payload checksums
+    std::string resident_symbol; ///< scrub target symbol ("" = no patrol)
+    MemSize resident_slot_bytes = 0;
+    /// Per-logical-DPU payload copy for scrub repair (fault runs only).
+    std::vector<std::vector<std::uint8_t>> resident_payload;
+    std::uint32_t scrub_cursor = 0; ///< next logical slot the patrol reads
   };
 
   void reset_cache();
@@ -219,6 +290,10 @@ private:
   Entry build_entry(const std::function<sim::DpuProgram()>& builder,
                     std::uint32_t n_dpus);
   void load_program(const sim::DpuProgram& prog);
+  /// Rebuilds the logical prefix over the in-service DPUs after any
+  /// capacity change, drops residents and bumps the health epoch.
+  void remap_in_service();
+  void update_health_gauges() const;
 
   UpmemConfig cfg_;
   SimMode sim_mode_ = SimMode::Interp; ///< set from default_sim_mode() in ctor
@@ -228,9 +303,8 @@ private:
   MemSize mram_cursor_ = 0;      ///< bump allocator over cached regions
   std::uint64_t resets_ = 0;
   sim::HostXferStats carried_;   ///< host stats of replaced sets
-  std::vector<std::uint32_t> strikes_;  ///< per-physical-DPU fault strikes
-  std::vector<char> quarantine_;        ///< per-physical-DPU quarantine flag
-  std::uint32_t n_quarantined_ = 0;
+  HealthManager health_;         ///< per-DPU lifecycle + strikes + breaker
+  std::uint64_t health_epoch_ = 0;
   StagingArena arena_;
   unsigned obs_bank_ = 0;
 };

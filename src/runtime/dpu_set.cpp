@@ -1,6 +1,7 @@
 #include "runtime/dpu_set.hpp"
 
 #include <algorithm>
+#include <cstring>
 
 #include "common/bytes.hpp"
 #include "common/error.hpp"
@@ -108,6 +109,40 @@ std::uint32_t DpuSet::physical(DpuId id) const {
 bool DpuSet::allocated_bad(DpuId id) const {
   require(id < bad_.size(), "DPU id out of range");
   return bad_[id] != 0;
+}
+
+bool DpuSet::probe(std::uint32_t phys) {
+  require(phys < dpus_.size(), "DPU id out of range");
+  obs::Metrics::instance().add("health.probe");
+  if (bad_[phys] != 0) {
+    return false;
+  }
+  auto& plan = sim::fault_plan();
+  if (plan.enabled()) {
+    // The canary launch is subject to the same fault draws a real launch
+    // would be: a DPU that still fails or hangs fails its probe.
+    std::uint64_t salt = 0;
+    if (plan.draw(FaultKind::LaunchFail, phys, salt)) return false;
+    if (plan.draw(FaultKind::LaunchHang, phys, salt)) return false;
+  }
+  // Memory canary: save, write a DPU-salted walking pattern, read it back,
+  // restore. Raw MRAM access — the probe must not depend on whatever
+  // program happens to be loaded, and nothing is launching while the pool
+  // runs maintenance, so the save/restore window is race-free.
+  constexpr MemSize kCanaryBytes = 64;
+  std::uint8_t save[kCanaryBytes];
+  std::uint8_t pattern[kCanaryBytes];
+  std::uint8_t back[kCanaryBytes];
+  for (MemSize i = 0; i < kCanaryBytes; ++i) {
+    pattern[i] = static_cast<std::uint8_t>(0xA5u ^ (i * 31u) ^ phys);
+  }
+  sim::Dpu& d = dpus_[phys];
+  d.mram().read(save, 0, kCanaryBytes);
+  d.mram().write(0, pattern, kCanaryBytes);
+  d.mram().read(back, 0, kCanaryBytes);
+  const bool ok = std::memcmp(pattern, back, kCanaryBytes) == 0;
+  d.mram().write(0, save, kCanaryBytes);
+  return ok;
 }
 
 std::uint32_t DpuSet::resolve_active(std::uint32_t n_active) const {

@@ -173,6 +173,14 @@ public:
   /// allocation time.
   bool allocated_bad(DpuId id) const;
 
+  /// Self-checking canary on *physical* DPU `phys` (quarantine probation,
+  /// see runtime/health.hpp): draws the launch-fault verdicts the fault
+  /// plan would apply to a real launch, then exercises the DPU's MRAM with
+  /// a write/read-back/restore pattern. Returns true when the DPU looks
+  /// healthy. Deterministic and independent of the execution mode, so
+  /// interp and fast runs make identical reintegration decisions.
+  bool probe(std::uint32_t phys);
+
 private:
   DpuSet(std::uint32_t n_dpus, const UpmemConfig& cfg);
   static void check_aligned(MemSize offset, MemSize size);

@@ -1,0 +1,218 @@
+#include "runtime/health.hpp"
+
+#include "common/error.hpp"
+#include "obs/metrics.hpp"
+
+namespace pimdnn::runtime {
+
+const char* dpu_health_name(DpuHealth h) {
+  switch (h) {
+  case DpuHealth::Healthy: return "healthy";
+  case DpuHealth::Suspect: return "suspect";
+  case DpuHealth::Quarantined: return "quarantined";
+  case DpuHealth::Probation: return "probation";
+  }
+  return "unknown";
+}
+
+// ---- StrikeWindow ----------------------------------------------------------
+
+StrikeWindow::StrikeWindow() : StrikeWindow(Params()) {}
+
+void StrikeWindow::resize(std::size_t n) { recs_.assign(n, Rec{}); }
+
+std::uint32_t StrikeWindow::decayed(const Rec& r, std::uint64_t now) const {
+  if (r.strikes == 0 || params_.decay_ticks == 0) {
+    return r.strikes;
+  }
+  const std::uint64_t forgiven = (now - r.last) / params_.decay_ticks;
+  return forgiven >= r.strikes
+             ? 0
+             : r.strikes - static_cast<std::uint32_t>(forgiven);
+}
+
+std::uint32_t StrikeWindow::strikes(std::size_t i, std::uint64_t now) const {
+  require(i < recs_.size(), "StrikeWindow: entry out of range");
+  return decayed(recs_[i], now);
+}
+
+std::uint32_t StrikeWindow::strike(std::size_t i, std::uint32_t weight,
+                                   std::uint64_t now) {
+  require(i < recs_.size(), "StrikeWindow: entry out of range");
+  Rec& r = recs_[i];
+  r.strikes = decayed(r, now) + weight;
+  r.last = now;
+  return r.strikes;
+}
+
+void StrikeWindow::set(std::size_t i, std::uint32_t strikes,
+                       std::uint64_t now) {
+  require(i < recs_.size(), "StrikeWindow: entry out of range");
+  recs_[i] = Rec{strikes, now};
+}
+
+// ---- CircuitBreaker --------------------------------------------------------
+
+CircuitBreaker::CircuitBreaker() : CircuitBreaker(Params()) {}
+
+void CircuitBreaker::open(std::uint64_t now) {
+  state_ = State::Open;
+  opened_at_ = now;
+  obs::Metrics::instance().add("breaker.open");
+}
+
+bool CircuitBreaker::allow(std::uint64_t now) {
+  switch (state_) {
+  case State::Closed:
+  case State::HalfOpen:
+    return true;
+  case State::Open:
+    if (now - opened_at_ >= params_.cooldown_ticks) {
+      state_ = State::HalfOpen;
+      obs::Metrics::instance().add("breaker.half_open");
+      return true; // one trial ladder back on the DPUs
+    }
+    return false;
+  }
+  return true;
+}
+
+void CircuitBreaker::on_success(std::uint64_t) {
+  if (state_ == State::HalfOpen) {
+    obs::Metrics::instance().add("breaker.close");
+  }
+  state_ = State::Closed;
+  fails_ = 0;
+}
+
+void CircuitBreaker::on_failure(std::uint64_t now) {
+  if (state_ == State::HalfOpen) {
+    // The trial ladder failed: straight back to open, fresh cool-down.
+    open(now);
+    return;
+  }
+  if (state_ == State::Closed && ++fails_ >= params_.trip_after) {
+    open(now);
+  }
+}
+
+void CircuitBreaker::reset() {
+  state_ = State::Closed;
+  fails_ = 0;
+  opened_at_ = 0;
+}
+
+// ---- HealthManager ---------------------------------------------------------
+
+HealthManager::HealthManager() : HealthManager(Params()) {}
+
+void HealthManager::resize(std::uint32_t n) {
+  recs_.assign(n, Rec{});
+  strikes_.resize(n);
+  n_out_ = 0;
+  breaker_.reset();
+}
+
+void HealthManager::log(std::uint32_t phys, HealthEvent::Kind kind) {
+  events_.push_back(HealthEvent{now_, phys, kind});
+}
+
+bool HealthManager::note_fault(std::uint32_t phys, sim::FaultKind kind) {
+  require(phys < recs_.size(), "HealthManager: DPU out of range");
+  Rec& r = recs_[phys];
+  if (r.phase != Phase::InService) {
+    return false; // already out of service: the fault was already paid for
+  }
+  const std::uint32_t weight =
+      kind == sim::FaultKind::BadDpu ? params_.strikes.limit : 1;
+  const std::uint32_t total = strikes_.strike(phys, weight, now_);
+  if (kind == sim::FaultKind::BadDpu) {
+    r.permanent = true;
+  }
+  if (total < params_.strikes.limit) {
+    return false; // in service, now merely suspect
+  }
+  r.phase = Phase::Quarantined;
+  r.passes = 0;
+  r.next_probe = now_ + params_.probe_interval_ticks;
+  ++n_out_;
+  log(phys, HealthEvent::Kind::Quarantined);
+  return true;
+}
+
+DpuHealth HealthManager::state(std::uint32_t phys) const {
+  require(phys < recs_.size(), "HealthManager: DPU out of range");
+  switch (recs_[phys].phase) {
+  case Phase::Quarantined: return DpuHealth::Quarantined;
+  case Phase::Probation: return DpuHealth::Probation;
+  case Phase::InService: break;
+  }
+  return strikes_.strikes(phys, now_) > 0 ? DpuHealth::Suspect
+                                          : DpuHealth::Healthy;
+}
+
+bool HealthManager::in_service(std::uint32_t phys) const {
+  require(phys < recs_.size(), "HealthManager: DPU out of range");
+  return recs_[phys].phase == Phase::InService;
+}
+
+std::uint32_t HealthManager::count(DpuHealth h) const {
+  std::uint32_t n = 0;
+  for (std::uint32_t i = 0; i < recs_.size(); ++i) {
+    if (state(i) == h) ++n;
+  }
+  return n;
+}
+
+std::uint32_t HealthManager::next_probe_due() const {
+  for (std::uint32_t i = 0; i < recs_.size(); ++i) {
+    const Rec& r = recs_[i];
+    if (r.phase == Phase::InService || r.permanent) continue;
+    if (now_ >= r.next_probe) return i;
+  }
+  return kNone;
+}
+
+bool HealthManager::on_probe(std::uint32_t phys, bool passed) {
+  require(phys < recs_.size(), "HealthManager: DPU out of range");
+  Rec& r = recs_[phys];
+  require(r.phase != Phase::InService,
+          "HealthManager::on_probe for an in-service DPU");
+  require(!r.permanent, "HealthManager::on_probe for a permanently-bad DPU");
+  if (!passed) {
+    if (r.phase == Phase::Probation) {
+      r.phase = Phase::Quarantined;
+    }
+    r.passes = 0;
+    r.next_probe = now_ + params_.probe_interval_ticks;
+    log(phys, HealthEvent::Kind::ProbeFailed);
+    return false;
+  }
+  if (r.phase == Phase::Quarantined) {
+    r.phase = Phase::Probation;
+    log(phys, HealthEvent::Kind::Probation);
+  }
+  ++r.passes;
+  if (r.passes < params_.probation_passes) {
+    r.next_probe = now_ + params_.probe_interval_ticks;
+    return false;
+  }
+  // Reintegrated — but with a strike record of limit-1: one relapse inside
+  // the decay window re-quarantines immediately, while a genuinely
+  // recovered DPU decays back to a clean slate.
+  r.phase = Phase::InService;
+  r.passes = 0;
+  --n_out_;
+  strikes_.set(phys,
+               params_.strikes.limit > 0 ? params_.strikes.limit - 1 : 0,
+               now_);
+  log(phys, HealthEvent::Kind::Reintegrated);
+  return true;
+}
+
+bool HealthManager::permanent(std::uint32_t phys) const {
+  require(phys < recs_.size(), "HealthManager: DPU out of range");
+  return recs_[phys].permanent;
+}
+
+} // namespace pimdnn::runtime

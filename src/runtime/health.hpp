@@ -1,0 +1,258 @@
+// Health lifecycle of the pooled DPUs — the policy half of self-healing.
+//
+// PR 4's quarantine was one-way: three strikes (ever) and a DPU was gone
+// for the life of the process. Real UPMEM deployments see *transient*
+// faults — a launch timeout under thermal pressure, a flaky transfer —
+// alongside genuinely dead DPUs (Gómez-Luna et al. run 2,556 of 2,560
+// because ranks ship with disabled DPUs). A long-running serving process
+// must distinguish the two, or capacity only ever drains away. This header
+// holds the pool's health authority:
+//
+//  * `StrikeWindow` — a decaying per-DPU strike counter. Strikes age out
+//    at one per `decay_ticks` of the pool's logical clock, so an isolated
+//    fault early in a process lifetime no longer counts toward quarantine
+//    forever; a burst still trips the limit before decay can help.
+//  * `HealthManager` — the per-DPU state machine
+//        healthy -> suspect -> quarantined -> probation -> healthy
+//    Quarantined DPUs are periodically re-probed with a self-checking
+//    canary (DpuSet::probe); after `probation_passes` consecutive clean
+//    probes the DPU is reintegrated with its strike count preset to
+//    limit-1, so a flaky DPU re-quarantines on the first relapse while a
+//    genuinely recovered one decays back to a clean record. DPUs that
+//    faulted as BadDpu are permanent: never probed, never reintegrated.
+//  * `CircuitBreaker` — caps consecutive exhausted retry ladders. Under a
+//    fallback storm every launch would otherwise pay the full
+//    retry/replay ladder before degrading; after `trip_after` consecutive
+//    failures the breaker opens and sessions short-circuit straight to
+//    the CPU path for `cooldown_ticks`, then half-open one trial launch
+//    back to the DPUs (closing on success, re-opening on failure).
+//
+// Everything here runs on an injected logical clock (the pool ticks once
+// per finished offload), so the whole lifecycle is deterministic and
+// unit-testable without wall time. All three objects are metrics-light:
+// the breaker emits its own transition counters; state-change bookkeeping
+// (gauges, remaps, `health.reintegrated`) belongs to DpuPool, which owns
+// the set being remapped.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/fault.hpp"
+
+namespace pimdnn::runtime {
+
+/// Lifecycle state of one physical DPU.
+enum class DpuHealth : std::uint8_t {
+  Healthy,     ///< in service, no live strikes
+  Suspect,     ///< in service, strikes pending decay
+  Quarantined, ///< out of service, awaiting (or failing) canary probes
+  Probation,   ///< out of service, passing probes toward reintegration
+};
+
+/// Stable lower-case name (gauges, logs).
+const char* dpu_health_name(DpuHealth h);
+
+/// One health-lifecycle transition, recorded in order. The log is the
+/// cross-executor equivalence artifact: interp and fast mode must produce
+/// identical sequences under the same fault seed.
+struct HealthEvent {
+  enum class Kind : std::uint8_t {
+    Quarantined,  ///< strikes reached the limit (or BadDpu)
+    Probation,    ///< first clean probe after quarantine
+    ProbeFailed,  ///< canary failed; back to quarantined
+    Reintegrated, ///< probation_passes clean probes; in service again
+  };
+  std::uint64_t tick = 0;
+  std::uint32_t phys = 0;
+  Kind kind = Kind::Quarantined;
+
+  bool operator==(const HealthEvent& o) const {
+    return tick == o.tick && phys == o.phys && kind == o.kind;
+  }
+};
+
+/// Decaying per-entry strike counter (see file comment). Standalone so the
+/// decay policy is unit-testable apart from the state machine.
+class StrikeWindow {
+public:
+  struct Params {
+    /// Strikes (after decay) that trip the caller's limit.
+    std::uint32_t limit = 3;
+    /// Logical ticks per forgiven strike; 0 disables decay entirely.
+    std::uint64_t decay_ticks = 64;
+  };
+
+  StrikeWindow(); ///< default Params (out of line: nested-NSDMI rules)
+  explicit StrikeWindow(Params params) : params_(params) {}
+
+  /// Forgets everything and tracks `n` entries at zero strikes.
+  void resize(std::size_t n);
+
+  std::size_t size() const { return recs_.size(); }
+
+  /// Decayed strike count of entry `i` as of `now`.
+  std::uint32_t strikes(std::size_t i, std::uint64_t now) const;
+
+  /// Records `weight` strikes on entry `i` at `now` (decay is applied to
+  /// the old count first). Returns the new decayed total.
+  std::uint32_t strike(std::size_t i, std::uint32_t weight,
+                       std::uint64_t now);
+
+  /// Overwrites entry `i` to exactly `strikes` as of `now` (reintegration
+  /// presets limit-1 so a relapse quarantines immediately).
+  void set(std::size_t i, std::uint32_t strikes, std::uint64_t now);
+
+  const Params& params() const { return params_; }
+
+private:
+  struct Rec {
+    std::uint32_t strikes = 0;  ///< count as of `last`
+    std::uint64_t last = 0;     ///< tick of the last strike/set
+  };
+
+  std::uint32_t decayed(const Rec& r, std::uint64_t now) const;
+
+  Params params_;
+  std::vector<Rec> recs_;
+};
+
+/// Trip-to-CPU-fallback breaker over consecutive failed launch ladders.
+/// Clock-injected: `now` is the pool's logical tick, so cool-down windows
+/// are deterministic. Emits obs counters breaker.{open,half_open,close}.
+class CircuitBreaker {
+public:
+  struct Params {
+    /// Consecutive exhausted retry ladders before the breaker opens.
+    std::uint32_t trip_after = 3;
+    /// Ticks the breaker stays open before half-opening a trial launch.
+    std::uint64_t cooldown_ticks = 32;
+  };
+
+  enum class State : std::uint8_t { Closed, Open, HalfOpen };
+
+  CircuitBreaker(); ///< default Params (out of line: nested-NSDMI rules)
+  explicit CircuitBreaker(Params params) : params_(params) {}
+
+  /// True when a launch may go to the DPUs. An open breaker half-opens
+  /// (and allows one trial) once the cool-down has elapsed.
+  bool allow(std::uint64_t now);
+
+  /// A launch ladder completed on the DPUs: closes a half-open breaker,
+  /// clears the consecutive-failure count.
+  void on_success(std::uint64_t now);
+
+  /// A launch ladder was exhausted (degraded to CPU): trips a closed
+  /// breaker at `trip_after`, re-opens a half-open one immediately.
+  void on_failure(std::uint64_t now);
+
+  State state() const { return state_; }
+  std::uint32_t consecutive_failures() const { return fails_; }
+  const Params& params() const { return params_; }
+
+  /// Back to Closed with no failure history (pool re-allocation).
+  void reset();
+
+private:
+  void open(std::uint64_t now);
+
+  Params params_;
+  State state_ = State::Closed;
+  std::uint32_t fails_ = 0;
+  std::uint64_t opened_at_ = 0;
+};
+
+/// Per-DPU health state machine + logical clock (see file comment). The
+/// pool owns one and consults it on every fault, probe and maintenance
+/// tick; the manager never touches the DpuSet itself.
+class HealthManager {
+public:
+  struct Params {
+    StrikeWindow::Params strikes{};
+    /// Consecutive clean canary probes before reintegration.
+    std::uint32_t probation_passes = 3;
+    /// Ticks between canary probes of one out-of-service DPU.
+    std::uint64_t probe_interval_ticks = 16;
+    CircuitBreaker::Params breaker{};
+  };
+
+  /// Sentinel for "no DPU" from next_probe_due().
+  static constexpr std::uint32_t kNone = 0xffffffffu;
+
+  HealthManager(); ///< default Params (out of line: nested-NSDMI rules)
+  explicit HealthManager(Params params)
+      : params_(params), strikes_(params.strikes), breaker_(params.breaker) {}
+
+  /// Fresh set of `n` DPUs, all healthy; clears strikes, events stay (the
+  /// log spans the pool lifetime), breaker resets.
+  void resize(std::uint32_t n);
+
+  std::uint32_t size() const {
+    return static_cast<std::uint32_t>(recs_.size());
+  }
+
+  /// Logical clock (ticked once per finished offload by the pool).
+  std::uint64_t now() const { return now_; }
+  void tick() { ++now_; }
+
+  /// Records a fault on an in-service DPU; out-of-service DPUs are no-ops
+  /// (their faults were already paid for). Returns true when this strike
+  /// quarantined the DPU — the caller must remap. BadDpu quarantines
+  /// immediately and permanently.
+  bool note_fault(std::uint32_t phys, sim::FaultKind kind);
+
+  DpuHealth state(std::uint32_t phys) const;
+
+  /// Healthy or Suspect — addressable by the logical map.
+  bool in_service(std::uint32_t phys) const;
+
+  /// DPUs currently Quarantined or Probation.
+  std::uint32_t out_of_service() const { return n_out_; }
+
+  /// DPUs in state `h` right now (gauge feed).
+  std::uint32_t count(DpuHealth h) const;
+
+  /// Lowest-indexed out-of-service, non-permanent DPU whose canary probe
+  /// is due at the current tick (kNone when none) — one probe per
+  /// maintenance step bounds the patrol's cost.
+  std::uint32_t next_probe_due() const;
+
+  /// Feeds one canary result for an out-of-service DPU. Returns true when
+  /// this probe *reintegrated* the DPU (probation_passes consecutive
+  /// passes) — the caller must remap the logical prefix back over it.
+  bool on_probe(std::uint32_t phys, bool passed);
+
+  /// True when `phys` can never come back (BadDpu).
+  bool permanent(std::uint32_t phys) const;
+
+  /// Ordered transition log since construction (not cleared by resize).
+  const std::vector<HealthEvent>& events() const { return events_; }
+
+  CircuitBreaker& breaker() { return breaker_; }
+  const CircuitBreaker& breaker() const { return breaker_; }
+
+  const Params& params() const { return params_; }
+
+private:
+  enum class Phase : std::uint8_t { InService, Quarantined, Probation };
+
+  struct Rec {
+    Phase phase = Phase::InService;
+    bool permanent = false;
+    std::uint32_t passes = 0;        ///< consecutive clean probes
+    std::uint64_t next_probe = 0;    ///< tick the next canary is due
+  };
+
+  void log(std::uint32_t phys, HealthEvent::Kind kind);
+
+  Params params_;
+  StrikeWindow strikes_;
+  CircuitBreaker breaker_;
+  std::vector<Rec> recs_;
+  std::uint32_t n_out_ = 0;
+  std::uint64_t now_ = 0;
+  std::vector<HealthEvent> events_;
+};
+
+} // namespace pimdnn::runtime

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <vector>
 
@@ -16,8 +17,6 @@ namespace pimdnn::runtime {
 
 namespace {
 
-/// Launch attempts before a session gives up and degrades to the CPU path.
-constexpr std::uint32_t kMaxLaunchAttempts = 4;
 /// Targeted rewrites of one DPU's payload before the corruption is deemed
 /// unrepairable (each rewrite can itself be corrupted again).
 constexpr std::uint32_t kRepairAttempts = 4;
@@ -45,6 +44,13 @@ KernelSession::KernelSession(DpuPool& pool, const std::string& signature,
   }
   if (!degraded_ && fault_tolerant_ && pool_.healthy_capacity() < n_dpus_) {
     degrade("healthy capacity below kernel need");
+  }
+  if (!degraded_ && fault_tolerant_) {
+    // Scrub patrol between launches, piggybacked on session setup: runs
+    // right after activation (a program switch re-load is where silent
+    // MRAM corruption lands) and *before* any resident-hit check, so a
+    // repaired record still counts as warm.
+    pool_.scrub_step();
   }
   if (span_.active()) {
     span_.str("signature", signature_);
@@ -279,9 +285,21 @@ bool KernelSession::scatter_resident(const std::string& tag,
   pool_.begin_resident(tag, version);
   scatter(symbol, slot_bytes, fill);
   if (!degraded_) {
-    pool_.commit_resident(tag, version,
-                          fault_tolerant_ ? last_scatter_sums_
-                                          : std::vector<std::uint64_t>{});
+    if (fault_tolerant_) {
+      // Retain a payload copy alongside the checksums so the pool's scrub
+      // patrol can repair silent corruption of this record between
+      // launches (the replay log's staged buffers hold exactly the slots
+      // just sent).
+      std::vector<std::vector<std::uint8_t>> payload;
+      if (!uploads_.empty() && uploads_.back().scattered &&
+          uploads_.back().symbol == symbol) {
+        payload = uploads_.back().staged;
+      }
+      pool_.commit_resident(tag, version, last_scatter_sums_, symbol,
+                            slot_bytes, std::move(payload));
+    } else {
+      pool_.commit_resident(tag, version);
+    }
   }
   return true;
 }
@@ -324,11 +342,30 @@ void KernelSession::scatter_items(
           });
 }
 
-bool KernelSession::launch(std::uint32_t n_tasklets, OptLevel opt) {
+Cycles KernelSession::default_deadline_cycles() {
+  static const Cycles cached = [] {
+    const char* env = std::getenv("PIMDNN_DEADLINE");
+    if (env == nullptr || env[0] == '\0') {
+      return static_cast<Cycles>(0);
+    }
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 0);
+    if (end == nullptr || *end != '\0') {
+      throw ConfigError(std::string("PIMDNN_DEADLINE: bad cycle count '") +
+                        env + "'");
+    }
+    return static_cast<Cycles>(v);
+  }();
+  return cached;
+}
+
+bool KernelSession::launch(const LaunchOptions& opts) {
+  const Cycles deadline = opts.deadline_cycles != 0 ? opts.deadline_cycles
+                                                    : default_deadline_cycles();
   obs::Span sp("launch", "session");
   if (sp.active()) {
     sp.str("signature", signature_);
-    sp.u64("n_tasklets", n_tasklets);
+    sp.u64("n_tasklets", opts.n_tasklets);
     sp.str("lane", "dpu");
     sp.u64("bank", pool_.obs_bank());
     if (pred_kernel_cycles_ > 0) {
@@ -339,17 +376,43 @@ bool KernelSession::launch(std::uint32_t n_tasklets, OptLevel opt) {
     sp.flag("fallback", true);
     return false;
   }
+  if (!pool_.breaker_allow()) {
+    // The breaker tripped on earlier ladders: don't even try the DPUs
+    // until the cool-down half-opens it. This short-circuit is not itself
+    // reported as a failure — only real ladder outcomes move the breaker.
+    obs::Metrics::instance().add("offload.breaker.short_circuit");
+    degrade("circuit breaker open");
+    sp.flag("fallback", true);
+    return false;
+  }
+  // Degrades below this point are launch-ladder outcomes: report them to
+  // the breaker so repeated full ladders trip it.
+  const auto fail = [&](const char* reason) {
+    pool_.breaker_result(false);
+    degrade(reason);
+    sp.flag("fallback", true);
+    return false;
+  };
   for (std::uint32_t attempt = 0;; ++attempt) {
     try {
-      stats_ = set().launch(n_tasklets, opt, n_dpus_);
+      stats_ = set().launch(opts.n_tasklets, opts.opt, n_dpus_);
       launched_ = true;
+      pool_.breaker_result(true);
       break;
     } catch (const sim::DpuFault& f) {
       ++absorbed_;
       if (f.kind() == sim::FaultKind::LaunchHang) {
-        // The hang was detected at the watchdog deadline: that wait is real
-        // lost time, charged to the retry-cycle account.
-        penalty_cycles_ += sim::fault_plan().config().hang_deadline_cycles;
+        // The hang was detected at the hang watchdog: that wait is real
+        // lost time, charged to the retry-cycle account. With a session
+        // deadline the watchdog fires cooperatively at the deadline
+        // instead, so only the room left until then is ever waited.
+        Cycles wait = sim::fault_plan().config().hang_deadline_cycles;
+        if (deadline > 0) {
+          const Cycles room =
+              deadline > penalty_cycles_ ? deadline - penalty_cycles_ : 0;
+          wait = std::min(wait, room);
+        }
+        penalty_cycles_ += wait;
       }
       if (pool_.note_fault(f.dpu_index(), f.kind())) {
         ++quarantines_;
@@ -359,20 +422,21 @@ bool KernelSession::launch(std::uint32_t n_tasklets, OptLevel opt) {
         // never saw those bytes — so those offloads degrade instead.
         if (pool_.healthy_capacity() < n_dpus_ || const_hits_ > 0 ||
             resident_hits_ > 0 || !pool_.reactivate(signature_)) {
-          degrade("quarantine during launch");
-          sp.flag("fallback", true);
-          return false;
+          return fail("quarantine during launch");
         }
         replay_uploads();
         if (degraded_) {
+          pool_.breaker_result(false);
           sp.flag("fallback", true);
           return false;
         }
       }
-      if (attempt + 1 >= kMaxLaunchAttempts) {
-        degrade("launch retries exhausted");
-        sp.flag("fallback", true);
-        return false;
+      if (deadline > 0 && penalty_cycles_ >= deadline) {
+        obs::Metrics::instance().add("offload.deadline.cancelled");
+        return fail("watchdog deadline exceeded");
+      }
+      if (attempt + 1 >= opts.max_attempts) {
+        return fail("launch retries exhausted");
       }
       ++retries_;
       penalty_cycles_ +=
@@ -384,6 +448,10 @@ bool KernelSession::launch(std::uint32_t n_tasklets, OptLevel opt) {
         retry.u64("attempt", attempt + 1);
         retry.str("fault", sim::fault_kind_name(f.kind()));
         retry.u64("dpu", f.dpu_index());
+      }
+      if (deadline > 0 && penalty_cycles_ >= deadline) {
+        obs::Metrics::instance().add("offload.deadline.cancelled");
+        return fail("watchdog deadline exceeded");
       }
     }
   }
@@ -408,13 +476,13 @@ bool KernelSession::LaunchHandle::wait() {
 }
 
 KernelSession::LaunchHandle KernelSession::launch_async(
-    std::uint32_t n_tasklets, OptLevel opt) {
+    const LaunchOptions& opts) {
   LaunchHandle h;
   h.ok_ = std::make_shared<bool>(false);
   obs::Metrics::instance().add("offload.launch_async");
   std::shared_ptr<bool> ok = h.ok_;
   h.task_ = HostPool::global().submit(
-      [this, n_tasklets, opt, ok] { *ok = launch(n_tasklets, opt); });
+      [this, opts, ok] { *ok = launch(opts); });
   return h;
 }
 
@@ -517,6 +585,10 @@ LaunchStats KernelSession::finish() {
     span_.flag("fallback", degraded_);
   }
   span_.end();
+  // Health maintenance piggybacks on session teardown: tick the health
+  // clock and run at most one quarantine probe (after the host stats were
+  // delta'd, so probes never pollute this offload's accounting).
+  pool_.maintain();
   return std::move(stats_);
 }
 

@@ -57,6 +57,21 @@
 
 namespace pimdnn::runtime {
 
+/// Per-launch knobs for KernelSession::launch / launch_async.
+struct LaunchOptions {
+  std::uint32_t n_tasklets = 1;
+  OptLevel opt = OptLevel::O3;
+  /// Watchdog budget for the whole retry ladder, in modeled cycles: once
+  /// the ladder's charged penalty (hang waits + retry backoff) reaches
+  /// this, the launch is cooperatively cancelled into the CPU fallback —
+  /// total charge stays within the deadline plus at most one backoff
+  /// step, and lands in LaunchStats::retry_cycles, never wall_cycles.
+  /// 0 = take the PIMDNN_DEADLINE env default (itself 0 = no deadline).
+  Cycles deadline_cycles = 0;
+  /// Launch attempts before the session gives up and degrades.
+  std::uint32_t max_attempts = 4;
+};
+
 /// Host-side lifecycle of one kernel offload (see file comment).
 class KernelSession {
 public:
@@ -131,8 +146,23 @@ public:
   /// successful DPU launch (possibly after fault retries); false when the
   /// session degraded to the CPU-fallback path — the caller must then
   /// compute the results through its host/baseline implementation instead
-  /// of gathering (gathers become no-ops).
-  bool launch(std::uint32_t n_tasklets, OptLevel opt = OptLevel::O3);
+  /// of gathering (gathers become no-ops). The ladder is gated by the
+  /// pool's circuit breaker (an open breaker short-circuits straight to
+  /// the fallback) and watched by the options' deadline (see
+  /// LaunchOptions).
+  bool launch(const LaunchOptions& opts);
+
+  /// Convenience overload with default deadline/attempts.
+  bool launch(std::uint32_t n_tasklets, OptLevel opt = OptLevel::O3) {
+    LaunchOptions o;
+    o.n_tasklets = n_tasklets;
+    o.opt = opt;
+    return launch(o);
+  }
+
+  /// The PIMDNN_DEADLINE default (modeled cycles; 0 = no deadline).
+  /// Throws ConfigError on a malformed value, naming it.
+  static Cycles default_deadline_cycles();
 
   /// True once the session rerouted this offload to the CPU path.
   bool degraded() const { return degraded_; }
@@ -166,8 +196,16 @@ public:
   /// touch the session (transfers, finish, another launch) until the
   /// handle's wait() returned; the session is not internally synchronized
   /// against its own in-flight launch.
+  LaunchHandle launch_async(const LaunchOptions& opts);
+
+  /// Convenience overload with default deadline/attempts.
   LaunchHandle launch_async(std::uint32_t n_tasklets,
-                            OptLevel opt = OptLevel::O3);
+                            OptLevel opt = OptLevel::O3) {
+    LaunchOptions o;
+    o.n_tasklets = n_tasklets;
+    o.opt = opt;
+    return launch_async(o);
+  }
 
   /// Batched gather: pulls `items_per_dpu * slot_stride` bytes of `symbol`
   /// from every session DPU in one transfer, then hands the `n_items` real

@@ -27,21 +27,27 @@ double to_unit(std::uint64_t h) {
 }
 
 double parse_rate(const std::string& key, const std::string& value) {
+  if (value.empty()) {
+    throw ConfigError("PIMDNN_FAULTS: empty value for " + key);
+  }
   char* end = nullptr;
   const double r = std::strtod(value.c_str(), &end);
   if (end == nullptr || *end != '\0' || !(r >= 0.0 && r <= 1.0)) {
-    throw ConfigError("PIMDNN_FAULTS: rate '" + key + "=" + value +
-                      "' must be a number in [0, 1]");
+    throw ConfigError("PIMDNN_FAULTS: bad rate '" + value + "' for " + key +
+                      " (need a number in [0, 1])");
   }
   return r;
 }
 
 std::uint64_t parse_u64(const std::string& key, const std::string& value) {
+  if (value.empty()) {
+    throw ConfigError("PIMDNN_FAULTS: empty value for " + key);
+  }
   char* end = nullptr;
   const std::uint64_t v = std::strtoull(value.c_str(), &end, 0);
-  if (end == nullptr || *end != '\0' || value.empty()) {
-    throw ConfigError("PIMDNN_FAULTS: value '" + key + "=" + value +
-                      "' must be an unsigned integer");
+  if (end == nullptr || *end != '\0') {
+    throw ConfigError("PIMDNN_FAULTS: bad number '" + value + "' for " +
+                      key);
   }
   return v;
 }
@@ -114,7 +120,9 @@ FaultConfig parse_fault_config(const std::string& spec) {
     const std::string item =
         spec.substr(pos, comma == std::string::npos ? comma : comma - pos);
     pos = comma == std::string::npos ? spec.size() : comma + 1;
-    if (item.empty()) continue;
+    if (item.empty()) {
+      throw ConfigError("PIMDNN_FAULTS: empty term in '" + spec + "'");
+    }
     const std::size_t eq = item.find('=');
     if (eq == std::string::npos) {
       throw ConfigError("PIMDNN_FAULTS: expected key=value, got '" + item +

@@ -237,8 +237,15 @@ GemmResult dpu_gemm_pooled(runtime::DpuPool& pool, int m, int n, int k,
                            runtime::OptLevel opt, int rows_per_dpu,
                            const std::string& weights_tag,
                            std::uint64_t weights_version) {
+  // Plan against the pool's health picture: quarantines shrink the usable
+  // capacity, reintegrations restore it (clean pools plan the full system).
+  map::Limits limits;
+  if (pool.plan_capacity() < pool.config().total_dpus) {
+    limits.max_dpus = pool.plan_capacity();
+  }
   const map::MappingPlan plan =
-      plan_gemm_mapping(m, n, k, variant, opt, n_tasklets, rows_per_dpu);
+      plan_gemm_mapping(m, n, k, variant, opt, n_tasklets, rows_per_dpu,
+                        limits);
   n_tasklets = plan.n_tasklets;
   rows_per_dpu = plan.rows_per_dpu;
   require(a.size() >= static_cast<std::size_t>(m) * k, "A too small");

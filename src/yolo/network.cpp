@@ -1,6 +1,7 @@
 #include "yolo/network.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <exception>
 
 #include "common/error.hpp"
@@ -9,6 +10,7 @@
 #include "nn/gemm.hpp"
 #include "nn/im2col.hpp"
 #include "nn/layers.hpp"
+#include "obs/metrics.hpp"
 #include "obs/slo.hpp"
 #include "obs/trace.hpp"
 #include "runtime/host_pool.hpp"
@@ -140,10 +142,37 @@ sim::HostXferStats YoloRunner::pool_host_stats() const {
 
 std::vector<map::MappingPlan> YoloRunner::resolve_layer_plans(
     const RunOptions& opts) const {
-  std::vector<map::MappingPlan> plans(defs_.size());
   const GemmVariant variant = opts.mode == ExecMode::DpuMram
                                   ? GemmVariant::MramResident
                                   : GemmVariant::WramTiled;
+  // Health-aware capacity: both banks must run identical plans, so take
+  // the tightest allocated pool's planning view. Epochs key the memo —
+  // any capacity change (quarantine or reintegration) forces a re-plan.
+  std::uint32_t cap = sys_.total_dpus;
+  std::uint64_t epoch_key = 0;
+  for (const auto& p : pools_) {
+    if (p.has_value()) {
+      cap = std::min(cap, p->plan_capacity());
+      epoch_key = epoch_key * 1000003 + p->health_epoch() + 1;
+    }
+  }
+  map::Limits limits;
+  if (cap < sys_.total_dpus) {
+    limits.max_dpus = cap;
+  }
+  const char* mapping_env = std::getenv("PIMDNN_MAPPING");
+  std::string key = std::to_string(static_cast<int>(variant)) + "/" +
+                    std::to_string(static_cast<int>(opts.opt)) + "/" +
+                    std::to_string(opts.n_tasklets) + "/" +
+                    std::to_string(opts.rows_per_dpu) + "/" +
+                    std::to_string(epoch_key) + "/" + std::to_string(cap) +
+                    "/" + (mapping_env != nullptr ? mapping_env : "");
+  if (!plan_cache_.empty() && key == plan_cache_key_) {
+    obs::Metrics::instance().add("map.plan.hit");
+    return plan_cache_;
+  }
+  obs::Metrics::instance().add("map.plan.miss");
+  std::vector<map::MappingPlan> plans(defs_.size());
   struct Dim {
     int c, h, w;
   };
@@ -161,7 +190,7 @@ std::vector<map::MappingPlan> YoloRunner::resolve_layer_plans(
                              d.size, d.stride, d.pad};
         plans[i] = plan_gemm_mapping(g.gemm_m(), g.gemm_n(), g.gemm_k(),
                                      variant, opts.opt, opts.n_tasklets,
-                                     opts.rows_per_dpu);
+                                     opts.rows_per_dpu, limits);
         cd = {d.filters, g.out_h(), g.out_w()};
         break;
       }
@@ -189,6 +218,8 @@ std::vector<map::MappingPlan> YoloRunner::resolve_layer_plans(
     }
     dims.push_back(cd);
   }
+  plan_cache_ = plans;
+  plan_cache_key_ = std::move(key);
   return plans;
 }
 

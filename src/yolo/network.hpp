@@ -228,6 +228,13 @@ private:
   /// Mutable: running a frame is logically const but warms the pool.
   mutable std::optional<runtime::DpuPool> pools_[2];
   mutable Scratch bank_scratch_[2];
+  /// resolve_layer_plans memo, keyed on the run options *and* the banks'
+  /// health epochs — quarantine and reintegration both bump an epoch, so
+  /// plans re-fit the true healthy capacity after either transition
+  /// (obs: map.plan.hit / map.plan.miss). Only touched on the dispatch
+  /// thread, before any frame task runs.
+  mutable std::vector<map::MappingPlan> plan_cache_;
+  mutable std::string plan_cache_key_;
 };
 
 } // namespace pimdnn::yolo

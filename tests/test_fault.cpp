@@ -8,10 +8,12 @@
 
 #include <algorithm>
 #include <cstring>
+#include <string>
 #include <vector>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "common/sim_mode.hpp"
 #include "ebnn/deep.hpp"
 #include "ebnn/host.hpp"
 #include "ebnn/mnist_synth.hpp"
@@ -38,15 +40,20 @@ using sim::TaskletCtx;
 using yolo::GemmVariant;
 
 /// Every test starts and ends with injection disabled and metrics clean —
-/// the fault plan is process-global state.
-class FaultTest : public ::testing::Test {
+/// the fault plan and the default executor are process-global state. The
+/// whole suite runs twice, once per executor: fault draws, quarantine and
+/// reintegration decisions and every output must be identical under
+/// SimMode::Interp and SimMode::Fast.
+class FaultTest : public ::testing::TestWithParam<SimMode> {
 protected:
   void SetUp() override {
     sim::set_fault_config(FaultConfig{});
+    set_default_sim_mode(GetParam());
     obs::Metrics::instance().reset();
   }
   void TearDown() override {
     sim::set_fault_config(FaultConfig{});
+    set_default_sim_mode(SimMode::Interp);
     obs::Metrics::instance().reset();
   }
 };
@@ -83,7 +90,7 @@ struct GemmCase {
 
 // ---- config grammar --------------------------------------------------------
 
-TEST_F(FaultTest, ParseGrammarRoundTrips) {
+TEST_P(FaultTest, ParseGrammarRoundTrips) {
   const auto cfg = sim::parse_fault_config(
       "seed=42,bad=0.25,bad_mask=0x6,alloc=0.1,launch=0.2,hang=0.3,"
       "hang_cycles=5000,xfer=0.01,mram=0.02");
@@ -109,7 +116,7 @@ TEST_F(FaultTest, ParseGrammarRoundTrips) {
   EXPECT_FALSE(sim::parse_fault_config("seed=7").any());
 }
 
-TEST_F(FaultTest, ParseRejectsBadSpecs) {
+TEST_P(FaultTest, ParseRejectsBadSpecs) {
   EXPECT_THROW(sim::parse_fault_config("bogus=1"), ConfigError);
   EXPECT_THROW(sim::parse_fault_config("launch=1.5"), ConfigError);
   EXPECT_THROW(sim::parse_fault_config("launch=-0.1"), ConfigError);
@@ -120,7 +127,7 @@ TEST_F(FaultTest, ParseRejectsBadSpecs) {
 
 // ---- deterministic draws ---------------------------------------------------
 
-TEST_F(FaultTest, DrawsAreDeterministicPerSeed) {
+TEST_P(FaultTest, DrawsAreDeterministicPerSeed) {
   FaultConfig cfg;
   cfg.seed = 99;
   cfg.launch_fail_rate = 0.5;
@@ -146,7 +153,7 @@ TEST_F(FaultTest, DrawsAreDeterministicPerSeed) {
   EXPECT_NE(first, other_seed);
 }
 
-TEST_F(FaultTest, BadDpuMaskMarksAllocatedDpus) {
+TEST_P(FaultTest, BadDpuMaskMarksAllocatedDpus) {
   FaultConfig cfg;
   cfg.bad_dpu_mask = 0x5; // DPUs 0 and 2
   sim::set_fault_config(cfg);
@@ -165,7 +172,7 @@ TEST_F(FaultTest, BadDpuMaskMarksAllocatedDpus) {
 
 // ---- typed launch faults ---------------------------------------------------
 
-TEST_F(FaultTest, LaunchReportsLowestFaultyDpu) {
+TEST_P(FaultTest, LaunchReportsLowestFaultyDpu) {
   FaultConfig cfg;
   cfg.bad_dpu_mask = 0xC; // DPUs 2 and 3
   sim::set_fault_config(cfg);
@@ -182,7 +189,7 @@ TEST_F(FaultTest, LaunchReportsLowestFaultyDpu) {
 
 // ---- pool health policy ----------------------------------------------------
 
-TEST_F(FaultTest, QuarantineAfterStrikesRemapsAndDropsResidents) {
+TEST_P(FaultTest, QuarantineAfterStrikesRemapsAndDropsResidents) {
   DpuPool pool;
   pool.activate("a", 4, [] { return tiny_program("a"); });
   pool.begin_resident("w", 1);
@@ -213,7 +220,7 @@ TEST_F(FaultTest, QuarantineAfterStrikesRemapsAndDropsResidents) {
 
 // ---- self-healing offloads -------------------------------------------------
 
-TEST_F(FaultTest, GemmSelfHealsAroundBadDpuBitExactly) {
+TEST_P(FaultTest, GemmSelfHealsAroundBadDpuBitExactly) {
   FaultConfig cfg;
   cfg.bad_dpu_mask = 0x1; // physical DPU 0 permanently faulty
   sim::set_fault_config(cfg);
@@ -242,7 +249,7 @@ TEST_F(FaultTest, GemmSelfHealsAroundBadDpuBitExactly) {
   EXPECT_GT(obs::Metrics::instance().counter("pool.quarantined"), 0u);
 }
 
-TEST_F(FaultTest, UnrepairableCorruptionDegradesToCpuBitExactly) {
+TEST_P(FaultTest, UnrepairableCorruptionDegradesToCpuBitExactly) {
   FaultConfig cfg;
   cfg.transfer_corrupt_rate = 1.0; // every write (and every repair) flips
   sim::set_fault_config(cfg);
@@ -257,7 +264,7 @@ TEST_F(FaultTest, UnrepairableCorruptionDegradesToCpuBitExactly) {
   EXPECT_GT(obs::Metrics::instance().counter("offload.xfer.repair"), 0u);
 }
 
-TEST_F(FaultTest, HangDeadlineChargesRetryCycles) {
+TEST_P(FaultTest, HangDeadlineChargesRetryCycles) {
   FaultConfig cfg;
   cfg.launch_hang_rate = 1.0;
   cfg.hang_deadline_cycles = 12345;
@@ -274,7 +281,7 @@ TEST_F(FaultTest, HangDeadlineChargesRetryCycles) {
   EXPECT_EQ(r.stats.wall_cycles, 0u);
 }
 
-TEST_F(FaultTest, ModerateLaunchFaultsAreAbsorbedBitExactly) {
+TEST_P(FaultTest, ModerateLaunchFaultsAreAbsorbedBitExactly) {
   FaultConfig cfg;
   cfg.seed = 7;
   cfg.launch_fail_rate = 0.1;
@@ -293,7 +300,7 @@ TEST_F(FaultTest, ModerateLaunchFaultsAreAbsorbedBitExactly) {
   EXPECT_GT(obs::Metrics::instance().counter("faults.injected"), 0u);
 }
 
-TEST_F(FaultTest, EbnnPipelinesSurviveFaultsBitExactly) {
+TEST_P(FaultTest, EbnnPipelinesSurviveFaultsBitExactly) {
   const ebnn::EbnnConfig cfg;
   const auto weights = ebnn::EbnnWeights::random(cfg, 42);
   const auto images =
@@ -334,7 +341,7 @@ TEST_F(FaultTest, EbnnPipelinesSurviveFaultsBitExactly) {
 
 // ---- finish() misuse -------------------------------------------------------
 
-TEST_F(FaultTest, FinishTwiceThrowsWithoutDoubleRecording) {
+TEST_P(FaultTest, FinishTwiceThrowsWithoutDoubleRecording) {
   DpuPool pool;
   KernelSession s(pool, "tiny", 1, [] { return tiny_program(); });
   ASSERT_TRUE(s.launch(1));
@@ -347,13 +354,13 @@ TEST_F(FaultTest, FinishTwiceThrowsWithoutDoubleRecording) {
             launches_after_first);
 }
 
-TEST_F(FaultTest, FinishBeforeLaunchThrows) {
+TEST_P(FaultTest, FinishBeforeLaunchThrows) {
   DpuPool pool;
   KernelSession s(pool, "tiny", 1, [] { return tiny_program(); });
   EXPECT_THROW(s.finish(), UsageError);
 }
 
-TEST_F(FaultTest, FinishAfterDegradedLaunchSucceedsOnce) {
+TEST_P(FaultTest, FinishAfterDegradedLaunchSucceedsOnce) {
   FaultConfig cfg;
   cfg.launch_fail_rate = 1.0;
   sim::set_fault_config(cfg);
@@ -368,7 +375,7 @@ TEST_F(FaultTest, FinishAfterDegradedLaunchSucceedsOnce) {
 
 // ---- allocation-fault exception safety -------------------------------------
 
-TEST_F(FaultTest, ReserveAllocFaultLeavesPoolConsistent) {
+TEST_P(FaultTest, ReserveAllocFaultLeavesPoolConsistent) {
   FaultConfig cfg;
   cfg.alloc_fail_rate = 1.0;
   sim::set_fault_config(cfg);
@@ -390,7 +397,7 @@ TEST_F(FaultTest, ReserveAllocFaultLeavesPoolConsistent) {
   EXPECT_EQ(pool.healthy_capacity(), 2u);
 }
 
-TEST_F(FaultTest, GrowthAllocFaultKeepsOldSetUsable) {
+TEST_P(FaultTest, GrowthAllocFaultKeepsOldSetUsable) {
   DpuPool pool;
   pool.activate("a", 2, [] { return tiny_program("a"); });
   pool.begin_resident("w", 1);
@@ -407,6 +414,12 @@ TEST_F(FaultTest, GrowthAllocFaultKeepsOldSetUsable) {
   EXPECT_TRUE(pool.resident_matches("w", 1));
   EXPECT_EQ(pool.resets(), 0u);
 }
+
+INSTANTIATE_TEST_SUITE_P(Executors, FaultTest,
+                         ::testing::Values(SimMode::Interp, SimMode::Fast),
+                         [](const ::testing::TestParamInfo<SimMode>& info) {
+                           return std::string(sim_mode_name(info.param));
+                         });
 
 } // namespace
 } // namespace pimdnn

@@ -224,6 +224,37 @@ TEST(Mapper, AutoNeverPredictedWorseThanPaper) {
   }
 }
 
+TEST(Mapper, AutoGemmRespectsDpuCapacityLimit) {
+  map::clear_default_mapping_override();
+  auto req = small_gemm_request(64, 300, 64);
+  // A quarantine-shrunken pool caps the plan: the infeasible 64-DPU paper
+  // seed must yield to a feasible packed mapping even when the packed
+  // mapping prices worse.
+  req.limits.max_dpus = 63;
+  const auto plan = map::Mapper().plan_gemm(req);
+  EXPECT_EQ(plan.source, map::MappingSource::Auto);
+  EXPECT_LE(plan.n_dpus, 63u);
+  EXPECT_GE(plan.rows_per_dpu, 2);
+}
+
+TEST(Mapper, AutoBatchRespectsDpuCapacityLimit) {
+  map::clear_default_mapping_override();
+  map::BatchRequest req;
+  req.n_items = 64;
+  req.capacity = 16;
+  req.paper_items = 1; // paper seed: one item per DPU -> 64 DPUs
+  req.paper_tasklets = 1;
+  req.kernel_cycles = [](std::uint32_t items, std::uint32_t t) {
+    return static_cast<Cycles>(1000 * ((items + t - 1) / t));
+  };
+  req.item_in_bytes = 784;
+  req.item_out_bytes = 40;
+  req.limits.max_dpus = 8;
+  const auto plan = map::Mapper().plan_batch(req);
+  EXPECT_LE(plan.n_dpus, 8u);
+  EXPECT_GE(plan.items_per_dpu, 8u);
+}
+
 TEST(Mapper, BatchDegenerateSingleItem) {
   map::clear_default_mapping_override();
   map::BatchRequest req;
