@@ -6,6 +6,7 @@
 
 #include "common/bytes.hpp"
 #include "common/error.hpp"
+#include "map/space.hpp"
 #include "obs/slo.hpp"
 #include "obs/trace.hpp"
 #include "runtime/host_timer.hpp"
@@ -135,43 +136,53 @@ sim::DpuProgram Offloader::build_program() const {
   return prog;
 }
 
-Offloader::PendingBatch Offloader::start_batch(
-    runtime::DpuPool& pool,
-    const std::vector<std::vector<std::uint8_t>>& items,
-    std::uint32_t n_tasklets, runtime::OptLevel opt,
-    runtime::PipelineModel* model, unsigned bank, std::size_t item) {
-  require(!items.empty(), "Offloader::run: empty batch");
+map::MappingPlan Offloader::resolve_batch_plan(runtime::DpuPool& pool,
+                                               std::size_t n_items,
+                                               std::uint32_t n_tasklets,
+                                               std::uint32_t max_split) {
+  require(n_items > 0, "Offloader::run: empty batch");
   if (n_tasklets != map::kAutoTasklets) {
     require(n_tasklets >= 1 && n_tasklets <= spec_.items_per_dpu,
             "Offloader::run: tasklets must be in [1, items_per_dpu]");
   }
-  for (const auto& it : items) {
-    require(it.size() == spec_.item_in_bytes,
-            "Offloader::run: item size mismatch");
-  }
 
-  // Resolve (items_per_dpu, tasklets) through map::Mapper: auto-sentinel
-  // callers get the cost-model argmin when the spec priced its kernel
-  // (the paper capacity-filling mapping otherwise); an explicit tasklet
-  // count pins the spec's mapping.
+  // Resolve (items_per_dpu, tasklets, split) through map::Mapper:
+  // auto-sentinel callers get the cost-model argmin when the spec priced
+  // its kernel (the paper capacity-filling mapping otherwise); an explicit
+  // tasklet count pins the spec's mapping.
   map::BatchRequest mreq;
-  mreq.n_items = items.size();
+  mreq.n_items = n_items;
   mreq.capacity = spec_.items_per_dpu;
   mreq.kernel_cycles = spec_.kernel_cost;
   mreq.item_in_bytes = in_stride_;
   mreq.item_out_bytes = out_stride_;
   mreq.const_bytes_per_dpu = spec_.consts.size();
   mreq.pinned_tasklets = n_tasklets;
+  mreq.max_split = max_split;
   // Plan against the pool's health picture: quarantines shrink the usable
   // capacity, reintegrations restore it (clean pools plan the full system).
   if (pool.plan_capacity() < pool.config().total_dpus) {
     mreq.limits.max_dpus = pool.plan_capacity();
   }
-  const map::MappingPlan plan = map::Mapper().plan_batch(mreq);
-  n_tasklets = plan.n_tasklets;
+  return map::Mapper().plan_batch(mreq);
+}
 
+Offloader::PendingBatch Offloader::start_batch(
+    runtime::DpuPool& pool,
+    const std::vector<std::vector<std::uint8_t>>& items,
+    std::size_t first, std::size_t count, const map::MappingPlan& plan,
+    runtime::OptLevel opt, runtime::PipelineModel* model, unsigned bank,
+    std::size_t item) {
+  require(count > 0 && first + count <= items.size(),
+          "Offloader::run: bad batch sub-range");
+  for (const auto& it : items) {
+    require(it.size() == spec_.item_in_bytes,
+            "Offloader::run: item size mismatch");
+  }
+
+  const std::uint32_t n_tasklets = plan.n_tasklets;
   const std::uint32_t per_dpu = plan.items_per_dpu;
-  const auto n_dpus = KernelSession::dpus_for(items.size(), per_dpu);
+  const auto n_dpus = KernelSession::dpus_for(count, per_dpu);
 
   const sim::HostXferStats before = pool.host_stats();
   PendingBatch pb;
@@ -183,6 +194,8 @@ Offloader::PendingBatch Offloader::start_batch(
   pb.per_dpu = per_dpu;
   pb.bank = bank;
   pb.item = item;
+  pb.first = first;
+  pb.count = count;
 
   // One cached program per engine: the first batch loads it (and any later
   // batch that outgrows the pool reloads it); otherwise activation is a
@@ -192,9 +205,13 @@ Offloader::PendingBatch Offloader::start_batch(
       [this] { return build_program(); });
   KernelSession& session = *pb.session;
   session.annotate(plan.obs_suffix());
+  // A split sub-launch is predicted to carry its share of the plan's
+  // transfer volume.
   session.set_predicted(plan.predicted.kernel_cycles,
-                        plan.predicted.to_dpu_seconds +
-                            plan.predicted.from_dpu_seconds);
+                        (plan.predicted.to_dpu_seconds +
+                         plan.predicted.from_dpu_seconds) *
+                            (static_cast<double>(count) /
+                             static_cast<double>(items.size())));
   if (!spec_.consts.empty()) {
     session.broadcast_const("consts", spec_.consts.data(),
                             spec_.consts.size());
@@ -202,9 +219,10 @@ Offloader::PendingBatch Offloader::start_batch(
 
   // Scatter inputs + per-DPU true counts, then launch asynchronously so
   // the caller can stage the next batch on the other bank meanwhile.
-  session.scatter_items("in_mram", "meta", items.size(), per_dpu, in_stride_,
-                        spec_.item_in_bytes,
-                        [&](std::size_t i) { return items[i].data(); });
+  session.scatter_items("in_mram", "meta", count, per_dpu, in_stride_,
+                        spec_.item_in_bytes, [&](std::size_t i) {
+                          return items[first + i].data();
+                        });
 
   if (model != nullptr) {
     const sim::HostXferStats d =
@@ -225,13 +243,15 @@ OffloadResult Offloader::finish_batch(PendingBatch pending,
   OffloadResult out;
   out.dpus_used = pending.n_dpus;
 
-  // A degraded session routes the batch through one spare private DPU —
-  // the same kernel closure, chunk by chunk, so results stay bit-identical.
+  // A degraded session routes the sub-range through one spare private DPU
+  // — the same kernel closure, chunk by chunk, so results stay
+  // bit-identical.
   if (!pending.handle.wait()) {
     runtime::HostTimer ht;
     ht.start();
-    run_host_fallback(items, per_dpu, pending.n_tasklets, pending.opt,
-                      out);
+    out.outputs.resize(pending.count);
+    run_host_fallback(items, pending.first, pending.count, per_dpu,
+                      pending.n_tasklets, pending.opt, out);
     const Seconds fallback = ht.elapsed();
     out.launch = session.finish();
     if (model != nullptr) {
@@ -241,8 +261,8 @@ OffloadResult Offloader::finish_batch(PendingBatch pending,
   }
 
   const sim::HostXferStats before = pending.pool->host_stats();
-  out.outputs.resize(items.size());
-  session.gather_items("out_mram", items.size(), per_dpu, out_stride_,
+  out.outputs.resize(pending.count);
+  session.gather_items("out_mram", pending.count, per_dpu, out_stride_,
                        [&](std::size_t i, const std::uint8_t* slot) {
                          out.outputs[i].assign(
                              slot, slot + spec_.item_out_bytes);
@@ -261,13 +281,89 @@ OffloadResult Offloader::finish_batch(PendingBatch pending,
   return out;
 }
 
+OffloadResult Offloader::run_split(
+    const std::vector<std::vector<std::uint8_t>>& items,
+    const map::MappingPlan& plan, runtime::OptLevel opt,
+    runtime::PipelineModel* model, std::size_t item_base) {
+  const std::uint32_t per_dpu = plan.items_per_dpu;
+  const std::uint32_t n_dpus =
+      KernelSession::dpus_for(items.size(), per_dpu);
+  const std::vector<map::SplitRange> ranges =
+      map::split_ranges(n_dpus, plan.split);
+  if (ranges.size() <= 1) {
+    return finish_batch(start_batch(pool_, items, 0, items.size(), plan,
+                                    opt, model, 0, item_base),
+                        model);
+  }
+  if (!pool_alt_.has_value()) {
+    pool_alt_.emplace(sys_);
+  }
+  pool_.set_obs_bank(0);
+  pool_alt_->set_obs_bank(1);
+  runtime::DpuPool* banks[2] = {&pool_, &*pool_alt_};
+
+  OffloadResult out;
+  out.split = static_cast<std::uint32_t>(ranges.size());
+  out.outputs.reserve(items.size());
+
+  // Sub-launch s on bank s%2, at most two in flight, drained in chunk
+  // order; chunks cover contiguous ascending item ranges, so appending
+  // keeps input order (same choreography as run_pipelined, turned inward).
+  std::optional<PendingBatch> pending[2];
+  auto drain = [&](unsigned slot) {
+    if (!pending[slot].has_value()) {
+      return;
+    }
+    OffloadResult sub = finish_batch(std::move(*pending[slot]), model);
+    pending[slot].reset();
+    for (auto& o : sub.outputs) {
+      out.outputs.push_back(std::move(o));
+    }
+    out.launch.merge(sub.launch);
+    out.dpus_used += sub.dpus_used;
+  };
+  try {
+    for (std::size_t s = 0; s < ranges.size(); ++s) {
+      const unsigned slot = static_cast<unsigned>(s % 2);
+      drain(slot);
+      const map::SplitRange& r = ranges[s];
+      const std::size_t first =
+          static_cast<std::size_t>(r.first_unit) * per_dpu;
+      const std::size_t count = std::min<std::size_t>(
+          static_cast<std::size_t>(r.n_units) * per_dpu,
+          items.size() - first);
+      pending[slot] = start_batch(*banks[slot], items, first, count, plan,
+                                  opt, model, slot, item_base + s);
+    }
+    drain(static_cast<unsigned>(ranges.size() % 2));
+    drain(static_cast<unsigned>((ranges.size() + 1) % 2));
+  } catch (...) {
+    for (auto& p : pending) {
+      if (p.has_value() && p->handle.valid()) {
+        try {
+          p->handle.wait();
+        } catch (...) {
+        }
+      }
+    }
+    throw;
+  }
+  return out;
+}
+
 OffloadResult Offloader::run(
     const std::vector<std::vector<std::uint8_t>>& items,
     std::uint32_t n_tasklets, runtime::OptLevel opt) {
+  const map::MappingPlan plan = resolve_batch_plan(
+      pool_, items.size(), n_tasklets, map::kMaxSplitFactor);
+  if (plan.split > 1) {
+    return run_split(items, plan, opt, nullptr, 0);
+  }
   // Start + immediately finish: the waitable handle executes the launch
   // inline when no worker picked it up, so this is the synchronous path.
   return finish_batch(
-      start_batch(pool_, items, n_tasklets, opt, nullptr, 0, 0), nullptr);
+      start_batch(pool_, items, 0, items.size(), plan, opt, nullptr, 0, 0),
+      nullptr);
 }
 
 OffloadPipelineResult Offloader::run_pipelined(
@@ -293,11 +389,23 @@ OffloadPipelineResult Offloader::run_pipelined(
   const double trace_since_us =
       tracing ? obs::Tracer::instance().now_us() : 0.0;
 
+  // A lone batch cannot overlap with a neighbor, but a split plan can
+  // overlap with itself: carve it across the two banks instead.
+  bool ran_split = false;
+  if (batches.size() == 1) {
+    const map::MappingPlan plan = resolve_batch_plan(
+        pool_, batches[0].size(), n_tasklets, map::kMaxSplitFactor);
+    if (plan.split > 1) {
+      out.batches[0] = run_split(batches[0], plan, opt, &model, 0);
+      ran_split = true;
+    }
+  }
+
   // Double-buffered dispatch: batch i on bank i%2, finishing that bank's
   // previous batch first — at most two in flight, each bank serialized.
   std::optional<PendingBatch> pending[2];
   try {
-    for (std::size_t i = 0; i < batches.size(); ++i) {
+    for (std::size_t i = 0; !ran_split && i < batches.size(); ++i) {
       const unsigned bank = static_cast<unsigned>(i % 2);
       if (pending[bank].has_value()) {
         const std::size_t done = pending[bank]->item;
@@ -305,8 +413,11 @@ OffloadPipelineResult Offloader::run_pipelined(
             finish_batch(std::move(*pending[bank]), &model);
         pending[bank].reset();
       }
-      pending[bank] = start_batch(*banks[bank], batches[i], n_tasklets,
-                                  opt, &model, bank, i);
+      const map::MappingPlan plan = resolve_batch_plan(
+          *banks[bank], batches[i].size(), n_tasklets, 1);
+      pending[bank] = start_batch(*banks[bank], batches[i], 0,
+                                  batches[i].size(), plan, opt, &model,
+                                  bank, i);
     }
     // Drain in item order so the host-lane stages stay chronological.
     for (unsigned b = 0; b < 2; ++b) {
@@ -359,33 +470,34 @@ OffloadPipelineResult Offloader::run_pipelined(
 }
 
 void Offloader::run_host_fallback(
-    const std::vector<std::vector<std::uint8_t>>& items,
-    std::uint32_t per_dpu, std::uint32_t n_tasklets, runtime::OptLevel opt,
-    OffloadResult& out) const {
+    const std::vector<std::vector<std::uint8_t>>& items, std::size_t first,
+    std::size_t count, std::uint32_t per_dpu, std::uint32_t n_tasklets,
+    runtime::OptLevel opt, OffloadResult& out) const {
   sim::Dpu spare(sys_);
   spare.load(build_program());
   if (!spec_.consts.empty()) {
     const auto padded = pad_to_xfer(spec_.consts.data(), spec_.consts.size());
     spare.host_write("consts", 0, padded.data(), padded.size());
   }
-  out.outputs.resize(items.size());
+  out.outputs.resize(count);
   std::vector<std::uint8_t> slot(in_stride_);
   std::vector<std::uint8_t> result(out_stride_);
-  for (std::size_t first = 0; first < items.size(); first += per_dpu) {
-    const std::uint64_t count =
-        std::min<std::size_t>(per_dpu, items.size() - first);
-    for (std::uint64_t s = 0; s < count; ++s) {
+  for (std::size_t base = 0; base < count; base += per_dpu) {
+    const std::uint64_t chunk =
+        std::min<std::size_t>(per_dpu, count - base);
+    for (std::uint64_t s = 0; s < chunk; ++s) {
       std::fill(slot.begin(), slot.end(), 0);
-      std::memcpy(slot.data(), items[first + s].data(), spec_.item_in_bytes);
+      std::memcpy(slot.data(), items[first + base + s].data(),
+                  spec_.item_in_bytes);
       spare.host_write("in_mram", s * in_stride_, slot.data(), in_stride_);
     }
-    spare.host_write("meta", 0, &count, sizeof(count));
+    spare.host_write("meta", 0, &chunk, sizeof(chunk));
     spare.launch(n_tasklets, opt);
-    for (std::uint64_t s = 0; s < count; ++s) {
+    for (std::uint64_t s = 0; s < chunk; ++s) {
       spare.host_read("out_mram", s * out_stride_, result.data(),
                       out_stride_);
-      out.outputs[first + s].assign(result.begin(),
-                                    result.begin() + spec_.item_out_bytes);
+      out.outputs[base + s].assign(result.begin(),
+                                   result.begin() + spec_.item_out_bytes);
     }
   }
 }

@@ -82,8 +82,11 @@ struct OffloadResult {
   /// Aggregate launch statistics; `launch.host` carries this batch's
   /// host-side overhead (loads, scatter, gather).
   runtime::LaunchStats launch;
-  /// DPUs used.
+  /// DPUs used (total across sub-launches when split).
   std::uint32_t dpus_used = 0;
+  /// Sub-launches the batch was carved into (1 = the unsplit executor; >1
+  /// when the mapper chose a dual-bank split plan).
+  std::uint32_t split = 1;
 };
 
 /// Result of a double-buffered multi-batch run.
@@ -145,7 +148,7 @@ public:
   }
 
 private:
-  /// One in-flight batch of the double-buffered path.
+  /// One in-flight batch or split sub-batch of the double-buffered path.
   struct PendingBatch {
     std::unique_ptr<runtime::KernelSession> session;
     runtime::KernelSession::LaunchHandle handle;
@@ -159,21 +162,46 @@ private:
     std::uint32_t per_dpu = 0;
     unsigned bank = 0;
     std::size_t item = 0;
+    /// Item sub-range this launch covers: [first, first + count) of
+    /// *items (the whole batch unless split).
+    std::size_t first = 0;
+    std::size_t count = 0;
   };
 
   sim::DpuProgram build_program() const;
   /// CPU-path fallback for a degraded session: runs the same kernel on one
-  /// spare private DPU, chunk by chunk — bit-identical to the pooled run.
+  /// spare private DPU, chunk by chunk, over items [first, first + count)
+  /// — bit-identical to the pooled run. Writes outputs [0, count) of
+  /// `out.outputs` (pre-sized by the caller).
   void run_host_fallback(const std::vector<std::vector<std::uint8_t>>& items,
+                         std::size_t first, std::size_t count,
                          std::uint32_t per_dpu, std::uint32_t n_tasklets,
                          runtime::OptLevel opt, OffloadResult& out) const;
+  /// Resolves the (items_per_dpu, tasklets, split) mapping for a batch of
+  /// `n_items` against `pool`'s health picture. `max_split > 1` only for
+  /// call sites that can execute a split plan.
+  map::MappingPlan resolve_batch_plan(runtime::DpuPool& pool,
+                                      std::size_t n_items,
+                                      std::uint32_t n_tasklets,
+                                      std::uint32_t max_split);
   PendingBatch start_batch(runtime::DpuPool& pool,
                            const std::vector<std::vector<std::uint8_t>>& items,
-                           std::uint32_t n_tasklets, runtime::OptLevel opt,
+                           std::size_t first, std::size_t count,
+                           const map::MappingPlan& plan,
+                           runtime::OptLevel opt,
                            runtime::PipelineModel* model, unsigned bank,
                            std::size_t item);
   OffloadResult finish_batch(PendingBatch pending,
                              runtime::PipelineModel* model);
+  /// Executes a split plan (`plan.split >= 2`) by carving the batch's DPU
+  /// groups into sub-launches double-buffered across pool_/pool_alt_ —
+  /// the same choreography run_pipelined uses across batches, turned
+  /// inward on one batch; bit-identical to the unsplit path.
+  OffloadResult run_split(const std::vector<std::vector<std::uint8_t>>& items,
+                          const map::MappingPlan& plan,
+                          runtime::OptLevel opt,
+                          runtime::PipelineModel* model,
+                          std::size_t item_base);
 
   WorkloadSpec spec_;
   ItemKernel kernel_;

@@ -8,6 +8,7 @@
 #include "common/bytes.hpp"
 #include "common/error.hpp"
 #include "map/mapper.hpp"
+#include "map/space.hpp"
 #include "nn/bitpack.hpp"
 #include "nn/layers.hpp"
 #include "obs/slo.hpp"
@@ -656,21 +657,59 @@ DeepEbnnHost::DeepEbnnHost(const DeepEbnnConfig& cfg,
   images_per_dpu_ = make_params(cfg_, dims_, sys_).capacity;
 }
 
+map::MappingPlan DeepEbnnHost::resolve_batch_plan(
+    runtime::DpuPool& pool, std::size_t n_images, std::uint32_t n_tasklets,
+    runtime::OptLevel opt, std::uint32_t max_split) {
+  require(n_images > 0, "DeepEbnnHost::run: empty batch");
+  const DeepKernelParams params = make_params(cfg_, dims_, sys_);
+  if (n_tasklets != 0) {
+    require(n_tasklets >= 1 && n_tasklets <= params.capacity,
+            "DeepEbnnHost::run: tasklets must be in [1, images_per_dpu]");
+  }
+  std::size_t conv_size = 0;
+  std::size_t lut_size = 0;
+  for (std::size_t b = 0; b < cfg_.blocks.size(); ++b) {
+    conv_size += weights_.conv[b].size();
+    lut_size += luts_[b].table.size();
+  }
+
+  // Resolve the (images_per_dpu, tasklets, split) mapping through
+  // map::Mapper. `n_tasklets == 0` (the historical "fill the capacity"
+  // default) is the auto sentinel; an explicit count pins the
+  // capacity-filling mapping.
+  map::BatchRequest mreq;
+  mreq.n_items = n_images;
+  mreq.capacity = params.capacity;
+  mreq.kernel_cycles = [this, opt](std::uint32_t items, std::uint32_t t) {
+    return estimate_deep_ebnn_wall_cycles(cfg_, items, t, opt);
+  };
+  mreq.item_in_bytes = params.image_stride;
+  mreq.item_out_bytes = params.result_stride;
+  mreq.const_bytes_per_dpu =
+      conv_size * sizeof(std::uint32_t) + lut_size;
+  mreq.pinned_tasklets = n_tasklets == 0 ? map::kAutoTasklets : n_tasklets;
+  mreq.max_split = max_split;
+  // Plan against the pool's health picture: quarantines shrink the usable
+  // capacity, reintegrations restore it (clean pools plan the full system).
+  if (pool.plan_capacity() < pool.config().total_dpus) {
+    mreq.limits.max_dpus = pool.plan_capacity();
+  }
+  return map::Mapper().plan_batch(mreq);
+}
+
 DeepEbnnHost::PendingBatch DeepEbnnHost::start_batch(
     runtime::DpuPool& pool, const std::vector<Image>& images,
-    std::uint32_t n_tasklets, runtime::OptLevel opt,
-    runtime::PipelineModel* model, unsigned bank, std::size_t item) {
-  require(!images.empty(), "DeepEbnnHost::run: empty batch");
+    std::size_t first, std::size_t count, const map::MappingPlan& plan,
+    runtime::OptLevel opt, runtime::PipelineModel* model, unsigned bank,
+    std::size_t item) {
+  require(count > 0 && first + count <= images.size(),
+          "DeepEbnnHost::run: bad batch sub-range");
   const std::size_t img_bytes =
       static_cast<std::size_t>(cfg_.img_h) * cfg_.img_w;
   for (const auto& im : images) {
     require(im.size() == img_bytes, "DeepEbnnHost::run: wrong image size");
   }
   const DeepKernelParams params = make_params(cfg_, dims_, sys_);
-  if (n_tasklets != 0) {
-    require(n_tasklets >= 1 && n_tasklets <= params.capacity,
-            "DeepEbnnHost::run: tasklets must be in [1, images_per_dpu]");
-  }
 
   // Symbol sizes are needed to build the program even when the flattened
   // payloads are not (the warm-batch path skips the uploads).
@@ -681,30 +720,9 @@ DeepEbnnHost::PendingBatch DeepEbnnHost::start_batch(
     lut_size += luts_[b].table.size();
   }
 
-  // Resolve the (images_per_dpu, tasklets) mapping through map::Mapper.
-  // `n_tasklets == 0` (the historical "fill the capacity" default) is the
-  // auto sentinel; an explicit count pins the capacity-filling mapping.
-  map::BatchRequest mreq;
-  mreq.n_items = images.size();
-  mreq.capacity = params.capacity;
-  mreq.kernel_cycles = [this, opt](std::uint32_t items, std::uint32_t t) {
-    return estimate_deep_ebnn_wall_cycles(cfg_, items, t, opt);
-  };
-  mreq.item_in_bytes = params.image_stride;
-  mreq.item_out_bytes = params.result_stride;
-  mreq.const_bytes_per_dpu =
-      conv_size * sizeof(std::uint32_t) + lut_size;
-  mreq.pinned_tasklets = n_tasklets == 0 ? map::kAutoTasklets : n_tasklets;
-  // Plan against the pool's health picture: quarantines shrink the usable
-  // capacity, reintegrations restore it (clean pools plan the full system).
-  if (pool.plan_capacity() < pool.config().total_dpus) {
-    mreq.limits.max_dpus = pool.plan_capacity();
-  }
-  const map::MappingPlan plan = map::Mapper().plan_batch(mreq);
-  n_tasklets = plan.n_tasklets;
-
+  const std::uint32_t n_tasklets = plan.n_tasklets;
   const std::uint32_t per_dpu = plan.items_per_dpu;
-  const auto n_dpus = KernelSession::dpus_for(images.size(), per_dpu);
+  const auto n_dpus = KernelSession::dpus_for(count, per_dpu);
 
   const sim::HostXferStats before = pool.host_stats();
   PendingBatch pb;
@@ -714,14 +732,20 @@ DeepEbnnHost::PendingBatch DeepEbnnHost::start_batch(
   pb.per_dpu = per_dpu;
   pb.bank = bank;
   pb.item = item;
+  pb.first = first;
+  pb.count = count;
   pb.session = std::make_unique<KernelSession>(
       pool, "ebnn_deep", n_dpus,
       [&] { return make_deep_program(params, conv_size, lut_size); });
   KernelSession& session = *pb.session;
   session.annotate(plan.obs_suffix());
+  // A split sub-launch is predicted to carry its share of the plan's
+  // transfer volume.
   session.set_predicted(plan.predicted.kernel_cycles,
-                        plan.predicted.to_dpu_seconds +
-                            plan.predicted.from_dpu_seconds);
+                        (plan.predicted.to_dpu_seconds +
+                         plan.predicted.from_dpu_seconds) *
+                            (static_cast<double>(count) /
+                             static_cast<double>(images.size())));
 
   // Per-block weights and LUTs are WRAM constants: re-broadcast only when
   // the activation rebuilt or reloaded the program.
@@ -740,9 +764,10 @@ DeepEbnnHost::PendingBatch DeepEbnnHost::start_batch(
     session.broadcast("luts", lut_bytes.data(), lut_bytes.size());
   }
 
-  session.scatter_items("images", "meta", images.size(), per_dpu,
-                        params.image_stride, img_bytes,
-                        [&](std::size_t i) { return images[i].data(); });
+  session.scatter_items("images", "meta", count, per_dpu,
+                        params.image_stride, img_bytes, [&](std::size_t i) {
+                          return images[first + i].data();
+                        });
 
   if (model != nullptr) {
     const sim::HostXferStats d =
@@ -774,8 +799,8 @@ DeepEbnnBatchResult DeepEbnnHost::finish_batch(
   if (!pending.handle.wait()) {
     ht.start();
     DeepEbnnReference ref(cfg_, weights_);
-    for (const Image& im : images) {
-      DeepEbnnActivations a = ref.infer(im.data());
+    for (std::size_t i = 0; i < pending.count; ++i) {
+      DeepEbnnActivations a = ref.infer(images[pending.first + i].data());
       out.predicted.push_back(a.predicted);
       out.features.push_back(std::move(a.feature));
     }
@@ -789,9 +814,9 @@ DeepEbnnBatchResult DeepEbnnHost::finish_batch(
 
   // Batched gather of the raw feature words, then the host tail per image.
   const sim::HostXferStats before = pending.pool->host_stats();
-  std::vector<std::uint32_t> words(images.size() * feat_words);
+  std::vector<std::uint32_t> words(pending.count * feat_words);
   session.gather_items(
-      "results", images.size(), per_dpu, params.result_stride,
+      "results", pending.count, per_dpu, params.result_stride,
       [&](std::size_t i, const std::uint8_t* slot) {
         std::memcpy(words.data() + i * feat_words, slot,
                     feat_words * sizeof(std::uint32_t));
@@ -800,7 +825,7 @@ DeepEbnnBatchResult DeepEbnnHost::finish_batch(
       sim::host_xfer_delta(pending.pool->host_stats(), before);
 
   ht.start();
-  for (std::size_t i = 0; i < images.size(); ++i) {
+  for (std::size_t i = 0; i < pending.count; ++i) {
     const std::uint32_t* w = words.data() + i * feat_words;
     std::vector<int> feature(feat_bits);
     for (std::size_t bit = 0; bit < feat_bits; ++bit) {
@@ -834,6 +859,81 @@ DeepEbnnBatchResult DeepEbnnHost::finish_batch(
   return out;
 }
 
+DeepEbnnBatchResult DeepEbnnHost::run_split(
+    const std::vector<Image>& images, const map::MappingPlan& plan,
+    runtime::OptLevel opt, runtime::PipelineModel* model,
+    std::size_t item_base) {
+  const std::uint32_t per_dpu = plan.items_per_dpu;
+  const std::uint32_t n_dpus =
+      KernelSession::dpus_for(images.size(), per_dpu);
+  const std::vector<map::SplitRange> ranges =
+      map::split_ranges(n_dpus, plan.split);
+  if (ranges.size() <= 1) {
+    return finish_batch(start_batch(pool_, images, 0, images.size(), plan,
+                                    opt, model, 0, item_base),
+                        model);
+  }
+  if (!pool_alt_.has_value()) {
+    pool_alt_.emplace(sys_);
+  }
+  pool_.set_obs_bank(0);
+  pool_alt_->set_obs_bank(1);
+  runtime::DpuPool* banks[2] = {&pool_, &*pool_alt_};
+
+  DeepEbnnBatchResult out;
+  out.split = static_cast<std::uint32_t>(ranges.size());
+  out.images_per_dpu = per_dpu;
+  out.predicted.reserve(images.size());
+  out.features.reserve(images.size());
+
+  // Sub-launch s on bank s%2, at most two in flight, drained in chunk
+  // order; chunks cover contiguous ascending image ranges, so appending
+  // keeps input order (mirrors EbnnHost::run_split).
+  std::optional<PendingBatch> pending[2];
+  auto drain = [&](unsigned slot) {
+    if (!pending[slot].has_value()) {
+      return;
+    }
+    DeepEbnnBatchResult sub = finish_batch(std::move(*pending[slot]), model);
+    pending[slot].reset();
+    out.predicted.insert(out.predicted.end(), sub.predicted.begin(),
+                         sub.predicted.end());
+    for (auto& f : sub.features) {
+      out.features.push_back(std::move(f));
+    }
+    out.launch.merge(sub.launch);
+    out.dpus_used += sub.dpus_used;
+    out.host_tail_seconds += sub.host_tail_seconds;
+  };
+  try {
+    for (std::size_t s = 0; s < ranges.size(); ++s) {
+      const unsigned slot = static_cast<unsigned>(s % 2);
+      drain(slot);
+      const map::SplitRange& r = ranges[s];
+      const std::size_t first =
+          static_cast<std::size_t>(r.first_unit) * per_dpu;
+      const std::size_t count = std::min<std::size_t>(
+          static_cast<std::size_t>(r.n_units) * per_dpu,
+          images.size() - first);
+      pending[slot] = start_batch(*banks[slot], images, first, count, plan,
+                                  opt, model, slot, item_base + s);
+    }
+    drain(static_cast<unsigned>(ranges.size() % 2));
+    drain(static_cast<unsigned>((ranges.size() + 1) % 2));
+  } catch (...) {
+    for (auto& p : pending) {
+      if (p.has_value() && p->handle.valid()) {
+        try {
+          p->handle.wait();
+        } catch (...) {
+        }
+      }
+    }
+    throw;
+  }
+  return out;
+}
+
 DeepEbnnBatchResult DeepEbnnHost::run(const std::vector<Image>& images,
                                       std::uint32_t n_tasklets,
                                       runtime::OptLevel opt) {
@@ -841,8 +941,14 @@ DeepEbnnBatchResult DeepEbnnHost::run(const std::vector<Image>& images,
   if (batch_sp.active()) {
     batch_sp.u64("n_images", images.size());
   }
+  const map::MappingPlan plan = resolve_batch_plan(
+      pool_, images.size(), n_tasklets, opt, map::kMaxSplitFactor);
+  if (plan.split > 1) {
+    return run_split(images, plan, opt, nullptr, 0);
+  }
   return finish_batch(
-      start_batch(pool_, images, n_tasklets, opt, nullptr, 0, 0), nullptr);
+      start_batch(pool_, images, 0, images.size(), plan, opt, nullptr, 0, 0),
+      nullptr);
 }
 
 DeepEbnnPipelineResult DeepEbnnHost::run_pipelined(
@@ -868,9 +974,21 @@ DeepEbnnPipelineResult DeepEbnnHost::run_pipelined(
   const double trace_since_us =
       tracing ? obs::Tracer::instance().now_us() : 0.0;
 
+  // A lone batch cannot overlap with a neighbor, but a split plan can
+  // overlap with itself: carve it across the two banks instead.
+  bool ran_split = false;
+  if (batches.size() == 1) {
+    const map::MappingPlan plan = resolve_batch_plan(
+        pool_, batches[0].size(), n_tasklets, opt, map::kMaxSplitFactor);
+    if (plan.split > 1) {
+      out.batches[0] = run_split(batches[0], plan, opt, &model, 0);
+      ran_split = true;
+    }
+  }
+
   std::optional<PendingBatch> pending[2];
   try {
-    for (std::size_t i = 0; i < batches.size(); ++i) {
+    for (std::size_t i = 0; !ran_split && i < batches.size(); ++i) {
       const unsigned bank = static_cast<unsigned>(i % 2);
       if (pending[bank].has_value()) {
         const std::size_t done = pending[bank]->item;
@@ -878,8 +996,11 @@ DeepEbnnPipelineResult DeepEbnnHost::run_pipelined(
             finish_batch(std::move(*pending[bank]), &model);
         pending[bank].reset();
       }
-      pending[bank] = start_batch(*banks[bank], batches[i], n_tasklets,
-                                  opt, &model, bank, i);
+      const map::MappingPlan plan = resolve_batch_plan(
+          *banks[bank], batches[i].size(), n_tasklets, opt, 1);
+      pending[bank] = start_batch(*banks[bank], batches[i], 0,
+                                  batches[i].size(), plan, opt, &model,
+                                  bank, i);
     }
     // Drain in item order so the host-lane stages stay chronological.
     for (unsigned b = 0; b < 2; ++b) {

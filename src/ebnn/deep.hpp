@@ -114,11 +114,15 @@ struct DeepEbnnBatchResult {
   std::vector<int> predicted;
   std::vector<std::vector<int>> features;
   runtime::LaunchStats launch;
+  /// DPUs used (total across sub-launches when split).
   std::uint32_t dpus_used = 0;
   std::uint32_t images_per_dpu = 0; ///< derived from the WRAM budget
   /// Measured host tail of this batch (unpack + FC + softmax; the whole
   /// reference inference on a degraded batch).
   Seconds host_tail_seconds = 0.0;
+  /// Sub-launches the batch was carved into (1 = the unsplit executor; >1
+  /// when the mapper chose a dual-bank split plan).
+  std::uint32_t split = 1;
 };
 
 /// Result of a double-buffered multi-batch deep-eBNN run.
@@ -171,7 +175,8 @@ public:
   }
 
 private:
-  /// One in-flight batch (mirrors EbnnHost::PendingBatch).
+  /// One in-flight batch or split sub-batch (mirrors
+  /// EbnnHost::PendingBatch).
   struct PendingBatch {
     std::unique_ptr<runtime::KernelSession> session;
     runtime::KernelSession::LaunchHandle handle;
@@ -183,16 +188,40 @@ private:
     std::uint32_t per_dpu = 0;
     unsigned bank = 0;
     std::size_t item = 0;
+    /// Image sub-range this launch covers: [first, first + count) of
+    /// *images (the whole batch unless split).
+    std::size_t first = 0;
+    std::size_t count = 0;
   };
+
+  /// Resolves the (images_per_dpu, tasklets, split) mapping for a batch
+  /// of `n_images` against `pool`'s health picture. `max_split > 1` only
+  /// for call sites that can execute a split plan.
+  map::MappingPlan resolve_batch_plan(runtime::DpuPool& pool,
+                                      std::size_t n_images,
+                                      std::uint32_t n_tasklets,
+                                      runtime::OptLevel opt,
+                                      std::uint32_t max_split);
 
   PendingBatch start_batch(runtime::DpuPool& pool,
                            const std::vector<Image>& images,
-                           std::uint32_t n_tasklets, runtime::OptLevel opt,
+                           std::size_t first, std::size_t count,
+                           const map::MappingPlan& plan,
+                           runtime::OptLevel opt,
                            runtime::PipelineModel* model, unsigned bank,
                            std::size_t item);
 
   DeepEbnnBatchResult finish_batch(PendingBatch pending,
                                    runtime::PipelineModel* model);
+
+  /// Executes a split plan (`plan.split >= 2`) by carving the batch's DPU
+  /// groups into sub-launches double-buffered across pool_/pool_alt_
+  /// (mirrors EbnnHost::run_split; bit-identical to the unsplit path).
+  DeepEbnnBatchResult run_split(const std::vector<Image>& images,
+                                const map::MappingPlan& plan,
+                                runtime::OptLevel opt,
+                                runtime::PipelineModel* model,
+                                std::size_t item_base);
 
   DeepEbnnConfig cfg_;
   DeepEbnnWeights weights_;

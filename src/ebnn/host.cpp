@@ -1,5 +1,6 @@
 #include "ebnn/host.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <exception>
 #include <utility>
@@ -7,6 +8,7 @@
 #include "common/bytes.hpp"
 #include "common/error.hpp"
 #include "map/mapper.hpp"
+#include "map/space.hpp"
 #include "nn/bitpack.hpp"
 #include "obs/slo.hpp"
 #include "obs/trace.hpp"
@@ -31,26 +33,21 @@ EbnnHost::EbnnHost(const EbnnConfig& cfg, EbnnWeights weights, BnMode mode,
       reference_(cfg_, weights_),
       pool_(sys) {}
 
-EbnnHost::PendingBatch EbnnHost::start_batch(
-    runtime::DpuPool& pool, const std::vector<Image>& images,
-    std::uint32_t n_tasklets, runtime::OptLevel opt,
-    runtime::PipelineModel* model, unsigned bank, std::size_t item) {
-  require(!images.empty(), "EbnnHost::run: empty batch");
+map::MappingPlan EbnnHost::resolve_batch_plan(runtime::DpuPool& pool,
+                                              std::size_t n_images,
+                                              std::uint32_t n_tasklets,
+                                              runtime::OptLevel opt,
+                                              std::uint32_t max_split) {
+  require(n_images > 0, "EbnnHost::run: empty batch");
   if (n_tasklets != map::kAutoTasklets) {
     require(n_tasklets >= 1 && n_tasklets <= layout_.max_images,
             "EbnnHost::run: tasklets must be in [1, 16]");
   }
-  const std::size_t img_bytes =
-      static_cast<std::size_t>(cfg_.img_h) * cfg_.img_w;
-  for (const Image& im : images) {
-    require(im.size() == img_bytes, "EbnnHost::run: wrong image size");
-  }
-
-  // Resolve the (images_per_dpu, tasklets) mapping through map::Mapper:
-  // auto-sentinel callers get the cost-model argmin (or PIMDNN_MAPPING);
-  // an explicit tasklet count pins the thesis' 16-images mapping.
+  // Resolve the (images_per_dpu, tasklets, split) mapping through
+  // map::Mapper: auto-sentinel callers get the cost-model argmin (or
+  // PIMDNN_MAPPING); an explicit tasklet count pins the thesis' mapping.
   map::BatchRequest mreq;
-  mreq.n_items = images.size();
+  mreq.n_items = n_images;
   mreq.capacity = layout_.max_images;
   mreq.kernel_cycles = [this, opt](std::uint32_t items, std::uint32_t t) {
     return estimate_ebnn_wall_cycles(cfg_, mode_, kernel_, items, t, opt);
@@ -63,16 +60,31 @@ EbnnHost::PendingBatch EbnnHost::start_batch(
            ? lut_.table.size()
            : 5 * static_cast<std::size_t>(cfg_.filters) * sizeof(float));
   mreq.pinned_tasklets = n_tasklets;
+  mreq.max_split = max_split;
   // Plan against the pool's health picture: quarantines shrink the usable
   // capacity, reintegrations restore it (clean pools plan the full system).
   if (pool.plan_capacity() < pool.config().total_dpus) {
     mreq.limits.max_dpus = pool.plan_capacity();
   }
-  const map::MappingPlan plan = map::Mapper().plan_batch(mreq);
-  n_tasklets = plan.n_tasklets;
+  return map::Mapper().plan_batch(mreq);
+}
 
+EbnnHost::PendingBatch EbnnHost::start_batch(
+    runtime::DpuPool& pool, const std::vector<Image>& images,
+    std::size_t first, std::size_t count, const map::MappingPlan& plan,
+    runtime::OptLevel opt, runtime::PipelineModel* model, unsigned bank,
+    std::size_t item) {
+  require(count > 0 && first + count <= images.size(),
+          "EbnnHost::run: bad batch sub-range");
+  const std::size_t img_bytes =
+      static_cast<std::size_t>(cfg_.img_h) * cfg_.img_w;
+  for (const Image& im : images) {
+    require(im.size() == img_bytes, "EbnnHost::run: wrong image size");
+  }
+
+  const std::uint32_t n_tasklets = plan.n_tasklets;
   const std::uint32_t per_dpu = plan.items_per_dpu;
-  const auto n_dpus = KernelSession::dpus_for(images.size(), per_dpu);
+  const auto n_dpus = KernelSession::dpus_for(count, per_dpu);
 
   const sim::HostXferStats before = pool.host_stats();
   PendingBatch pb;
@@ -82,14 +94,21 @@ EbnnHost::PendingBatch EbnnHost::start_batch(
   pb.per_dpu = per_dpu;
   pb.bank = bank;
   pb.item = item;
+  pb.first = first;
+  pb.count = count;
   pb.session = std::make_unique<KernelSession>(
       pool, "ebnn", n_dpus,
       [&] { return make_ebnn_program(cfg_, mode_, kernel_); });
   KernelSession& session = *pb.session;
   session.annotate(plan.obs_suffix());
+  // A split sub-launch is predicted to carry its share of the plan's
+  // transfer volume; the whole batch (count == images.size()) keeps the
+  // plan's figures verbatim.
   session.set_predicted(plan.predicted.kernel_cycles,
-                        plan.predicted.to_dpu_seconds +
-                            plan.predicted.from_dpu_seconds);
+                        (plan.predicted.to_dpu_seconds +
+                         plan.predicted.from_dpu_seconds) *
+                            (static_cast<double>(count) /
+                             static_cast<double>(images.size())));
 
   // Weights and the BN stage are WRAM constants: broadcast_const re-sends
   // them only when the activation rebuilt/reloaded the program, so warm
@@ -113,9 +132,10 @@ EbnnHost::PendingBatch EbnnHost::start_batch(
   }
 
   // Scatter images and per-DPU true counts (Eqs. 3.2/3.3 + the §3.2 rule).
-  session.scatter_items(symbols::kImages, symbols::kMeta, images.size(),
-                        per_dpu, layout_.image_stride, img_bytes,
-                        [&](std::size_t i) { return images[i].data(); });
+  session.scatter_items(symbols::kImages, symbols::kMeta, count, per_dpu,
+                        layout_.image_stride, img_bytes, [&](std::size_t i) {
+                          return images[first + i].data();
+                        });
 
   if (model != nullptr) {
     const sim::HostXferStats d =
@@ -140,16 +160,16 @@ EbnnBatchResult EbnnHost::finish_batch(PendingBatch pending,
 
   EbnnBatchResult out;
   out.dpus_used = pending.n_dpus;
-  out.predicted.reserve(images.size());
-  out.features.reserve(images.size());
+  out.predicted.reserve(pending.count);
+  out.features.reserve(pending.count);
 
   runtime::HostTimer ht;
-  // A degraded session routes the batch through the reference model,
+  // A degraded session routes the sub-range through the reference model,
   // which is bit-identical to the kernel.
   if (!pending.handle.wait()) {
     ht.start();
-    for (const Image& im : images) {
-      EbnnActivations a = reference_.infer(im.data());
+    for (std::size_t i = 0; i < pending.count; ++i) {
+      EbnnActivations a = reference_.infer(images[pending.first + i].data());
       out.predicted.push_back(a.predicted);
       out.features.push_back(std::move(a.feature));
     }
@@ -165,9 +185,9 @@ EbnnBatchResult EbnnHost::finish_batch(PendingBatch pending,
   // (unpack + FC + softmax) — separated so the transfer wall and the tail
   // compute land in their own pipeline stages.
   const sim::HostXferStats before = pending.pool->host_stats();
-  std::vector<std::uint32_t> words(images.size() * feat_words);
+  std::vector<std::uint32_t> words(pending.count * feat_words);
   session.gather_items(
-      symbols::kResults, images.size(), per_dpu, layout_.result_stride,
+      symbols::kResults, pending.count, per_dpu, layout_.result_stride,
       [&](std::size_t i, const std::uint8_t* slot) {
         std::memcpy(words.data() + i * feat_words, slot,
                     feat_words * sizeof(std::uint32_t));
@@ -176,7 +196,7 @@ EbnnBatchResult EbnnHost::finish_batch(PendingBatch pending,
       sim::host_xfer_delta(pending.pool->host_stats(), before);
 
   ht.start();
-  for (std::size_t i = 0; i < images.size(); ++i) {
+  for (std::size_t i = 0; i < pending.count; ++i) {
     const std::uint32_t* w = words.data() + i * feat_words;
     std::vector<int> feature(static_cast<std::size_t>(cfg_.feature_bits()));
     for (int f = 0; f < cfg_.filters; ++f) {
@@ -209,6 +229,84 @@ EbnnBatchResult EbnnHost::finish_batch(PendingBatch pending,
   return out;
 }
 
+EbnnBatchResult EbnnHost::run_split(const std::vector<Image>& images,
+                                    const map::MappingPlan& plan,
+                                    runtime::OptLevel opt,
+                                    runtime::PipelineModel* model,
+                                    std::size_t item_base) {
+  const std::uint32_t per_dpu = plan.items_per_dpu;
+  const std::uint32_t n_dpus =
+      KernelSession::dpus_for(images.size(), per_dpu);
+  const std::vector<map::SplitRange> ranges =
+      map::split_ranges(n_dpus, plan.split);
+  if (ranges.size() <= 1) {
+    return finish_batch(start_batch(pool_, images, 0, images.size(), plan,
+                                    opt, model, 0, item_base),
+                        model);
+  }
+  if (!pool_alt_.has_value()) {
+    pool_alt_.emplace(sys_);
+  }
+  pool_.set_obs_bank(0);
+  pool_alt_->set_obs_bank(1);
+  runtime::DpuPool* banks[2] = {&pool_, &*pool_alt_};
+
+  EbnnBatchResult out;
+  out.split = static_cast<std::uint32_t>(ranges.size());
+  out.predicted.reserve(images.size());
+  out.features.reserve(images.size());
+
+  // Same double-buffer choreography run_pipelined uses across batches,
+  // turned inward: sub-launch s runs on bank s%2, at most two in flight,
+  // drained in chunk order. Chunks cover contiguous ascending image
+  // ranges, so appending each sub-result keeps input order.
+  std::optional<PendingBatch> pending[2];
+  auto drain = [&](unsigned slot) {
+    if (!pending[slot].has_value()) {
+      return;
+    }
+    EbnnBatchResult sub = finish_batch(std::move(*pending[slot]), model);
+    pending[slot].reset();
+    out.predicted.insert(out.predicted.end(), sub.predicted.begin(),
+                         sub.predicted.end());
+    for (auto& f : sub.features) {
+      out.features.push_back(std::move(f));
+    }
+    out.launch.merge(sub.launch);
+    out.dpus_used += sub.dpus_used;
+    out.host_tail_seconds += sub.host_tail_seconds;
+  };
+  try {
+    for (std::size_t s = 0; s < ranges.size(); ++s) {
+      const unsigned slot = static_cast<unsigned>(s % 2);
+      drain(slot);
+      const map::SplitRange& r = ranges[s];
+      const std::size_t first =
+          static_cast<std::size_t>(r.first_unit) * per_dpu;
+      const std::size_t count = std::min<std::size_t>(
+          static_cast<std::size_t>(r.n_units) * per_dpu,
+          images.size() - first);
+      pending[slot] = start_batch(*banks[slot], images, first, count, plan,
+                                  opt, model, slot, item_base + s);
+    }
+    drain(static_cast<unsigned>(ranges.size() % 2));
+    drain(static_cast<unsigned>((ranges.size() + 1) % 2));
+  } catch (...) {
+    // In-flight launches reference sessions owned by `pending`: wait them
+    // out before unwinding.
+    for (auto& p : pending) {
+      if (p.has_value() && p->handle.valid()) {
+        try {
+          p->handle.wait();
+        } catch (...) {
+        }
+      }
+    }
+    throw;
+  }
+  return out;
+}
+
 EbnnBatchResult EbnnHost::run(const std::vector<Image>& images,
                               std::uint32_t n_tasklets,
                               runtime::OptLevel opt) {
@@ -216,10 +314,16 @@ EbnnBatchResult EbnnHost::run(const std::vector<Image>& images,
   if (batch_sp.active()) {
     batch_sp.u64("n_images", images.size());
   }
+  const map::MappingPlan plan = resolve_batch_plan(
+      pool_, images.size(), n_tasklets, opt, map::kMaxSplitFactor);
+  if (plan.split > 1) {
+    return run_split(images, plan, opt, nullptr, 0);
+  }
   // Start + immediately finish: the waitable handle executes the launch
   // inline when no worker picked it up, so this is the synchronous path.
   return finish_batch(
-      start_batch(pool_, images, n_tasklets, opt, nullptr, 0, 0), nullptr);
+      start_batch(pool_, images, 0, images.size(), plan, opt, nullptr, 0, 0),
+      nullptr);
 }
 
 EbnnPipelineResult EbnnHost::run_pipelined(
@@ -245,11 +349,23 @@ EbnnPipelineResult EbnnHost::run_pipelined(
   const double trace_since_us =
       tracing ? obs::Tracer::instance().now_us() : 0.0;
 
+  // A lone batch cannot overlap with a neighbor, but a split plan can
+  // overlap with itself: carve it across the two banks instead.
+  bool ran_split = false;
+  if (batches.size() == 1) {
+    const map::MappingPlan plan = resolve_batch_plan(
+        pool_, batches[0].size(), n_tasklets, opt, map::kMaxSplitFactor);
+    if (plan.split > 1) {
+      out.batches[0] = run_split(batches[0], plan, opt, &model, 0);
+      ran_split = true;
+    }
+  }
+
   // Double-buffered dispatch: batch i on bank i%2, finishing that bank's
   // previous batch first — at most two in flight, each bank serialized.
   std::optional<PendingBatch> pending[2];
   try {
-    for (std::size_t i = 0; i < batches.size(); ++i) {
+    for (std::size_t i = 0; !ran_split && i < batches.size(); ++i) {
       const unsigned bank = static_cast<unsigned>(i % 2);
       if (pending[bank].has_value()) {
         const std::size_t done = pending[bank]->item;
@@ -257,8 +373,11 @@ EbnnPipelineResult EbnnHost::run_pipelined(
             finish_batch(std::move(*pending[bank]), &model);
         pending[bank].reset();
       }
-      pending[bank] = start_batch(*banks[bank], batches[i], n_tasklets,
-                                  opt, &model, bank, i);
+      const map::MappingPlan plan = resolve_batch_plan(
+          *banks[bank], batches[i].size(), n_tasklets, opt, 1);
+      pending[bank] = start_batch(*banks[bank], batches[i], 0,
+                                  batches[i].size(), plan, opt, &model,
+                                  bank, i);
     }
     // Drain in item order so the host-lane stages stay chronological.
     for (unsigned b = 0; b < 2; ++b) {

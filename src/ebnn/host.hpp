@@ -49,11 +49,14 @@ struct EbnnBatchResult {
   std::vector<std::vector<int>> features;
   /// Aggregate launch statistics (wall cycles = slowest DPU).
   runtime::LaunchStats launch;
-  /// DPUs used for this batch.
+  /// DPUs used for this batch (total across sub-launches when split).
   std::uint32_t dpus_used = 0;
   /// Measured host tail of this batch (feature unpack + FC + softmax; the
   /// whole reference inference on a degraded batch).
   Seconds host_tail_seconds = 0.0;
+  /// Sub-launches the batch was carved into (1 = the unsplit executor; >1
+  /// when the mapper chose a dual-bank split plan).
+  std::uint32_t split = 1;
 };
 
 /// Result of a double-buffered multi-batch run.
@@ -118,8 +121,9 @@ public:
   }
 
 private:
-  /// One in-flight batch: its session, the waitable launch handle, and
-  /// what finish_batch needs to gather and post-process it.
+  /// One in-flight batch (or split sub-batch): its session, the waitable
+  /// launch handle, and what finish_batch needs to gather and post-process
+  /// it.
   struct PendingBatch {
     std::unique_ptr<runtime::KernelSession> session;
     runtime::KernelSession::LaunchHandle handle;
@@ -131,22 +135,53 @@ private:
     std::uint32_t per_dpu = 0;
     unsigned bank = 0;
     std::size_t item = 0;
+    /// Image sub-range this launch covers: [first, first + count) of
+    /// *images. The whole batch for the unsplit path; one split_ranges
+    /// chunk for a split sub-launch.
+    std::size_t first = 0;
+    std::size_t count = 0;
   };
 
-  /// Broadcast + scatter + async launch of one batch on `pool`. When
-  /// `model` is non-null, the scatter's measured to-DPU + load walls are
-  /// reported as item `item`'s transfer stage on bank lane `bank`.
+  /// Resolves the (images_per_dpu, tasklets, split) mapping for a batch of
+  /// `n_images` against `pool`'s health picture. `max_split > 1` only for
+  /// call sites that can execute a split plan (run / single-batch
+  /// run_pipelined).
+  map::MappingPlan resolve_batch_plan(runtime::DpuPool& pool,
+                                      std::size_t n_images,
+                                      std::uint32_t n_tasklets,
+                                      runtime::OptLevel opt,
+                                      std::uint32_t max_split);
+
+  /// Broadcast + scatter + async launch of images [first, first + count)
+  /// on `pool` under the pre-resolved `plan`. When `model` is non-null,
+  /// the scatter's measured to-DPU + load walls are reported as item
+  /// `item`'s transfer stage on bank lane `bank`.
   PendingBatch start_batch(runtime::DpuPool& pool,
                            const std::vector<Image>& images,
-                           std::uint32_t n_tasklets, runtime::OptLevel opt,
+                           std::size_t first, std::size_t count,
+                           const map::MappingPlan& plan,
+                           runtime::OptLevel opt,
                            runtime::PipelineModel* model, unsigned bank,
                            std::size_t item);
 
-  /// Waits for the launch, gathers, and runs the host tail. Reports the
-  /// kernel's simulated wall, the gather wall and the measured tail to
-  /// `model` when non-null.
+  /// Waits for the launch, gathers, and runs the host tail over the
+  /// pending sub-range. Reports the kernel's simulated wall, the gather
+  /// wall and the measured tail to `model` when non-null.
   EbnnBatchResult finish_batch(PendingBatch pending,
                                runtime::PipelineModel* model);
+
+  /// Executes a split plan (`plan.split >= 2`): the batch's DPU groups are
+  /// carved into sub-launches (map::split_ranges), sub-launch s runs on
+  /// bank s%2 across pool_/pool_alt_, at most two in flight — the same
+  /// double-buffer choreography run_pipelined uses across batches, turned
+  /// inward on one batch. Results are bit-identical to the unsplit path
+  /// (every image's inference is independent). Sub-launch s reports its
+  /// stages to `model` as item `item_base + s` when model is non-null.
+  EbnnBatchResult run_split(const std::vector<Image>& images,
+                            const map::MappingPlan& plan,
+                            runtime::OptLevel opt,
+                            runtime::PipelineModel* model,
+                            std::size_t item_base);
 
   EbnnConfig cfg_;
   EbnnWeights weights_;

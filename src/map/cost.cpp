@@ -1,5 +1,7 @@
 #include "map/cost.hpp"
 
+#include <algorithm>
+
 #include "pimmodel/model.hpp"
 #include "runtime/pipeline.hpp"
 
@@ -33,6 +35,31 @@ PredictedBreakdown predict(const CostParams& params,
   model.xfer_stage(0, 0, out.to_dpu_seconds);
   model.dpu_stage(0, 0, out.kernel_seconds);
   model.xfer_stage(0, 0, out.from_dpu_seconds);
+  out.makespan_seconds = model.stats().makespan_seconds;
+  return out;
+}
+
+PredictedBreakdown predict_split(const CostParams& params,
+                                 const std::vector<CandidateTraffic>& subs) {
+  PredictedBreakdown out;
+  runtime::PipelineModel model(2, /*trace=*/false);
+  for (std::size_t s = 0; s < subs.size(); ++s) {
+    const CandidateTraffic& t = subs[s];
+    const double to = static_cast<double>(t.bytes_to_dpu) /
+                      params.host_link_bytes_per_second;
+    const double kernel =
+        static_cast<double>(t.kernel_cycles) / params.frequency_hz;
+    const double from = static_cast<double>(t.bytes_from_dpu) /
+                        params.host_link_bytes_per_second;
+    const std::size_t bank = s % 2;
+    model.xfer_stage(s, bank, to);
+    model.dpu_stage(s, bank, kernel);
+    model.xfer_stage(s, bank, from);
+    out.to_dpu_seconds += to;
+    out.kernel_seconds += kernel;
+    out.from_dpu_seconds += from;
+    out.kernel_cycles = std::max(out.kernel_cycles, t.kernel_cycles);
+  }
   out.makespan_seconds = model.stats().makespan_seconds;
   return out;
 }

@@ -10,6 +10,8 @@
 // cycle estimate at the DPU clock.
 #pragma once
 
+#include <vector>
+
 #include "common/types.hpp"
 #include "map/plan.hpp"
 
@@ -38,5 +40,15 @@ struct CandidateTraffic {
 /// makespan of the to->kernel->from chain.
 PredictedBreakdown predict(const CostParams& params,
                            const CandidateTraffic& traffic);
+
+/// Prices a split candidate: sub-launch s runs xfer->kernel->xfer on bank
+/// s%2 of a two-bank PipelineModel, so sub-launch k+1's transfer hides
+/// under sub-launch k's kernel exactly as the dual-bank executors overlap
+/// them. The breakdown's per-stage seconds are sums across sub-launches;
+/// kernel_cycles is the largest single sub-launch wall (what one
+/// KernelSession's set_predicted sees); makespan is the overlapped
+/// timeline's.
+PredictedBreakdown predict_split(const CostParams& params,
+                                 const std::vector<CandidateTraffic>& subs);
 
 } // namespace pimdnn::map

@@ -25,9 +25,15 @@ bool cheaper(const MappingPlan& a, const MappingPlan& b) {
   return a.predicted.makespan_seconds < b.predicted.makespan_seconds;
 }
 
-/// True when `plan` respects the request's DPU-capacity limit.
+/// True when `plan` respects the request's DPU-capacity limit. A split
+/// plan keeps at most one sub-launch resident per bank pool, so only its
+/// largest sub-launch (the per-bank peak) must fit the limit.
 bool fits(const Limits& limits, const MappingPlan& plan) {
-  return limits.max_dpus == 0 || plan.n_dpus <= limits.max_dpus;
+  if (limits.max_dpus == 0) {
+    return true;
+  }
+  const std::uint32_t split = std::max(plan.split, 1u);
+  return (plan.n_dpus + split - 1) / split <= limits.max_dpus;
 }
 
 } // namespace
@@ -65,6 +71,37 @@ MappingPlan Mapper::price_gemm(const GemmRequest& req, int rows,
   return plan;
 }
 
+MappingPlan Mapper::price_gemm_split(const GemmRequest& req,
+                                     const MappingPlan& base,
+                                     std::uint32_t split) const {
+  if (split <= 1 || base.n_dpus < 2) {
+    return base;
+  }
+  // Cut the DPU set into contiguous chunks; every DPU keeps the same rows
+  // it had unsplit, so the per-sub-launch kernel wall is the unsplit wall.
+  const auto ranges = split_ranges(base.n_dpus, split);
+  const Cycles sub_kernel =
+      req.kernel_cycles(base.rows_per_dpu, base.n_tasklets);
+  std::vector<CandidateTraffic> subs;
+  subs.reserve(ranges.size());
+  for (const SplitRange& r : ranges) {
+    CandidateTraffic t;
+    t.bytes_to_dpu =
+        static_cast<MemSize>(r.n_units) *
+        (req.bcast_bytes_per_dpu +
+         static_cast<MemSize>(base.rows_per_dpu) * req.a_bytes_per_row);
+    t.bytes_from_dpu = static_cast<MemSize>(r.n_units) *
+                       static_cast<MemSize>(base.rows_per_dpu) *
+                       req.c_bytes_per_row;
+    t.kernel_cycles = sub_kernel;
+    subs.push_back(t);
+  }
+  MappingPlan plan = base;
+  plan.split = static_cast<std::uint32_t>(ranges.size());
+  plan.predicted = predict_split(params_, subs);
+  return plan;
+}
+
 MappingPlan Mapper::plan_gemm(const GemmRequest& req) const {
   require_gemm_shape(req.n, req.k);
   require(req.m >= 1, "GEMM needs at least one row");
@@ -91,26 +128,72 @@ MappingPlan Mapper::plan_gemm(const GemmRequest& req) const {
       plan = price_gemm(req, o.rows_per_dpu.value_or(req.paper_rows),
                         o.n_tasklets.value_or(req.paper_tasklets),
                         MappingSource::Pinned);
+      // An env-pinned split only applies where the call site can execute
+      // one (max_split > 1); elsewhere the plan stays unsplit.
+      const std::uint32_t pinned_split = o.split.value_or(1);
+      if (pinned_split > 1 && req.max_split > 1) {
+        plan = price_gemm_split(req, plan,
+                                std::min(pinned_split, req.max_split));
+      }
     } else {
       // Auto: price the paper mapping first, replace only on a strictly
       // cheaper candidate — the argmin is never worse than the paper's.
       // A capacity limit can leave the paper seed infeasible (more DPUs
       // than max_dpus): any feasible candidate then replaces it outright,
-      // cheaper or not — the candidate space is already bounded to the
-      // limit. With no feasible candidate at all the seed survives and
-      // the session degrades at launch.
+      // cheaper or not. With no feasible candidate at all the seed
+      // survives and the session degrades at launch.
       plan = price_gemm(req, req.paper_rows, req.paper_tasklets,
                         MappingSource::Auto);
       bool feasible = fits(req.limits, plan);
       const auto tasklets = tasklet_candidates(
           std::min(req.limits.max_tasklets, kMaxGemmTasklets));
+      // Pass 1: the historical unsplit argmin within the true limits.
       for (int rows : gemm_rows_candidates(req.m, req.k, req.limits)) {
         for (std::uint32_t t : tasklets) {
           const MappingPlan cand =
               price_gemm(req, rows, t, MappingSource::Auto);
-          if (!feasible || cheaper(cand, plan)) {
+          if (fits(req.limits, cand) && (!feasible || cheaper(cand, plan))) {
             plan = cand;
             feasible = true;
+          }
+        }
+      }
+      // Pass 2 (split-capable call sites only): splits of the unsplit
+      // winner are priced first so a tying split candidate elsewhere in
+      // the space cannot displace the winner's rows/tasklets — the same
+      // paper-seeded tie-break discipline as pass 1. Then the whole space
+      // is swept again with splitting; under a DPU cap the enumeration may
+      // overshoot the cap by the split factor (a split plan keeps one
+      // sub-launch per bank), with per-candidate fits() keeping the final
+      // plan honest.
+      if (req.max_split > 1) {
+        const MappingPlan unsplit = plan;
+        for (std::uint32_t s :
+             split_candidates(unsplit.n_dpus, req.max_split)) {
+          const MappingPlan scand = price_gemm_split(req, unsplit, s);
+          if (fits(req.limits, scand) &&
+              (!feasible || cheaper(scand, plan))) {
+            plan = scand;
+            feasible = true;
+          }
+        }
+        Limits search = req.limits;
+        if (search.max_dpus > 0) {
+          search.max_dpus *= std::min(req.max_split, kMaxSplitFactor);
+        }
+        for (int rows : gemm_rows_candidates(req.m, req.k, search)) {
+          for (std::uint32_t t : tasklets) {
+            const MappingPlan cand =
+                price_gemm(req, rows, t, MappingSource::Auto);
+            for (std::uint32_t s :
+                 split_candidates(cand.n_dpus, req.max_split)) {
+              const MappingPlan scand = price_gemm_split(req, cand, s);
+              if (fits(req.limits, scand) &&
+                  (!feasible || cheaper(scand, plan))) {
+                plan = scand;
+                feasible = true;
+              }
+            }
           }
         }
       }
@@ -152,6 +235,41 @@ MappingPlan Mapper::price_batch(const BatchRequest& req, std::uint32_t items,
   return plan;
 }
 
+MappingPlan Mapper::price_batch_split(const BatchRequest& req,
+                                      const MappingPlan& base,
+                                      std::uint32_t split) const {
+  if (split <= 1 || base.n_dpus < 2) {
+    return base;
+  }
+  // Cut at DPU boundaries: every DPU keeps the items it had unsplit, so
+  // each sub-launch's fullest DPU — and its kernel wall — is unchanged
+  // (the global tail DPU ends up in the last sub-launch, as before).
+  const auto ranges = split_ranges(base.n_dpus, split);
+  std::vector<CandidateTraffic> subs;
+  subs.reserve(ranges.size());
+  for (const SplitRange& r : ranges) {
+    const std::size_t first_item = r.first_unit * base.items_per_dpu;
+    const std::size_t sub_items = std::min<std::size_t>(
+        req.n_items - first_item, r.n_units * base.items_per_dpu);
+    CandidateTraffic t;
+    t.bytes_to_dpu =
+        static_cast<MemSize>(r.n_units) * req.const_bytes_per_dpu +
+        static_cast<MemSize>(sub_items) * req.item_in_bytes;
+    t.bytes_from_dpu =
+        static_cast<MemSize>(sub_items) * req.item_out_bytes;
+    if (req.kernel_cycles) {
+      const auto fullest = static_cast<std::uint32_t>(
+          std::min<std::size_t>(base.items_per_dpu, sub_items));
+      t.kernel_cycles = req.kernel_cycles(fullest, base.n_tasklets);
+    }
+    subs.push_back(t);
+  }
+  MappingPlan plan = base;
+  plan.split = static_cast<std::uint32_t>(ranges.size());
+  plan.predicted = predict_split(params_, subs);
+  return plan;
+}
+
 MappingPlan Mapper::plan_batch(const BatchRequest& req) const {
   require(req.n_items >= 1, "BatchRequest needs at least one item");
   require(req.capacity >= 1, "BatchRequest needs a per-DPU capacity");
@@ -174,6 +292,11 @@ MappingPlan Mapper::plan_batch(const BatchRequest& req) const {
       plan = price_batch(req, o.items_per_dpu.value_or(paper_items),
                          o.n_tasklets.value_or(paper_tasklets),
                          MappingSource::Pinned);
+      const std::uint32_t pinned_split = o.split.value_or(1);
+      if (pinned_split > 1 && req.max_split > 1) {
+        plan = price_batch_split(req, plan,
+                                 std::min(pinned_split, req.max_split));
+      }
     } else if (!req.kernel_cycles) {
       // No estimator to search with: keep the paper mapping.
       plan = price_batch(req, paper_items, paper_tasklets,
@@ -184,6 +307,7 @@ MappingPlan Mapper::plan_batch(const BatchRequest& req) const {
       // Same seed-feasibility rule as plan_gemm: an over-capacity paper
       // seed yields to the first feasible candidate.
       bool feasible = fits(req.limits, plan);
+      // Pass 1: the historical unsplit argmin within the true limits.
       for (std::uint32_t items :
            batch_items_candidates(req.capacity, req.n_items, req.limits)) {
         for (std::uint32_t t : tasklet_candidates(
@@ -192,9 +316,46 @@ MappingPlan Mapper::plan_batch(const BatchRequest& req) const {
                                      : req.limits.max_tasklets))) {
           const MappingPlan cand =
               price_batch(req, items, t, MappingSource::Auto);
-          if (!feasible || cheaper(cand, plan)) {
+          if (fits(req.limits, cand) && (!feasible || cheaper(cand, plan))) {
             plan = cand;
             feasible = true;
+          }
+        }
+      }
+      // Pass 2: splits, seeded with the unsplit winner's own so ties keep
+      // its items/tasklets, then the cap-relaxed sweep — see plan_gemm.
+      if (req.max_split > 1) {
+        const MappingPlan unsplit = plan;
+        for (std::uint32_t s :
+             split_candidates(unsplit.n_dpus, req.max_split)) {
+          const MappingPlan scand = price_batch_split(req, unsplit, s);
+          if (fits(req.limits, scand) &&
+              (!feasible || cheaper(scand, plan))) {
+            plan = scand;
+            feasible = true;
+          }
+        }
+        Limits search = req.limits;
+        if (search.max_dpus > 0) {
+          search.max_dpus *= std::min(req.max_split, kMaxSplitFactor);
+        }
+        for (std::uint32_t items :
+             batch_items_candidates(req.capacity, req.n_items, search)) {
+          for (std::uint32_t t : tasklet_candidates(
+                   std::min(items, req.limits.max_tasklets == 0
+                                       ? items
+                                       : req.limits.max_tasklets))) {
+            const MappingPlan cand =
+                price_batch(req, items, t, MappingSource::Auto);
+            for (std::uint32_t s :
+                 split_candidates(cand.n_dpus, req.max_split)) {
+              const MappingPlan scand = price_batch_split(req, cand, s);
+              if (fits(req.limits, scand) &&
+                  (!feasible || cheaper(scand, plan))) {
+                plan = scand;
+                feasible = true;
+              }
+            }
           }
         }
       }

@@ -56,6 +56,9 @@ struct GemmRequest {
   /// Caller pins (historical explicit arguments); sentinels mean "auto".
   int pinned_rows = kAutoRows;
   std::uint32_t pinned_tasklets = kAutoTasklets;
+  /// Largest split factor the caller can execute (1 = the caller has no
+  /// dual-bank split path, the default for every historical call site).
+  std::uint32_t max_split = 1;
 };
 
 /// A batched many-items-per-DPU workload (eBNN, deep eBNN, Offloader).
@@ -77,6 +80,8 @@ struct BatchRequest {
   std::uint32_t paper_tasklets = 0;
   /// Caller pin (historical explicit tasklet argument).
   std::uint32_t pinned_tasklets = kAutoTasklets;
+  /// Largest split factor the caller can execute (1 = no split path).
+  std::uint32_t max_split = 1;
 };
 
 class Mapper {
@@ -101,6 +106,14 @@ private:
   MappingPlan price_batch(const BatchRequest& req, std::uint32_t items,
                           std::uint32_t n_tasklets,
                           MappingSource source) const;
+  /// Re-prices an unsplit plan as `split` dual-bank sub-launches on the
+  /// overlapped two-bank timeline (split <= 1 returns the plan unchanged).
+  MappingPlan price_gemm_split(const GemmRequest& req,
+                               const MappingPlan& base,
+                               std::uint32_t split) const;
+  MappingPlan price_batch_split(const BatchRequest& req,
+                                const MappingPlan& base,
+                                std::uint32_t split) const;
 
   CostParams params_;
 };

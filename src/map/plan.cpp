@@ -27,16 +27,19 @@ MappingOverride resolve_env_locked() {
   return *g_env_cache;
 }
 
-/// Parses a non-negative integer; throws ConfigError on junk.
-std::uint64_t parse_u64(const std::string& text, const std::string& what) {
+/// Parses a non-negative integer; throws ConfigError naming both the bad
+/// value and the token it appeared in (e.g. "bad number 'x' in 'rows=x'").
+std::uint64_t parse_u64(const std::string& text, const std::string& what,
+                        const std::string& token) {
   if (text.empty()) {
-    throw ConfigError("PIMDNN_MAPPING: empty value for " + what);
+    throw ConfigError("PIMDNN_MAPPING: empty value for " + what + " in '" +
+                      token + "'");
   }
   std::uint64_t v = 0;
   for (char c : text) {
     if (c < '0' || c > '9') {
       throw ConfigError("PIMDNN_MAPPING: bad number '" + text + "' for " +
-                        what);
+                        what + " in '" + token + "'");
     }
     v = v * 10 + static_cast<std::uint64_t>(c - '0');
   }
@@ -61,7 +64,11 @@ std::string MappingPlan::to_string() const {
   std::ostringstream os;
   os << "map{" << mapping_source_name(source) << " rows=" << rows_per_dpu
      << " items=" << items_per_dpu << " tasklets=" << n_tasklets
-     << " dpus=" << n_dpus << " kernel=" << predicted.kernel_cycles
+     << " dpus=" << n_dpus;
+  if (split > 1) {
+    os << " split=" << split;
+  }
+  os << " kernel=" << predicted.kernel_cycles
      << "cy makespan=" << predicted.makespan_seconds * 1e3 << "ms}";
   return os.str();
 }
@@ -70,6 +77,9 @@ std::string MappingPlan::obs_suffix() const {
   std::ostringstream os;
   os << "/map=" << mapping_source_name(source) << "/r=" << rows_per_dpu
      << "/i=" << items_per_dpu << "/t=" << n_tasklets;
+  if (split > 1) {
+    os << "/s=" << split;
+  }
   return os.str();
 }
 
@@ -102,26 +112,38 @@ MappingOverride MappingOverride::parse(const std::string& text) {
     const std::string key = part.substr(0, eq);
     const std::string val = part.substr(eq + 1);
     if (key == "rows") {
-      const std::uint64_t v = parse_u64(val, "rows");
+      const std::uint64_t v = parse_u64(val, "rows", part);
       if (v < 1) {
-        throw ConfigError("PIMDNN_MAPPING: rows must be >= 1");
+        throw ConfigError("PIMDNN_MAPPING: rows must be >= 1 in '" + part +
+                          "'");
       }
       o.rows_per_dpu = static_cast<int>(v);
     } else if (key == "images") {
-      const std::uint64_t v = parse_u64(val, "images");
+      const std::uint64_t v = parse_u64(val, "images", part);
       if (v < 1) {
-        throw ConfigError("PIMDNN_MAPPING: images must be >= 1");
+        throw ConfigError("PIMDNN_MAPPING: images must be >= 1 in '" + part +
+                          "'");
       }
       o.items_per_dpu = static_cast<std::uint32_t>(v);
     } else if (key == "tasklets") {
-      const std::uint64_t v = parse_u64(val, "tasklets");
+      const std::uint64_t v = parse_u64(val, "tasklets", part);
       if (v < 1) {
-        throw ConfigError("PIMDNN_MAPPING: tasklets must be >= 1");
+        throw ConfigError("PIMDNN_MAPPING: tasklets must be >= 1 in '" +
+                          part + "'");
       }
       o.n_tasklets = static_cast<std::uint32_t>(v);
+    } else if (key == "split") {
+      const std::uint64_t v = parse_u64(val, "split", part);
+      if (v < 1 || (v & (v - 1)) != 0) {
+        throw ConfigError("PIMDNN_MAPPING: split must be a power of two "
+                          ">= 1, got '" +
+                          part + "'");
+      }
+      o.split = static_cast<std::uint32_t>(v);
     } else {
-      throw ConfigError("PIMDNN_MAPPING: unknown key '" + key +
-                        "' (want rows/images/tasklets, or auto/paper)");
+      throw ConfigError("PIMDNN_MAPPING: unknown key '" + key + "' in '" +
+                        part +
+                        "' (want rows/images/tasklets/split, or auto/paper)");
     }
     any = true;
   }
@@ -155,6 +177,10 @@ std::string MappingOverride::to_string() const {
   if (n_tasklets.has_value()) {
     sep();
     os << "tasklets=" << *n_tasklets;
+  }
+  if (split.has_value()) {
+    sep();
+    os << "split=" << *split;
   }
   return os.str();
 }

@@ -13,9 +13,13 @@
 //                               (rows_per_dpu=1 + 11 GEMM tasklets,
 //                               16 images per eBNN DPU, one tasklet per
 //                               image slot),
-//   rows=R,images=N,tasklets=T — pin individual dimensions (any subset;
+//   rows=R,images=N,tasklets=T,split=K
+//                             — pin individual dimensions (any subset;
 //                               unpinned dimensions fall back to the
-//                               paper values).
+//                               paper values). split=K (a power of two)
+//                               carves the workload into K per-bank
+//                               sub-launches double-buffered across the
+//                               dual-bank pipeline.
 //
 // Callers that pass explicit mapping arguments (the historical APIs) pin
 // the plan themselves; the environment only governs call sites that use
@@ -63,6 +67,11 @@ struct MappingPlan {
   std::uint32_t items_per_dpu = 1; ///< images/items per DPU (batched kernels)
   std::uint32_t n_tasklets = 1;    ///< tasklets per DPU
   std::uint32_t n_dpus = 1;        ///< DPUs the workload spreads across
+  /// Sub-launches the workload is carved into (1 = unsplit). When >1 the
+  /// sub-launch schedule is re-derived from `n_dpus` via map::split_ranges
+  /// so the pricing and every executor agree on the same cut points;
+  /// sub-launch s runs on bank s%2 through the dual-bank pipeline.
+  std::uint32_t split = 1;
   MappingSource source = MappingSource::Paper;
   PredictedBreakdown predicted;
 
@@ -71,7 +80,7 @@ struct MappingPlan {
 
   /// Suffix appended to the obs kernel signature so per-signature offload
   /// summaries never aggregate different mappings into one bucket,
-  /// e.g. "/map=auto/r=2/i=16/t=11".
+  /// e.g. "/map=auto/r=2/i=16/t=11" ("/s=K" appended when split > 1).
   std::string obs_suffix() const;
 };
 
@@ -83,9 +92,12 @@ struct MappingOverride {
   std::optional<int> rows_per_dpu;
   std::optional<std::uint32_t> items_per_dpu;
   std::optional<std::uint32_t> n_tasklets;
+  /// Pinned split factor (power of two, >= 1); unset means unsplit.
+  std::optional<std::uint32_t> split;
 
-  /// Parses "auto", "paper" or "rows=R,images=N,tasklets=T" (any subset,
-  /// any order); throws ConfigError on malformed text.
+  /// Parses "auto", "paper" or "rows=R,images=N,tasklets=T,split=K" (any
+  /// subset, any order); throws ConfigError naming the offending token on
+  /// malformed text.
   static MappingOverride parse(const std::string& text);
 
   /// Round-trips back to the grammar ("auto", "paper" or the pin list).

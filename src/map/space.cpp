@@ -18,6 +18,38 @@ void finalize(std::vector<T>& v, T lo, T hi) {
 
 } // namespace
 
+std::vector<SplitRange> split_ranges(std::size_t total_units,
+                                     std::uint32_t split) {
+  std::vector<SplitRange> out;
+  if (total_units == 0) {
+    return out;
+  }
+  const std::size_t k =
+      std::max<std::size_t>(1, std::min<std::size_t>(split, total_units));
+  const std::size_t base = total_units / k;
+  const std::size_t extra = total_units % k;
+  std::size_t first = 0;
+  for (std::size_t s = 0; s < k; ++s) {
+    SplitRange r;
+    r.first_unit = first;
+    r.n_units = base + (s < extra ? 1 : 0);
+    first += r.n_units;
+    out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> split_candidates(std::size_t total_units,
+                                            std::uint32_t max_split) {
+  std::vector<std::uint32_t> out;
+  const std::size_t cap = std::min<std::size_t>(
+      std::min<std::size_t>(max_split, kMaxSplitFactor), total_units);
+  for (std::uint32_t k = 2; k <= cap; k *= 2) {
+    out.push_back(k);
+  }
+  return out;
+}
+
 std::vector<int> gemm_rows_candidates(int m, int k, const Limits& limits) {
   const int fit = max_gemm_rows_per_dpu(k);
   if (fit < 1 || m < 1) {

@@ -73,6 +73,25 @@ struct LaunchStats {
   Cycles retry_cycles = 0;
   /// True when the offload degraded to the host/baseline CPU path.
   bool cpu_fallback = false;
+
+  /// Folds another launch's stats into this one — how the split executors
+  /// report one workload run as K sub-launches under a single result.
+  /// Walls add (the sub-launches of one bank run back to back; cross-bank
+  /// overlap is the PipelineModel's to attribute, not this accumulator's).
+  LaunchStats& merge(const LaunchStats& o) {
+    wall_cycles += o.wall_cycles;
+    wall_seconds += o.wall_seconds;
+    total_cycles += o.total_cycles;
+    per_dpu.insert(per_dpu.end(), o.per_dpu.begin(), o.per_dpu.end());
+    profile.merge(o.profile);
+    host += o.host;
+    retries += o.retries;
+    faults_absorbed += o.faults_absorbed;
+    quarantined += o.quarantined;
+    retry_cycles += o.retry_cycles;
+    cpu_fallback = cpu_fallback || o.cpu_fallback;
+    return *this;
+  }
 };
 
 /// A set of simulated DPUs plus the host orchestration state.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <memory>
 
 #include "common/bytes.hpp"
 #include "common/error.hpp"
@@ -202,7 +203,8 @@ sim::DpuProgram make_gemm_program(int n, int k, GemmVariant variant,
 map::MappingPlan plan_gemm_mapping(int m, int n, int k, GemmVariant variant,
                                    runtime::OptLevel opt,
                                    std::uint32_t n_tasklets, int rows_per_dpu,
-                                   const map::Limits& limits) {
+                                   const map::Limits& limits,
+                                   std::uint32_t max_split) {
   require(m >= 1, "GEMM needs at least one row");
   map::require_gemm_shape(n, k);
   if (rows_per_dpu != map::kAutoRows) {
@@ -226,6 +228,7 @@ map::MappingPlan plan_gemm_mapping(int m, int n, int k, GemmVariant variant,
   req.c_bytes_per_row = c_stride_bytes(n);
   req.pinned_rows = rows_per_dpu;
   req.pinned_tasklets = n_tasklets;
+  req.max_split = max_split;
   return map::Mapper().plan_gemm(req);
 }
 
@@ -335,6 +338,151 @@ GemmResult dpu_gemm_pooled(runtime::DpuPool& pool, int m, int n, int k,
       });
 
   out.stats = session.finish();
+  return out;
+}
+
+GemmResult dpu_gemm_split(runtime::DpuPool& pool_even,
+                          runtime::DpuPool& pool_odd, int m, int n, int k,
+                          std::int16_t alpha, std::span<const std::int16_t> a,
+                          std::span<const std::int16_t> b,
+                          GemmVariant variant, const map::MappingPlan& plan,
+                          runtime::OptLevel opt,
+                          const std::string& weights_tag,
+                          std::uint64_t weights_version,
+                          runtime::PipelineModel* model,
+                          std::size_t model_item_base) {
+  if (plan.split <= 1) {
+    return dpu_gemm_pooled(pool_even, m, n, k, alpha, a, b, variant,
+                           plan.n_tasklets, opt, plan.rows_per_dpu,
+                           weights_tag, weights_version);
+  }
+  const std::uint32_t n_tasklets = plan.n_tasklets;
+  const int rows_per_dpu = plan.rows_per_dpu;
+  require(a.size() >= static_cast<std::size_t>(m) * k, "A too small");
+  require(b.size() >= static_cast<std::size_t>(k) * n, "B too small");
+
+  const auto na = KernelSession::dpus_for(
+      static_cast<std::size_t>(m), static_cast<std::uint32_t>(rows_per_dpu));
+  const std::vector<map::SplitRange> ranges =
+      map::split_ranges(na, plan.split);
+
+  GemmResult out;
+  out.dpus_used = na;
+  out.split = static_cast<std::uint32_t>(ranges.size());
+  out.c.resize(static_cast<std::size_t>(m) * n);
+
+  const Meta meta{static_cast<std::uint64_t>(n),
+                  static_cast<std::uint64_t>(k),
+                  static_cast<std::int64_t>(alpha),
+                  static_cast<std::uint64_t>(variant),
+                  static_cast<std::uint64_t>(rows_per_dpu)};
+  const MemSize a_stride = a_stride_bytes(k);
+  const MemSize stage_a_bytes =
+      static_cast<MemSize>(rows_per_dpu) * a_stride;
+
+  // One in-flight sub-launch per bank: the sub-launch after next waits for
+  // this one's gather before its session may reuse the bank's pool.
+  struct Pending {
+    std::unique_ptr<KernelSession> session;
+    KernelSession::LaunchHandle handle;
+    std::size_t s = 0;
+    std::size_t row_begin = 0;
+    std::size_t row_count = 0;
+  };
+  Pending in_flight[2];
+
+  const auto drain = [&](Pending& p) {
+    if (!p.session) return;
+    const bool ok = p.handle.wait();
+    if (!ok) {
+      // Only this sub-launch's rows reroute to the bit-identical host
+      // reference; the other sub-launches' DPU results stand as-is.
+      nn::gemm_q16_reference(
+          static_cast<int>(p.row_count), n, k, alpha,
+          a.subspan(p.row_begin * static_cast<std::size_t>(k)), b,
+          std::span<std::int16_t>(out.c.data() + p.row_begin * n,
+                                  p.row_count * static_cast<std::size_t>(n)));
+    } else {
+      p.session->gather_items(
+          "c_rows", p.row_count, static_cast<std::uint32_t>(rows_per_dpu),
+          c_stride_bytes(n), [&](std::size_t i, const std::uint8_t* slot) {
+            std::memcpy(out.c.data() + (p.row_begin + i) * n, slot,
+                        static_cast<std::size_t>(n) * 2);
+          });
+    }
+    const runtime::LaunchStats st = p.session->finish();
+    if (model != nullptr) {
+      const std::size_t item = model_item_base + p.s;
+      const std::size_t bank = p.s % 2;
+      model->xfer_stage(item, bank,
+                        st.host.to_dpu_seconds + st.host.load_seconds);
+      model->dpu_stage(item, bank, st.wall_seconds);
+      model->xfer_stage(item, bank, st.host.from_dpu_seconds);
+    }
+    out.stats.merge(st);
+    p.session.reset();
+  };
+
+  for (std::size_t s = 0; s < ranges.size(); ++s) {
+    Pending& slot = in_flight[s % 2];
+    drain(slot); // bank free: the previous sub-launch on it has gathered
+
+    const map::SplitRange& r = ranges[s];
+    slot.s = s;
+    slot.row_begin = r.first_unit * static_cast<std::size_t>(rows_per_dpu);
+    slot.row_count =
+        std::min(static_cast<std::size_t>(m) - slot.row_begin,
+                 r.n_units * static_cast<std::size_t>(rows_per_dpu));
+    runtime::DpuPool& pool = (s % 2 == 0) ? pool_even : pool_odd;
+
+    // Same signature scheme as the unsplit executor; the weight tag gains
+    // a sub-launch suffix because each sub-launch scatters a different row
+    // block — two sub-launches sharing a bank must not share one resident
+    // MRAM region.
+    std::string sig = "gemm/n=" + std::to_string(n) +
+                      "/k=" + std::to_string(k) +
+                      "/v=" + std::to_string(static_cast<int>(variant)) +
+                      "/r=" + std::to_string(rows_per_dpu);
+    std::string chunk_tag;
+    if (!weights_tag.empty()) {
+      chunk_tag = weights_tag + "/s" + std::to_string(s);
+      sig += "/w=" + chunk_tag;
+    }
+    slot.session = std::make_unique<KernelSession>(
+        pool, sig, static_cast<std::uint32_t>(r.n_units),
+        [&] { return make_gemm_program(n, k, variant, rows_per_dpu); });
+    slot.session->annotate(plan.obs_suffix());
+    const double xfer_share =
+        na == 0 ? 0.0 : static_cast<double>(r.n_units) / na;
+    slot.session->set_predicted(plan.predicted.kernel_cycles,
+                                (plan.predicted.to_dpu_seconds +
+                                 plan.predicted.from_dpu_seconds) *
+                                    xfer_share);
+
+    slot.session->broadcast("meta", &meta, sizeof(meta));
+    slot.session->broadcast("b_mat", b.data(),
+                            static_cast<MemSize>(k) * n * 2);
+    const std::size_t row_begin = slot.row_begin;
+    const auto fill_a = [&, row_begin](std::uint32_t d, std::uint8_t* dst) {
+      for (int rr = 0; rr < rows_per_dpu; ++rr) {
+        const std::size_t row =
+            row_begin + static_cast<std::size_t>(d) * rows_per_dpu + rr;
+        if (row >= static_cast<std::size_t>(m)) break;
+        std::memcpy(dst + static_cast<std::size_t>(rr) * a_stride,
+                    a.data() + row * static_cast<std::size_t>(k),
+                    static_cast<std::size_t>(k) * 2);
+      }
+    };
+    if (chunk_tag.empty()) {
+      slot.session->scatter("a_rows", stage_a_bytes, fill_a);
+    } else {
+      slot.session->scatter_resident(chunk_tag, weights_version, "a_rows",
+                                     stage_a_bytes, fill_a);
+    }
+    slot.handle = slot.session->launch_async(n_tasklets, opt);
+  }
+  drain(in_flight[ranges.size() % 2]);
+  drain(in_flight[(ranges.size() + 1) % 2]);
   return out;
 }
 

@@ -39,6 +39,7 @@
 #include "map/mapper.hpp"
 #include "runtime/dpu_pool.hpp"
 #include "runtime/dpu_set.hpp"
+#include "runtime/pipeline.hpp"
 
 namespace pimdnn::yolo {
 
@@ -60,8 +61,11 @@ struct GemmResult {
   /// host-side overhead of this call: program load/activation, scatter,
   /// broadcast and gather walls/bytes.
   runtime::LaunchStats stats;
-  /// DPUs used (= M, one row per DPU).
+  /// DPUs used (= M, one row per DPU). For a split run this is the total
+  /// across all sub-launches; at most ceil(total/split) are held at once.
   std::uint32_t dpus_used = 0;
+  /// Sub-launches the GEMM was carved into (1 = the unsplit executor).
+  std::uint32_t split = 1;
 };
 
 /// Builds the GEMM DPU program for the given dimensions with
@@ -96,17 +100,49 @@ GemmResult dpu_gemm_pooled(runtime::DpuPool& pool, int m, int n, int k,
                            const std::string& weights_tag = {},
                            std::uint64_t weights_version = 0);
 
-/// Resolves the (rows_per_dpu, n_tasklets) mapping for an M x N x K GEMM
-/// through `map::Mapper` — the single path every GEMM call site takes
+/// Resolves the (rows_per_dpu, n_tasklets, split) mapping for an M x N x K
+/// GEMM through `map::Mapper` — the single path every GEMM call site takes
 /// (dpu_gemm_pooled resolves with it; YoloRunner pre-resolves per layer to
 /// size its bank pools). Sentinel arguments engage the auto search /
 /// PIMDNN_MAPPING; explicit values pin the plan (unpinned dimensions take
-/// the thesis' values: one row per DPU, 11 tasklets).
+/// the thesis' values: one row per DPU, 11 tasklets). `max_split > 1`
+/// additionally lets the search (or a PIMDNN_MAPPING `split=` override)
+/// carve the GEMM into dual-bank sub-launches priced on the overlapped
+/// two-bank timeline — only callers that execute through `dpu_gemm_split`
+/// pass it.
 map::MappingPlan plan_gemm_mapping(int m, int n, int k, GemmVariant variant,
                                    runtime::OptLevel opt,
                                    std::uint32_t n_tasklets = map::kAutoTasklets,
                                    int rows_per_dpu = map::kAutoRows,
-                                   const map::Limits& limits = {});
+                                   const map::Limits& limits = {},
+                                   std::uint32_t max_split = 1);
+
+/// Executes a pre-resolved split mapping (`plan.split >= 2`): the GEMM's
+/// DPU groups are carved into `plan.split` contiguous sub-launches
+/// (map::split_ranges), sub-launch s runs on bank s%2 (`pool_even` /
+/// `pool_odd`), and at most two sub-launches are in flight — launched
+/// through KernelSession::launch_async so sub-launch k+1's scatter runs
+/// while sub-launch k's kernel executes, exactly the overlap the mapper
+/// priced. Output is bit-identical to `dpu_gemm_pooled` with the same
+/// rows/tasklets: every C row is produced by the same per-row arithmetic,
+/// only the launch grouping changes — also under PIMDNN_FAULTS (a degraded
+/// sub-launch reroutes just its own rows through gemm_q16_reference).
+///
+/// When `model` is non-null, each sub-launch's measured stages are
+/// reported to it as item `model_item_base + s` on bank lane s%2 (xfer:
+/// to-DPU + load walls; dpu: simulated kernel wall; xfer: from-DPU wall) —
+/// the attribution obs::Timeline reconstructs. A `plan.split <= 1` plan
+/// falls back to the unsplit pooled executor on `pool_even`.
+GemmResult dpu_gemm_split(runtime::DpuPool& pool_even,
+                          runtime::DpuPool& pool_odd, int m, int n, int k,
+                          std::int16_t alpha, std::span<const std::int16_t> a,
+                          std::span<const std::int16_t> b,
+                          GemmVariant variant, const map::MappingPlan& plan,
+                          runtime::OptLevel opt = runtime::OptLevel::O3,
+                          const std::string& weights_tag = {},
+                          std::uint64_t weights_version = 0,
+                          runtime::PipelineModel* model = nullptr,
+                          std::size_t model_item_base = 0);
 
 /// One-shot convenience wrapper: runs dpu_gemm_pooled on a transient
 /// single-use pool (allocate + load + scatter every call — the cold path

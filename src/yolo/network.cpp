@@ -141,7 +141,7 @@ sim::HostXferStats YoloRunner::pool_host_stats() const {
 }
 
 std::vector<map::MappingPlan> YoloRunner::resolve_layer_plans(
-    const RunOptions& opts) const {
+    const RunOptions& opts, std::uint32_t max_split) const {
   const GemmVariant variant = opts.mode == ExecMode::DpuMram
                                   ? GemmVariant::MramResident
                                   : GemmVariant::WramTiled;
@@ -166,7 +166,8 @@ std::vector<map::MappingPlan> YoloRunner::resolve_layer_plans(
                     std::to_string(opts.n_tasklets) + "/" +
                     std::to_string(opts.rows_per_dpu) + "/" +
                     std::to_string(epoch_key) + "/" + std::to_string(cap) +
-                    "/" + (mapping_env != nullptr ? mapping_env : "");
+                    "/" + std::to_string(max_split) + "/" +
+                    (mapping_env != nullptr ? mapping_env : "");
   if (!plan_cache_.empty() && key == plan_cache_key_) {
     obs::Metrics::instance().add("map.plan.hit");
     return plan_cache_;
@@ -190,7 +191,7 @@ std::vector<map::MappingPlan> YoloRunner::resolve_layer_plans(
                              d.size, d.stride, d.pad};
         plans[i] = plan_gemm_mapping(g.gemm_m(), g.gemm_n(), g.gemm_k(),
                                      variant, opts.opt, opts.n_tasklets,
-                                     opts.rows_per_dpu, limits);
+                                     opts.rows_per_dpu, limits, max_split);
         cd = {d.filters, g.out_h(), g.out_w()};
         break;
       }
@@ -227,7 +228,8 @@ runtime::DpuPool& YoloRunner::bank_pool(
     unsigned bank, const std::vector<map::MappingPlan>& plans) const {
   std::uint32_t peak = 1;
   for (const map::MappingPlan& p : plans) {
-    peak = std::max(peak, p.n_dpus);
+    const std::uint32_t split = std::max(p.split, 1u);
+    peak = std::max(peak, (p.n_dpus + split - 1) / split);
   }
   if (!pools_[bank].has_value()) {
     pools_[bank].emplace(sys_);
@@ -244,10 +246,25 @@ YoloRunResult YoloRunner::run(std::span<const std::int16_t> input,
     map::require_positive_rows(opts.rows_per_dpu);
   }
   runtime::DpuPool* pool = nullptr;
+  runtime::DpuPool* split_pool = nullptr;
+  std::vector<map::MappingPlan> plans;
+  const std::vector<map::MappingPlan>* plans_ptr = nullptr;
   if (opts.mode != ExecMode::Cpu) {
-    pool = &bank_pool(0, resolve_layer_plans(opts));
+    // A single frame has no second frame to overlap with, so the second
+    // bank is free for intra-layer splitting whenever the mapper predicts
+    // a win (split plans only arise on a strict predicted improvement).
+    plans = resolve_layer_plans(opts, map::kMaxSplitFactor);
+    pool = &bank_pool(0, plans);
+    const bool any_split =
+        std::any_of(plans.begin(), plans.end(),
+                    [](const map::MappingPlan& p) { return p.split > 1; });
+    if (any_split) {
+      split_pool = &bank_pool(1, plans);
+      plans_ptr = &plans;
+    }
   }
-  return run_frame(input, opts, pool, bank_scratch_[0], nullptr, 0, 0);
+  return run_frame(input, opts, pool, bank_scratch_[0], nullptr, 0, 0,
+                   plans_ptr, split_pool);
 }
 
 YoloPipelineResult YoloRunner::run_pipelined(
@@ -279,7 +296,16 @@ YoloPipelineResult YoloRunner::run_pipelined(
 
   // Both bank pools are created/sized on this thread before any frame
   // task can touch them (a frame only ever uses its own bank's pool).
-  const std::vector<map::MappingPlan> plans = resolve_layer_plans(opts);
+  // With two or more frames the banks are busy overlapping whole frames,
+  // so layers stay unsplit; a single frame instead donates the idle second
+  // bank to intra-layer splitting (the mapper decides per layer).
+  const bool allow_split = frames.size() == 1;
+  const std::vector<map::MappingPlan> plans =
+      resolve_layer_plans(opts, allow_split ? map::kMaxSplitFactor : 1);
+  const bool any_split =
+      allow_split &&
+      std::any_of(plans.begin(), plans.end(),
+                  [](const map::MappingPlan& p) { return p.split > 1; });
   runtime::DpuPool* banks[2] = {&bank_pool(0, plans), &bank_pool(1, plans)};
   banks[0]->set_obs_bank(0);
   banks[1]->set_obs_bank(1);
@@ -307,10 +333,14 @@ YoloPipelineResult YoloRunner::run_pipelined(
     }
     const std::vector<std::int16_t>* src = &frames[i];
     YoloRunResult* dst = &out.frames[i];
+    const std::vector<map::MappingPlan>* split_plans =
+        any_split ? &plans : nullptr;
+    runtime::DpuPool* split_pool = any_split ? banks[1] : nullptr;
     pending[bank] = runtime::HostPool::global().submit(
-        [this, src, dst, &opts, banks, &model, bank, i] {
+        [this, src, dst, &opts, banks, &model, bank, i, split_plans,
+         split_pool] {
           *dst = run_frame(*src, opts, banks[bank], bank_scratch_[bank],
-                           &model, bank, i);
+                           &model, bank, i, split_plans, split_pool);
         });
   }
   // Always drain both banks before unwinding: in-flight tasks reference
@@ -354,11 +384,18 @@ YoloPipelineResult YoloRunner::run_pipelined(
   return out;
 }
 
-YoloRunResult YoloRunner::run_frame(std::span<const std::int16_t> input,
-                                    const RunOptions& opts,
-                                    runtime::DpuPool* pool, Scratch& scratch,
-                                    runtime::PipelineModel* model,
-                                    unsigned bank, std::size_t item) const {
+YoloRunResult YoloRunner::run_frame(
+    std::span<const std::int16_t> input, const RunOptions& opts,
+    runtime::DpuPool* pool, Scratch& scratch, runtime::PipelineModel* model,
+    unsigned bank, std::size_t item,
+    const std::vector<map::MappingPlan>* plans,
+    runtime::DpuPool* split_pool) const {
+  // Timeline item the next stage lands on. Split conv layers advance it:
+  // sub-launch s occupies item `cur_item + s` on bank lane s%2, so the
+  // overlapped schedule shows K concurrent lanes instead of one serialized
+  // frame item. Unsplit runs never advance it (cur_item == item
+  // throughout, the historical attribution).
+  std::size_t cur_item = item;
   // Activation lifetimes: last_use[i] is the last layer whose route /
   // shortcut consumes output i (i itself when nothing does); retain[i]
   // marks outputs that must survive the whole frame regardless.
@@ -437,16 +474,36 @@ YoloRunResult YoloRunner::run_frame(std::span<const std::int16_t> input,
       const Seconds im2col_s = ht.elapsed();
       out.host_compute_seconds += im2col_s;
       if (model != nullptr) {
-        model->host_stage(item, im2col_s);
+        model->host_stage(cur_item, im2col_s);
       }
 
       std::vector<std::int16_t> conv_out(static_cast<std::size_t>(m) * n);
       const auto& cw = weights_.conv[i];
+      const map::MappingPlan* lp =
+          (plans != nullptr && split_pool != nullptr) ? &(*plans)[i]
+                                                      : nullptr;
       if (opts.mode == ExecMode::Cpu) {
         ht.start();
         nn::gemm_q16_reference(m, n, k, cw.alpha, cw.w, scratch.cols,
                                conv_out);
         out.host_compute_seconds += ht.elapsed();
+      } else if (lp != nullptr && lp->split > 1) {
+        const GemmVariant variant = opts.mode == ExecMode::DpuWram
+                                        ? GemmVariant::WramTiled
+                                        : GemmVariant::MramResident;
+        // Split layer: sub-launch s runs on bank s%2 across both pools;
+        // dpu_gemm_split reports each sub-launch's measured stages to the
+        // model itself, items cur_item..cur_item+split-1.
+        GemmResult r = dpu_gemm_split(
+            *pool, *split_pool, m, n, k, cw.alpha, cw.w, scratch.cols,
+            variant, *lp, opts.opt, "A/conv" + std::to_string(i), 0, model,
+            cur_item);
+        conv_out = std::move(r.c);
+        ls.dpus = r.dpus_used;
+        ls.cycles = r.stats.wall_cycles;
+        out.profile.merge(r.stats.profile);
+        out.host += r.stats.host;
+        cur_item += r.split > 0 ? r.split - 1 : 0;
       } else {
         const GemmVariant variant = opts.mode == ExecMode::DpuWram
                                         ? GemmVariant::WramTiled
@@ -469,12 +526,12 @@ YoloRunResult YoloRunner::run_frame(std::span<const std::int16_t> input,
           // other bank's host stages overlap; the gather occupies both
           // again. Degraded (CPU-fallback) layers report zero DPU time:
           // approximate, but fault-run throughput is not a criterion.
-          model->xfer_stage(item, bank,
+          model->xfer_stage(cur_item, bank,
                             r.stats.host.to_dpu_seconds +
                                 r.stats.host.load_seconds);
-          model->dpu_stage(item, bank,
+          model->dpu_stage(cur_item, bank,
                            sys_.cycles_to_seconds(r.stats.wall_cycles));
-          model->xfer_stage(item, bank, r.stats.host.from_dpu_seconds);
+          model->xfer_stage(cur_item, bank, r.stats.host.from_dpu_seconds);
         }
       }
 
@@ -485,7 +542,7 @@ YoloRunResult YoloRunner::run_frame(std::span<const std::int16_t> input,
       const Seconds post_s = ht.elapsed();
       out.host_compute_seconds += post_s;
       if (model != nullptr) {
-        model->host_stage(item, post_s);
+        model->host_stage(cur_item, post_s);
       }
       cur = std::move(conv_out);
       cd = {d.filters, g.out_h(), g.out_w()};
@@ -539,7 +596,7 @@ YoloRunResult YoloRunner::run_frame(std::span<const std::int16_t> input,
       const Seconds body_s = ht.elapsed();
       out.host_compute_seconds += body_s;
       if (model != nullptr) {
-        model->host_stage(item, body_s);
+        model->host_stage(cur_item, body_s);
       }
     }
 

@@ -168,6 +168,16 @@ public:
   /// frames run so far (zero before the first DPU-mode frame).
   sim::HostXferStats pool_host_stats() const;
 
+  /// The per-layer mapping plans a run with these options would use
+  /// (benches/reports read the chosen rows/tasklets/split and predicted
+  /// breakdowns without executing the network). `max_split` as in
+  /// resolve_layer_plans: single-frame runs resolve with
+  /// map::kMaxSplitFactor, multi-frame pipelined runs with 1.
+  std::vector<map::MappingPlan> layer_plans(const RunOptions& opts,
+                                            std::uint32_t max_split = 1) const {
+    return resolve_layer_plans(opts, max_split);
+  }
+
   /// Analytic per-layer cycle estimates for this config at any input size,
   /// without computing the network (exact for the simulated kernels; used
   /// for full-size 416x416 reports). `rows_per_dpu` matches the run-time
@@ -198,12 +208,18 @@ private:
   /// Resolves each conv layer's mapping plan through `map::Mapper` (index-
   /// aligned with defs_; non-conv layers keep a default plan). Resolved
   /// once per run so bank pools are sized for the chosen DPU counts and
-  /// every frame of a pipelined run uses identical plans.
+  /// every frame of a pipelined run uses identical plans. `max_split > 1`
+  /// lets the mapper carve a layer's GEMM into that many dual-bank
+  /// sub-launches — passed only when the run can execute them (single-
+  /// frame runs; multi-frame pipelined runs already overlap across frames
+  /// and keep every layer unsplit).
   std::vector<map::MappingPlan> resolve_layer_plans(
-      const RunOptions& opts) const;
+      const RunOptions& opts, std::uint32_t max_split = 1) const;
 
   /// Ensures bank `bank`'s pool exists and covers the widest layer of this
   /// config (so no mid-frame growth resets its program/residency cache).
+  /// A split layer only ever holds ceil(n_dpus / split) DPUs per bank at
+  /// once, so that is what it contributes to the peak.
   runtime::DpuPool& bank_pool(unsigned bank,
                               const std::vector<map::MappingPlan>& plans)
       const;
@@ -213,10 +229,18 @@ private:
   /// bank lane `bank` (host: im2col/postprocess/non-conv bodies; xfer: the
   /// GEMM's measured to-DPU + load and from-DPU walls; dpu: the launch's
   /// simulated wall seconds).
+  ///
+  /// When `plans` and `split_pool` are non-null, conv layers whose
+  /// resolved plan says `split > 1` execute through dpu_gemm_split across
+  /// `pool` (even sub-launches) and `split_pool` (odd ones); the model
+  /// items then advance past `item` so each sub-launch occupies its own
+  /// slot of the overlapped timeline. Only single-frame runs pass these.
   YoloRunResult run_frame(std::span<const std::int16_t> input,
                           const RunOptions& opts, runtime::DpuPool* pool,
                           Scratch& scratch, runtime::PipelineModel* model,
-                          unsigned bank, std::size_t item) const;
+                          unsigned bank, std::size_t item,
+                          const std::vector<map::MappingPlan>* plans = nullptr,
+                          runtime::DpuPool* split_pool = nullptr) const;
 
   std::vector<LayerDef> defs_;
   YoloWeights weights_;

@@ -64,6 +64,36 @@ TEST(MappingOverride, RejectsMalformedText) {
   }
 }
 
+TEST(MappingOverride, ParsesAndRoundTripsSplit) {
+  const auto lone = map::MappingOverride::parse("split=4");
+  EXPECT_EQ(lone.kind, map::MappingOverride::Kind::Pinned);
+  EXPECT_EQ(lone.split, std::optional<std::uint32_t>(4u));
+  EXPECT_EQ(lone.to_string(), "split=4");
+  // split=1 is legal: an explicit "stay unsplit".
+  EXPECT_EQ(map::MappingOverride::parse("split=1").split,
+            std::optional<std::uint32_t>(1u));
+  const auto mixed = map::MappingOverride::parse("split=2,rows=3");
+  EXPECT_EQ(mixed.rows_per_dpu, std::optional<int>(3));
+  EXPECT_EQ(mixed.split, std::optional<std::uint32_t>(2u));
+  const auto back = map::MappingOverride::parse(mixed.to_string());
+  EXPECT_EQ(back.rows_per_dpu, mixed.rows_per_dpu);
+  EXPECT_EQ(back.split, mixed.split);
+}
+
+TEST(MappingOverride, RejectsMalformedSplitNamingTheToken) {
+  for (const char* text : {"split=", "split=0", "split=3", "split=abc",
+                           "split=6", "rows=2,split=0"}) {
+    try {
+      map::MappingOverride::parse(text);
+      FAIL() << "accepted '" << text << "'";
+    } catch (const ConfigError& e) {
+      // The diagnostic must name the offending token, not just the line.
+      EXPECT_NE(std::string(e.what()).find("split"), std::string::npos)
+          << text << " -> " << e.what();
+    }
+  }
+}
+
 TEST(MappingOverride, ScopedOverrideNestsAndRestores) {
   map::clear_default_mapping_override();
   {
@@ -278,6 +308,97 @@ TEST(Mapper, PlanObsSuffixNamesEveryDimension) {
   plan.n_tasklets = 11;
   plan.source = map::MappingSource::Auto;
   EXPECT_EQ(plan.obs_suffix(), "/map=auto/r=2/i=8/t=11");
+  // A split plan gets its own signature bucket: "/s=K" only when split.
+  plan.split = 2;
+  EXPECT_EQ(plan.obs_suffix(), "/map=auto/r=2/i=8/t=11/s=2");
+}
+
+// ---- split selection -------------------------------------------------------
+
+/// An eBNN-shaped batch request: real per-image transfer volumes and the
+/// calibrated kernel estimator, the same request the bench prices.
+map::BatchRequest ebnn_batch_request(std::size_t n_items,
+                                     std::uint32_t max_split) {
+  static const ebnn::EbnnConfig cfg;
+  map::BatchRequest req;
+  req.n_items = n_items;
+  req.capacity = 16;
+  req.kernel_cycles = [](std::uint32_t items, std::uint32_t tk) {
+    return ebnn::estimate_ebnn_wall_cycles(cfg, ebnn::BnMode::HostLut,
+                                           ebnn::ConvKernel::Scalar, items,
+                                           tk, OptLevel::O3);
+  };
+  req.item_in_bytes = 28 * 28;
+  req.item_out_bytes = 64;
+  req.max_split = max_split;
+  return req;
+}
+
+TEST(MapperSplit, CallSitesWithoutSplitPathNeverSplit) {
+  map::clear_default_mapping_override();
+  // max_split=1 (every historical call site): the split axis stays shut.
+  const auto plan =
+      map::Mapper().plan_batch(ebnn_batch_request(256, 1));
+  EXPECT_EQ(plan.split, 1u);
+}
+
+TEST(MapperSplit, PaperOverrideNeverSplits) {
+  map::ScopedMappingOverride env("paper");
+  const auto plan =
+      map::Mapper().plan_batch(ebnn_batch_request(256, 8));
+  EXPECT_EQ(plan.source, map::MappingSource::Paper);
+  EXPECT_EQ(plan.split, 1u);
+}
+
+TEST(MapperSplit, AutoSplitsOnlyOnStrictPredictedWin) {
+  map::ScopedMappingOverride env("auto");
+  const auto unsplit =
+      map::Mapper().plan_batch(ebnn_batch_request(256, 1));
+  const auto split =
+      map::Mapper().plan_batch(ebnn_batch_request(256, 8));
+  // The overlapped two-bank timeline hides transfers behind kernels:
+  // the mapper must find a strictly cheaper split for this shape.
+  EXPECT_GT(split.split, 1u);
+  EXPECT_LT(split.predicted.makespan_seconds,
+            unsplit.predicted.makespan_seconds);
+  // n_dpus stays the TOTAL across sub-launches; executors re-derive the
+  // cut points from (n_dpus, split) via map::split_ranges.
+  const auto ranges = map::split_ranges(split.n_dpus, split.split);
+  EXPECT_EQ(ranges.size(), split.split);
+  std::uint32_t total = 0;
+  for (const auto& r : ranges) total += r.n_units;
+  EXPECT_EQ(total, split.n_dpus);
+}
+
+TEST(MapperSplit, EnvPinnedSplitClampedByCallSiteCapability) {
+  map::ScopedMappingOverride env("split=8");
+  // The call site can only double-buffer 2 sub-launches: clamp 8 -> 2.
+  const auto clamped =
+      map::Mapper().plan_batch(ebnn_batch_request(256, 2));
+  EXPECT_EQ(clamped.split, 2u);
+  // A split-incapable call site ignores the pin entirely.
+  const auto unsplit =
+      map::Mapper().plan_batch(ebnn_batch_request(256, 1));
+  EXPECT_EQ(unsplit.split, 1u);
+  // A fully capable call site honors it.
+  const auto full = map::Mapper().plan_batch(ebnn_batch_request(256, 8));
+  EXPECT_EQ(full.split, 8u);
+}
+
+TEST(MapperSplit, GemmSplitPricedAgainstUnsplitPaperFirst) {
+  map::ScopedMappingOverride env("auto");
+  auto req = small_gemm_request(64, 2704, 1152);
+  const auto unsplit = map::Mapper().plan_gemm(req);
+  req.max_split = 8;
+  const auto split = map::Mapper().plan_gemm(req);
+  // Split is only ever chosen on a strict predicted win over the best
+  // unsplit plan (which itself never prices worse than paper).
+  EXPECT_LE(split.predicted.makespan_seconds,
+            unsplit.predicted.makespan_seconds);
+  if (split.split > 1) {
+    EXPECT_LT(split.predicted.makespan_seconds,
+              unsplit.predicted.makespan_seconds);
+  }
 }
 
 // ---- pipeline wiring -------------------------------------------------------

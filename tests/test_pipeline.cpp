@@ -4,15 +4,20 @@
 // async<->sync bit-exact parity for YOLOv3, both eBNN pipelines and the
 // generic offloader — including a fixed-seed PIMDNN_FAULTS run — plus the
 // steady-state invariants: zero thread creations per warm launch and zero
-// staging-arena misses on warm frames.
+// staging-arena misses on warm frames. Every executor test is
+// parameterized over both SimModes: the interpreter and the fast
+// analytic executor must drive the same pipelined paths — including
+// mapper-chosen split schedules — to identical bits.
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <cstdint>
 #include <cstring>
+#include <string>
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/sim_mode.hpp"
 #include "core/offloader.hpp"
 #include "ebnn/deep.hpp"
 #include "ebnn/host.hpp"
@@ -171,6 +176,21 @@ TEST(Pipeline, EmptyModelHasNeutralStats) {
 
 // ---- async <-> sync parity -------------------------------------------------
 
+/// Executor tests run under both simulators: pipelined execution must be
+/// bit-exact with the synchronous path whether the kernels run through
+/// the tasklet interpreter or the fast analytic executor.
+class PipelineBothSims : public ::testing::TestWithParam<SimMode> {
+protected:
+  void SetUp() override { set_default_sim_mode(GetParam()); }
+  void TearDown() override { set_default_sim_mode(SimMode::Interp); }
+};
+
+INSTANTIATE_TEST_SUITE_P(SimModes, PipelineBothSims,
+                         ::testing::Values(SimMode::Interp, SimMode::Fast),
+                         [](const auto& info) {
+                           return std::string(sim_mode_name(info.param));
+                         });
+
 std::vector<std::vector<std::int16_t>> yolo_frames(int n, int h, int w) {
   std::vector<std::vector<std::int16_t>> frames;
   for (int i = 0; i < n; ++i) {
@@ -180,7 +200,7 @@ std::vector<std::vector<std::int16_t>> yolo_frames(int n, int h, int w) {
   return frames;
 }
 
-TEST(AsyncParity, YoloPipelinedMatchesSyncBitExactly) {
+TEST_P(PipelineBothSims, YoloPipelinedMatchesSyncBitExactly) {
   const auto defs = yolo::yolov3_lite_config(1, 1);
   const auto w = yolo::YoloWeights::random(defs, 3, 77);
   yolo::YoloRunner runner(defs, w, 3, 64, 64);
@@ -208,7 +228,7 @@ TEST(AsyncParity, YoloPipelinedMatchesSyncBitExactly) {
   EXPECT_GT(piped.pipeline.speedup(), 1.0);
 }
 
-TEST(AsyncParity, YoloPipelinedRejectsCpuModeAndBadFrames) {
+TEST_P(PipelineBothSims, YoloPipelinedRejectsCpuModeAndBadFrames) {
   const auto defs = yolo::yolov3_lite_config(1, 1);
   const auto w = yolo::YoloWeights::random(defs, 3, 77);
   yolo::YoloRunner runner(defs, w, 3, 64, 64);
@@ -238,7 +258,7 @@ std::vector<std::vector<ebnn::Image>> ebnn_batches(std::size_t n_batches,
   return batches;
 }
 
-TEST(AsyncParity, EbnnPipelinedMatchesSyncBitExactly) {
+TEST_P(PipelineBothSims, EbnnPipelinedMatchesSyncBitExactly) {
   const ebnn::EbnnConfig cfg;
   const auto weights = ebnn::EbnnWeights::random(cfg, 42);
   const auto batches = ebnn_batches(3, 16);
@@ -259,7 +279,7 @@ TEST(AsyncParity, EbnnPipelinedMatchesSyncBitExactly) {
   EXPECT_GT(piped.pipeline.speedup(), 1.0);
 }
 
-TEST(AsyncParity, DeepEbnnPipelinedMatchesSyncBitExactly) {
+TEST_P(PipelineBothSims, DeepEbnnPipelinedMatchesSyncBitExactly) {
   ebnn::DeepEbnnConfig cfg;
   const auto weights = ebnn::DeepEbnnWeights::random(cfg, 42);
   const auto batches = ebnn_batches(3, 8);
@@ -279,7 +299,7 @@ TEST(AsyncParity, DeepEbnnPipelinedMatchesSyncBitExactly) {
   EXPECT_GT(piped.pipeline.speedup(), 1.0);
 }
 
-TEST(AsyncParity, OffloaderPipelinedMatchesSyncBitExactly) {
+TEST_P(PipelineBothSims, OffloaderPipelinedMatchesSyncBitExactly) {
   core::WorkloadSpec spec;
   spec.name = "scale";
   spec.item_in_bytes = 32;
@@ -324,20 +344,28 @@ TEST(AsyncParity, OffloaderPipelinedMatchesSyncBitExactly) {
 // ---- fault parity ----------------------------------------------------------
 
 /// Pipelined runs under deterministic fault injection must self-heal to
-/// the same bits as clean synchronous runs.
-class PipelineFaultTest : public ::testing::Test {
+/// the same bits as clean synchronous runs — in both simulators.
+class PipelineFaultBothSims : public ::testing::TestWithParam<SimMode> {
 protected:
   void SetUp() override {
     sim::set_fault_config(sim::FaultConfig{});
     obs::Metrics::instance().reset();
+    set_default_sim_mode(GetParam());
   }
   void TearDown() override {
     sim::set_fault_config(sim::FaultConfig{});
     obs::Metrics::instance().reset();
+    set_default_sim_mode(SimMode::Interp);
   }
 };
 
-TEST_F(PipelineFaultTest, PipelinedRunsSurviveFaultsBitExactly) {
+INSTANTIATE_TEST_SUITE_P(SimModes, PipelineFaultBothSims,
+                         ::testing::Values(SimMode::Interp, SimMode::Fast),
+                         [](const auto& info) {
+                           return std::string(sim_mode_name(info.param));
+                         });
+
+TEST_P(PipelineFaultBothSims, PipelinedRunsSurviveFaultsBitExactly) {
   const auto defs = yolo::yolov3_lite_config(1, 1);
   const auto w = yolo::YoloWeights::random(defs, 3, 77);
   const auto frames = yolo_frames(3, 64, 64);
@@ -392,7 +420,7 @@ TEST_F(PipelineFaultTest, PipelinedRunsSurviveFaultsBitExactly) {
 
 // ---- steady-state invariants -----------------------------------------------
 
-TEST(SteadyState, WarmLaunchesCreateNoThreadsAndMissNoArenaBuffers) {
+TEST_P(PipelineBothSims, WarmLaunchesCreateNoThreadsAndMissNoArenaBuffers) {
   const ebnn::EbnnConfig cfg;
   const auto weights = ebnn::EbnnWeights::random(cfg, 42);
   const auto batches = ebnn_batches(3, 16);

@@ -326,9 +326,13 @@ TEST(DeepEbnnPool, WarmBatchBitExactWithCheaperHostPath) {
     EXPECT_EQ(cold.predicted[i], golden.predicted) << "image " << i;
   }
 
-  EXPECT_EQ(cold.launch.host.program_loads, 1u);
+  // The auto mapping may carve the batch into dual-bank sub-launches:
+  // the cold batch then loads the program once per bank touched, and the
+  // warm batch serves every sub-launch from the cache.
+  EXPECT_EQ(warm.split, cold.split);
+  EXPECT_EQ(cold.launch.host.program_loads, std::min(cold.split, 2u));
   EXPECT_EQ(warm.launch.host.program_loads, 0u);
-  EXPECT_EQ(warm.launch.host.cached_activations, 1u);
+  EXPECT_EQ(warm.launch.host.cached_activations, warm.split);
   EXPECT_LT(warm.launch.host.bytes_to_dpu, cold.launch.host.bytes_to_dpu);
   EXPECT_EQ(cold.launch.host.bytes_from_dpu, warm.launch.host.bytes_from_dpu);
   EXPECT_GT(cold.launch.host.host_seconds(), 0.0);
